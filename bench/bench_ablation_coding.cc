@@ -1,0 +1,59 @@
+// Ablation: Gaussian vs Poisson data-coding cost in the MDL criterion.
+// The paper codes residuals with a Gaussian (Section 4.1); since activity
+// volumes are counts, a Poisson code is the natural alternative — its
+// variance scales with the mean, so quiet stretches are coded strictly
+// and spikes leniently. This bench compares the event inventories and fit
+// quality the two codes produce.
+
+#include <cstdio>
+
+#include "core/evaluation.h"
+#include "core/global_fit.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+
+namespace dspot {
+namespace {
+
+int Run() {
+  std::printf("=== Ablation — Gaussian vs Poisson coding in Cost_C ===\n\n");
+  GeneratorConfig config = GoogleTrendsConfig();
+  const KeywordScenario scenarios[] = {GrammyScenario(), EbolaScenario(),
+                                       AmazonScenario()};
+  std::printf("%-14s %-10s %8s %10s %12s %8s\n", "keyword", "coding",
+              "#shocks", "fit RMSE", "MDL bits", "growth");
+  for (const KeywordScenario& sc : scenarios) {
+    auto data = GenerateGlobalSequence(sc, config);
+    if (!data.ok()) {
+      std::fprintf(stderr, "generate: %s\n",
+                   data.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& [label, model] :
+         {std::pair<const char*, CodingModel>{"Gaussian",
+                                              CodingModel::kGaussian},
+          std::pair<const char*, CodingModel>{"Poisson",
+                                              CodingModel::kPoisson}}) {
+      GlobalFitOptions options;
+      options.coding_model = model;
+      auto fit = FitGlobalSequence(*data, 0, 1, options);
+      if (!fit.ok()) {
+        std::fprintf(stderr, "fit: %s\n", fit.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-14s %-10s %8zu %10.3f %12.0f %8s\n", sc.name.c_str(),
+                  label, fit->shocks.size(), fit->rmse, fit->cost_bits,
+                  fit->params.has_growth() ? "yes" : "no");
+    }
+  }
+  std::printf("\nExpected shape: both codes find the same event structure; "
+              "the Poisson code may admit slightly different strengths on "
+              "tall spikes (lenient there) while refusing noise shocks in "
+              "quiet stretches.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dspot
+
+int main() { return dspot::Run(); }

@@ -1,0 +1,94 @@
+// Ablation D3: multi-layer optimization (GLOBALFIT then LOCALFIT with
+// shared dynamics/shock times) vs fitting every local sequence as an
+// independent Δ-SPOT instance. Sharing is both cheaper (O(l) local scalars
+// per keyword instead of O(l) full models) and statistically stronger on
+// small/noisy local sequences.
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/dspot.h"
+#include "core/global_fit.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+int Run() {
+  std::printf("=== Ablation D3 — multi-layer vs independent local fits ===\n\n");
+  GeneratorConfig config = GoogleTrendsConfig();
+  config.num_locations = 8;
+  config.num_outlier_locations = 2;
+  auto generated = GenerateTensor({GrammyScenario()}, config);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  const ActivityTensor& tensor = generated->tensor;
+  const size_t l = tensor.num_locations();
+
+  // Variant A: the real pipeline.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto multi = FitDspot(tensor);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!multi.ok()) {
+    std::fprintf(stderr, "multi-layer fit failed\n");
+    return 1;
+  }
+  double multi_rmse = 0.0;
+  for (size_t j = 0; j < l; ++j) {
+    multi_rmse += Rmse(tensor.LocalSequence(0, j), multi->LocalEstimate(0, j));
+  }
+  multi_rmse /= static_cast<double>(l);
+
+  // Variant B: every local sequence fit as its own full model.
+  const auto t2 = std::chrono::steady_clock::now();
+  double indep_rmse = 0.0;
+  size_t indep_params = 0;
+  for (size_t j = 0; j < l; ++j) {
+    const Series local = tensor.LocalSequence(0, j);
+    auto fit = FitGlobalSequence(local, 0, 1);
+    if (!fit.ok()) continue;
+    indep_rmse += fit->rmse;
+    indep_params += 5 + (fit->params.has_growth() ? 2 : 0);
+    for (const Shock& s : fit->shocks) {
+      indep_params += 4 + s.global_strengths.size();
+    }
+  }
+  const auto t3 = std::chrono::steady_clock::now();
+  indep_rmse /= static_cast<double>(l);
+
+  // Multi-layer parameter count: one global model + 2 scalars per
+  // location + local strength matrices.
+  size_t multi_params = 5 + (multi->params.global[0].has_growth() ? 2 : 0) +
+                        2 * l;
+  for (const Shock& s : multi->params.shocks) {
+    multi_params += 4 + s.global_strengths.size();
+    for (size_t m = 0; m < s.local_strengths.rows(); ++m) {
+      for (size_t c = 0; c < s.local_strengths.cols(); ++c) {
+        if (s.local_strengths(m, c) != 0.0) ++multi_params;
+      }
+    }
+  }
+
+  const double secs_multi = std::chrono::duration<double>(t1 - t0).count();
+  const double secs_indep = std::chrono::duration<double>(t3 - t2).count();
+  std::printf("%-28s %12s %10s %10s\n", "variant", "local RMSE", "params",
+              "seconds");
+  std::printf("%-28s %12.3f %10zu %10.2f\n", "multi-layer (Δ-SPOT)",
+              multi_rmse, multi_params, secs_multi);
+  std::printf("%-28s %12.3f %10zu %10.2f\n", "independent per-location",
+              indep_rmse, indep_params, secs_indep);
+  std::printf("\nExpected shape: comparable (or better) local RMSE for the "
+              "multi-layer fit at a fraction of the parameters, and shock "
+              "times that stay aligned across countries.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dspot
+
+int main() { return dspot::Run(); }

@@ -1,0 +1,85 @@
+// Ablation D1: MDL-gated model selection vs "no gate". Δ-SPOT accepts a
+// shock or growth term only when the total code length justifies it; this
+// bench disables the parsimony machinery (backward pruning off, tiny
+// forward thresholds) and measures what the gate buys: comparable fit on
+// the training range but fewer parameters and a better forecast (the
+// ungated model overfits noise bursts that never recur).
+
+#include <cstdio>
+
+#include "core/dspot.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+struct Outcome {
+  size_t shocks = 0;
+  double fit_rmse = 0.0;
+  double forecast_rmse = 0.0;
+  double cost_bits = 0.0;
+};
+
+Outcome Evaluate(const Series& train, const Series& test,
+                 const GlobalFitOptions& options) {
+  Outcome out;
+  auto fit = FitGlobalSequence(train, 0, 1, options);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n", fit.status().ToString().c_str());
+    return out;
+  }
+  out.shocks = fit->shocks.size();
+  out.fit_rmse = fit->rmse;
+  out.cost_bits = fit->cost_bits;
+  ModelParamSet params;
+  params.num_keywords = 1;
+  params.num_locations = 1;
+  params.num_ticks = train.size();
+  params.global = {fit->params};
+  params.shocks = fit->shocks;
+  auto fc = ForecastGlobal(params, 0, test.size());
+  out.forecast_rmse = fc.ok() ? Rmse(test, *fc) : -1.0;
+  return out;
+}
+
+int Run() {
+  std::printf("=== Ablation D1 — MDL model selection vs no gate ===\n\n");
+  GeneratorConfig config = GoogleTrendsConfig();
+  auto full = GenerateGlobalSequence(GrammyScenario(), config);
+  if (!full.ok()) {
+    std::fprintf(stderr, "generate: %s\n", full.status().ToString().c_str());
+    return 1;
+  }
+  const Series train = full->Slice(0, 400);
+  const Series test = full->Slice(400, full->size());
+
+  GlobalFitOptions mdl;  // defaults: the real Δ-SPOT
+  GlobalFitOptions ungated = mdl;
+  ungated.min_rmse_decrease = 0.002;   // accept nearly any improvement
+  ungated.prune_slack_bits = -1e12;    // never prune
+  ungated.max_shocks_per_keyword = 16;
+  ungated.return_final_state = true;   // keep the greedy state, not MDL-best
+
+  const Outcome with_mdl = Evaluate(train, test, mdl);
+  const Outcome without = Evaluate(train, test, ungated);
+
+  std::printf("%-24s %8s %12s %14s %12s\n", "variant", "#shocks", "fit RMSE",
+              "forecast RMSE", "MDL bits");
+  std::printf("%-24s %8zu %12.3f %14.3f %12.0f\n", "MDL-gated (Δ-SPOT)",
+              with_mdl.shocks, with_mdl.fit_rmse, with_mdl.forecast_rmse,
+              with_mdl.cost_bits);
+  std::printf("%-24s %8zu %12.3f %14.3f %12.0f\n", "no gate",
+              without.shocks, without.fit_rmse, without.forecast_rmse,
+              without.cost_bits);
+  std::printf("\nExpected shape: the ungated variant uses more shocks for a "
+              "marginally better training fit, pays more description bits "
+              "and forecasts no better (or worse).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dspot
+
+int main() { return dspot::Run(); }

@@ -1,0 +1,80 @@
+// Extension experiment: forecast-error degradation with horizon. The
+// paper demonstrates long-range forecasting qualitatively (Fig. 11); this
+// bench quantifies it — mean absolute forecast error per half-year bucket
+// of the forecast horizon, for Δ-SPOT and the AR/TBATS baselines. A model
+// that merely extrapolates recent history degrades fast; an event-aware
+// model stays flat because it knows when the next spikes land.
+
+#include <cstdio>
+
+#include "baselines/ar.h"
+#include "baselines/tbats.h"
+#include "core/evaluation.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+
+namespace dspot {
+namespace {
+
+int Run() {
+  std::printf("=== Extension — forecast error by horizon ('Grammy') ===\n\n");
+  GeneratorConfig config = GoogleTrendsConfig();
+  auto full = GenerateGlobalSequence(GrammyScenario(), config);
+  if (!full.ok()) {
+    std::fprintf(stderr, "generate: %s\n", full.status().ToString().c_str());
+    return 1;
+  }
+  const size_t train_ticks = 400;
+  const size_t bucket = 26;  // half a year
+
+  auto dspot_result = TrainAndForecast(*full, train_ticks);
+  if (!dspot_result.ok()) {
+    std::fprintf(stderr, "dspot: %s\n",
+                 dspot_result.status().ToString().c_str());
+    return 1;
+  }
+  const Series train = full->Slice(0, train_ticks);
+  const Series test = full->Slice(train_ticks, full->size());
+
+  std::printf("%-10s", "horizon");
+  const size_t buckets =
+      dspot_result->test_quality.error_by_horizon.size();
+  for (size_t b = 0; b < buckets; ++b) {
+    std::printf("  %4zu-%-4zu", b * bucket, (b + 1) * bucket);
+  }
+  std::printf("\n%-10s", "Δ-SPOT");
+  for (double e : dspot_result->test_quality.error_by_horizon) {
+    std::printf("  %9.2f", e);
+  }
+  std::printf("\n");
+
+  auto ar = ArModel::Fit(train, 50);
+  if (ar.ok()) {
+    const ForecastQuality q =
+        EvaluateForecast(test, ar->Forecast(train, test.size()), bucket);
+    std::printf("%-10s", "AR(50)");
+    for (double e : q.error_by_horizon) {
+      std::printf("  %9.2f", e);
+    }
+    std::printf("\n");
+  }
+  auto tbats = TbatsModel::Fit(train);
+  if (tbats.ok()) {
+    const ForecastQuality q =
+        EvaluateForecast(test, tbats->Forecast(train, test.size()), bucket);
+    std::printf("%-10s", "TBATS");
+    for (double e : q.error_by_horizon) {
+      std::printf("  %9.2f", e);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape: Δ-SPOT's error stays roughly flat across "
+              "horizons (events keep firing on schedule); the baselines' "
+              "error is dominated by every missed spike.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dspot
+
+int main() { return dspot::Run(); }

@@ -1,0 +1,87 @@
+// Fig. 10: wall-clock time of Δ-SPOT vs dataset size, varied along each of
+// the three tensor dimensions — (a) keywords d, (b) locations l,
+// (c) duration n. Lemma 1 claims O(d*l*n); the printed series should grow
+// ~linearly in each sweep.
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/dspot.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+
+namespace dspot {
+namespace {
+
+double FitSeconds(size_t d, size_t l, size_t n, uint64_t seed) {
+  GeneratorConfig config = GoogleTrendsConfig(seed);
+  config.n_ticks = n;
+  config.num_locations = l;
+  config.num_outlier_locations = 0;
+
+  std::vector<KeywordScenario> suite = TrendingKeywordSuite();
+  std::vector<KeywordScenario> scenarios;
+  for (size_t i = 0; i < d; ++i) {
+    KeywordScenario s = suite[i % suite.size()];
+    s.name += "_" + std::to_string(i);
+    // Keep shock starts inside the (possibly shortened) horizon.
+    for (auto& shock : s.shocks) {
+      shock.start %= std::max<size_t>(n / 2, 1);
+    }
+    scenarios.push_back(std::move(s));
+  }
+  auto generated = GenerateTensor(scenarios, config);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n",
+                 generated.status().ToString().c_str());
+    return -1.0;
+  }
+
+  DspotOptions options;
+  // One detection round keeps the sweep fast while preserving the scaling
+  // shape.
+  options.global.max_outer_rounds = 1;
+  options.local.max_rounds = 1;
+
+  const auto start = std::chrono::steady_clock::now();
+  auto result = FitDspot(generated->tensor, options);
+  const auto end = std::chrono::steady_clock::now();
+  if (!result.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n",
+                 result.status().ToString().c_str());
+    return -1.0;
+  }
+  return std::chrono::duration<double>(end - start).count();
+}
+
+void Sweep(const char* label, const std::vector<std::array<size_t, 3>>& dims) {
+  std::printf("--- Fig.10%s ---\n", label);
+  std::printf("%8s %8s %8s %12s\n", "d", "l", "n", "median s");
+  for (const auto& [d, l, n] : dims) {
+    // Median of 3: the fit's iteration count depends on the noise draw,
+    // so single-shot wall clocks are jumpy.
+    std::vector<double> secs;
+    for (int rep = 0; rep < 3; ++rep) {
+      secs.push_back(FitSeconds(d, l, n, /*seed=*/7 + rep));
+    }
+    std::sort(secs.begin(), secs.end());
+    std::printf("%8zu %8zu %8zu %12.3f\n", d, l, n, secs[1]);
+  }
+}
+
+}  // namespace
+}  // namespace dspot
+
+int main() {
+  std::printf("Δ-SPOT scalability (Fig. 10): wall-clock vs tensor size\n\n");
+  dspot::Sweep("(a) varying keywords d",
+               {{{1, 8, 208}}, {{2, 8, 208}}, {{4, 8, 208}}, {{8, 8, 208}}});
+  dspot::Sweep("(b) varying locations l",
+               {{{2, 8, 208}}, {{2, 16, 208}}, {{2, 32, 208}}, {{2, 64, 208}}});
+  dspot::Sweep("(c) varying duration n",
+               {{{2, 8, 104}}, {{2, 8, 208}}, {{2, 8, 416}}, {{2, 8, 832}}});
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fig. 11 reproduction: long-range forecasting of "Grammy". Train on the
+// first 400 weekly ticks, forecast the remaining ~3.4 years, and compare
+// against AR with r = 8, 26, 50 and TBATS. The paper's shape: Δ-SPOT
+// predicts the timing, duration and relative strength of the next
+// Grammys; AR and TBATS fail to forecast the spikes.
+
+#include <cstdio>
+
+#include "baselines/ar.h"
+#include "baselines/tbats.h"
+#include "bench/bench_util.h"
+#include "core/dspot.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+int Run() {
+  std::printf("=== Fig. 11 — forecasting 'Grammy' (train 400 ticks) ===\n\n");
+  GeneratorConfig config = GoogleTrendsConfig();
+  auto full = GenerateGlobalSequence(GrammyScenario(), config);
+  if (!full.ok()) {
+    std::fprintf(stderr, "generate: %s\n", full.status().ToString().c_str());
+    return 1;
+  }
+  const size_t train_ticks = 400;
+  const Series train = full->Slice(0, train_ticks);
+  const Series test = full->Slice(train_ticks, full->size());
+
+  std::printf("(a) original sequence (%zu ticks; | marks the train/test "
+              "split at tick %zu):\n", full->size(), train_ticks);
+  std::printf("  train |%s|\n", bench::Sparkline(train).c_str());
+  std::printf("  test  |%s|\n\n", bench::Sparkline(test).c_str());
+
+  // Δ-SPOT.
+  auto fit = FitDspotSingle(train);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "fit: %s\n", fit.status().ToString().c_str());
+    return 1;
+  }
+  auto forecast = ForecastGlobal(fit->params, 0, test.size());
+  if (!forecast.ok()) {
+    std::fprintf(stderr, "forecast: %s\n",
+                 forecast.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("(b) Δ-SPOT forecast:\n");
+  std::printf("  fc    |%s|\n", bench::Sparkline(*forecast).c_str());
+  std::printf("  events carried forward:\n");
+  for (const Shock& shock : fit->params.shocks) {
+    std::printf("    * %s\n", bench::DescribeEvent(shock).c_str());
+  }
+
+  std::printf("\n(c) competitor forecasts:\n");
+  std::printf("%-18s %12s\n", "method", "RMSE");
+  std::printf("%-18s %12.3f\n", "Δ-SPOT", Rmse(test, *forecast));
+  for (size_t order : {8u, 26u, 50u}) {
+    auto ar = ArModel::Fit(train, order);
+    if (!ar.ok()) {
+      std::printf("AR(%zu) failed: %s\n", order,
+                  ar.status().ToString().c_str());
+      continue;
+    }
+    const Series ar_fc = ar->Forecast(train, test.size());
+    std::printf("AR(%-2zu)             %12.3f\n", order, Rmse(test, ar_fc));
+    if (order == 50) {
+      std::printf("  AR50  |%s|\n", bench::Sparkline(ar_fc).c_str());
+    }
+  }
+  auto tbats = TbatsModel::Fit(train);
+  if (tbats.ok()) {
+    const Series tb_fc = tbats->Forecast(train, test.size());
+    std::printf("%-18s %12.3f\n", "TBATS", Rmse(test, tb_fc));
+    std::printf("  TBATS |%s|\n", bench::Sparkline(tb_fc).c_str());
+  } else {
+    std::printf("TBATS failed: %s\n", tbats.status().ToString().c_str());
+  }
+
+  std::printf("\nExpected shape: Δ-SPOT predicts the next spikes at the "
+              "right ticks with the right magnitude; AR/TBATS decay to the "
+              "mean or forecast a smooth seasonal wave.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dspot
+
+int main() { return dspot::Run(); }

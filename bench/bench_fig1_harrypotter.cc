@@ -1,0 +1,93 @@
+// Fig. 1 reproduction: (a) Δ-SPOT automatically detects the cyclic and
+// non-cyclic external events of the "Harry Potter" search sequence
+// (biennial July releases, November premieres, one May spike) and fits
+// 11 years of weekly data; (b) the per-country reaction to the events —
+// the "world-wide reaction map" — as the fitted local strengths.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/dspot.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+int Run() {
+  std::printf("=== Fig. 1 — modeling power of Δ-SPOT on 'Harry Potter' ===\n\n");
+  GeneratorConfig config = GoogleTrendsConfig();
+  auto generated = GenerateTensor({HarryPotterScenario()}, config);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  auto result = FitDspot(generated->tensor);
+  if (!result.ok()) {
+    std::fprintf(stderr, "fit: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  const Series data = generated->tensor.GlobalSequence(0);
+  std::printf("(a) global fit, %zu weekly ticks (2004-2015), RMSE %.3f "
+              "(range %.1f)\n\n",
+              data.size(), result->global_rmse[0],
+              data.MaxValue() - data.MinValue());
+  bench::PrintFitPair("harry_potter", data, result->global_estimates[0]);
+
+  std::printf("\nDetected external events:\n");
+  std::printf("Ground truth: biennial releases from %s, premieres from %s, "
+              "one-shot %s\n",
+              bench::WeekToCalendar(80).c_str(),
+              bench::WeekToCalendar(98).c_str(),
+              bench::WeekToCalendar(71).c_str());
+  for (const Shock& shock : result->params.shocks) {
+    std::printf("  * %s\n", bench::DescribeEvent(shock).c_str());
+  }
+
+  // (b) world-wide reaction: average fitted local strength per country.
+  std::printf("\n(b) world-wide reaction to the events (fitted local "
+              "strengths):\n");
+  struct Row {
+    std::string name;
+    double strength;
+    bool outlier;
+  };
+  std::vector<Row> rows;
+  const size_t l = generated->tensor.num_locations();
+  for (size_t j = 0; j < l; ++j) {
+    double sum = 0.0;
+    size_t count = 0;
+    for (const Shock& shock : result->params.shocks) {
+      for (size_t m = 0; m < shock.local_strengths.rows(); ++m) {
+        sum += shock.local_strengths(m, j);
+        ++count;
+      }
+    }
+    rows.push_back({generated->tensor.locations()[j],
+                    count == 0 ? 0.0 : sum / static_cast<double>(count),
+                    generated->truth.is_outlier[j]});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.strength > b.strength; });
+  std::printf("%-6s %-12s %s\n", "ctry", "reaction", "(bar)");
+  const double max_strength = std::max(rows.front().strength, 1e-9);
+  for (const Row& row : rows) {
+    const int bar = static_cast<int>(40.0 * row.strength / max_strength);
+    std::printf("%-6s %10.3f   %s%s\n", row.name.c_str(), row.strength,
+                std::string(static_cast<size_t>(std::max(bar, 0)), '#').c_str(),
+                row.outlier ? "   <- low-connectivity outlier" : "");
+  }
+  std::printf("\nExpected shape: high-population countries react strongly; "
+              "the trailing outliers show ~zero reaction.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dspot
+
+int main() { return dspot::Run(); }

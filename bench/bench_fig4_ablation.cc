@@ -1,0 +1,75 @@
+// Fig. 4 reproduction: influence of combining the growth effect (P3) and
+// the external-shock effect (P4) on the "Amazon" sequence. Four fits:
+// (a) neither, (b) growth only, (c) shocks only, (d) both. The paper's
+// conclusion — (d) fits best, and the two effects are not interchangeable
+// — should reproduce as a clear RMSE ordering.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/global_fit.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+
+namespace dspot {
+namespace {
+
+int Run() {
+  std::printf("=== Fig. 4 — growth effect x external shocks on 'Amazon' ===\n\n");
+  GeneratorConfig config = GoogleTrendsConfig();
+  auto data = GenerateGlobalSequence(AmazonScenario(), config);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generate: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("data: growth onset at tick 343 (%s) + annual holiday shocks\n\n",
+              bench::WeekToCalendar(343).c_str());
+
+  struct Variant {
+    const char* label;
+    bool growth;
+    bool shocks;
+  };
+  const Variant variants[] = {
+      {"(a) no growth, no shocks", false, false},
+      {"(b) growth only", true, false},
+      {"(c) shocks only", false, true},
+      {"(d) growth + shocks (Δ-SPOT)", true, true},
+  };
+  std::printf("%-32s %10s %10s %8s\n", "variant", "RMSE", "MDL bits",
+              "#shocks");
+  double rmse_d = 0.0;
+  double rmse_a = 0.0;
+  for (const Variant& v : variants) {
+    GlobalFitOptions options;
+    options.allow_growth = v.growth;
+    options.allow_shocks = v.shocks;
+    auto fit = FitGlobalSequence(*data, 0, 1, options);
+    if (!fit.ok()) {
+      std::fprintf(stderr, "fit: %s\n", fit.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-32s %10.3f %10.0f %8zu\n", v.label, fit->rmse,
+                fit->cost_bits, fit->shocks.size());
+    if (v.growth && v.shocks) rmse_d = fit->rmse;
+    if (!v.growth && !v.shocks) rmse_a = fit->rmse;
+    if (v.growth && v.shocks) {
+      std::printf("\n");
+      bench::PrintFitPair("  (d) fit", *data, fit->estimate);
+      if (fit->params.has_growth()) {
+        std::printf("  growth detected: eta0=%.3f, onset %s (truth: tick 343)\n",
+                    fit->params.growth_rate,
+                    bench::WeekToCalendar(fit->params.growth_start).c_str());
+      }
+    }
+  }
+  std::printf("\nExpected shape: (d) << (a); combining both effects beats "
+              "either alone. Measured (d)/(a) RMSE ratio: %.2f\n",
+              rmse_d / rmse_a);
+  return 0;
+}
+
+}  // namespace
+}  // namespace dspot
+
+int main() { return dspot::Run(); }

@@ -1,0 +1,71 @@
+// Fig. 7 reproduction: global fits on two MemeTracker phrases (meme #3
+// "yes we can", meme #16 "joe satriani ...") — single fast rise-and-fall
+// bursts over 3 months of daily blog activity.
+
+#include <cstdio>
+
+#include "baselines/spikem.h"
+#include "bench/bench_util.h"
+#include "core/global_fit.h"
+#include "core/simulate.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+int Run() {
+  std::printf("=== Fig. 7 — MemeTracker memes (daily, Aug-Oct 2008) ===\n\n");
+  GeneratorConfig config = MemeTrackerConfig();
+  auto generated =
+      GenerateTensor({Meme3Scenario(), Meme16Scenario()}, config);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  auto params = GlobalFit(generated->tensor);
+  if (!params.ok()) {
+    std::fprintf(stderr, "fit: %s\n", params.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < 2; ++i) {
+    const Series data = generated->tensor.GlobalSequence(i);
+    const Series estimate = SimulateGlobal(*params, i, data.size());
+    const double range = data.MaxValue() - data.MinValue();
+    std::printf("--- %s: RMSE %.3f (%.1f%% of range) ---\n",
+                generated->tensor.keywords()[i].c_str(),
+                Rmse(data, estimate), 100.0 * Rmse(data, estimate) / range);
+    bench::PrintFitPair(generated->tensor.keywords()[i], data, estimate);
+    for (const Shock& shock : params->shocks) {
+      if (shock.keyword != i) continue;
+      std::printf("  event: start day %zu, width %zu, strength %.2f\n",
+                  shock.start, shock.width, shock.base_strength);
+    }
+    const KeywordGlobalParams& g = params->global[i];
+    std::printf("  dynamics: beta=%.3f delta=%.3f (memes: fast contagion, "
+                "fast decay)\n",
+                g.beta, g.delta);
+    // Extension: SpikeM (the classic single-burst meme model, the paper's
+    // reference [13]) as a per-meme comparison point.
+    auto spikem = FitSpikeM(data);
+    if (spikem.ok()) {
+      std::printf("  SpikeM comparison: RMSE %.3f (burst at day %zu)\n\n",
+                  spikem->rmse, spikem->params.shock_start);
+    } else {
+      std::printf("  SpikeM comparison failed: %s\n\n",
+                  spikem.status().ToString().c_str());
+    }
+  }
+  std::printf("Ground truth: meme3 burst at day 35, meme16 at day 55.\n");
+  std::printf("Expected shape: both models fit single-burst memes; Δ-SPOT "
+              "matches SpikeM here and additionally handles the cyclic / "
+              "multi-event keywords SpikeM cannot.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dspot
+
+int main() { return dspot::Run(); }

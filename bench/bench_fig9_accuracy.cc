@@ -1,0 +1,127 @@
+// Fig. 9 reproduction: fitting accuracy (RMSE) of Δ-SPOT vs the SIRS
+// model, SKIPS and FUNNEL, at (a) the global level and (b) the local
+// level. The paper's shape: Δ-SPOT clearly lowest; SIRS/SKIPS miss the
+// complicated patterns; FUNNEL sits between (it captures one-shot shocks
+// but not cyclic ones, and has no growth effect).
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/funnel.h"
+#include "core/dspot.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "epidemics/sir_family.h"
+#include "epidemics/skips.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+struct Scores {
+  double dspot = 0.0;
+  double sirs = 0.0;
+  double skips = 0.0;
+  double funnel = 0.0;
+};
+
+int Run() {
+  std::printf("=== Fig. 9 — fitting accuracy vs SIRS / SKIPS / FUNNEL ===\n\n");
+  GeneratorConfig config = GoogleTrendsConfig();
+  config.num_locations = 6;
+  config.num_outlier_locations = 1;
+  const std::vector<KeywordScenario> scenarios = {
+      GrammyScenario(), HarryPotterScenario(), EbolaScenario(),
+      AmazonScenario()};
+  auto generated = GenerateTensor(scenarios, config);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  const ActivityTensor& tensor = generated->tensor;
+  const size_t d = tensor.num_keywords();
+  const size_t l = tensor.num_locations();
+
+
+  // Δ-SPOT full fit (global + local) once.
+  auto dspot_fit = FitDspot(tensor);
+  if (!dspot_fit.ok()) {
+    std::fprintf(stderr, "dspot: %s\n",
+                 dspot_fit.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("(a) global-level RMSE (per keyword):\n");
+  std::printf("%-14s %10s %10s %10s %10s\n", "keyword", "Δ-SPOT", "SIRS",
+              "SKIPS", "FUNNEL");
+  Scores global_sum;
+  std::vector<FunnelFit> funnel_fits(d);
+  for (size_t i = 0; i < d; ++i) {
+    const Series data = tensor.GlobalSequence(i);
+    Scores row;
+    row.dspot = dspot_fit->global_rmse[i];
+    auto sirs = FitSirs(data);
+    row.sirs = sirs.ok() ? sirs->info.rmse : -1.0;
+    auto skips = FitSkips(data);
+    row.skips = skips.ok() ? skips->rmse : -1.0;
+    auto funnel = FitFunnel(data);
+    if (funnel.ok()) {
+      row.funnel = funnel->rmse;
+      funnel_fits[i] = *funnel;
+    } else {
+      row.funnel = -1.0;
+    }
+    std::printf("%-14s %10.3f %10.3f %10.3f %10.3f\n",
+                tensor.keywords()[i].c_str(), row.dspot, row.sirs, row.skips,
+                row.funnel);
+    global_sum.dspot += row.dspot;
+    global_sum.sirs += row.sirs;
+    global_sum.skips += row.skips;
+    global_sum.funnel += row.funnel;
+  }
+  const double dd = static_cast<double>(d);
+  std::printf("%-14s %10.3f %10.3f %10.3f %10.3f\n", "MEAN",
+              global_sum.dspot / dd, global_sum.sirs / dd,
+              global_sum.skips / dd, global_sum.funnel / dd);
+
+  std::printf("\n(b) local-level RMSE (averaged over %zu keywords x %zu "
+              "countries):\n",
+              d, l);
+  Scores local_sum;
+  size_t cells = 0;
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < l; ++j) {
+      const Series data = tensor.LocalSequence(i, j);
+      // Δ-SPOT: the LocalFit estimate.
+      local_sum.dspot += Rmse(data, dspot_fit->LocalEstimate(i, j));
+      // SIRS / SKIPS: fit each local sequence independently (they have no
+      // notion of shared structure).
+      auto sirs = FitSirs(data);
+      local_sum.sirs += sirs.ok() ? sirs->info.rmse : 0.0;
+      auto skips = FitSkips(data);
+      local_sum.skips += skips.ok() ? skips->rmse : 0.0;
+      // FUNNEL: local refit from its global fit.
+      auto funnel = FitFunnelLocal(data, funnel_fits[i]);
+      local_sum.funnel += funnel.ok() ? funnel->rmse : 0.0;
+      ++cells;
+    }
+  }
+  const double cc = static_cast<double>(cells);
+  std::printf("%-14s %10s %10s %10s %10s\n", "", "Δ-SPOT", "SIRS", "SKIPS",
+              "FUNNEL");
+  std::printf("%-14s %10.3f %10.3f %10.3f %10.3f\n", "MEAN",
+              local_sum.dspot / cc, local_sum.sirs / cc, local_sum.skips / cc,
+              local_sum.funnel / cc);
+
+  std::printf("\nExpected shape: Δ-SPOT lowest at both levels; SIRS and "
+              "SKIPS fail on the spiky patterns; FUNNEL in between "
+              "(no cyclic events, no growth).\n");
+
+  return 0;
+}
+
+}  // namespace
+}  // namespace dspot
+
+int main() { return dspot::Run(); }

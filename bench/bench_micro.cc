@@ -1,0 +1,144 @@
+// Micro-benchmarks (google-benchmark) for the numeric kernels underlying
+// the pipeline: SIV simulation, epsilon construction, LM on a canonical
+// problem, and the dense solvers.
+
+#include <benchmark/benchmark.h>
+
+#include "core/shock.h"
+#include "core/simulate.h"
+#include "linalg/matrix.h"
+#include "linalg/solvers.h"
+#include "mdl/mdl.h"
+#include "optimize/levenberg_marquardt.h"
+#include "optimize/line_search.h"
+#include "timeseries/peaks.h"
+#include "timeseries/stats.h"
+
+namespace dspot {
+namespace {
+
+void BM_SimulateSiv(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SivInputs inputs;
+  inputs.population = 200.0;
+  inputs.beta = 0.5;
+  inputs.delta = 0.45;
+  inputs.gamma = 0.5;
+  inputs.i0 = 1.0;
+  inputs.epsilon.assign(n, 1.0);
+  for (size_t t = 30; t < n; t += 52) {
+    inputs.epsilon[t] = 9.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulateSiv(inputs, n));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SimulateSiv)->Arg(128)->Arg(575)->Arg(2048);
+
+void BM_BuildGlobalEpsilon(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Shock> shocks(4);
+  for (size_t k = 0; k < shocks.size(); ++k) {
+    shocks[k].keyword = 0;
+    shocks[k].period = 52;
+    shocks[k].start = 5 + 3 * k;
+    shocks[k].width = 3;
+    shocks[k].global_strengths.assign(shocks[k].NumOccurrences(n), 5.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildGlobalEpsilon(shocks, 0, n));
+  }
+}
+BENCHMARK(BM_BuildGlobalEpsilon)->Arg(575)->Arg(2048);
+
+void BM_LevenbergMarquardtRosenbrock(benchmark::State& state) {
+  auto residual_fn = [](const std::vector<double>& p,
+                        std::vector<double>* r) -> Status {
+    r->assign({10.0 * (p[1] - p[0] * p[0]), 1.0 - p[0]});
+    return Status::Ok();
+  };
+  for (auto _ : state) {
+    auto result = LevenbergMarquardt(residual_fn, {-1.2, 1.0});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LevenbergMarquardtRosenbrock);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      a(i, j) = (i == j) ? 4.0 : 1.0 / static_cast<double>(1 + i + j);
+    }
+  }
+  std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CholeskySolve(a, b));
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(8)->Arg(32)->Arg(128);
+
+Series SpikyFixture(size_t n) {
+  Series s(n);
+  for (size_t t = 0; t < n; ++t) {
+    s[t] = 10.0 + 3.0 * std::sin(0.37 * static_cast<double>(t));
+  }
+  for (size_t t = 6; t < n; t += 52) {
+    s[t] = 120.0;
+  }
+  return s;
+}
+
+void BM_Autocorrelation(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Series s = SpikyFixture(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Autocorrelation(s, n / 2));
+  }
+}
+BENCHMARK(BM_Autocorrelation)->Arg(575)->Arg(2048);
+
+void BM_FindBursts(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Series s = SpikyFixture(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindBursts(s));
+  }
+}
+BENCHMARK(BM_FindBursts)->Arg(575)->Arg(2048);
+
+void BM_GaussianCodingCost(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Series a = SpikyFixture(n);
+  Series e = a;
+  for (size_t t = 0; t < n; ++t) e[t] += 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GaussianCodingCost(a, e));
+  }
+}
+BENCHMARK(BM_GaussianCodingCost)->Arg(575)->Arg(2048);
+
+void BM_PoissonCodingCost(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Series a = SpikyFixture(n);
+  Series e = a;
+  for (size_t t = 0; t < n; ++t) e[t] += 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PoissonCodingCost(a, e));
+  }
+}
+BENCHMARK(BM_PoissonCodingCost)->Arg(575)->Arg(2048);
+
+void BM_GoldenSection(benchmark::State& state) {
+  auto fn = [](double x) { return (x - 3.3) * (x - 3.3); };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GoldenSectionMinimize(fn, 0.0, 50.0, 1e-6));
+  }
+}
+BENCHMARK(BM_GoldenSection);
+
+}  // namespace
+}  // namespace dspot

@@ -1,0 +1,92 @@
+#ifndef DSPOT_BENCH_BENCH_UTIL_H_
+#define DSPOT_BENCH_BENCH_UTIL_H_
+
+// Shared console-output helpers for the figure-reproduction benches:
+// ASCII sparklines (so each "figure" is eyeballable in a terminal) and
+// calendar rendering for the weekly GoogleTrends-style time axis.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "core/shock.h"
+#include "timeseries/series.h"
+
+namespace dspot {
+namespace bench {
+
+/// Renders `s` as a one-line ASCII sparkline of `columns` buckets
+/// (max-pooled so narrow spikes stay visible).
+inline std::string Sparkline(const Series& s, size_t columns = 96) {
+  static const char kLevels[] = " .:-=+*#%@";
+  constexpr size_t kNumLevels = sizeof(kLevels) - 2;  // last index
+  if (s.empty()) {
+    return "";
+  }
+  const double lo = std::min(0.0, s.MinValue());
+  const double hi = std::max(s.MaxValue(), lo + 1e-9);
+  std::string out;
+  columns = std::min(columns, s.size());
+  for (size_t c = 0; c < columns; ++c) {
+    const size_t begin = c * s.size() / columns;
+    const size_t end = std::max(begin + 1, (c + 1) * s.size() / columns);
+    double bucket = 0.0;
+    for (size_t t = begin; t < end && t < s.size(); ++t) {
+      if (s.IsObserved(t)) bucket = std::max(bucket, s[t]);
+    }
+    const double frac = (bucket - lo) / (hi - lo);
+    out += kLevels[static_cast<size_t>(frac * kNumLevels + 0.5)];
+  }
+  return out;
+}
+
+/// Prints an original/fitted sparkline pair with a label.
+inline void PrintFitPair(const std::string& label, const Series& data,
+                         const Series& estimate) {
+  std::printf("%-18s data |%s|\n", label.c_str(),
+              Sparkline(data).c_str());
+  std::printf("%-18s fit  |%s|\n", "", Sparkline(estimate).c_str());
+}
+
+/// Week tick -> "YYYY-Mon" label on the paper's axis (tick 0 = Jan 2004,
+/// 52 ticks per year).
+inline std::string WeekToCalendar(size_t tick) {
+  static const char* kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                  "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  const size_t year = 2004 + tick / 52;
+  const size_t week = tick % 52;
+  const size_t month = std::min<size_t>(week * 12 / 52, 11);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%zu-%s", year, kMonths[month]);
+  return buf;
+}
+
+/// Human description of a detected shock on the weekly calendar axis.
+inline std::string DescribeEvent(const Shock& shock) {
+  std::string out;
+  if (shock.IsCyclic()) {
+    const double years = static_cast<double>(shock.period) / 52.0;
+    char buf[64];
+    if (shock.period % 52 <= 2 || shock.period % 52 >= 50) {
+      std::snprintf(buf, sizeof(buf), "every ~%.0f year(s)", years);
+    } else {
+      std::snprintf(buf, sizeof(buf), "every %zu weeks", shock.period);
+    }
+    out = std::string("cyclic (") + buf + ") from " +
+          WeekToCalendar(shock.start);
+  } else {
+    out = "one-shot at " + WeekToCalendar(shock.start);
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                ", width %zu wk, strength %.2f, %zu occurrence(s)",
+                shock.width, shock.base_strength,
+                shock.global_strengths.size());
+  out += buf;
+  return out;
+}
+
+}  // namespace bench
+}  // namespace dspot
+
+#endif  // DSPOT_BENCH_BENCH_UTIL_H_

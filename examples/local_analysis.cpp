@@ -1,0 +1,77 @@
+// Local (per-country) analysis walkthrough — the paper's area-specificity
+// story (P2): fit a keyword across many countries, find which countries
+// follow the global trend and which are outliers, and save the tensor to
+// CSV for external tooling.
+//
+// Demonstrates: GenerateTensor with outliers, FitDspot (GLOBALFIT +
+// LOCALFIT), per-location parameters B_L / s^(L), tensor CSV export.
+
+#include <cstdio>
+
+#include "core/dspot.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "tensor/tensor_io.h"
+#include "timeseries/metrics.h"
+
+int main() {
+  using namespace dspot;  // NOLINT: example brevity
+
+  // "Ebola" across 12 countries, 3 of which are low-connectivity outliers
+  // (the paper's LA / NP / CG).
+  GeneratorConfig config = GoogleTrendsConfig();
+  config.num_locations = 12;
+  config.num_outlier_locations = 3;
+  auto generated = GenerateTensor({EbolaScenario()}, config);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  const ActivityTensor& tensor = generated->tensor;
+
+  // Persist the raw tensor (long-form CSV) so it can be re-loaded or
+  // inspected outside this program.
+  const std::string csv_path = "/tmp/dspot_ebola_tensor.csv";
+  if (Status s = SaveTensorCsv(tensor, csv_path); !s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zux%zux%zu tensor to %s\n\n", tensor.num_keywords(),
+              tensor.num_locations(), tensor.num_ticks(), csv_path.c_str());
+
+  // Full two-layer fit.
+  auto result = FitDspot(tensor);
+  if (!result.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-6s %12s %12s %10s   %s\n", "ctry", "population",
+              "reaction", "RMSE", "verdict");
+  for (size_t j = 0; j < tensor.num_locations(); ++j) {
+    // Mean local shock strength = this country's participation in the
+    // detected events (the s^(L) entries of Definition 6).
+    double reaction = 0.0;
+    size_t count = 0;
+    for (const Shock& shock : result->params.shocks) {
+      for (size_t m = 0; m < shock.local_strengths.rows(); ++m) {
+        reaction += shock.local_strengths(m, j);
+        ++count;
+      }
+    }
+    reaction = count == 0 ? 0.0 : reaction / static_cast<double>(count);
+    const Series data = tensor.LocalSequence(0, j);
+    const Series estimate = result->LocalEstimate(0, j);
+    std::printf("%-6s %12.2f %12.3f %10.3f   %s\n",
+                tensor.locations()[j].c_str(),
+                result->params.base_local(0, j), reaction,
+                Rmse(data, estimate),
+                reaction < 0.05 ? "outlier: no reaction to the event"
+                                : "follows the global trend");
+  }
+  std::printf("\n(trailing countries were generated as low-connectivity "
+              "outliers; Δ-SPOT should flag exactly those)\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "baselines/ar.h"
+
+#include <algorithm>
+
+#include "linalg/matrix.h"
+#include "linalg/solvers.h"
+
+namespace dspot {
+
+StatusOr<ArModel> ArModel::Fit(const Series& data, size_t order) {
+  if (order == 0) {
+    return Status::InvalidArgument("ArModel::Fit: order must be positive");
+  }
+  if (data.size() < 2 * order + 2) {
+    return Status::InvalidArgument(
+        "ArModel::Fit: series too short for requested order");
+  }
+  const Series filled = data.Interpolated();
+  const size_t n = filled.size();
+  const size_t rows = n - order;
+  // Design matrix: [1, y(t-1), ..., y(t-r)] for t = order..n-1.
+  Matrix design(rows, order + 1);
+  std::vector<double> target(rows);
+  for (size_t t = order; t < n; ++t) {
+    const size_t row = t - order;
+    design(row, 0) = 1.0;
+    for (size_t k = 1; k <= order; ++k) {
+      design(row, k) = filled[t - k];
+    }
+    target[row] = filled[t];
+  }
+  auto solved = QrLeastSquares(design, target);
+  if (!solved.ok()) {
+    // Rank deficiency (e.g. constant series): fall back to ridge-style
+    // normal equations, which the regularized LDLT always solves.
+    Matrix gram = design.Gram();
+    gram.AddToDiagonal(1e-8);
+    solved = RegularizedLdltSolve(gram, design.TransposedTimes(target));
+    if (!solved.ok()) {
+      return solved.status();
+    }
+  }
+  const std::vector<double>& x = solved.value();
+  return ArModel(x[0], std::vector<double>(x.begin() + 1, x.end()));
+}
+
+Series ArModel::PredictInSample(const Series& data) const {
+  const Series filled = data.Interpolated();
+  const size_t n = filled.size();
+  const size_t r = order();
+  Series out(n);
+  for (size_t t = 0; t < n; ++t) {
+    if (t < r) {
+      out[t] = filled[t];
+      continue;
+    }
+    double pred = intercept_;
+    for (size_t k = 1; k <= r; ++k) {
+      pred += coefficients_[k - 1] * filled[t - k];
+    }
+    out[t] = pred;
+  }
+  return out;
+}
+
+Series ArModel::Forecast(const Series& history, size_t horizon) const {
+  const Series filled = history.Interpolated();
+  const size_t r = order();
+  // Rolling window of the r most recent values, newest last.
+  std::vector<double> window(r, 0.0);
+  for (size_t k = 0; k < r && k < filled.size(); ++k) {
+    window[r - 1 - k] = filled[filled.size() - 1 - k];
+  }
+  Series out(horizon);
+  for (size_t h = 0; h < horizon; ++h) {
+    double pred = intercept_;
+    for (size_t k = 1; k <= r; ++k) {
+      pred += coefficients_[k - 1] * window[r - k];
+    }
+    out[h] = pred;
+    window.erase(window.begin());
+    window.push_back(pred);
+  }
+  return out;
+}
+
+}  // namespace dspot

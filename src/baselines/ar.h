@@ -1,0 +1,48 @@
+#ifndef DSPOT_BASELINES_AR_H_
+#define DSPOT_BASELINES_AR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/statusor.h"
+#include "timeseries/series.h"
+
+namespace dspot {
+
+/// Autoregressive model of order r with intercept:
+///
+///   y(t) = c + a_1 y(t-1) + ... + a_r y(t-r) + e(t)
+///
+/// Fit by linear least squares (QR). This is the linear baseline the paper
+/// compares against in the forecasting experiment (Fig. 11, with
+/// r = 8, 26, 50).
+class ArModel {
+ public:
+  /// Fits an AR(`order`) model to `data`. Missing entries are linearly
+  /// interpolated before fitting. Requires data.size() >= 2 * order + 2.
+  static StatusOr<ArModel> Fit(const Series& data, size_t order);
+
+  size_t order() const { return coefficients_.size(); }
+  double intercept() const { return intercept_; }
+  const std::vector<double>& coefficients() const { return coefficients_; }
+
+  /// One-step-ahead in-sample predictions; the first `order` ticks repeat
+  /// the observations (no history to predict from).
+  Series PredictInSample(const Series& data) const;
+
+  /// Iterated multi-step forecast: seeds the recursion with the last
+  /// `order` values of `history` and rolls forward `horizon` ticks, feeding
+  /// predictions back in.
+  Series Forecast(const Series& history, size_t horizon) const;
+
+ private:
+  ArModel(double intercept, std::vector<double> coefficients)
+      : intercept_(intercept), coefficients_(std::move(coefficients)) {}
+
+  double intercept_;
+  std::vector<double> coefficients_;  ///< a_1 .. a_r (lag 1 first)
+};
+
+}  // namespace dspot
+
+#endif  // DSPOT_BASELINES_AR_H_

@@ -1,0 +1,140 @@
+#include "baselines/spikem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "optimize/levenberg_marquardt.h"
+#include "timeseries/metrics.h"
+#include "timeseries/peaks.h"
+
+namespace dspot {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+constexpr double kDecayExponent = -1.5;
+}  // namespace
+
+Series SimulateSpikeM(const SpikeMParams& params, size_t n_ticks) {
+  Series delta(n_ticks);
+  if (n_ticks == 0) {
+    return delta;
+  }
+  const double n_total = std::max(params.population, 1e-9);
+  // Precompute the power-law kernel f(tau) = beta * tau^{-1.5}.
+  std::vector<double> kernel(n_ticks + 1, 0.0);
+  for (size_t tau = 1; tau <= n_ticks; ++tau) {
+    kernel[tau] =
+        params.beta * std::pow(static_cast<double>(tau), kDecayExponent);
+  }
+  auto modulation = [&](size_t t) {
+    if (params.period < 2.0 || params.periodicity_amplitude <= 0.0) {
+      return 1.0;
+    }
+    const double phase =
+        kTwoPi * (static_cast<double>(t) + params.periodicity_shift) /
+        params.period;
+    return 1.0 - 0.5 * std::clamp(params.periodicity_amplitude, 0.0, 1.0) *
+                     (std::sin(phase) + 1.0);
+  };
+
+  double informed = 0.0;  // B(t)
+  delta[0] = 0.0;
+  for (size_t t = 0; t + 1 < n_ticks; ++t) {
+    double influence = 0.0;
+    for (size_t s = params.shock_start; s <= t; ++s) {
+      const double source =
+          delta[s] + (s == params.shock_start ? params.shock_size : 0.0);
+      influence += source * kernel[t + 1 - s];
+    }
+    const double available = std::max(n_total - informed, 0.0);
+    double next = modulation(t + 1) *
+                  (available / n_total * influence + params.background);
+    next = std::clamp(next, 0.0, available);
+    delta[t + 1] = next;
+    informed += next;
+  }
+  return delta;
+}
+
+StatusOr<SpikeMFit> FitSpikeM(const Series& data,
+                              const SpikeMOptions& options) {
+  if (data.observed_count() < 12) {
+    return Status::InvalidArgument("FitSpikeM: too few observations");
+  }
+  const size_t n = data.size();
+  const double peak = std::max(data.MaxValue(), 1.0);
+  const double volume = std::max(data.SumValue(), peak);
+
+  // Candidate shock starts: the strongest bursts, plus a coarse grid.
+  std::vector<size_t> candidates;
+  for (const Burst& b : FindBursts(data)) {
+    candidates.push_back(b.start > 2 ? b.start - 2 : 0);
+    if (candidates.size() >= 4) break;
+  }
+  const size_t grid = std::max<size_t>(options.start_grid, 2);
+  for (size_t g = 0; g < grid; ++g) {
+    candidates.push_back(n * g / grid);
+  }
+
+  SpikeMFit best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t start : candidates) {
+    if (start + 4 >= n) continue;
+    const bool periodic = options.period >= 2.0;
+    auto residual_fn = [&](const std::vector<double>& p,
+                           std::vector<double>* r) -> Status {
+      SpikeMParams params;
+      params.population = p[0];
+      params.beta = p[1];
+      params.shock_size = p[2];
+      params.background = p[3];
+      params.shock_start = start;
+      params.period = options.period;
+      if (periodic) {
+        params.periodicity_amplitude = p[4];
+        params.periodicity_shift = p[5];
+      }
+      const Series est = SimulateSpikeM(params, n);
+      r->clear();
+      for (size_t t = 0; t < n; ++t) {
+        if (!data.IsObserved(t)) continue;
+        r->push_back(est[t] - data[t]);
+      }
+      return Status::Ok();
+    };
+    Bounds bounds;
+    bounds.lower = {volume * 0.2, 1e-4, 0.0, 0.0};
+    bounds.upper = {volume * 50.0, 10.0, peak * 20.0, peak};
+    std::vector<double> init = {volume, 0.5, peak, 0.1};
+    if (periodic) {
+      bounds.lower.insert(bounds.lower.end(), {0.0, 0.0});
+      bounds.upper.insert(bounds.upper.end(), {1.0, options.period});
+      init.insert(init.end(), {0.3, 0.0});
+    }
+    auto fit_or = LevenbergMarquardt(residual_fn, init, bounds);
+    if (!fit_or.ok()) continue;
+    if (fit_or->final_cost < best_cost) {
+      best_cost = fit_or->final_cost;
+      const auto& p = fit_or->params;
+      best.params.population = p[0];
+      best.params.beta = p[1];
+      best.params.shock_size = p[2];
+      best.params.background = p[3];
+      best.params.shock_start = start;
+      best.params.period = options.period;
+      if (periodic) {
+        best.params.periodicity_amplitude = p[4];
+        best.params.periodicity_shift = p[5];
+      }
+    }
+  }
+  if (!std::isfinite(best_cost)) {
+    return Status::NumericalError("FitSpikeM: all starts failed");
+  }
+  best.rmse = Rmse(data, SimulateSpikeM(best.params, n));
+  return best;
+}
+
+}  // namespace dspot

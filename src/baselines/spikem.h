@@ -1,0 +1,61 @@
+#ifndef DSPOT_BASELINES_SPIKEM_H_
+#define DSPOT_BASELINES_SPIKEM_H_
+
+#include <cstddef>
+
+#include "common/statusor.h"
+#include "timeseries/series.h"
+
+namespace dspot {
+
+/// SpikeM (after Matsubara, Sakurai, Prakash, Li & Faloutsos, "Rise and
+/// fall patterns of information diffusion", KDD 2012 — the paper's
+/// reference [13]): the classic model for a single information burst with
+/// a power-law decay of infectiveness,
+///
+///   dB(n+1) = p(n+1) * [ (N - B(n)) * sum_{t=nb..n} (dB(t) + S(t)) * f(n+1-t)
+///                        + background ]
+///   f(tau)  = beta * tau^{-1.5}
+///   S(t)    = shock_size at t == nb, else 0
+///   p(n)    = 1 - pa/2 * (sin(2*pi*(n + ps)/pp) + 1)
+///
+/// The observed signal is dB(n) (mentions per tick). SpikeM nails single
+/// memes (sharp rise, power-law fall, daily periodicity) but has exactly
+/// one external shock, so it cannot describe multi-event or cyclic-event
+/// keywords — a useful contrast baseline for the MemeTracker workload.
+struct SpikeMParams {
+  double population = 100.0;  ///< N: total available bloggers
+  double beta = 1.0;          ///< infectiveness scale
+  size_t shock_start = 0;     ///< n_b: tick of the external shock
+  double shock_size = 10.0;   ///< S_b
+  double background = 0.0;    ///< epsilon: background noise floor
+  /// Periodic modulation (daily/weekly dips); period 0 disables it.
+  double period = 0.0;               ///< p_p in ticks
+  double periodicity_amplitude = 0;  ///< p_a in [0, 1]
+  double periodicity_shift = 0.0;    ///< p_s in ticks
+};
+
+/// Simulates dB(t) for t = 0..n_ticks-1.
+Series SimulateSpikeM(const SpikeMParams& params, size_t n_ticks);
+
+struct SpikeMFit {
+  SpikeMParams params;
+  double rmse = 0.0;
+};
+
+struct SpikeMOptions {
+  /// Fixed modulation period (e.g. 7 for daily data); 0 = fit without
+  /// periodicity.
+  double period = 0.0;
+  /// Candidate shock-start grid resolution.
+  size_t start_grid = 24;
+};
+
+/// Fits SpikeM to `data`: grid over the discrete shock start n_b,
+/// Levenberg-Marquardt over the continuous parameters for each candidate.
+StatusOr<SpikeMFit> FitSpikeM(const Series& data,
+                              const SpikeMOptions& options = SpikeMOptions());
+
+}  // namespace dspot
+
+#endif  // DSPOT_BASELINES_SPIKEM_H_

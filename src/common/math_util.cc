@@ -1,0 +1,82 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+
+namespace dspot {
+
+namespace {
+constexpr double kLogFloor = 1e-300;
+}  // namespace
+
+bool ApproxEqual(double a, double b, double tol) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+double SafeLog2(double x) { return std::log2(std::max(x, kLogFloor)); }
+
+double SafeLog(double x) { return std::log(std::max(x, kLogFloor)); }
+
+double Mean(const std::vector<double>& v) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (double x : v) {
+    if (!IsMissing(x)) {
+      sum += x;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double Variance(const std::vector<double>& v) {
+  const double mu = Mean(v);
+  double sum = 0.0;
+  size_t count = 0;
+  for (double x : v) {
+    if (!IsMissing(x)) {
+      sum += Square(x - mu);
+      ++count;
+    }
+  }
+  return count < 2 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double Min(const std::vector<double>& v) {
+  double best = kMissingValue;
+  for (double x : v) {
+    if (IsMissing(x)) continue;
+    if (IsMissing(best) || x < best) best = x;
+  }
+  return best;
+}
+
+double Max(const std::vector<double>& v) {
+  double best = kMissingValue;
+  for (double x : v) {
+    if (IsMissing(x)) continue;
+    if (IsMissing(best) || x > best) best = x;
+  }
+  return best;
+}
+
+double Sum(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) {
+    if (!IsMissing(x)) sum += x;
+  }
+  return sum;
+}
+
+size_t ArgMax(const std::vector<double>& v) {
+  size_t best = kNpos;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (IsMissing(v[i])) continue;
+    if (best == kNpos || v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace dspot

@@ -1,0 +1,61 @@
+#ifndef DSPOT_COMMON_MATH_UTIL_H_
+#define DSPOT_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace dspot {
+
+/// Shared scalar helpers used throughout the numeric code.
+
+/// Quiet NaN, used to mark missing observations in sequences.
+inline constexpr double kMissingValue =
+    std::numeric_limits<double>::quiet_NaN();
+
+/// True iff `v` encodes a missing observation.
+inline bool IsMissing(double v) { return std::isnan(v); }
+
+/// Clamps `v` into [lo, hi].
+inline double Clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// True iff |a - b| <= tol * max(1, |a|, |b|).
+bool ApproxEqual(double a, double b, double tol = 1e-9);
+
+/// log2 of `x`, with a floor to avoid -inf for tiny inputs.
+double SafeLog2(double x);
+
+/// Natural log with the same guard.
+double SafeLog(double x);
+
+/// x * x.
+inline double Square(double x) { return x * x; }
+
+/// Mean of the non-missing entries of `v`; 0 if all are missing.
+double Mean(const std::vector<double>& v);
+
+/// Population variance of the non-missing entries of `v`; 0 if fewer than
+/// two remain.
+double Variance(const std::vector<double>& v);
+
+/// Standard deviation (sqrt of `Variance`).
+double StdDev(const std::vector<double>& v);
+
+/// Minimum / maximum over non-missing entries. Return NaN if all missing.
+double Min(const std::vector<double>& v);
+double Max(const std::vector<double>& v);
+
+/// Sum over non-missing entries.
+double Sum(const std::vector<double>& v);
+
+/// Index of the maximum non-missing entry (first on ties); `npos` if all
+/// entries are missing.
+size_t ArgMax(const std::vector<double>& v);
+inline constexpr size_t kNpos = static_cast<size_t>(-1);
+
+}  // namespace dspot
+
+#endif  // DSPOT_COMMON_MATH_UTIL_H_

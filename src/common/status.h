@@ -1,0 +1,101 @@
+#ifndef DSPOT_COMMON_STATUS_H_
+#define DSPOT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dspot {
+
+/// Error codes used across the library. Modeled on the RocksDB `Status`
+/// idiom: recoverable failures are reported through return values rather
+/// than exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kNumericalError,
+  kIoError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Lightweight result-of-an-operation value. A `Status` is either OK or
+/// carries an error code plus a human-readable message. All fallible public
+/// APIs in this library return `Status` (or `StatusOr<T>`).
+///
+/// Typical use:
+///
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error code.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code name>: <message>"; intended for logs and test output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Returns the canonical name of `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Propagates errors: evaluates `expr` and returns from the enclosing
+/// function if the resulting Status is not OK.
+#define DSPOT_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::dspot::Status _dspot_status_tmp = (expr);      \
+    if (!_dspot_status_tmp.ok()) {                   \
+      return _dspot_status_tmp;                      \
+    }                                                \
+  } while (false)
+
+}  // namespace dspot
+
+#endif  // DSPOT_COMMON_STATUS_H_

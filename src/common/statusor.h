@@ -1,0 +1,73 @@
+#ifndef DSPOT_COMMON_STATUSOR_H_
+#define DSPOT_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dspot {
+
+/// Either a value of type `T` or a non-OK `Status` explaining why the value
+/// is absent. Accessing `value()` on an errored `StatusOr` aborts in debug
+/// builds and is undefined otherwise, so callers must check `ok()` first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (the common success path).
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status (the common error path).
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error from a `StatusOr` expression, otherwise binds the
+/// unwrapped value to `lhs`.
+#define DSPOT_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto DSPOT_CONCAT_(_dspot_sor_, __LINE__) = (expr); \
+  if (!DSPOT_CONCAT_(_dspot_sor_, __LINE__).ok()) {   \
+    return DSPOT_CONCAT_(_dspot_sor_, __LINE__).status(); \
+  }                                               \
+  lhs = std::move(DSPOT_CONCAT_(_dspot_sor_, __LINE__)).value()
+
+#define DSPOT_CONCAT_INNER_(a, b) a##b
+#define DSPOT_CONCAT_(a, b) DSPOT_CONCAT_INNER_(a, b)
+
+}  // namespace dspot
+
+#endif  // DSPOT_COMMON_STATUSOR_H_

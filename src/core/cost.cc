@@ -1,0 +1,120 @@
+#include "core/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/simulate.h"
+#include "mdl/mdl.h"
+
+namespace dspot {
+
+double ShockModelCostBits(const Shock& shock, size_t d, size_t l, size_t n,
+                          bool include_local) {
+  double bits = LogChoiceCost(d) + 3.0 * LogChoiceCost(n);
+  // Global-level strengths: one float for the shared eps_0, plus one
+  // (position + float) per occurrence that deviates from it.
+  bits += kFloatCostBits;
+  bits += static_cast<double>(shock.DeviatingOccurrences()) *
+          (LogChoiceCost(std::max<size_t>(shock.global_strengths.size(), 2)) +
+           kFloatCostBits);
+  if (include_local && !shock.local_strengths.empty()) {
+    size_t non_zero = 0;
+    for (size_t r = 0; r < shock.local_strengths.rows(); ++r) {
+      for (size_t c = 0; c < shock.local_strengths.cols(); ++c) {
+        if (shock.local_strengths(r, c) != 0.0) ++non_zero;
+      }
+    }
+    bits += static_cast<double>(non_zero) *
+            (LogChoiceCost(d) + LogChoiceCost(l) + LogChoiceCost(n) +
+             kFloatCostBits);
+  }
+  return bits;
+}
+
+double ShockTensorModelCostBits(const std::vector<Shock>& shocks, size_t d,
+                                size_t l, size_t n, bool include_local) {
+  double bits = LogStar(static_cast<double>(shocks.size()) + 1.0);
+  for (const Shock& shock : shocks) {
+    bits += ShockModelCostBits(shock, d, l, n, include_local);
+  }
+  return bits;
+}
+
+double KeywordGlobalModelCostBits(const KeywordGlobalParams& params,
+                                  size_t n) {
+  // B_G row {N, beta, delta, gamma} + i0: 5 floats.
+  double bits = 5.0 * kFloatCostBits;
+  // R_G row {eta_0, t_eta}: a float and a position, paid only when used.
+  if (params.has_growth()) {
+    bits += kFloatCostBits + LogChoiceCost(n);
+  }
+  return bits;
+}
+
+double GlobalKeywordCostBits(const Series& data, const Series& estimate,
+                             const KeywordGlobalParams& params,
+                             const std::vector<Shock>& shocks, size_t keyword,
+                             size_t d, size_t n, CodingModel coding) {
+  double bits = KeywordGlobalModelCostBits(params, n);
+  size_t count = 0;
+  for (const Shock& shock : shocks) {
+    if (shock.keyword != keyword) continue;
+    bits += ShockModelCostBits(shock, d, /*l=*/1, n, /*include_local=*/false);
+    ++count;
+  }
+  bits += LogStar(static_cast<double>(count) + 1.0);
+  bits += CodingCost(data, estimate, coding);
+  return bits;
+}
+
+double LocalSequenceCostBits(const Series& data, const Series& estimate,
+                             size_t non_zero_strengths, size_t d, size_t l,
+                             size_t n) {
+  // b^(L)_ij and r^(L)_ij.
+  double bits = 2.0 * kFloatCostBits;
+  bits += static_cast<double>(non_zero_strengths) *
+          (LogChoiceCost(d) + LogChoiceCost(l) + LogChoiceCost(n) +
+           kFloatCostBits);
+  bits += GaussianCodingCost(data, estimate);
+  return bits;
+}
+
+double TotalCostBits(const ActivityTensor& tensor,
+                     const ModelParamSet& params) {
+  const size_t d = tensor.num_keywords();
+  const size_t l = tensor.num_locations();
+  const size_t n = tensor.num_ticks();
+  double bits = LogStar(static_cast<double>(d)) +
+                LogStar(static_cast<double>(l)) +
+                LogStar(static_cast<double>(n));
+  for (size_t i = 0; i < params.global.size(); ++i) {
+    bits += KeywordGlobalModelCostBits(params.global[i], n);
+  }
+  // B_L and R_L: one float each per (keyword, location) once LocalFit ran.
+  if (params.has_local()) {
+    bits += 2.0 * static_cast<double>(d) * static_cast<double>(l) *
+            kFloatCostBits;
+  }
+  bits += ShockTensorModelCostBits(params.shocks, d, l, n,
+                                   /*include_local=*/params.has_local());
+  // Data coding cost: local residuals when local parameters exist,
+  // otherwise global residuals.
+  if (params.has_local()) {
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < l; ++j) {
+        const Series actual = tensor.LocalSequence(i, j);
+        const Series estimate = SimulateLocal(params, i, j, n);
+        bits += GaussianCodingCost(actual, estimate);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < d; ++i) {
+      const Series actual = tensor.GlobalSequence(i);
+      const Series estimate = SimulateGlobal(params, i, n);
+      bits += GaussianCodingCost(actual, estimate);
+    }
+  }
+  return bits;
+}
+
+}  // namespace dspot

@@ -1,0 +1,62 @@
+#ifndef DSPOT_CORE_COST_H_
+#define DSPOT_CORE_COST_H_
+
+#include <cstddef>
+
+#include "core/params.h"
+#include "mdl/mdl.h"
+#include "tensor/activity_tensor.h"
+#include "timeseries/series.h"
+
+namespace dspot {
+
+/// MDL total-cost machinery of Eq. (2):
+///
+///   Cost_T(X; F) = log*(d) + log*(l) + log*(n)
+///                + Cost_M(B_G) + Cost_M(B_L) + Cost_M(R_G) + Cost_M(R_L)
+///                + Cost_M(S) + Cost_C(X | F)
+///
+/// All costs are in bits. The fitter accepts a richer model (an extra
+/// shock, a growth term, a non-zero local strength) only when it reduces
+/// the total.
+
+/// Model-description bits of one shock. At the global level the shock pays
+/// log(d) for its keyword, 3 log(n) for {t_p, t_s, t_w}, and one float per
+/// occurrence strength. At the local level each non-zero entry of s^(L)
+/// additionally pays (log d + log l + log n + c_F), per the paper.
+double ShockModelCostBits(const Shock& shock, size_t d, size_t l, size_t n,
+                          bool include_local);
+
+/// Model bits of the full shock tensor S: log*(k) + per-shock costs.
+double ShockTensorModelCostBits(const std::vector<Shock>& shocks, size_t d,
+                                size_t l, size_t n, bool include_local);
+
+/// Model bits of one keyword's global parameters (its B_G row, 4 floats,
+/// plus R_G row, 2 values, plus the implementation parameter i0).
+double KeywordGlobalModelCostBits(const KeywordGlobalParams& params,
+                                  size_t n);
+
+/// Global-level cost for one keyword: model bits of its parameters and
+/// shocks plus the Gaussian coding cost of (data - estimate). This is the
+/// objective GLOBALFIT minimizes per keyword.
+double GlobalKeywordCostBits(const Series& data, const Series& estimate,
+                             const KeywordGlobalParams& params,
+                             const std::vector<Shock>& shocks, size_t keyword,
+                             size_t d, size_t n,
+                             CodingModel coding = CodingModel::kGaussian);
+
+/// Local-level cost for one (keyword, location): two floats (b_L, r_L),
+/// the location's share of shock strengths, and the local coding cost.
+/// Used by LOCALFIT when deciding local strengths and sparsification.
+double LocalSequenceCostBits(const Series& data, const Series& estimate,
+                             size_t non_zero_strengths, size_t d, size_t l,
+                             size_t n);
+
+/// The full Eq. (2) over a tensor and a complete parameter set (global
+/// estimates from SimulateGlobal, local from SimulateLocal).
+double TotalCostBits(const ActivityTensor& tensor,
+                     const ModelParamSet& params);
+
+}  // namespace dspot
+
+#endif  // DSPOT_CORE_COST_H_

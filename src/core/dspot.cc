@@ -1,0 +1,51 @@
+#include "core/dspot.h"
+
+#include "core/cost.h"
+#include "core/simulate.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+
+Series DspotResult::LocalEstimate(size_t keyword, size_t location) const {
+  return SimulateLocal(params, keyword, location, params.num_ticks);
+}
+
+std::vector<std::string> DspotResult::DescribeShocks(size_t keyword) const {
+  std::vector<std::string> out;
+  for (const Shock& shock : params.shocks) {
+    if (shock.keyword == keyword) {
+      out.push_back(shock.ToString());
+    }
+  }
+  return out;
+}
+
+StatusOr<DspotResult> FitDspot(const ActivityTensor& tensor,
+                               const DspotOptions& options) {
+  DspotResult result;
+  DSPOT_ASSIGN_OR_RETURN(result.params, GlobalFit(tensor, options.global));
+  if (options.fit_local && tensor.num_locations() > 1) {
+    DSPOT_RETURN_IF_ERROR(LocalFit(tensor, &result.params, options.local));
+  }
+  const size_t d = tensor.num_keywords();
+  result.global_estimates.reserve(d);
+  result.global_rmse.reserve(d);
+  for (size_t i = 0; i < d; ++i) {
+    Series estimate = SimulateGlobal(result.params, i, tensor.num_ticks());
+    result.global_rmse.push_back(Rmse(tensor.GlobalSequence(i), estimate));
+    result.global_estimates.push_back(std::move(estimate));
+  }
+  result.total_cost_bits = TotalCostBits(tensor, result.params);
+  return result;
+}
+
+StatusOr<DspotResult> FitDspotSingle(const Series& sequence,
+                                     const DspotOptions& options) {
+  ActivityTensor tensor(1, 1, sequence.size());
+  DSPOT_RETURN_IF_ERROR(tensor.SetLocalSequence(0, 0, sequence));
+  DspotOptions single_options = options;
+  single_options.fit_local = false;
+  return FitDspot(tensor, single_options);
+}
+
+}  // namespace dspot

@@ -1,0 +1,59 @@
+#ifndef DSPOT_CORE_DSPOT_H_
+#define DSPOT_CORE_DSPOT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/forecast.h"
+#include "core/global_fit.h"
+#include "core/local_fit.h"
+#include "core/params.h"
+#include "tensor/activity_tensor.h"
+#include "timeseries/series.h"
+
+namespace dspot {
+
+/// Top-level options for the full Δ-SPOT pipeline (Algorithm 1). The model
+/// is parameter-free in the paper's sense: every field has a sensible
+/// default driven by the MDL criterion, and nothing here trades accuracy
+/// against correctness — only compute budget.
+struct DspotOptions {
+  GlobalFitOptions global;
+  LocalFitOptions local;
+  /// Skip LOCALFIT (e.g. for single-location tensors or global-only use).
+  bool fit_local = true;
+};
+
+/// The result of fitting Δ-SPOT on an activity tensor.
+struct DspotResult {
+  /// The complete parameter set F = {B_G, B_L, R_G, R_L, S}.
+  ModelParamSet params;
+  /// Per-keyword fitted global sequences and their RMSE (Fig. 5-style
+  /// summaries).
+  std::vector<Series> global_estimates;
+  std::vector<double> global_rmse;
+  /// Eq. (2) total code length of the final model.
+  double total_cost_bits = 0.0;
+
+  /// Fitted local sequence for (keyword, location).
+  Series LocalEstimate(size_t keyword, size_t location) const;
+
+  /// Shocks detected for `keyword`, as human-readable strings.
+  std::vector<std::string> DescribeShocks(size_t keyword) const;
+};
+
+/// Δ-SPOT: fits the full model to a tensor — GLOBALFIT per keyword, then
+/// LOCALFIT across locations (Algorithm 1).
+StatusOr<DspotResult> FitDspot(const ActivityTensor& tensor,
+                               const DspotOptions& options = DspotOptions());
+
+/// Convenience: fits a single sequence (d = 1, l = 1) with the
+/// single-sequence model of Section 3.2 and returns the same result type.
+StatusOr<DspotResult> FitDspotSingle(
+    const Series& sequence, const DspotOptions& options = DspotOptions());
+
+}  // namespace dspot
+
+#endif  // DSPOT_CORE_DSPOT_H_

@@ -1,0 +1,71 @@
+#include "core/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/forecast.h"
+#include "core/simulate.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+
+FitQuality EvaluateFit(const Series& actual, const Series& estimate) {
+  FitQuality q;
+  q.rmse = Rmse(actual, estimate);
+  q.mae = Mae(actual, estimate);
+  q.normalized_rmse = NormalizedRmse(actual, estimate);
+  q.r_squared = RSquared(actual, estimate);
+  return q;
+}
+
+ForecastQuality EvaluateForecast(const Series& actual, const Series& forecast,
+                                 size_t horizon_bucket) {
+  ForecastQuality q;
+  q.rmse = Rmse(actual, forecast);
+  q.mae = Mae(actual, forecast);
+  q.horizon_bucket = std::max<size_t>(horizon_bucket, 1);
+  const size_t n = std::min(actual.size(), forecast.size());
+  const size_t buckets = (n + q.horizon_bucket - 1) / q.horizon_bucket;
+  q.error_by_horizon.assign(buckets, 0.0);
+  std::vector<size_t> counts(buckets, 0);
+  for (size_t t = 0; t < n; ++t) {
+    if (IsMissing(actual[t]) || IsMissing(forecast[t])) continue;
+    const size_t b = t / q.horizon_bucket;
+    q.error_by_horizon[b] += std::fabs(actual[t] - forecast[t]);
+    ++counts[b];
+  }
+  for (size_t b = 0; b < buckets; ++b) {
+    if (counts[b] > 0) {
+      q.error_by_horizon[b] /= static_cast<double>(counts[b]);
+    }
+  }
+  return q;
+}
+
+StatusOr<TrainTestResult> TrainAndForecast(const Series& full,
+                                           size_t train_ticks,
+                                           const GlobalFitOptions& options) {
+  if (train_ticks < 16 || train_ticks >= full.size()) {
+    return Status::InvalidArgument(
+        "TrainAndForecast: train_ticks must be in [16, full.size())");
+  }
+  const Series train = full.Slice(0, train_ticks);
+  const Series test = full.Slice(train_ticks, full.size());
+
+  TrainTestResult result;
+  DSPOT_ASSIGN_OR_RETURN(result.fit, FitGlobalSequence(train, 0, 1, options));
+  result.train_quality = EvaluateFit(train, result.fit.estimate);
+
+  ModelParamSet params;
+  params.num_keywords = 1;
+  params.num_locations = 1;
+  params.num_ticks = train_ticks;
+  params.global = {result.fit.params};
+  params.shocks = result.fit.shocks;
+  DSPOT_ASSIGN_OR_RETURN(result.forecast,
+                         ForecastGlobal(params, 0, test.size()));
+  result.test_quality = EvaluateForecast(test, result.forecast);
+  return result;
+}
+
+}  // namespace dspot

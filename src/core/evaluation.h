@@ -1,0 +1,61 @@
+#ifndef DSPOT_CORE_EVALUATION_H_
+#define DSPOT_CORE_EVALUATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/global_fit.h"
+#include "timeseries/series.h"
+
+namespace dspot {
+
+/// Train/test evaluation harness for fitting and forecasting quality —
+/// the machinery behind the accuracy (Fig. 9) and forecasting (Fig. 11)
+/// experiments, reusable for new models and datasets.
+
+/// In-sample fit quality of an estimate against data.
+struct FitQuality {
+  double rmse = 0.0;
+  double mae = 0.0;
+  double normalized_rmse = 0.0;  ///< RMSE / observed range
+  double r_squared = 0.0;
+};
+
+/// Computes all fit-quality metrics at once.
+FitQuality EvaluateFit(const Series& actual, const Series& estimate);
+
+/// Forecast quality over a horizon.
+struct ForecastQuality {
+  double rmse = 0.0;
+  double mae = 0.0;
+  /// |error| averaged within consecutive horizon buckets of
+  /// `horizon_bucket` ticks each — shows how accuracy degrades with
+  /// distance from the training range.
+  std::vector<double> error_by_horizon;
+  size_t horizon_bucket = 0;
+};
+
+/// Scores `forecast` against the held-out `actual` (same length or
+/// shorter); buckets of `horizon_bucket` ticks for the degradation curve.
+ForecastQuality EvaluateForecast(const Series& actual, const Series& forecast,
+                                 size_t horizon_bucket = 26);
+
+/// End-to-end: fit Δ-SPOT (single sequence) on the first `train_ticks` of
+/// `full`, forecast the rest, and score both halves. The fitted model's
+/// event inventory is returned too, so callers can check which events the
+/// forecast carries forward.
+struct TrainTestResult {
+  GlobalSequenceFit fit;
+  FitQuality train_quality;
+  ForecastQuality test_quality;
+  Series forecast;
+};
+
+StatusOr<TrainTestResult> TrainAndForecast(
+    const Series& full, size_t train_ticks,
+    const GlobalFitOptions& options = GlobalFitOptions());
+
+}  // namespace dspot
+
+#endif  // DSPOT_CORE_EVALUATION_H_

@@ -1,0 +1,43 @@
+#include "core/forecast.h"
+
+#include "core/simulate.h"
+
+namespace dspot {
+
+StatusOr<Series> ForecastGlobal(const ModelParamSet& params, size_t keyword,
+                                size_t horizon) {
+  if (keyword >= params.global.size()) {
+    return Status::OutOfRange("ForecastGlobal: keyword index out of range");
+  }
+  const size_t total = params.num_ticks + horizon;
+  const Series full = SimulateGlobal(params, keyword, total);
+  return full.Slice(params.num_ticks, total);
+}
+
+StatusOr<Series> ForecastLocal(const ModelParamSet& params, size_t keyword,
+                               size_t location, size_t horizon) {
+  if (keyword >= params.global.size()) {
+    return Status::OutOfRange("ForecastLocal: keyword index out of range");
+  }
+  if (location >= params.num_locations) {
+    return Status::OutOfRange("ForecastLocal: location index out of range");
+  }
+  if (!params.has_local()) {
+    return Status::FailedPrecondition(
+        "ForecastLocal: LocalFit has not populated local parameters");
+  }
+  const size_t total = params.num_ticks + horizon;
+  const Series full = SimulateLocal(params, keyword, location, total);
+  return full.Slice(params.num_ticks, total);
+}
+
+StatusOr<Series> FitAndForecastGlobal(const ModelParamSet& params,
+                                      size_t keyword, size_t horizon) {
+  if (keyword >= params.global.size()) {
+    return Status::OutOfRange(
+        "FitAndForecastGlobal: keyword index out of range");
+  }
+  return SimulateGlobal(params, keyword, params.num_ticks + horizon);
+}
+
+}  // namespace dspot

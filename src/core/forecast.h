@@ -1,0 +1,35 @@
+#ifndef DSPOT_CORE_FORECAST_H_
+#define DSPOT_CORE_FORECAST_H_
+
+#include <cstddef>
+
+#include "common/statusor.h"
+#include "core/params.h"
+#include "timeseries/series.h"
+
+namespace dspot {
+
+/// Long-range forecasting (Section 6): the fitted dynamical system is
+/// simply run past the training range. Cyclic shocks keep recurring —
+/// future occurrences reuse the mean fitted strength of their event — and
+/// the growth effect persists, so the forecast reproduces the timing,
+/// duration and relative strength of upcoming events (e.g. the next
+/// Grammys, every February).
+
+/// Forecasts the global sequence of `keyword` for `horizon` ticks past the
+/// training range; returns exactly those `horizon` future values.
+StatusOr<Series> ForecastGlobal(const ModelParamSet& params, size_t keyword,
+                                size_t horizon);
+
+/// Same, for one (keyword, location) pair. Requires a LocalFit'd set.
+StatusOr<Series> ForecastLocal(const ModelParamSet& params, size_t keyword,
+                               size_t location, size_t horizon);
+
+/// Training-range fit plus forecast in one series of length
+/// params.num_ticks + horizon (convenient for plotting).
+StatusOr<Series> FitAndForecastGlobal(const ModelParamSet& params,
+                                      size_t keyword, size_t horizon);
+
+}  // namespace dspot
+
+#endif  // DSPOT_CORE_FORECAST_H_

@@ -1,0 +1,558 @@
+#include "core/global_fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "core/cost.h"
+#include "core/simulate.h"
+#include "optimize/levenberg_marquardt.h"
+#include "optimize/line_search.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+
+namespace {
+
+/// Bundles the state GLOBALFIT iterates on for one keyword.
+struct FitState {
+  Series data;
+  size_t keyword = 0;
+  size_t num_keywords = 1;
+  size_t n = 0;
+  double peak = 1.0;
+  KeywordGlobalParams params;
+  std::vector<Shock> shocks;
+  CodingModel coding = CodingModel::kGaussian;
+};
+
+Series SimulateState(const FitState& state) {
+  SivInputs inputs;
+  inputs.population = state.params.population;
+  inputs.beta = state.params.beta;
+  inputs.delta = state.params.delta;
+  inputs.gamma = state.params.gamma;
+  inputs.i0 = state.params.i0;
+  inputs.epsilon = BuildGlobalEpsilon(state.shocks, state.keyword, state.n);
+  inputs.eta = state.params.has_growth()
+                   ? BuildEta(state.params.growth_rate,
+                              state.params.growth_start, state.n)
+                   : std::vector<double>();
+  return SimulateSiv(inputs, state.n);
+}
+
+double StateCostBits(const FitState& state) {
+  return GlobalKeywordCostBits(state.data, SimulateState(state), state.params,
+                               state.shocks, state.keyword,
+                               state.num_keywords, state.n, state.coding);
+}
+
+double StateRmse(const FitState& state) {
+  return Rmse(state.data, SimulateState(state));
+}
+
+/// LM fit of the continuous base parameters {N, beta, delta, gamma, i0}
+/// with shocks and growth held fixed. Multi-start on the first round.
+void FitBaseParams(FitState* state, bool multi_start) {
+  const double peak = state->peak;
+  auto residual_fn = [state](const std::vector<double>& p,
+                             std::vector<double>* r) -> Status {
+    FitState probe = *state;  // shocks copied; cheap relative to simulate
+    probe.params.population = p[0];
+    probe.params.beta = p[1];
+    probe.params.delta = p[2];
+    probe.params.gamma = p[3];
+    probe.params.i0 = p[4];
+    const Series est = SimulateState(probe);
+    r->clear();
+    for (size_t t = 0; t < probe.n; ++t) {
+      if (!probe.data.IsObserved(t)) continue;
+      r->push_back(est[t] - probe.data[t]);
+    }
+    return Status::Ok();
+  };
+  // N must exceed the observed peak: I(t) <= N always, so a smaller N
+  // would make the spikes unreachable for any shock strength.
+  Bounds bounds;
+  bounds.lower = {peak * 1.05, 1e-4, 1e-4, 1e-4, 1e-6};
+  bounds.upper = {peak * 300.0, 5.0, 1.0, 1.0, peak};
+
+  std::vector<std::vector<double>> starts;
+  if (multi_start) {
+    starts = {
+        {peak * 2.0, 0.3, 0.1, 0.05, 1.0},
+        {peak * 2.0, 0.6, 0.4, 0.2, 1.0},
+        {peak * 5.0, 0.9, 0.7, 0.5, peak * 0.01},
+        {peak * 1.5, 0.2, 0.5, 0.1, peak * 0.05},
+    };
+  } else {
+    starts = {{state->params.population, state->params.beta,
+               state->params.delta, state->params.gamma, state->params.i0}};
+  }
+  double best_cost = std::numeric_limits<double>::infinity();
+  KeywordGlobalParams best = state->params;
+  for (const auto& init : starts) {
+    auto fit_or = LevenbergMarquardt(residual_fn, init, bounds);
+    if (!fit_or.ok()) continue;
+    if (fit_or->final_cost < best_cost) {
+      best_cost = fit_or->final_cost;
+      best.population = fit_or->params[0];
+      best.beta = fit_or->params[1];
+      best.delta = fit_or->params[2];
+      best.gamma = fit_or->params[3];
+      best.i0 = fit_or->params[4];
+      best.growth_rate = state->params.growth_rate;
+      best.growth_start = state->params.growth_start;
+    }
+  }
+  if (std::isfinite(best_cost)) {
+    state->params = best;
+  }
+}
+
+/// Growth-effect search: grid over the onset t_eta, 1-d search over eta_0.
+/// A growth term is adopted when it lowers the MDL cost or buys a
+/// meaningful RMSE improvement (same optimistic-forward rationale as shock
+/// addition; the term only costs ~40 bits, so any real improvement also
+/// wins on cost at the next evaluation). An existing term is dropped when
+/// the model without it codes cheaper.
+void FitGrowth(FitState* state, const GlobalFitOptions& options) {
+  const double base_cost = StateCostBits(*state);
+
+  FitState probe = *state;
+  // Consider removing an existing growth term (strict MDL).
+  if (state->params.has_growth()) {
+    probe.params.growth_start = kNpos;
+    probe.params.growth_rate = 0.0;
+    if (StateCostBits(probe) < base_cost) {
+      state->params = probe.params;
+      return;
+    }
+    probe.params = state->params;
+  }
+  double best_rmse = std::numeric_limits<double>::infinity();
+  double best_cost = base_cost;
+  KeywordGlobalParams best = state->params;
+  const size_t grid = std::max<size_t>(options.growth_grid, 2);
+  for (size_t g = 1; g < grid; ++g) {
+    const size_t t_eta = state->n * g / grid;
+    if (t_eta < 2 || t_eta + 4 >= state->n) continue;
+    probe.params.growth_start = t_eta;
+    const double rate = GridThenGoldenMinimize(
+        [&](double eta0) {
+          probe.params.growth_rate = eta0;
+          return StateRmse(probe);
+        },
+        0.0, options.max_growth_rate, 20, 1e-4);
+    probe.params.growth_rate = rate;
+    const double rmse = StateRmse(probe);
+    if (rmse < best_rmse) {
+      best_rmse = rmse;
+      best_cost = StateCostBits(probe);
+      best = probe.params;
+    }
+  }
+  const bool mdl_better = best_cost < base_cost * (1.0 - options.min_cost_decrease) ||
+                          best_cost < base_cost - 1.0;
+  if (mdl_better) {
+    state->params = best;
+  }
+}
+
+/// Hierarchical fit of one shock's strengths. Stage 1 fits the shared
+/// eps_0 (one float under MDL). Stage 2 lets individual occurrences
+/// deviate where that helps the fit, then reverts deviations that do not
+/// pay their own description cost — keeping most occurrences at the
+/// default and the model parsimonious.
+void FitShockStrengths(FitState* state, size_t shock_index,
+                       double max_strength) {
+  Shock& shock = state->shocks[shock_index];
+  // Stage 1: shared strength.
+  const double shared = GuardedMinimize(
+      [&](double strength) {
+        shock.base_strength = strength;
+        std::fill(shock.global_strengths.begin(),
+                  shock.global_strengths.end(), strength);
+        return StateRmse(*state);
+      },
+      0.0, max_strength, shock.base_strength);
+  shock.base_strength = shared;
+  std::fill(shock.global_strengths.begin(), shock.global_strengths.end(),
+            shared);
+  // Stage 2: per-occurrence deviations (pointless for one occurrence).
+  if (shock.global_strengths.size() < 2) {
+    return;
+  }
+  for (size_t m = 0; m < shock.global_strengths.size(); ++m) {
+    shock.global_strengths[m] = GuardedMinimize(
+        [&](double strength) {
+          shock.global_strengths[m] = strength;
+          return StateRmse(*state);
+        },
+        0.0, max_strength, shock.global_strengths[m]);
+  }
+  // MDL sweep: a deviation stays only if it codes cheaper than the
+  // default.
+  double cost = StateCostBits(*state);
+  for (size_t m = 0; m < shock.global_strengths.size(); ++m) {
+    if (shock.global_strengths[m] == shock.base_strength) continue;
+    const double saved = shock.global_strengths[m];
+    shock.global_strengths[m] = shock.base_strength;
+    const double cost_reverted = StateCostBits(*state);
+    if (cost_reverted <= cost) {
+      cost = cost_reverted;
+    } else {
+      shock.global_strengths[m] = saved;
+    }
+  }
+}
+
+/// Refines a candidate's (t_s, t_w) against the data. Detected bursts lag
+/// the causal shock window — I(t) responds to eps(t) one or two ticks
+/// later — so the burst-anchored proposal is scanned over small backward
+/// start offsets and narrower widths. Each variant is scored cheaply with
+/// a single shared strength; the winner is returned with its occurrence
+/// vector resized.
+Shock RefineShockPlacement(const FitState& state, const Shock& candidate,
+                           double max_strength) {
+  Shock best = candidate;
+  double best_rmse = std::numeric_limits<double>::infinity();
+  FitState probe = state;
+  probe.shocks.push_back(candidate);
+  Shock& trial = probe.shocks.back();
+  for (size_t offset = 0; offset <= 3; ++offset) {
+    if (candidate.start < offset) break;
+    for (size_t narrow = 0; narrow < 3 && candidate.width > narrow; ++narrow) {
+      trial = candidate;
+      trial.start = candidate.start - offset;
+      trial.width = candidate.width - narrow;
+      trial.global_strengths.assign(trial.NumOccurrences(state.n), 0.0);
+      // Shared-strength 1-d fit (cheap placement score).
+      const double strength = GridThenGoldenMinimize(
+          [&](double v) {
+            std::fill(trial.global_strengths.begin(),
+                      trial.global_strengths.end(), v);
+            return StateRmse(probe);
+          },
+          0.0, max_strength, 20, 1e-2);
+      trial.base_strength = strength;
+      std::fill(trial.global_strengths.begin(), trial.global_strengths.end(),
+                strength);
+      const double rmse = StateRmse(probe);
+      if (rmse < best_rmse) {
+        best_rmse = rmse;
+        best = trial;
+      }
+    }
+  }
+  return best;
+}
+
+/// One pass of greedy shock detection: propose candidates from the current
+/// residual, refine their placement, fit their strengths, and keep the
+/// best candidate. Acceptance is *optimistic*: a candidate is kept if it
+/// lowers the MDL cost OR improves the RMSE by a meaningful margin. With
+/// several overlapping spike trains, no single train lowers the Gaussian
+/// coding cost on its own (the residual variance stays dominated by the
+/// remaining trains), so a strict per-addition MDL gate deadlocks; the
+/// strict gate is instead applied by the backward pruning pass after the
+/// joint refit. Returns true if a shock was added.
+bool TryAddShock(FitState* state, const GlobalFitOptions& options,
+                 double* current_cost) {
+  const Series estimate = SimulateState(*state);
+  Series residual(state->n);
+  for (size_t t = 0; t < state->n; ++t) {
+    residual[t] = state->data.IsObserved(t) ? state->data[t] - estimate[t]
+                                            : kMissingValue;
+  }
+  const std::vector<Shock> candidates =
+      ProposeShockCandidates(residual, state->keyword, options.detection);
+  if (candidates.empty()) {
+    return false;
+  }
+  const double base_cost = *current_cost;
+  const double base_rmse = StateRmse(*state);
+  // The forward pass optimizes explanatory power optimistically; the
+  // backward pass restores parsimony.
+  double best_cost = std::numeric_limits<double>::infinity();
+  FitState best_state = *state;
+  bool improved = false;
+  for (const Shock& candidate : candidates) {
+    FitState probe = *state;
+    probe.shocks.push_back(RefineShockPlacement(*state, candidate,
+                                                options.max_shock_strength));
+    FitShockStrengths(&probe, probe.shocks.size() - 1,
+                      options.max_shock_strength);
+    // Joint refinement before the MDL verdict: the incumbent base was fit
+    // with this spike mass unexplained, so judge the candidate only after
+    // base and strengths are refit *together*. Shock-free optima often sit
+    // in degenerate basins (e.g. a slow-ramp fit with tiny beta/delta
+    // where no eps(t) can produce a spike), and neither a warm base refit
+    // (stays in the basin) nor a plain multi-start (the basin wins as long
+    // as the strengths are zero) escapes — so each start gets a mini-EM:
+    // base LM, strength fit, base LM again.
+    {
+      const double peak = probe.peak;
+      const std::vector<KeywordGlobalParams> seeds = [&] {
+        std::vector<KeywordGlobalParams> out = {probe.params};
+        KeywordGlobalParams seed = probe.params;
+        seed.population = peak * 2.0;
+        seed.beta = 0.5;
+        seed.delta = 0.45;
+        seed.gamma = 0.5;
+        seed.i0 = 1.0;
+        out.push_back(seed);
+        seed.beta = 0.9;
+        seed.delta = 0.7;
+        seed.gamma = 0.2;
+        out.push_back(seed);
+        return out;
+      }();
+      FitState best_joint = probe;
+      double best_joint_rmse = std::numeric_limits<double>::infinity();
+      for (const KeywordGlobalParams& seed : seeds) {
+        FitState trial = probe;
+        trial.params = seed;
+        FitBaseParams(&trial, /*multi_start=*/false);
+        FitShockStrengths(&trial, trial.shocks.size() - 1,
+                          options.max_shock_strength);
+        FitBaseParams(&trial, /*multi_start=*/false);
+        const double trial_rmse = StateRmse(trial);
+        if (trial_rmse < best_joint_rmse) {
+          best_joint_rmse = trial_rmse;
+          best_joint = std::move(trial);
+        }
+      }
+      probe = std::move(best_joint);
+    }
+    const double cost = StateCostBits(probe);
+    const double rmse = StateRmse(probe);
+    if (options.verbose) {
+      std::fprintf(stderr, "[dspot]   cand %s -> rmse=%.3f cost=%.1f (vs %.1f)\n",
+                   probe.shocks.back().ToString().c_str(), rmse, cost,
+                   base_cost);
+    }
+    const bool mdl_better =
+        cost < base_cost * (1.0 - options.min_cost_decrease) ||
+        cost < base_cost - 1.0;
+    const bool rmse_better = rmse < base_rmse * (1.0 - options.min_rmse_decrease);
+    // Among acceptable candidates, prefer the cheaper description: cost
+    // comparisons between candidates are meaningful even when the shared
+    // residual tail keeps all of them above the incumbent.
+    if ((mdl_better || rmse_better) && cost < best_cost) {
+      best_cost = cost;
+      best_state = probe;
+      improved = true;
+    }
+  }
+  if (improved) {
+    *state = std::move(best_state);
+    *current_cost = best_cost;
+  }
+  return improved;
+}
+
+/// The alternation loop shared by FitGlobalSequence (cold start) and
+/// RefitGlobalSequence (warm start from a previous fit).
+GlobalSequenceFit RunAlternation(FitState state,
+                                 const GlobalFitOptions& options) {
+  double cost = StateCostBits(state);
+
+  // `best_state` tracks the strict-MDL optimum (what we return); the round
+  // loop keeps exploring while either the cost or the RMSE is still
+  // descending, so optimistic shock additions get the extra joint-refit
+  // rounds they need to pay for themselves.
+  FitState best_state = state;
+  double best_cost = cost;
+  double prev_rmse = StateRmse(state);
+
+  for (int round = 0; round < options.max_outer_rounds; ++round) {
+    // Base refit against the current shock set. Multi-start once shocks
+    // exist: the no-shock optimum (which absorbs spikes into the base
+    // dynamics) is a poor basin for the shocked model.
+    FitBaseParams(&state, /*multi_start=*/!state.shocks.empty());
+    if (options.verbose) {
+      std::fprintf(stderr, "[dspot] round %d after base: cost=%.1f rmse=%.3f\n",
+                   round, StateCostBits(state), StateRmse(state));
+    }
+    if (options.allow_shocks) {
+      // Refit the strengths of already-accepted shocks against the
+      // refreshed base, then greedily extend the shock set.
+      for (size_t k = 0; k < state.shocks.size(); ++k) {
+        FitShockStrengths(&state, k, options.max_shock_strength);
+      }
+      cost = StateCostBits(state);
+      while (state.shocks.size() < options.max_shocks_per_keyword &&
+             TryAddShock(&state, options, &cost)) {
+      }
+    }
+    if (options.allow_shocks) {
+      // Backward pass: drop shocks whose description cost is no longer
+      // justified (mirrors the paper's re-initialization of s_i without
+      // discarding still-useful events).
+      cost = StateCostBits(state);
+      for (size_t k = 0; k < state.shocks.size();) {
+        FitState without = state;
+        without.shocks.erase(without.shocks.begin() + k);
+        const double cost_without = StateCostBits(without);
+        if (cost_without <= cost + options.prune_slack_bits) {
+          state = std::move(without);
+          cost = cost_without;
+        } else {
+          ++k;
+        }
+      }
+      // Simplification pass: a cyclic shock whose energy sits in a single
+      // occurrence is really a one-shot — re-encode it as such when the
+      // code length does not object (prevents "period 9, one strong
+      // occurrence" artifacts in the event inventory).
+      for (size_t k = 0; k < state.shocks.size(); ++k) {
+        const Shock& shock = state.shocks[k];
+        if (!shock.IsCyclic() || shock.global_strengths.empty()) continue;
+        const size_t m_best = ArgMax(shock.global_strengths);
+        if (m_best == kNpos) continue;
+        FitState probe = state;
+        Shock& alt = probe.shocks[k];
+        alt.period = Shock::kNonCyclic;
+        alt.start = shock.start + m_best * shock.period;
+        alt.base_strength = shock.global_strengths[m_best];
+        alt.global_strengths = {alt.base_strength};
+        FitShockStrengths(&probe, k, options.max_shock_strength);
+        const double cost_alt = StateCostBits(probe);
+        if (cost_alt <= cost + options.prune_slack_bits) {
+          state = std::move(probe);
+          cost = cost_alt;
+        }
+      }
+    }
+    // Growth is searched after the shock set has stabilized: evaluated
+    // earlier, optimistically added shocks absorb the level-shift mass and
+    // the strict MDL gate rejects the (real) growth term; evaluated here,
+    // the spikes are explained, the junk is pruned, and a level shift
+    // shows up cleanly in the coding-cost balance.
+    if (options.allow_growth) {
+      FitGrowth(&state, options);
+      if (options.verbose) {
+        std::fprintf(stderr,
+                     "[dspot] round %d after growth: cost=%.1f rmse=%.3f\n",
+                     round, StateCostBits(state), StateRmse(state));
+      }
+    }
+    cost = StateCostBits(state);
+    const double rmse = StateRmse(state);
+    if (options.verbose) {
+      std::fprintf(stderr,
+                   "[dspot] round %d end: cost=%.1f best=%.1f rmse=%.3f "
+                   "shocks=%zu\n",
+                   round, cost, best_cost, rmse, state.shocks.size());
+    }
+    bool progressed = false;
+    if (cost < best_cost * (1.0 - options.min_cost_decrease) ||
+        cost < best_cost - 1.0) {
+      best_cost = cost;
+      best_state = state;
+      progressed = true;
+    }
+    if (rmse < prev_rmse * (1.0 - options.min_rmse_decrease)) {
+      progressed = true;
+    }
+    prev_rmse = rmse;
+    if (!progressed) {
+      break;
+    }
+  }
+
+  if (options.return_final_state) {
+    best_state = state;
+    best_cost = StateCostBits(state);
+  }
+  GlobalSequenceFit fit;
+  fit.params = best_state.params;
+  fit.shocks = best_state.shocks;
+  fit.estimate = SimulateState(best_state);
+  fit.cost_bits = best_cost;
+  fit.rmse = Rmse(best_state.data, fit.estimate);
+  return fit;
+}
+
+}  // namespace
+
+StatusOr<GlobalSequenceFit> FitGlobalSequence(const Series& data,
+                                              size_t keyword,
+                                              size_t num_keywords,
+                                              const GlobalFitOptions& options) {
+  if (data.observed_count() < 16) {
+    return Status::InvalidArgument(
+        "FitGlobalSequence: need at least 16 observations");
+  }
+  FitState state;
+  state.data = data;
+  state.keyword = keyword;
+  state.num_keywords = std::max<size_t>(num_keywords, 1);
+  state.n = data.size();
+  state.peak = std::max(data.MaxValue(), 1.0);
+  state.coding = options.coding_model;
+  state.params.population = state.peak * 2.0;
+  state.params.i0 = 1.0;
+
+  FitBaseParams(&state, /*multi_start=*/true);
+  return RunAlternation(std::move(state), options);
+}
+
+StatusOr<GlobalSequenceFit> RefitGlobalSequence(
+    const Series& data, size_t keyword, size_t num_keywords,
+    const GlobalSequenceFit& previous, const GlobalFitOptions& options) {
+  if (data.observed_count() < 16) {
+    return Status::InvalidArgument(
+        "RefitGlobalSequence: need at least 16 observations");
+  }
+  if (data.size() < previous.estimate.size()) {
+    return Status::InvalidArgument(
+        "RefitGlobalSequence: data shorter than the previous fit");
+  }
+  FitState state;
+  state.data = data;
+  state.keyword = keyword;
+  state.num_keywords = std::max<size_t>(num_keywords, 1);
+  state.n = data.size();
+  state.peak = std::max(data.MaxValue(), 1.0);
+  state.coding = options.coding_model;
+  state.params = previous.params;
+  state.shocks = previous.shocks;
+  // Extend cyclic shocks over the newly observed range: fresh occurrences
+  // start at the shared strength and keyword tags follow this refit.
+  for (Shock& shock : state.shocks) {
+    shock.keyword = keyword;
+    const size_t occ = shock.NumOccurrences(state.n);
+    shock.global_strengths.resize(occ, shock.base_strength);
+  }
+  GlobalFitOptions warm_options = options;
+  warm_options.max_outer_rounds = std::min(options.max_outer_rounds, 2);
+  return RunAlternation(std::move(state), warm_options);
+}
+
+StatusOr<ModelParamSet> GlobalFit(const ActivityTensor& tensor,
+                                  const GlobalFitOptions& options) {
+  if (tensor.empty()) {
+    return Status::InvalidArgument("GlobalFit: empty tensor");
+  }
+  ModelParamSet params;
+  params.num_keywords = tensor.num_keywords();
+  params.num_locations = tensor.num_locations();
+  params.num_ticks = tensor.num_ticks();
+  params.global.reserve(params.num_keywords);
+  for (size_t i = 0; i < params.num_keywords; ++i) {
+    const Series global = tensor.GlobalSequence(i);
+    DSPOT_ASSIGN_OR_RETURN(
+        GlobalSequenceFit fit,
+        FitGlobalSequence(global, i, params.num_keywords, options));
+    params.global.push_back(fit.params);
+    for (Shock& shock : fit.shocks) {
+      params.shocks.push_back(std::move(shock));
+    }
+  }
+  return params;
+}
+
+}  // namespace dspot

@@ -1,0 +1,94 @@
+#ifndef DSPOT_CORE_GLOBAL_FIT_H_
+#define DSPOT_CORE_GLOBAL_FIT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/params.h"
+#include "core/shock_detection.h"
+#include "mdl/mdl.h"
+#include "tensor/activity_tensor.h"
+#include "timeseries/series.h"
+
+namespace dspot {
+
+/// GLOBALFIT (Algorithm 2): per keyword, alternates Levenberg-Marquardt
+/// fitting of the base (B_G) and growth (R_G) parameters with greedy,
+/// MDL-gated external-shock detection, until the total code length stops
+/// improving.
+struct GlobalFitOptions {
+  /// Outer alternation rounds (base/growth fit <-> shock detection).
+  int max_outer_rounds = 4;
+  /// Cap on shocks per keyword (the MDL gate usually stops earlier).
+  size_t max_shocks_per_keyword = 8;
+  /// Shock proposal knobs.
+  ShockDetectionOptions detection;
+  /// Number of grid points for the growth-onset (t_eta) search.
+  size_t growth_grid = 24;
+  /// Upper bound for the growth rate eta_0 and shock strength eps_0.
+  double max_growth_rate = 4.0;
+  double max_shock_strength = 50.0;
+  /// Ablation switches (Fig. 4): disable the growth effect / the external
+  /// shock machinery.
+  bool allow_growth = true;
+  bool allow_shocks = true;
+  /// Minimum relative MDL improvement for accepting a richer model.
+  double min_cost_decrease = 1e-4;
+  /// Minimum relative RMSE improvement for the *optimistic* acceptance of
+  /// a shock or growth term during forward search (strict MDL pruning
+  /// still runs afterwards; see TryAddShock in the implementation).
+  double min_rmse_decrease = 0.02;
+  /// Backward pruning drops a shock unless keeping it saves at least this
+  /// many bits. With Gaussian coding and an ML-estimated sigma, a tiny
+  /// noise-fitting comb can "save" a couple of bits on a long sequence;
+  /// real event trains save tens to hundreds. Kept small so genuine events
+  /// on short sequences (e.g. 92-tick memes) survive.
+  double prune_slack_bits = 4.0;
+  /// Prints per-stage costs to stderr (debugging aid).
+  bool verbose = false;
+  /// Data-coding model for Cost_C (Gaussian is the paper's choice; the
+  /// Poisson code is a count-aware alternative, ablated in
+  /// bench_ablation_coding).
+  CodingModel coding_model = CodingModel::kGaussian;
+  /// Ablation hook (bench_ablation_mdl): return the last greedy state of
+  /// the alternation instead of the MDL-optimal snapshot. Never enable in
+  /// production use — it disables the parsimony guarantee.
+  bool return_final_state = false;
+};
+
+/// Result of fitting one global sequence.
+struct GlobalSequenceFit {
+  KeywordGlobalParams params;
+  std::vector<Shock> shocks;  ///< keyword field already set
+  Series estimate;            ///< fitted I(t) over the training range
+  double cost_bits = 0.0;     ///< per-keyword MDL total
+  double rmse = 0.0;
+};
+
+/// Fits Model 1 to a single global sequence x-bar_i. `keyword` tags the
+/// produced shocks; `num_keywords` enters the shock description cost.
+StatusOr<GlobalSequenceFit> FitGlobalSequence(
+    const Series& data, size_t keyword, size_t num_keywords,
+    const GlobalFitOptions& options = GlobalFitOptions());
+
+/// Incremental (streaming) refit: given a fit of a prefix of `data` and
+/// the now-longer sequence, warm-starts from the previous parameters —
+/// cyclic shocks are extended with fresh occurrences at their shared
+/// strength — and runs a short alternation. Much cheaper than a cold fit
+/// and stable across updates; new events in the appended range are still
+/// detected.
+StatusOr<GlobalSequenceFit> RefitGlobalSequence(
+    const Series& data, size_t keyword, size_t num_keywords,
+    const GlobalSequenceFit& previous,
+    const GlobalFitOptions& options = GlobalFitOptions());
+
+/// Runs GLOBALFIT over every keyword of the tensor and assembles the
+/// global half of the parameter set (B_G, R_G, S at the global level).
+StatusOr<ModelParamSet> GlobalFit(
+    const ActivityTensor& tensor,
+    const GlobalFitOptions& options = GlobalFitOptions());
+
+}  // namespace dspot
+
+#endif  // DSPOT_CORE_GLOBAL_FIT_H_

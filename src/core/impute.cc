@@ -1,0 +1,52 @@
+#include "core/impute.h"
+
+#include "core/simulate.h"
+
+namespace dspot {
+
+StatusOr<Series> ImputeGlobalSequence(const Series& sequence,
+                                      const ModelParamSet& params,
+                                      size_t keyword) {
+  if (keyword >= params.global.size()) {
+    return Status::OutOfRange("ImputeGlobalSequence: bad keyword index");
+  }
+  const Series estimate = SimulateGlobal(params, keyword, sequence.size());
+  Series out = sequence;
+  for (size_t t = 0; t < out.size(); ++t) {
+    if (!out.IsObserved(t)) {
+      out[t] = estimate[t];
+    }
+  }
+  return out;
+}
+
+StatusOr<ActivityTensor> ImputeTensor(const ActivityTensor& tensor,
+                                      const ModelParamSet& params) {
+  if (params.global.size() != tensor.num_keywords() ||
+      params.num_ticks != tensor.num_ticks()) {
+    return Status::FailedPrecondition(
+        "ImputeTensor: parameter set does not match the tensor");
+  }
+  if (tensor.num_locations() > 1 && !params.has_local()) {
+    return Status::FailedPrecondition(
+        "ImputeTensor: LocalFit required for multi-location tensors");
+  }
+  ActivityTensor out = tensor;
+  for (size_t i = 0; i < tensor.num_keywords(); ++i) {
+    for (size_t j = 0; j < tensor.num_locations(); ++j) {
+      Series estimate;
+      bool simulated = false;
+      for (size_t t = 0; t < tensor.num_ticks(); ++t) {
+        if (!IsMissing(tensor.at(i, j, t))) continue;
+        if (!simulated) {
+          estimate = SimulateLocal(params, i, j, tensor.num_ticks());
+          simulated = true;
+        }
+        out.at(i, j, t) = estimate[t];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dspot

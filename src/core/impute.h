@@ -1,0 +1,31 @@
+#ifndef DSPOT_CORE_IMPUTE_H_
+#define DSPOT_CORE_IMPUTE_H_
+
+#include "common/statusor.h"
+#include "core/params.h"
+#include "tensor/activity_tensor.h"
+#include "timeseries/series.h"
+
+namespace dspot {
+
+/// Model-based missing-value imputation: the paper's problem statement
+/// includes tensors "with missing values"; once Δ-SPOT is fitted, the
+/// model itself is the best interpolator — missing entries are replaced by
+/// the simulated I(t), which respects spikes and growth in a way linear
+/// interpolation cannot.
+
+/// Returns a copy of `sequence` with missing ticks replaced by the global
+/// estimate of `keyword` under `params`. Observed ticks are untouched.
+StatusOr<Series> ImputeGlobalSequence(const Series& sequence,
+                                      const ModelParamSet& params,
+                                      size_t keyword);
+
+/// Returns a copy of `tensor` with every missing cell replaced by the
+/// local estimate under `params` (requires LocalFit when l > 1; with a
+/// single location the even-share fallback is exact).
+StatusOr<ActivityTensor> ImputeTensor(const ActivityTensor& tensor,
+                                      const ModelParamSet& params);
+
+}  // namespace dspot
+
+#endif  // DSPOT_CORE_IMPUTE_H_

@@ -1,0 +1,226 @@
+#include "core/local_fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/simulate.h"
+#include "mdl/mdl.h"
+#include "optimize/line_search.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+
+namespace {
+
+/// Working copy of one (keyword, location) local model: the global
+/// dynamics plus this location's population, growth rate and strength
+/// columns.
+struct LocalState {
+  const Series* data = nullptr;
+  const KeywordGlobalParams* global = nullptr;
+  /// This keyword's shocks (pointers into the shared shock list).
+  std::vector<const Shock*> shocks;
+  /// Candidate strengths: one vector per shock, one entry per occurrence.
+  std::vector<std::vector<double>> strengths;
+  double population = 1.0;
+  double growth_rate = 0.0;
+  size_t n = 0;
+};
+
+Series SimulateLocalState(const LocalState& state) {
+  SivInputs inputs;
+  inputs.population = state.population;
+  inputs.beta = state.global->beta;
+  inputs.delta = state.global->delta;
+  inputs.gamma = state.global->gamma;
+  inputs.i0 = state.global->i0 * state.population /
+              std::max(state.global->population, 1e-9);
+  inputs.epsilon.assign(state.n, 1.0);
+  for (size_t k = 0; k < state.shocks.size(); ++k) {
+    const Shock& shock = *state.shocks[k];
+    const std::vector<double>& strengths = state.strengths[k];
+    for (size_t t = 0; t < state.n; ++t) {
+      const size_t m = shock.OccurrenceIndexAt(t);
+      if (m != kNpos && m < strengths.size()) {
+        inputs.epsilon[t] += strengths[m];
+      }
+    }
+  }
+  if (state.global->has_growth()) {
+    inputs.eta =
+        BuildEta(state.growth_rate, state.global->growth_start, state.n);
+  }
+  return SimulateSiv(inputs, state.n);
+}
+
+double LocalStateRmse(const LocalState& state) {
+  return Rmse(*state.data, SimulateLocalState(state));
+}
+
+size_t NonZeroStrengths(const LocalState& state) {
+  size_t count = 0;
+  for (const auto& v : state.strengths) {
+    for (double s : v) {
+      if (s != 0.0) ++count;
+    }
+  }
+  return count;
+}
+
+double LocalStateCostBits(const LocalState& state, size_t d, size_t l) {
+  return LocalSequenceCostBits(*state.data, SimulateLocalState(state),
+                               NonZeroStrengths(state), d, l, state.n);
+}
+
+/// Fits one local sequence by coordinate descent; returns its final cost.
+double FitOneLocal(LocalState* state, size_t d, size_t l,
+                   const LocalFitOptions& options) {
+  const double peak = std::max(state->data->MaxValue(), 1e-3);
+
+  // b^(L)_ij: local potential population.
+  state->population = GridThenGoldenMinimize(
+      [&](double pop) {
+        state->population = pop;
+        return LocalStateRmse(*state);
+      },
+      peak * 0.3, peak * 300.0, 40, 1e-3);
+
+  // r^(L)_ij: local growth rate (only when the keyword has a growth term).
+  if (state->global->has_growth()) {
+    state->growth_rate = GuardedMinimize(
+        [&](double rate) {
+          state->growth_rate = rate;
+          return LocalStateRmse(*state);
+        },
+        0.0, 4.0, state->growth_rate);
+  }
+
+  // Local participation strengths, one occurrence at a time.
+  for (size_t k = 0; k < state->strengths.size(); ++k) {
+    for (size_t m = 0; m < state->strengths[k].size(); ++m) {
+      state->strengths[k][m] = GuardedMinimize(
+          [&](double s) {
+            state->strengths[k][m] = s;
+            return LocalStateRmse(*state);
+          },
+          0.0, options.max_local_strength, state->strengths[k][m]);
+    }
+  }
+
+  double cost = LocalStateCostBits(*state, d, l);
+
+  // Sparsification: drop strengths whose description cost exceeds their
+  // coding benefit.
+  if (options.sparsify) {
+    for (size_t k = 0; k < state->strengths.size(); ++k) {
+      for (size_t m = 0; m < state->strengths[k].size(); ++m) {
+        if (state->strengths[k][m] == 0.0) continue;
+        const double saved = state->strengths[k][m];
+        state->strengths[k][m] = 0.0;
+        const double cost_without = LocalStateCostBits(*state, d, l);
+        if (cost_without <= cost) {
+          cost = cost_without;  // keep it zeroed
+        } else {
+          state->strengths[k][m] = saved;
+        }
+      }
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+Status LocalFit(const ActivityTensor& tensor, ModelParamSet* params,
+                const LocalFitOptions& options) {
+  if (params == nullptr) {
+    return Status::InvalidArgument("LocalFit: null params");
+  }
+  const size_t d = tensor.num_keywords();
+  const size_t l = tensor.num_locations();
+  const size_t n = tensor.num_ticks();
+  if (params->global.size() != d || params->num_ticks != n) {
+    return Status::FailedPrecondition(
+        "LocalFit: parameter set does not match the tensor dimensions");
+  }
+
+  // Initialize B_L from observed volume shares, R_L from the global rate,
+  // and every shock's local strengths from its global strengths.
+  params->base_local = Matrix(d, l);
+  params->growth_local = Matrix(d, l);
+  for (Shock& shock : params->shocks) {
+    const size_t occ = shock.global_strengths.size();
+    shock.local_strengths = Matrix(occ, l);
+    for (size_t m = 0; m < occ; ++m) {
+      for (size_t j = 0; j < l; ++j) {
+        shock.local_strengths(m, j) = shock.global_strengths[m];
+      }
+    }
+  }
+
+  double previous_total = std::numeric_limits<double>::infinity();
+  for (int round = 0; round < options.max_rounds; ++round) {
+    double total = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      const std::vector<size_t> shock_indices = params->ShockIndicesFor(i);
+      const Series global_seq = tensor.GlobalSequence(i);
+      const double global_volume = std::max(global_seq.SumValue(), 1e-9);
+      for (size_t j = 0; j < l; ++j) {
+        const Series local_data = tensor.LocalSequence(i, j);
+
+        LocalState state;
+        state.data = &local_data;
+        state.global = &params->global[i];
+        state.n = n;
+        for (size_t k : shock_indices) {
+          state.shocks.push_back(&params->shocks[k]);
+        }
+        if (round == 0) {
+          // Volume-share initialization.
+          const double share =
+              std::max(local_data.SumValue(), 0.0) / global_volume;
+          state.population =
+              std::max(params->global[i].population * share, 1e-3);
+          state.growth_rate = params->global[i].growth_rate;
+          for (size_t k : shock_indices) {
+            state.strengths.push_back(params->shocks[k].global_strengths);
+          }
+        } else {
+          // Warm start from the previous round.
+          state.population = params->base_local(i, j);
+          state.growth_rate = params->growth_local(i, j);
+          for (size_t k : shock_indices) {
+            const Shock& shock = params->shocks[k];
+            std::vector<double> column(shock.local_strengths.rows());
+            for (size_t m = 0; m < column.size(); ++m) {
+              column[m] = shock.local_strengths(m, j);
+            }
+            state.strengths.push_back(std::move(column));
+          }
+        }
+
+        total += FitOneLocal(&state, d, l, options);
+
+        // Write back.
+        params->base_local(i, j) = state.population;
+        params->growth_local(i, j) = state.growth_rate;
+        for (size_t si = 0; si < shock_indices.size(); ++si) {
+          Shock& shock = params->shocks[shock_indices[si]];
+          for (size_t m = 0; m < state.strengths[si].size(); ++m) {
+            shock.local_strengths(m, j) = state.strengths[si][m];
+          }
+        }
+      }
+    }
+    if (total >= previous_total * (1.0 - options.min_cost_decrease)) {
+      break;
+    }
+    previous_total = total;
+  }
+  return Status::Ok();
+}
+
+}  // namespace dspot

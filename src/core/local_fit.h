@@ -1,0 +1,37 @@
+#ifndef DSPOT_CORE_LOCAL_FIT_H_
+#define DSPOT_CORE_LOCAL_FIT_H_
+
+#include "common/status.h"
+#include "core/params.h"
+#include "tensor/activity_tensor.h"
+
+namespace dspot {
+
+/// LOCALFIT (Algorithm 3): given the global-level parameter set produced by
+/// GLOBALFIT, fits per-location parameters — the potential population
+/// b^(L)_ij (B_L), the local growth rate r^(L)_ij (R_L), and the
+/// per-occurrence local shock strengths s^(L) — by coordinate descent under
+/// the MDL criterion. Shock *times* stay shared across locations; only the
+/// participation strengths are local, which is exactly the paper's notion
+/// of area specificity (P2).
+struct LocalFitOptions {
+  /// Coordinate-descent sweeps over all (keyword, location) pairs.
+  int max_rounds = 2;
+  /// Upper bound for a local shock strength.
+  double max_local_strength = 50.0;
+  /// Zero out local strengths whose MDL benefit does not cover their
+  /// description cost (makes s^(L) sparse, as in Definition 6).
+  bool sparsify = true;
+  /// Minimum relative improvement for another sweep.
+  double min_cost_decrease = 1e-4;
+};
+
+/// Fills `params->base_local`, `params->growth_local` and every shock's
+/// `local_strengths` from the tensor. `params` must contain the global fit
+/// for the same tensor (dimensions are checked).
+Status LocalFit(const ActivityTensor& tensor, ModelParamSet* params,
+                const LocalFitOptions& options = LocalFitOptions());
+
+}  // namespace dspot
+
+#endif  // DSPOT_CORE_LOCAL_FIT_H_

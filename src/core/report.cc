@@ -1,0 +1,113 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace dspot {
+
+namespace {
+const char* const kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                               "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+}  // namespace
+
+std::string TickToCalendar(size_t tick, const CalendarConfig& calendar) {
+  const size_t per_year = std::max<size_t>(calendar.ticks_per_year, 1);
+  const size_t year = static_cast<size_t>(calendar.start_year) + tick / per_year;
+  const size_t offset = tick % per_year;
+  const size_t month = std::min<size_t>(offset * 12 / per_year, 11);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%zu-%s", year, kMonths[month]);
+  return buf;
+}
+
+std::string DescribeShock(const Shock& shock, const CalendarConfig& calendar) {
+  std::ostringstream os;
+  if (shock.IsCyclic()) {
+    const double years = static_cast<double>(shock.period) /
+                         static_cast<double>(std::max<size_t>(
+                             calendar.ticks_per_year, 1));
+    os << "cyclic event ";
+    if (years >= 0.75) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "every ~%.1f year(s)", years);
+      os << buf;
+    } else {
+      os << "every " << shock.period << " ticks";
+    }
+    os << " from " << TickToCalendar(shock.start, calendar);
+  } else {
+    os << "one-shot event at " << TickToCalendar(shock.start, calendar);
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ", %zu tick(s) wide, strength %.2f (%zu occurrence%s)",
+                shock.width, shock.base_strength,
+                shock.global_strengths.size(),
+                shock.global_strengths.size() == 1 ? "" : "s");
+  os << buf;
+  return os.str();
+}
+
+std::vector<EventSummary> SummarizeEvents(const ModelParamSet& params,
+                                          const CalendarConfig& calendar) {
+  std::vector<EventSummary> out;
+  out.reserve(params.shocks.size());
+  for (const Shock& shock : params.shocks) {
+    EventSummary e;
+    e.keyword = shock.keyword;
+    e.cyclic = shock.IsCyclic();
+    e.start = shock.start;
+    e.period = shock.period;
+    e.width = shock.width;
+    e.strength = shock.base_strength;
+    e.occurrences = shock.global_strengths.size();
+    e.description = DescribeShock(shock, calendar);
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EventSummary& a, const EventSummary& b) {
+              return a.strength > b.strength;
+            });
+  return out;
+}
+
+std::string RenderReport(const ModelParamSet& params,
+                         const std::vector<std::string>& keyword_names,
+                         const CalendarConfig& calendar) {
+  std::ostringstream os;
+  os << "Δ-SPOT model report: " << params.num_keywords << " keyword(s), "
+     << params.num_locations << " location(s), " << params.num_ticks
+     << " tick(s)\n";
+  for (size_t i = 0; i < params.global.size(); ++i) {
+    const KeywordGlobalParams& g = params.global[i];
+    const std::string name = i < keyword_names.size()
+                                 ? keyword_names[i]
+                                 : "keyword " + std::to_string(i);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\n[%s]\n  base dynamics: N=%.1f beta=%.3f delta=%.3f "
+                  "gamma=%.3f\n",
+                  name.c_str(), g.population, g.beta, g.delta, g.gamma);
+    os << buf;
+    if (g.has_growth()) {
+      std::snprintf(buf, sizeof(buf),
+                    "  growth effect: eta0=%.3f from %s (tick %zu)\n",
+                    g.growth_rate,
+                    TickToCalendar(g.growth_start, calendar).c_str(),
+                    g.growth_start);
+      os << buf;
+    }
+    bool any = false;
+    for (const EventSummary& e : SummarizeEvents(params, calendar)) {
+      if (e.keyword != i) continue;
+      os << "  * " << e.description << "\n";
+      any = true;
+    }
+    if (!any) {
+      os << "  (no external events detected)\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace dspot

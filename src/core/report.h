@@ -1,0 +1,57 @@
+#ifndef DSPOT_CORE_REPORT_H_
+#define DSPOT_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+
+namespace dspot {
+
+/// Human-readable reporting of fitted Δ-SPOT models: the "sense-making"
+/// output of the paper (Q1) — which events happened, when, how often, how
+/// strongly, and where.
+
+/// Maps integer time-ticks onto a calendar axis. The defaults match the
+/// paper's GoogleTrends axis: weekly ticks, tick 0 = January 2004.
+struct CalendarConfig {
+  size_t ticks_per_year = 52;
+  int start_year = 2004;
+};
+
+/// "2008-Aug"-style label for a tick.
+std::string TickToCalendar(size_t tick, const CalendarConfig& calendar = {});
+
+/// One-line human description of a shock, e.g.
+/// "cyclic event every ~2 year(s) from 2005-Jul, 3 ticks wide,
+///  strength 3.27 (5 occurrences)".
+std::string DescribeShock(const Shock& shock,
+                          const CalendarConfig& calendar = {});
+
+/// One detected event in report form.
+struct EventSummary {
+  size_t keyword = 0;
+  bool cyclic = false;
+  size_t start = 0;
+  size_t period = 0;  ///< 0 for one-shot
+  size_t width = 1;
+  double strength = 0.0;
+  size_t occurrences = 0;
+  std::string description;
+};
+
+/// Flattens the shock tensor of `params` into per-event summaries,
+/// strongest first.
+std::vector<EventSummary> SummarizeEvents(const ModelParamSet& params,
+                                          const CalendarConfig& calendar = {});
+
+/// Renders a full multi-line report of the parameter set: per-keyword base
+/// dynamics, growth effects and the event inventory. `keyword_names` may
+/// be empty (indices are used).
+std::string RenderReport(const ModelParamSet& params,
+                         const std::vector<std::string>& keyword_names = {},
+                         const CalendarConfig& calendar = {});
+
+}  // namespace dspot
+
+#endif  // DSPOT_CORE_REPORT_H_

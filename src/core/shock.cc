@@ -1,0 +1,122 @@
+#include "core/shock.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dspot {
+
+size_t Shock::NumOccurrences(size_t n_ticks) const {
+  if (start >= n_ticks) {
+    return 0;
+  }
+  if (!IsCyclic()) {
+    return 1;
+  }
+  return (n_ticks - 1 - start) / period + 1;
+}
+
+size_t Shock::OccurrenceIndexAt(size_t t) const {
+  if (t < start) {
+    return kNpos;
+  }
+  const size_t offset = t - start;
+  if (!IsCyclic()) {
+    return offset < width ? 0 : kNpos;
+  }
+  const size_t m = offset / period;
+  return (offset - m * period) < width ? m : kNpos;
+}
+
+double Shock::MeanGlobalStrength() const {
+  if (global_strengths.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : global_strengths) {
+    sum += s;
+  }
+  return sum / static_cast<double>(global_strengths.size());
+}
+
+double Shock::GlobalStrengthAt(size_t t) const {
+  const size_t m = OccurrenceIndexAt(t);
+  if (m == kNpos) {
+    return 0.0;
+  }
+  if (m < global_strengths.size()) {
+    return global_strengths[m];
+  }
+  return base_strength;
+}
+
+size_t Shock::DeviatingOccurrences() const {
+  size_t count = 0;
+  for (double s : global_strengths) {
+    if (s != base_strength) ++count;
+  }
+  return count;
+}
+
+double Shock::LocalStrengthAt(size_t t, size_t location) const {
+  const size_t m = OccurrenceIndexAt(t);
+  if (m == kNpos) {
+    return 0.0;
+  }
+  if (local_strengths.empty()) {
+    // LocalFit has not run: fall back to the global strength.
+    return GlobalStrengthAt(t);
+  }
+  if (location >= local_strengths.cols()) {
+    return 0.0;
+  }
+  if (m < local_strengths.rows()) {
+    return local_strengths(m, location);
+  }
+  // Beyond the fitted range (forecasting): this location's mean strength.
+  double sum = 0.0;
+  for (size_t r = 0; r < local_strengths.rows(); ++r) {
+    sum += local_strengths(r, location);
+  }
+  return local_strengths.rows() == 0
+             ? 0.0
+             : sum / static_cast<double>(local_strengths.rows());
+}
+
+std::string Shock::ToString() const {
+  std::ostringstream os;
+  os << "shock(kw=" << keyword << ", t_s=" << start << ", t_w=" << width;
+  if (IsCyclic()) {
+    os << ", t_p=" << period;
+  } else {
+    os << ", t_p=inf";
+  }
+  os << ", occurrences=" << global_strengths.size() << ")";
+  return os.str();
+}
+
+std::vector<double> BuildGlobalEpsilon(const std::vector<Shock>& shocks,
+                                       size_t keyword, size_t n_ticks) {
+  std::vector<double> eps(n_ticks, 1.0);
+  for (const Shock& shock : shocks) {
+    if (shock.keyword != keyword) continue;
+    for (size_t t = 0; t < n_ticks; ++t) {
+      eps[t] += shock.GlobalStrengthAt(t);
+    }
+  }
+  return eps;
+}
+
+std::vector<double> BuildLocalEpsilon(const std::vector<Shock>& shocks,
+                                      size_t keyword, size_t location,
+                                      size_t n_ticks) {
+  std::vector<double> eps(n_ticks, 1.0);
+  for (const Shock& shock : shocks) {
+    if (shock.keyword != keyword) continue;
+    for (size_t t = 0; t < n_ticks; ++t) {
+      eps[t] += shock.LocalStrengthAt(t, location);
+    }
+  }
+  return eps;
+}
+
+}  // namespace dspot

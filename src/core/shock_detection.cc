@@ -1,0 +1,128 @@
+#include "core/shock_detection.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "timeseries/stats.h"
+
+namespace dspot {
+
+namespace {
+
+/// Distance of `value` from the nearest multiple of `period`.
+size_t CycleDrift(size_t value, size_t period) {
+  const size_t mod = value % period;
+  return std::min(mod, period - mod);
+}
+
+/// Median of a small vector (by copy).
+size_t MedianOf(std::vector<size_t> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+std::vector<Shock> ProposeShockCandidates(
+    const Series& residual, size_t keyword,
+    const ShockDetectionOptions& options) {
+  const size_t n = residual.size();
+  const std::vector<Burst> bursts = FindBursts(residual, options.burst_options);
+  if (bursts.empty()) {
+    return {};
+  }
+  const Burst& anchor = bursts[0];
+
+  std::vector<Shock> candidates;
+  // Hypothesis 0: one-shot shock at the anchor burst.
+  {
+    Shock shock;
+    shock.keyword = keyword;
+    shock.period = Shock::kNonCyclic;
+    shock.start = anchor.start;
+    shock.width = anchor.width;
+    shock.global_strengths.assign(shock.NumOccurrences(n), 0.0);
+    candidates.push_back(std::move(shock));
+  }
+  if (!options.allow_cyclic || bursts.size() < options.min_aligned_bursts) {
+    return candidates;
+  }
+
+  // Period hypotheses come from two sources. First, the autocorrelation of
+  // the residual itself — robust when occurrence strengths vary enough that
+  // burst-gap analysis latches onto every-other-spike periods (2P instead
+  // of P).
+  std::set<size_t> periods;
+  for (size_t p : CandidatePeriods(residual, n / 2)) {
+    if (p >= options.min_period) {
+      periods.insert(p);
+    }
+  }
+  // Second, gaps between the anchor and every other burst, and integer
+  // divisors of those gaps (a biennial event observed 3 times shows gaps
+  // 2P and 4P; the divisor walk recovers P).
+  for (const Burst& b : bursts) {
+    const size_t gap = b.start > anchor.start ? b.start - anchor.start
+                                              : anchor.start - b.start;
+    if (gap < options.min_period) continue;
+    for (size_t div = 1; div <= 4; ++div) {
+      const size_t p = gap / div;
+      if (p >= options.min_period && gap % div == 0) {
+        periods.insert(p);
+      }
+    }
+  }
+
+  struct PeriodScore {
+    size_t period;
+    size_t aligned;
+    size_t earliest_start;
+    size_t width;
+  };
+  std::vector<PeriodScore> scored;
+  for (size_t period : periods) {
+    // Dense combs are not events (see max_occurrences doc).
+    if (period > 0 && (n / period) + 1 > options.max_occurrences) {
+      continue;
+    }
+    std::vector<size_t> aligned_starts;
+    std::vector<size_t> aligned_widths;
+    for (const Burst& b : bursts) {
+      const size_t gap = b.start > anchor.start ? b.start - anchor.start
+                                                : anchor.start - b.start;
+      if (gap == 0 || CycleDrift(gap, period) <= options.alignment_tolerance) {
+        aligned_starts.push_back(b.start);
+        aligned_widths.push_back(b.width);
+      }
+    }
+    if (aligned_starts.size() < options.min_aligned_bursts) continue;
+    PeriodScore score;
+    score.period = period;
+    score.aligned = aligned_starts.size();
+    score.earliest_start =
+        *std::min_element(aligned_starts.begin(), aligned_starts.end());
+    score.width = MedianOf(aligned_widths);
+    scored.push_back(score);
+  }
+  // Prefer hypotheses that explain more bursts; break ties toward longer
+  // periods (fewer phantom occurrences to pay for).
+  std::sort(scored.begin(), scored.end(),
+            [](const PeriodScore& a, const PeriodScore& b) {
+              if (a.aligned != b.aligned) return a.aligned > b.aligned;
+              return a.period > b.period;
+            });
+  for (size_t k = 0; k < scored.size() && k < options.max_period_candidates;
+       ++k) {
+    Shock shock;
+    shock.keyword = keyword;
+    shock.period = scored[k].period;
+    shock.start = scored[k].earliest_start;
+    shock.width = std::max<size_t>(scored[k].width, 1);
+    shock.global_strengths.assign(shock.NumOccurrences(n), 0.0);
+    candidates.push_back(std::move(shock));
+  }
+  return candidates;
+}
+
+}  // namespace dspot

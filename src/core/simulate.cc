@@ -1,0 +1,106 @@
+#include "core/simulate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dspot {
+
+SivTrajectory SimulateSivFull(const SivInputs& inputs, size_t n_ticks) {
+  SivTrajectory traj;
+  traj.susceptible = Series(n_ticks);
+  traj.infective = Series(n_ticks);
+  traj.vigilant = Series(n_ticks);
+
+  const double n = std::max(inputs.population, 1e-9);
+  double i = std::clamp(inputs.i0, 0.0, n);
+  double s = n - i;
+  double v = 0.0;
+  const double delta = std::clamp(inputs.delta, 0.0, 1.0);
+  const double gamma = std::clamp(inputs.gamma, 0.0, 1.0);
+
+  for (size_t t = 0; t < n_ticks; ++t) {
+    traj.susceptible[t] = s;
+    traj.infective[t] = i;
+    traj.vigilant[t] = v;
+
+    const double eps =
+        t < inputs.epsilon.size() ? inputs.epsilon[t] : 1.0;
+    const double eta = t < inputs.eta.size() ? inputs.eta[t] : 0.0;
+    const double raw_infect =
+        inputs.beta * (s / n) * eps * i * (1.0 + eta);
+    const double infect = std::clamp(raw_infect, 0.0, s);
+    const double recover = delta * i;
+    const double wane = gamma * v;
+
+    s += wane - infect;
+    i += infect - recover;
+    v += recover - wane;
+  }
+  return traj;
+}
+
+Series SimulateSiv(const SivInputs& inputs, size_t n_ticks) {
+  return SimulateSivFull(inputs, n_ticks).infective;
+}
+
+std::vector<double> BuildEta(double growth_rate, size_t growth_start,
+                             size_t n_ticks) {
+  std::vector<double> eta(n_ticks, 0.0);
+  if (growth_start == kNpos || growth_rate == 0.0) {
+    return eta;
+  }
+  for (size_t t = growth_start; t < n_ticks; ++t) {
+    eta[t] = growth_rate;
+  }
+  return eta;
+}
+
+Series SimulateGlobal(const ModelParamSet& params, size_t keyword,
+                      size_t n_ticks) {
+  const KeywordGlobalParams& g = params.global[keyword];
+  SivInputs inputs;
+  inputs.population = g.population;
+  inputs.beta = g.beta;
+  inputs.delta = g.delta;
+  inputs.gamma = g.gamma;
+  inputs.i0 = g.i0;
+  inputs.epsilon = BuildGlobalEpsilon(params.shocks, keyword, n_ticks);
+  inputs.eta = g.has_growth()
+                   ? BuildEta(g.growth_rate, g.growth_start, n_ticks)
+                   : std::vector<double>();
+  return SimulateSiv(inputs, n_ticks);
+}
+
+Series SimulateLocal(const ModelParamSet& params, size_t keyword,
+                     size_t location, size_t n_ticks) {
+  const KeywordGlobalParams& g = params.global[keyword];
+  SivInputs inputs;
+  inputs.beta = g.beta;
+  inputs.delta = g.delta;
+  inputs.gamma = g.gamma;
+  inputs.epsilon = BuildLocalEpsilon(params.shocks, keyword, location,
+                                     n_ticks);
+  if (params.has_local()) {
+    const double local_pop = params.base_local(keyword, location);
+    inputs.population = local_pop;
+    inputs.i0 = g.i0 * local_pop / std::max(g.population, 1e-9);
+    const double local_growth =
+        params.growth_local.empty() ? 0.0
+                                    : params.growth_local(keyword, location);
+    inputs.eta = g.has_growth()
+                     ? BuildEta(local_growth, g.growth_start, n_ticks)
+                     : std::vector<double>();
+  } else {
+    // LocalFit has not run yet: assume an even population share.
+    const double share =
+        1.0 / static_cast<double>(std::max<size_t>(params.num_locations, 1));
+    inputs.population = g.population * share;
+    inputs.i0 = g.i0 * share;
+    inputs.eta = g.has_growth()
+                     ? BuildEta(g.growth_rate, g.growth_start, n_ticks)
+                     : std::vector<double>();
+  }
+  return SimulateSiv(inputs, n_ticks);
+}
+
+}  // namespace dspot

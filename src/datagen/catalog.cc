@@ -1,0 +1,288 @@
+#include "datagen/catalog.h"
+
+namespace dspot {
+
+namespace {
+/// Weekly ticks: 52 per year, tick 0 = Jan 2004.
+constexpr size_t kYear = 52;
+/// Week-of-year offsets (approximate calendar months).
+constexpr size_t kFebruary = 6;
+constexpr size_t kMay = 19;
+constexpr size_t kJuly = 28;
+constexpr size_t kAugust = 33;
+constexpr size_t kSeptember = 37;
+constexpr size_t kNovember = 46;
+}  // namespace
+
+KeywordScenario HarryPotterScenario() {
+  KeywordScenario s;
+  s.name = "harry_potter";
+  s.population = 240.0;
+  s.beta = 0.52;
+  s.delta = 0.47;
+  s.gamma = 0.50;
+  // Biennial July releases starting July 2005 (movies 4, 5... books).
+  s.shocks.push_back({.period = 2 * kYear,
+                      .start = kYear + kJuly,
+                      .width = 3,
+                      .strength = 9.0,
+                      .strength_jitter = 0.25});
+  // November movie premieres, biennial from Nov 2005.
+  s.shocks.push_back({.period = 2 * kYear,
+                      .start = kYear + kNovember,
+                      .width = 2,
+                      .strength = 6.0,
+                      .strength_jitter = 0.25});
+  // The non-cyclic May spike the paper highlights (Fig. 1, red circle);
+  // placed in May 2005 (tick 71).
+  s.shocks.push_back({.period = 0,
+                      .start = kYear + kMay,
+                      .width = 2,
+                      .strength = 7.0,
+                      .strength_jitter = 0.1});
+  return s;
+}
+
+KeywordScenario AmazonScenario() {
+  KeywordScenario s;
+  s.name = "amazon";
+  s.population = 220.0;
+  // Base rates follow the paper's fitted values (footnote to Fig. 4); the
+  // growth rate is raised so the effect is visible over the generator's
+  // observation noise (the paper's real series roughly doubles after the
+  // onset).
+  s.beta = 0.5014;
+  s.delta = 0.4675;
+  s.gamma = 0.5211;
+  s.growth_rate = 0.30;
+  s.growth_start = 343;
+  // Annual holiday-season shock (late November).
+  s.shocks.push_back({.period = kYear,
+                      .start = kNovember,
+                      .width = 4,
+                      .strength = 4.0,
+                      .strength_jitter = 0.2});
+  return s;
+}
+
+KeywordScenario EbolaScenario() {
+  KeywordScenario s;
+  s.name = "ebola";
+  s.population = 260.0;
+  s.beta = 0.55;
+  s.delta = 0.50;
+  s.gamma = 0.45;
+  // One-shot world-wide burst: August 2014 ~ tick 10*52 + 33 = 553.
+  s.shocks.push_back({.period = 0,
+                      .start = 10 * kYear + kAugust,
+                      .width = 8,
+                      .strength = 18.0,
+                      .strength_jitter = 0.1});
+  return s;
+}
+
+KeywordScenario GrammyScenario() {
+  KeywordScenario s;
+  s.name = "grammy";
+  s.population = 200.0;
+  s.beta = 0.50;
+  s.delta = 0.46;
+  s.gamma = 0.52;
+  // Annual awards every February.
+  s.shocks.push_back({.period = kYear,
+                      .start = kFebruary,
+                      .width = 2,
+                      .strength = 10.0,
+                      .strength_jitter = 0.25});
+  return s;
+}
+
+KeywordScenario OlympicsScenario() {
+  KeywordScenario s;
+  s.name = "olympics";
+  s.population = 300.0;
+  s.beta = 0.55;
+  s.delta = 0.52;
+  s.gamma = 0.48;
+  // Summer games: Aug 2004, 2008, 2012 (period 4 years).
+  s.shocks.push_back({.period = 4 * kYear,
+                      .start = kAugust,
+                      .width = 3,
+                      .strength = 16.0,
+                      .strength_jitter = 0.15});
+  // Winter games: Feb 2006, 2010, 2014.
+  s.shocks.push_back({.period = 4 * kYear,
+                      .start = 2 * kYear + kFebruary,
+                      .width = 3,
+                      .strength = 8.0,
+                      .strength_jitter = 0.15});
+  return s;
+}
+
+KeywordScenario ObamaScenario() {
+  KeywordScenario s;
+  s.name = "barack_obama";
+  s.population = 260.0;
+  s.beta = 0.50;
+  s.delta = 0.48;
+  s.gamma = 0.50;
+  // Nov 2008 election: tick 4*52 + 46 = 254.
+  s.shocks.push_back({.period = 0,
+                      .start = 4 * kYear + kNovember,
+                      .width = 4,
+                      .strength = 22.0,
+                      .strength_jitter = 0.05});
+  // Nov 2012 re-election, smaller.
+  s.shocks.push_back({.period = 0,
+                      .start = 8 * kYear + kNovember,
+                      .width = 3,
+                      .strength = 9.0,
+                      .strength_jitter = 0.05});
+  return s;
+}
+
+KeywordScenario WorldCupScenario() {
+  KeywordScenario s;
+  s.name = "world_cup";
+  s.population = 320.0;
+  s.beta = 0.54;
+  s.delta = 0.50;
+  s.gamma = 0.47;
+  // June-July 2006, 2010, 2014.
+  s.shocks.push_back({.period = 4 * kYear,
+                      .start = 2 * kYear + kJuly - 2,
+                      .width = 5,
+                      .strength = 18.0,
+                      .strength_jitter = 0.15});
+  return s;
+}
+
+KeywordScenario IphoneScenario() {
+  KeywordScenario s;
+  s.name = "iphone";
+  s.population = 240.0;
+  s.beta = 0.50;
+  s.delta = 0.44;
+  s.gamma = 0.50;
+  // Product-line ramp-up from 2007 (tick ~170).
+  s.growth_rate = 0.12;
+  s.growth_start = 3 * kYear + kJuly - 6;
+  // Annual September launch events from 2008.
+  s.shocks.push_back({.period = kYear,
+                      .start = 4 * kYear + kSeptember,
+                      .width = 2,
+                      .strength = 4.0,
+                      .strength_jitter = 0.3});
+  return s;
+}
+
+std::vector<KeywordScenario> TrendingKeywordSuite() {
+  return {HarryPotterScenario(), AmazonScenario(),  EbolaScenario(),
+          GrammyScenario(),      OlympicsScenario(), ObamaScenario(),
+          WorldCupScenario(),    IphoneScenario()};
+}
+
+KeywordScenario HashtagAppleScenario() {
+  KeywordScenario s;
+  s.name = "#apple";
+  s.population = 180.0;
+  s.beta = 0.60;
+  s.delta = 0.55;
+  s.gamma = 0.40;
+  // Two product events ~3 months apart (daily ticks over 8 months).
+  s.shocks.push_back({.period = 0,
+                      .start = 60,
+                      .width = 4,
+                      .strength = 12.0,
+                      .strength_jitter = 0.1});
+  s.shocks.push_back({.period = 0,
+                      .start = 150,
+                      .width = 4,
+                      .strength = 16.0,
+                      .strength_jitter = 0.1});
+  return s;
+}
+
+KeywordScenario HashtagBackToSchoolScenario() {
+  KeywordScenario s;
+  s.name = "#backtoschool";
+  s.population = 150.0;
+  s.beta = 0.58;
+  s.delta = 0.52;
+  s.gamma = 0.42;
+  // One sustained late-August burst (the dataset covers June-January, so
+  // the annual cycle appears once).
+  s.shocks.push_back({.period = 0,
+                      .start = 75,
+                      .width = 14,
+                      .strength = 8.0,
+                      .strength_jitter = 0.1});
+  return s;
+}
+
+KeywordScenario Meme3Scenario() {
+  KeywordScenario s;
+  s.name = "meme3_yes_we_can";
+  s.population = 160.0;
+  // Memes: fast contagion, fast decay.
+  s.beta = 0.85;
+  s.delta = 0.70;
+  s.gamma = 0.10;
+  s.shocks.push_back({.period = 0,
+                      .start = 35,
+                      .width = 5,
+                      .strength = 20.0,
+                      .strength_jitter = 0.1});
+  return s;
+}
+
+KeywordScenario Meme16Scenario() {
+  KeywordScenario s;
+  s.name = "meme16_satriani";
+  s.population = 120.0;
+  s.beta = 0.85;
+  s.delta = 0.62;
+  s.gamma = 0.05;
+  // A later, smaller burst than meme #3, sustained for a few days (the
+  // Satriani/Coldplay story circulated for about a week).
+  s.shocks.push_back({.period = 0,
+                      .start = 55,
+                      .width = 5,
+                      .strength = 16.0,
+                      .strength_jitter = 0.1});
+  return s;
+}
+
+GeneratorConfig GoogleTrendsConfig(uint64_t seed) {
+  GeneratorConfig config;
+  config.n_ticks = 575;
+  config.num_locations = 20;
+  config.num_outlier_locations = 3;
+  config.noise_stddev = 1.5;
+  config.seed = seed;
+  return config;
+}
+
+GeneratorConfig TwitterConfig(uint64_t seed) {
+  GeneratorConfig config;
+  config.n_ticks = 240;  // ~8 months, daily
+  config.num_locations = 12;
+  config.num_outlier_locations = 2;
+  config.noise_stddev = 2.0;
+  config.seed = seed;
+  return config;
+}
+
+GeneratorConfig MemeTrackerConfig(uint64_t seed) {
+  GeneratorConfig config;
+  config.n_ticks = 92;  // Aug 1 - Oct 31 2008, daily
+  config.num_locations = 8;
+  config.num_outlier_locations = 1;
+  // Meme mention counts are near-zero outside the burst, so the
+  // observation noise is much smaller than on the search-volume panels.
+  config.noise_stddev = 0.8;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace dspot

@@ -1,0 +1,67 @@
+#ifndef DSPOT_DATAGEN_CATALOG_H_
+#define DSPOT_DATAGEN_CATALOG_H_
+
+#include <vector>
+
+#include "datagen/scenario.h"
+
+namespace dspot {
+
+/// Named ground-truth scenarios mirroring the keywords the paper evaluates
+/// on (Figs. 1, 4-8, 11). The time axis follows the paper: weekly ticks,
+/// tick 0 = first week of January 2004, n = 575 ticks ~= 11 years.
+/// Event placements approximate the real-world calendar (e.g. Grammys every
+/// February = period 52, biennial Harry Potter releases in July =
+/// period 104).
+
+/// "Harry Potter" (Fig. 1): biennial July movie/book releases, plus
+/// November releases of later episodes, plus one non-cyclic spike.
+KeywordScenario HarryPotterScenario();
+
+/// "Amazon" (Fig. 4): population growth effect starting at tick 343 with
+/// eta_0 ~= 0.16 (the paper's fitted values) plus an annual
+/// holiday-shopping shock.
+KeywordScenario AmazonScenario();
+
+/// "Ebola" (Fig. 8): one-shot world-wide burst in 2014 (tick ~540).
+KeywordScenario EbolaScenario();
+
+/// "Grammy" (Fig. 11): annual awards, every February (period 52).
+KeywordScenario GrammyScenario();
+
+/// "Olympics": quadrennial games (period 208) with strong spikes.
+KeywordScenario OlympicsScenario();
+
+/// "Barack Obama" (Fig. 5a): dominant one-shot 2008 election burst plus a
+/// smaller 2012 re-election burst.
+KeywordScenario ObamaScenario();
+
+/// "World Cup": quadrennial (period 208), offset from the Olympics.
+KeywordScenario WorldCupScenario();
+
+/// "iPhone": growth effect (product line ramp-up) plus annual September
+/// launch events.
+KeywordScenario IphoneScenario();
+
+/// The 8-keyword trending suite of Fig. 5.
+std::vector<KeywordScenario> TrendingKeywordSuite();
+
+/// Twitter hashtags (Fig. 6), daily resolution over ~8 months (n = 240):
+/// "#apple" (product-launch spikes) and "#backtoschool" (one seasonal
+/// burst in late August).
+KeywordScenario HashtagAppleScenario();
+KeywordScenario HashtagBackToSchoolScenario();
+
+/// MemeTracker memes (Fig. 7), daily over 3 months (n = 92): a single
+/// fast rise-and-fall burst (meme #3 larger, meme #16 smaller and later).
+KeywordScenario Meme3Scenario();
+KeywordScenario Meme16Scenario();
+
+/// Generator configurations matching each dataset's shape.
+GeneratorConfig GoogleTrendsConfig(uint64_t seed = 42);
+GeneratorConfig TwitterConfig(uint64_t seed = 43);
+GeneratorConfig MemeTrackerConfig(uint64_t seed = 44);
+
+}  // namespace dspot
+
+#endif  // DSPOT_DATAGEN_CATALOG_H_

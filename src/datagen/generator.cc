@@ -1,0 +1,196 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "core/shock.h"
+#include "core/simulate.h"
+
+namespace dspot {
+
+namespace {
+
+/// Default country-style codes for auto-naming locations; cycled with
+/// numeric suffixes when more are needed.
+const char* const kCountryCodes[] = {
+    "US", "GB", "JP", "DE", "FR", "BR", "IN", "CA", "AU", "RU",
+    "IT", "ES", "MX", "KR", "NL", "SE", "PL", "TR", "ID", "AR",
+    "ZA", "EG", "TH", "VN", "PH", "MY", "SG", "NZ", "IE", "PT"};
+const char* const kOutlierCodes[] = {"LA", "NP", "CG", "TD", "ER"};
+
+std::vector<std::string> MakeLocationNames(const GeneratorConfig& config) {
+  if (!config.location_names.empty()) {
+    return config.location_names;
+  }
+  std::vector<std::string> names;
+  names.reserve(config.num_locations);
+  const size_t regulars =
+      config.num_locations -
+      std::min(config.num_outlier_locations, config.num_locations);
+  constexpr size_t kNumCodes = std::size(kCountryCodes);
+  for (size_t j = 0; j < regulars; ++j) {
+    std::string name = kCountryCodes[j % kNumCodes];
+    if (j >= kNumCodes) {
+      name += std::to_string(j / kNumCodes);
+    }
+    names.push_back(std::move(name));
+  }
+  constexpr size_t kNumOutlierCodes = std::size(kOutlierCodes);
+  for (size_t j = regulars; j < config.num_locations; ++j) {
+    const size_t o = j - regulars;
+    std::string name = kOutlierCodes[o % kNumOutlierCodes];
+    if (o >= kNumOutlierCodes) {
+      name += std::to_string(o / kNumOutlierCodes);
+    }
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+/// Zipf-like normalized population shares; outlier locations get a fixed
+/// tiny share.
+std::vector<double> MakeShares(const GeneratorConfig& config) {
+  const size_t l = config.num_locations;
+  const size_t outliers = std::min(config.num_outlier_locations, l);
+  const size_t regulars = l - outliers;
+  std::vector<double> shares(l, 0.0);
+  double sum = 0.0;
+  for (size_t j = 0; j < regulars; ++j) {
+    shares[j] = 1.0 / std::pow(static_cast<double>(j + 1), config.share_alpha);
+    sum += shares[j];
+  }
+  for (size_t j = regulars; j < l; ++j) {
+    shares[j] = 0.002;  // outliers: ~0.2% of the main mass
+    sum += shares[j];
+  }
+  for (double& s : shares) {
+    s /= sum;
+  }
+  return shares;
+}
+
+}  // namespace
+
+StatusOr<GeneratedTensor> GenerateTensor(
+    const std::vector<KeywordScenario>& scenarios,
+    const GeneratorConfig& config) {
+  if (scenarios.empty()) {
+    return Status::InvalidArgument("GenerateTensor: no scenarios");
+  }
+  if (config.num_locations == 0 || config.n_ticks < 8) {
+    return Status::InvalidArgument("GenerateTensor: degenerate dimensions");
+  }
+  if (!config.location_names.empty() &&
+      config.location_names.size() != config.num_locations) {
+    return Status::InvalidArgument(
+        "GenerateTensor: location_names size mismatch");
+  }
+
+  const size_t d = scenarios.size();
+  const size_t l = config.num_locations;
+  const size_t n = config.n_ticks;
+  Random rng(config.seed);
+
+  GeneratedTensor out;
+  out.tensor = ActivityTensor(d, l, n);
+  out.truth.local_population = Matrix(d, l);
+  out.truth.shock_strengths.resize(d);
+  out.truth.is_outlier.assign(l, false);
+  const size_t outliers = std::min(config.num_outlier_locations, l);
+  for (size_t j = l - outliers; j < l; ++j) {
+    out.truth.is_outlier[j] = true;
+  }
+
+  const std::vector<std::string> names = MakeLocationNames(config);
+  for (size_t j = 0; j < l; ++j) {
+    DSPOT_RETURN_IF_ERROR(out.tensor.SetLocationName(j, names[j]));
+  }
+  const std::vector<double> shares = MakeShares(config);
+
+  for (size_t i = 0; i < d; ++i) {
+    const KeywordScenario& scenario = scenarios[i];
+    DSPOT_RETURN_IF_ERROR(out.tensor.SetKeywordName(i, scenario.name));
+
+    // Draw per-occurrence global strengths (jittered) once per shock, then
+    // per-location participation masks.
+    out.truth.shock_strengths[i].resize(scenario.shocks.size());
+    std::vector<Shock> truth_shocks(scenario.shocks.size());
+    for (size_t k = 0; k < scenario.shocks.size(); ++k) {
+      const ShockSpec& spec = scenario.shocks[k];
+      Shock shock;
+      shock.keyword = i;
+      shock.period = spec.period;
+      shock.start = spec.start;
+      shock.width = std::max<size_t>(spec.width, 1);
+      shock.base_strength = spec.strength;
+      const size_t occ = shock.NumOccurrences(n);
+      shock.global_strengths.resize(occ);
+      for (size_t m = 0; m < occ; ++m) {
+        const double jitter =
+            1.0 + spec.strength_jitter * rng.Gaussian(0.0, 1.0);
+        shock.global_strengths[m] =
+            std::max(spec.strength * jitter, spec.strength * 0.2);
+      }
+      out.truth.shock_strengths[i][k] = shock.global_strengths;
+      // Per-location strengths: participation mask; outliers participate
+      // rarely.
+      shock.local_strengths = Matrix(occ, l);
+      for (size_t m = 0; m < occ; ++m) {
+        for (size_t j = 0; j < l; ++j) {
+          const double participation =
+              out.truth.is_outlier[j] ? 0.15 : config.participation_rate;
+          if (rng.Bernoulli(participation)) {
+            shock.local_strengths(m, j) =
+                shock.global_strengths[m] *
+                (1.0 + 0.15 * rng.Gaussian(0.0, 1.0));
+          }
+        }
+      }
+      truth_shocks[k] = std::move(shock);
+    }
+
+    for (size_t j = 0; j < l; ++j) {
+      const double local_pop = scenario.population * shares[j];
+      out.truth.local_population(i, j) = local_pop;
+
+      SivInputs inputs;
+      inputs.population = std::max(local_pop, 1e-6);
+      inputs.beta = scenario.beta;
+      inputs.delta = scenario.delta;
+      inputs.gamma = scenario.gamma;
+      inputs.i0 = std::max(scenario.i0 * shares[j], 1e-6);
+      inputs.epsilon.assign(n, 1.0);
+      for (const Shock& shock : truth_shocks) {
+        for (size_t t = 0; t < n; ++t) {
+          inputs.epsilon[t] += shock.LocalStrengthAt(t, j);
+        }
+      }
+      if (scenario.growth_start != kNpos) {
+        inputs.eta = BuildEta(scenario.growth_rate, scenario.growth_start, n);
+      }
+      const Series clean = SimulateSiv(inputs, n);
+      Series noisy(n);
+      const double noise =
+          config.noise_stddev * std::max(shares[j] * 10.0, 0.05);
+      for (size_t t = 0; t < n; ++t) {
+        if (config.missing_rate > 0.0 && rng.Bernoulli(config.missing_rate)) {
+          noisy[t] = kMissingValue;
+          continue;
+        }
+        noisy[t] = std::max(clean[t] + rng.Gaussian(0.0, noise), 0.0);
+      }
+      DSPOT_RETURN_IF_ERROR(out.tensor.SetLocalSequence(i, j, noisy));
+    }
+  }
+  return out;
+}
+
+StatusOr<Series> GenerateGlobalSequence(const KeywordScenario& scenario,
+                                        const GeneratorConfig& config) {
+  DSPOT_ASSIGN_OR_RETURN(GeneratedTensor generated,
+                         GenerateTensor({scenario}, config));
+  return generated.tensor.GlobalSequence(0);
+}
+
+}  // namespace dspot

@@ -1,0 +1,45 @@
+#ifndef DSPOT_DATAGEN_GENERATOR_H_
+#define DSPOT_DATAGEN_GENERATOR_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "datagen/scenario.h"
+#include "linalg/matrix.h"
+#include "tensor/activity_tensor.h"
+
+namespace dspot {
+
+/// Ground truth retained alongside a generated tensor, for scoring fits.
+struct GeneratedTruth {
+  /// Per keyword, per shock spec: the per-occurrence strengths actually
+  /// used at the global level (after jitter).
+  std::vector<std::vector<std::vector<double>>> shock_strengths;
+  /// Per keyword x location population (absolute).
+  Matrix local_population;
+  /// Per location: true iff the location was generated as an outlier.
+  std::vector<bool> is_outlier;
+};
+
+struct GeneratedTensor {
+  ActivityTensor tensor;
+  GeneratedTruth truth;
+};
+
+/// Generates a synthetic activity tensor from ground-truth scenarios: each
+/// keyword's SIV dynamics are simulated per location with Zipf population
+/// shares, per-occurrence jittered shock strengths, Bernoulli shock
+/// participation, additive Gaussian noise (clipped at zero) and optional
+/// missing values. Deterministic given config.seed.
+StatusOr<GeneratedTensor> GenerateTensor(
+    const std::vector<KeywordScenario>& scenarios,
+    const GeneratorConfig& config);
+
+/// Single-keyword, single-location convenience: the noisy global sequence
+/// of `scenario` (sums the generated locations).
+StatusOr<Series> GenerateGlobalSequence(const KeywordScenario& scenario,
+                                        const GeneratorConfig& config);
+
+}  // namespace dspot
+
+#endif  // DSPOT_DATAGEN_GENERATOR_H_

@@ -1,0 +1,61 @@
+#ifndef DSPOT_DATAGEN_SCENARIO_H_
+#define DSPOT_DATAGEN_SCENARIO_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace dspot {
+
+/// Ground-truth description of one external event in a synthetic keyword.
+struct ShockSpec {
+  size_t period = 0;  ///< t_p in ticks; 0 = one-shot
+  size_t start = 0;   ///< t_s
+  size_t width = 2;   ///< t_w
+  double strength = 5.0;        ///< mean eps_0 across occurrences
+  double strength_jitter = 0.2; ///< relative per-occurrence variation
+};
+
+/// Ground-truth generative parameters of one synthetic keyword. The
+/// generator runs the same SIV dynamics the library fits, so every fitted
+/// quantity has a known true value to score against — the structural
+/// substitute for the paper's proprietary GoogleTrends crawl (see
+/// DESIGN.md §3).
+struct KeywordScenario {
+  std::string name = "keyword";
+  double population = 200.0;
+  double beta = 0.50;
+  double delta = 0.45;
+  double gamma = 0.50;
+  double i0 = 1.0;
+  /// Population growth effect; growth_start == kNpos disables it.
+  double growth_rate = 0.0;
+  size_t growth_start = kNpos;
+  std::vector<ShockSpec> shocks;
+};
+
+/// Tensor-level generation knobs.
+struct GeneratorConfig {
+  size_t n_ticks = 575;       ///< ~11 years of weeks, as in GoogleTrends
+  size_t num_locations = 20;
+  double noise_stddev = 1.5;  ///< additive Gaussian observation noise
+  double missing_rate = 0.0;  ///< per-cell probability of a missing entry
+  uint64_t seed = 42;
+  /// Location populations follow a Zipf-like share s_j ~ 1/(j+1)^alpha.
+  double share_alpha = 1.0;
+  /// Probability that a location participates in a given shock occurrence
+  /// (non-participating locations have zero local strength — the paper's
+  /// sparse s^(L)).
+  double participation_rate = 0.9;
+  /// Number of trailing locations modeled as low-connectivity outliers:
+  /// tiny population share and rare participation (the paper's LA/NP/CG).
+  size_t num_outlier_locations = 0;
+  /// Optional location labels; auto-generated country-style codes if empty.
+  std::vector<std::string> location_names;
+};
+
+}  // namespace dspot
+
+#endif  // DSPOT_DATAGEN_SCENARIO_H_

@@ -1,0 +1,205 @@
+#include "epidemics/sir_family.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "optimize/levenberg_marquardt.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+
+namespace {
+
+/// Shared residual builder: model I(t) minus data, skipping missing ticks.
+template <typename Simulate>
+Status ResidualsFor(const Series& data, const Simulate& simulate,
+                    std::vector<double>* out) {
+  const Series est = simulate();
+  out->clear();
+  out->reserve(data.size());
+  for (size_t t = 0; t < data.size(); ++t) {
+    if (!data.IsObserved(t)) continue;
+    out->push_back(est[t] - data[t]);
+  }
+  return Status::Ok();
+}
+
+constexpr int kMinObserved = 8;
+
+/// Initial guesses shared by the family: population scaled off the peak,
+/// a handful of (beta, delta) starting pairs.
+struct Start {
+  double beta;
+  double delta;
+  double gamma;
+};
+
+const Start kStarts[] = {
+    {0.3, 0.1, 0.05}, {0.6, 0.4, 0.2}, {0.9, 0.7, 0.5}, {0.2, 0.5, 0.1}};
+
+}  // namespace
+
+Series SimulateSi(const SiParams& params, size_t n_ticks) {
+  Series out(n_ticks);
+  const double n = std::max(params.population, 1e-9);
+  double s = std::max(n - params.i0, 0.0);
+  double i = std::min(params.i0, n);
+  for (size_t t = 0; t < n_ticks; ++t) {
+    out[t] = i;
+    const double flow = std::min(params.beta * (s / n) * i, s);
+    s -= flow;
+    i += flow;
+  }
+  return out;
+}
+
+Series SimulateSir(const SirParams& params, size_t n_ticks) {
+  Series out(n_ticks);
+  const double n = std::max(params.population, 1e-9);
+  double s = std::max(n - params.i0, 0.0);
+  double i = std::min(params.i0, n);
+  for (size_t t = 0; t < n_ticks; ++t) {
+    out[t] = i;
+    const double infect = std::min(params.beta * (s / n) * i, s);
+    const double recover = std::min(params.delta, 1.0) * i;
+    s -= infect;
+    i += infect - recover;
+    i = std::max(i, 0.0);
+  }
+  return out;
+}
+
+Series SimulateSirs(const SirsParams& params, size_t n_ticks) {
+  Series out(n_ticks);
+  const double n = std::max(params.population, 1e-9);
+  double s = std::max(n - params.i0, 0.0);
+  double i = std::min(params.i0, n);
+  double v = 0.0;
+  for (size_t t = 0; t < n_ticks; ++t) {
+    out[t] = i;
+    const double infect = std::min(params.beta * (s / n) * i, s);
+    const double recover = std::min(params.delta, 1.0) * i;
+    const double wane = std::min(params.gamma, 1.0) * v;
+    s += wane - infect;
+    i += infect - recover;
+    v += recover - wane;
+    s = std::max(s, 0.0);
+    i = std::max(i, 0.0);
+    v = std::max(v, 0.0);
+  }
+  return out;
+}
+
+StatusOr<SiFit> FitSi(const Series& data) {
+  if (data.observed_count() < kMinObserved) {
+    return Status::InvalidArgument("FitSi: too few observations");
+  }
+  const size_t n_ticks = data.size();
+  const double peak = std::max(data.MaxValue(), 1.0);
+
+  auto residual_fn = [&](const std::vector<double>& p,
+                         std::vector<double>* r) -> Status {
+    SiParams params{p[0], p[1], p[2]};
+    return ResidualsFor(
+        data, [&] { return SimulateSi(params, n_ticks); }, r);
+  };
+  Bounds bounds;
+  bounds.lower = {peak * 1.05, 1e-6, 1e-6};
+  bounds.upper = {peak * 100.0, 5.0, peak};
+
+  SiFit best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const Start& start : kStarts) {
+    std::vector<double> init = {peak * 2.0, start.beta, 1.0};
+    auto fit_or = LevenbergMarquardt(residual_fn, init, bounds);
+    if (!fit_or.ok()) continue;
+    if (fit_or->final_cost < best_cost) {
+      best_cost = fit_or->final_cost;
+      best.params = {fit_or->params[0], fit_or->params[1], fit_or->params[2]};
+      best.info.lm_iterations = fit_or->iterations;
+    }
+  }
+  if (!std::isfinite(best_cost)) {
+    return Status::NumericalError("FitSi: all starts failed");
+  }
+  best.info.rmse = Rmse(data, SimulateSi(best.params, n_ticks));
+  return best;
+}
+
+StatusOr<SirFit> FitSir(const Series& data) {
+  if (data.observed_count() < kMinObserved) {
+    return Status::InvalidArgument("FitSir: too few observations");
+  }
+  const size_t n_ticks = data.size();
+  const double peak = std::max(data.MaxValue(), 1.0);
+
+  auto residual_fn = [&](const std::vector<double>& p,
+                         std::vector<double>* r) -> Status {
+    SirParams params{p[0], p[1], p[2], p[3]};
+    return ResidualsFor(
+        data, [&] { return SimulateSir(params, n_ticks); }, r);
+  };
+  Bounds bounds;
+  bounds.lower = {peak * 1.05, 1e-6, 1e-6, 1e-6};
+  bounds.upper = {peak * 100.0, 5.0, 1.0, peak};
+
+  SirFit best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const Start& start : kStarts) {
+    std::vector<double> init = {peak * 2.0, start.beta, start.delta, 1.0};
+    auto fit_or = LevenbergMarquardt(residual_fn, init, bounds);
+    if (!fit_or.ok()) continue;
+    if (fit_or->final_cost < best_cost) {
+      best_cost = fit_or->final_cost;
+      best.params = {fit_or->params[0], fit_or->params[1], fit_or->params[2],
+                     fit_or->params[3]};
+      best.info.lm_iterations = fit_or->iterations;
+    }
+  }
+  if (!std::isfinite(best_cost)) {
+    return Status::NumericalError("FitSir: all starts failed");
+  }
+  best.info.rmse = Rmse(data, SimulateSir(best.params, n_ticks));
+  return best;
+}
+
+StatusOr<SirsFit> FitSirs(const Series& data) {
+  if (data.observed_count() < kMinObserved) {
+    return Status::InvalidArgument("FitSirs: too few observations");
+  }
+  const size_t n_ticks = data.size();
+  const double peak = std::max(data.MaxValue(), 1.0);
+
+  auto residual_fn = [&](const std::vector<double>& p,
+                         std::vector<double>* r) -> Status {
+    SirsParams params{p[0], p[1], p[2], p[3], p[4]};
+    return ResidualsFor(
+        data, [&] { return SimulateSirs(params, n_ticks); }, r);
+  };
+  Bounds bounds;
+  bounds.lower = {peak * 1.05, 1e-6, 1e-6, 1e-6, 1e-6};
+  bounds.upper = {peak * 100.0, 5.0, 1.0, 1.0, peak};
+
+  SirsFit best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const Start& start : kStarts) {
+    std::vector<double> init = {peak * 2.0, start.beta, start.delta,
+                                start.gamma, 1.0};
+    auto fit_or = LevenbergMarquardt(residual_fn, init, bounds);
+    if (!fit_or.ok()) continue;
+    if (fit_or->final_cost < best_cost) {
+      best_cost = fit_or->final_cost;
+      best.params = {fit_or->params[0], fit_or->params[1], fit_or->params[2],
+                     fit_or->params[3], fit_or->params[4]};
+      best.info.lm_iterations = fit_or->iterations;
+    }
+  }
+  if (!std::isfinite(best_cost)) {
+    return Status::NumericalError("FitSirs: all starts failed");
+  }
+  best.info.rmse = Rmse(data, SimulateSirs(best.params, n_ticks));
+  return best;
+}
+
+}  // namespace dspot

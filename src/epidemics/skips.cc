@@ -1,0 +1,108 @@
+#include "epidemics/skips.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "optimize/levenberg_marquardt.h"
+#include "timeseries/metrics.h"
+#include "timeseries/stats.h"
+
+namespace dspot {
+
+Series SimulateSkips(const SkipsParams& params, size_t n_ticks) {
+  Series out(n_ticks);
+  const double n = std::max(params.population, 1e-9);
+  double s = std::max(n - params.i0, 0.0);
+  double i = std::min(params.i0, n);
+  double v = 0.0;
+  constexpr double kTwoPi = 6.283185307179586;
+  const double period = std::max(params.period, 2.0);
+  for (size_t t = 0; t < n_ticks; ++t) {
+    out[t] = i;
+    const double forcing =
+        1.0 + params.amplitude *
+                  std::sin(kTwoPi * static_cast<double>(t) / period +
+                           params.phase);
+    const double beta = std::max(params.beta0 * forcing, 0.0);
+    const double infect = std::min(beta * (s / n) * i, s);
+    const double recover = std::min(params.delta, 1.0) * i;
+    const double wane = std::min(params.gamma, 1.0) * v;
+    s += wane - infect;
+    i += infect - recover;
+    v += recover - wane;
+    s = std::max(s, 0.0);
+    i = std::max(i, 0.0);
+    v = std::max(v, 0.0);
+  }
+  return out;
+}
+
+StatusOr<SkipsFit> FitSkips(const Series& data) {
+  if (data.observed_count() < 16) {
+    return Status::InvalidArgument("FitSkips: too few observations");
+  }
+  const size_t n_ticks = data.size();
+  const double peak = std::max(data.MaxValue(), 1.0);
+
+  // Candidate forcing periods: ACF peaks, falling back to a coarse grid.
+  std::vector<size_t> candidates = CandidatePeriods(data, n_ticks / 2);
+  if (candidates.empty()) {
+    for (size_t p : {n_ticks / 2, n_ticks / 4, n_ticks / 8}) {
+      if (p >= 4) candidates.push_back(p);
+    }
+  }
+  if (candidates.empty()) {
+    candidates.push_back(std::max<size_t>(n_ticks / 2, 2));
+  }
+
+  SkipsFit best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t period : candidates) {
+    auto residual_fn = [&](const std::vector<double>& p,
+                           std::vector<double>* r) -> Status {
+      SkipsParams params;
+      params.population = p[0];
+      params.beta0 = p[1];
+      params.delta = p[2];
+      params.gamma = p[3];
+      params.amplitude = p[4];
+      params.phase = p[5];
+      params.i0 = p[6];
+      params.period = static_cast<double>(period);
+      const Series est = SimulateSkips(params, n_ticks);
+      r->clear();
+      for (size_t t = 0; t < n_ticks; ++t) {
+        if (!data.IsObserved(t)) continue;
+        r->push_back(est[t] - data[t]);
+      }
+      return Status::Ok();
+    };
+    Bounds bounds;
+    bounds.lower = {peak * 1.05, 1e-6, 1e-6, 1e-6, 0.0, -3.2, 1e-6};
+    bounds.upper = {peak * 100.0, 5.0, 1.0, 1.0, 1.0, 3.2, peak};
+    const std::vector<std::vector<double>> starts = {
+        {peak * 2.0, 0.4, 0.3, 0.1, 0.3, 0.0, 1.0},
+        {peak * 4.0, 0.8, 0.6, 0.4, 0.6, 1.5, 1.0},
+    };
+    for (const auto& init : starts) {
+      auto fit_or = LevenbergMarquardt(residual_fn, init, bounds);
+      if (!fit_or.ok()) continue;
+      if (fit_or->final_cost < best_cost) {
+        best_cost = fit_or->final_cost;
+        const auto& p = fit_or->params;
+        best.params = {p[0], p[1], p[2],
+                       p[3], p[4], static_cast<double>(period),
+                       p[5], p[6]};
+      }
+    }
+  }
+  if (!std::isfinite(best_cost)) {
+    return Status::NumericalError("FitSkips: all starts failed");
+  }
+  best.rmse = Rmse(data, SimulateSkips(best.params, n_ticks));
+  return best;
+}
+
+}  // namespace dspot

@@ -1,0 +1,45 @@
+#ifndef DSPOT_EPIDEMICS_SKIPS_H_
+#define DSPOT_EPIDEMICS_SKIPS_H_
+
+#include <cstddef>
+
+#include "common/statusor.h"
+#include "timeseries/series.h"
+
+namespace dspot {
+
+/// SKIPS-style seasonally forced SIRS (after Stone, Olinky & Huppert,
+/// "Seasonal dynamics of recurrent epidemics", Nature 2007; cited by the
+/// paper as [19]). The transmission rate is sinusoidally modulated:
+///
+///   beta(t) = beta0 * (1 + amplitude * sin(2*pi*t/period + phase))
+///
+/// which lets the model express periodic waves, but — unlike Δ-SPOT — only
+/// as a smooth seasonal forcing, not as sharp, independently sized shocks.
+struct SkipsParams {
+  double population = 1.0;
+  double beta0 = 0.3;      ///< mean per-capita transmission rate
+  double delta = 0.1;      ///< recovery rate
+  double gamma = 0.05;     ///< immunity-loss rate
+  double amplitude = 0.2;  ///< seasonal forcing strength, in [0, 1]
+  double period = 52.0;    ///< forcing period in ticks
+  double phase = 0.0;      ///< forcing phase in radians
+  double i0 = 1.0;
+};
+
+/// Simulates the forced SIRS for `n_ticks` steps; returns I(t).
+Series SimulateSkips(const SkipsParams& params, size_t n_ticks);
+
+struct SkipsFit {
+  SkipsParams params;
+  double rmse = 0.0;
+};
+
+/// Fits SKIPS to `data`: the forcing period is chosen among ACF-derived
+/// candidates (plus a default grid) and the remaining parameters are fit
+/// with multi-start LM for each candidate; the best overall wins.
+StatusOr<SkipsFit> FitSkips(const Series& data);
+
+}  // namespace dspot
+
+#endif  // DSPOT_EPIDEMICS_SKIPS_H_

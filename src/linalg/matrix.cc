@@ -1,0 +1,166 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dspot {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    m(i, i) = 1.0;
+  }
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) {
+    return Matrix();
+  }
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols_);
+    for (size_t c = 0; c < m.cols_; ++c) {
+      m(r, c) = rows[r][c];
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < rhs.cols_; ++c) {
+        out(r, c) += a * rhs(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& v) const {
+  assert(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) {
+      sum += (*this)(r, c) * v[c];
+    }
+    out[r] = sum;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < out.data_.size(); ++i) {
+    out.data_[i] += rhs.data_[i];
+  }
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < out.data_.size(); ++i) {
+    out.data_[i] -= rhs.data_[i];
+  }
+  return out;
+}
+
+Matrix& Matrix::Scale(double s) {
+  for (double& v : data_) {
+    v *= s;
+  }
+  return *this;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix out(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = &data_[r * cols_];
+    for (size_t i = 0; i < cols_; ++i) {
+      const double a = row[i];
+      if (a == 0.0) continue;
+      for (size_t j = i; j < cols_; ++j) {
+        out(i, j) += a * row[j];
+      }
+    }
+  }
+  for (size_t i = 0; i < cols_; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      out(i, j) = out(j, i);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::TransposedTimes(
+    const std::vector<double>& v) const {
+  assert(v.size() == rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double s = v[r];
+    if (s == 0.0) continue;
+    const double* row = &data_[r * cols_];
+    for (size_t c = 0; c < cols_; ++c) {
+      out[c] += row[c] * s;
+    }
+  }
+  return out;
+}
+
+void Matrix::AddToDiagonal(double value) {
+  const size_t n = std::min(rows_, cols_);
+  for (size_t i = 0; i < n; ++i) {
+    (*this)(i, i) += value;
+  }
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) {
+    best = std::max(best, std::fabs(v));
+  }
+  return best;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) {
+    sum += v * v;
+  }
+  return std::sqrt(sum);
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  for (size_t r = 0; r < rows_; ++r) {
+    os << "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << (*this)(r, c);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace dspot

@@ -1,0 +1,94 @@
+#ifndef DSPOT_LINALG_MATRIX_H_
+#define DSPOT_LINALG_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dspot {
+
+/// Dense, row-major matrix of doubles. This is the workhorse container for
+/// the hand-rolled optimizers (normal equations, Jacobians) and the AR
+/// baseline. It deliberately supports only the operations those clients
+/// need; it is not a general-purpose BLAS replacement.
+class Matrix {
+ public:
+  /// An empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// A rows x cols matrix, zero-initialized (or filled with `fill`).
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  /// The identity matrix of size n.
+  static Matrix Identity(size_t n);
+
+  /// Builds a matrix from nested initializer data (row major). Rows must
+  /// have equal lengths; asserts otherwise.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw row-major storage; useful for tests.
+  const std::vector<double>& data() const { return data_; }
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Matrix product this * rhs. Asserts on dimension mismatch.
+  Matrix operator*(const Matrix& rhs) const;
+
+  /// Matrix-vector product this * v (v.size() == cols()).
+  std::vector<double> operator*(const std::vector<double>& v) const;
+
+  /// Element-wise sum / difference. Asserts on dimension mismatch.
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+
+  /// Scales every element by `s` in place and returns *this.
+  Matrix& Scale(double s);
+
+  /// A^T * A (used to form normal equations without materializing A^T).
+  Matrix Gram() const;
+
+  /// A^T * v, with v.size() == rows().
+  std::vector<double> TransposedTimes(const std::vector<double>& v) const;
+
+  /// Adds `value` to every diagonal entry (Levenberg damping).
+  void AddToDiagonal(double value);
+
+  /// Maximum absolute element, 0 for empty matrices.
+  double MaxAbs() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Human-readable rendering for debugging/tests.
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace dspot
+
+#endif  // DSPOT_LINALG_MATRIX_H_

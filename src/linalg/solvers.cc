@@ -1,0 +1,265 @@
+#include "linalg/solvers.h"
+
+#include <cmath>
+
+namespace dspot {
+
+namespace {
+
+/// Forward substitution: solves L y = b with lower-triangular L.
+std::vector<double> ForwardSubstitute(const Matrix& l,
+                                      const std::vector<double>& b) {
+  const size_t n = l.rows();
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t j = 0; j < i; ++j) {
+      sum -= l(i, j) * y[j];
+    }
+    y[i] = sum / l(i, i);
+  }
+  return y;
+}
+
+/// Backward substitution: solves L^T x = y with lower-triangular L.
+std::vector<double> BackwardSubstituteTransposed(const Matrix& l,
+                                                 const std::vector<double>& y) {
+  const size_t n = l.rows();
+  std::vector<double> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t j = ii + 1; j < n; ++j) {
+      sum -= l(j, ii) * x[j];
+    }
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace
+
+StatusOr<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("CholeskyFactor: matrix is not square");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) {
+        sum -= l(i, k) * l(j, k);
+      }
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          return Status::NumericalError(
+              "CholeskyFactor: matrix is not positive definite");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+StatusOr<std::vector<double>> CholeskySolve(const Matrix& a,
+                                            const std::vector<double>& b) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("CholeskySolve: size mismatch");
+  }
+  DSPOT_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  std::vector<double> y = ForwardSubstitute(l, b);
+  return BackwardSubstituteTransposed(l, y);
+}
+
+StatusOr<std::vector<double>> RegularizedLdltSolve(const Matrix& a,
+                                                   const std::vector<double>& b,
+                                                   double min_pivot) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("RegularizedLdltSolve: not square");
+  }
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("RegularizedLdltSolve: size mismatch");
+  }
+  const size_t n = a.rows();
+  // A = L D L^T with unit lower-triangular L and diagonal D.
+  Matrix l = Matrix::Identity(n);
+  std::vector<double> d(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    double dj = a(j, j);
+    for (size_t k = 0; k < j; ++k) {
+      dj -= l(j, k) * l(j, k) * d[k];
+    }
+    if (!std::isfinite(dj)) {
+      return Status::NumericalError("RegularizedLdltSolve: non-finite pivot");
+    }
+    if (dj < min_pivot) {
+      dj = min_pivot;
+    }
+    d[j] = dj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) {
+        sum -= l(i, k) * l(j, k) * d[k];
+      }
+      l(i, j) = sum / dj;
+    }
+  }
+  // Solve L z = b, D w = z, L^T x = w.
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t j = 0; j < i; ++j) {
+      sum -= l(i, j) * z[j];
+    }
+    z[i] = sum;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    z[i] /= d[i];
+  }
+  std::vector<double> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = z[ii];
+    for (size_t j = ii + 1; j < n; ++j) {
+      sum -= l(j, ii) * x[j];
+    }
+    x[ii] = sum;
+  }
+  return x;
+}
+
+StatusOr<std::vector<double>> QrLeastSquares(const Matrix& a,
+                                             const std::vector<double>& b) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument("QrLeastSquares: underdetermined system");
+  }
+  if (b.size() != m) {
+    return Status::InvalidArgument("QrLeastSquares: size mismatch");
+  }
+  Matrix r = a;             // Will be transformed in place into R.
+  std::vector<double> qtb = b;  // Accumulates Q^T b.
+  // Householder QR.
+  for (size_t k = 0; k < n; ++k) {
+    // Compute the norm of the k-th column below the diagonal.
+    double norm = 0.0;
+    for (size_t i = k; i < m; ++i) {
+      norm += r(i, k) * r(i, k);
+    }
+    norm = std::sqrt(norm);
+    if (norm < 1e-14) {
+      return Status::NumericalError("QrLeastSquares: rank-deficient matrix");
+    }
+    const double alpha = (r(k, k) > 0.0) ? -norm : norm;
+    std::vector<double> v(m - k, 0.0);
+    v[0] = r(k, k) - alpha;
+    for (size_t i = k + 1; i < m; ++i) {
+      v[i - k] = r(i, k);
+    }
+    const double vnorm2 = [&] {
+      double s = 0.0;
+      for (double x : v) s += x * x;
+      return s;
+    }();
+    if (vnorm2 > 0.0) {
+      // Apply H = I - 2 v v^T / (v^T v) to R's trailing block and to qtb.
+      for (size_t c = k; c < n; ++c) {
+        double dot = 0.0;
+        for (size_t i = k; i < m; ++i) {
+          dot += v[i - k] * r(i, c);
+        }
+        const double f = 2.0 * dot / vnorm2;
+        for (size_t i = k; i < m; ++i) {
+          r(i, c) -= f * v[i - k];
+        }
+      }
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) {
+        dot += v[i - k] * qtb[i];
+      }
+      const double f = 2.0 * dot / vnorm2;
+      for (size_t i = k; i < m; ++i) {
+        qtb[i] -= f * v[i - k];
+      }
+    }
+  }
+  // Back-substitute R x = (Q^T b)[0..n).
+  std::vector<double> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = qtb[ii];
+    for (size_t j = ii + 1; j < n; ++j) {
+      sum -= r(ii, j) * x[j];
+    }
+    if (std::fabs(r(ii, ii)) < 1e-14) {
+      return Status::NumericalError("QrLeastSquares: singular R");
+    }
+    x[ii] = sum / r(ii, ii);
+  }
+  return x;
+}
+
+StatusOr<std::vector<double>> LuSolve(const Matrix& a,
+                                      const std::vector<double>& b) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LuSolve: matrix is not square");
+  }
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("LuSolve: size mismatch");
+  }
+  const size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    size_t pivot = k;
+    double best = std::fabs(lu(k, k));
+    for (size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best < 1e-14) {
+      return Status::NumericalError("LuSolve: singular matrix");
+    }
+    if (pivot != k) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(lu(k, c), lu(pivot, c));
+      }
+      std::swap(perm[k], perm[pivot]);
+    }
+    for (size_t i = k + 1; i < n; ++i) {
+      lu(i, k) /= lu(k, k);
+      const double f = lu(i, k);
+      for (size_t c = k + 1; c < n; ++c) {
+        lu(i, c) -= f * lu(k, c);
+      }
+    }
+  }
+  // Solve L y = P b.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[perm[i]];
+    for (size_t j = 0; j < i; ++j) {
+      sum -= lu(i, j) * y[j];
+    }
+    y[i] = sum;
+  }
+  // Solve U x = y.
+  std::vector<double> x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t j = ii + 1; j < n; ++j) {
+      sum -= lu(ii, j) * x[j];
+    }
+    x[ii] = sum / lu(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace dspot

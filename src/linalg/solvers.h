@@ -1,0 +1,42 @@
+#ifndef DSPOT_LINALG_SOLVERS_H_
+#define DSPOT_LINALG_SOLVERS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "linalg/matrix.h"
+
+namespace dspot {
+
+/// Direct solvers for the small dense systems that appear in the
+/// Levenberg-Marquardt normal equations and the AR least-squares fit.
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+/// Returns the lower-triangular factor, or NumericalError if A is not
+/// (numerically) positive definite.
+StatusOr<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+StatusOr<std::vector<double>> CholeskySolve(const Matrix& a,
+                                            const std::vector<double>& b);
+
+/// Solves A x = b for symmetric A via LDL^T with diagonal regularization:
+/// if a pivot falls below `min_pivot`, it is lifted to `min_pivot`. This is
+/// what LM uses, since its damped Hessians can be near-singular.
+StatusOr<std::vector<double>> RegularizedLdltSolve(
+    const Matrix& a, const std::vector<double>& b, double min_pivot = 1e-12);
+
+/// Least-squares solution of min ||A x - b||_2 via Householder QR with
+/// column norm checks. A must have rows() >= cols(). Returns
+/// NumericalError for rank-deficient systems.
+StatusOr<std::vector<double>> QrLeastSquares(const Matrix& a,
+                                             const std::vector<double>& b);
+
+/// Solves a general square system A x = b via partial-pivoting LU.
+StatusOr<std::vector<double>> LuSolve(const Matrix& a,
+                                      const std::vector<double>& b);
+
+}  // namespace dspot
+
+#endif  // DSPOT_LINALG_SOLVERS_H_

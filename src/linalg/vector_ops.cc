@@ -1,0 +1,64 @@
+#include "linalg/vector_ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dspot {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += a[i] * b[i];
+  }
+  return sum;
+}
+
+double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+double NormInf(const std::vector<double>& v) {
+  double best = 0.0;
+  for (double x : v) {
+    best = std::max(best, std::fabs(x));
+  }
+  return best;
+}
+
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] + b[i];
+  }
+  return out;
+}
+
+std::vector<double> Sub(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] - b[i];
+  }
+  return out;
+}
+
+std::vector<double> Scaled(const std::vector<double>& v, double s) {
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    out[i] = v[i] * s;
+  }
+  return out;
+}
+
+void Axpy(double s, const std::vector<double>& b, std::vector<double>* a) {
+  assert(a != nullptr && a->size() == b.size());
+  for (size_t i = 0; i < b.size(); ++i) {
+    (*a)[i] += s * b[i];
+  }
+}
+
+double SumSquares(const std::vector<double>& v) { return Dot(v, v); }
+
+}  // namespace dspot

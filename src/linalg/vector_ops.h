@@ -1,0 +1,40 @@
+#ifndef DSPOT_LINALG_VECTOR_OPS_H_
+#define DSPOT_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dspot {
+
+/// Free-function helpers over std::vector<double>, used by the optimizers.
+/// All binary operations assert equal sizes.
+
+/// Dot product.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& v);
+
+/// Infinity norm (max |v_i|).
+double NormInf(const std::vector<double>& v);
+
+/// a + b.
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// a - b.
+std::vector<double> Sub(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// s * v.
+std::vector<double> Scaled(const std::vector<double>& v, double s);
+
+/// a += s * b (axpy), in place.
+void Axpy(double s, const std::vector<double>& b, std::vector<double>* a);
+
+/// Sum of squares of v.
+double SumSquares(const std::vector<double>& v);
+
+}  // namespace dspot
+
+#endif  // DSPOT_LINALG_VECTOR_OPS_H_

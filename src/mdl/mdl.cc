@@ -1,0 +1,110 @@
+#include "mdl/mdl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace dspot {
+
+namespace {
+/// Rissanen's constant c_omega ~= 2.865064; its log2 normalizes the
+/// universal prior over the integers.
+constexpr double kLog2COmega = 1.5186;
+constexpr double kLog2TwoPi = 2.6514961294723187;  // log2(2*pi)
+}  // namespace
+
+double LogStar(double x) {
+  double total = kLog2COmega;
+  double v = x;
+  while (v > 1.0) {
+    v = std::log2(v);
+    if (v > 0.0) {
+      total += v;
+    }
+  }
+  return total;
+}
+
+double LogChoiceCost(size_t alternatives) {
+  if (alternatives <= 1) {
+    return 0.0;
+  }
+  return std::log2(static_cast<double>(alternatives));
+}
+
+double GaussianCodingCost(const std::vector<double>& residuals,
+                          double sigma_floor) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (double r : residuals) {
+    if (IsMissing(r)) continue;
+    sum += r;
+    ++count;
+  }
+  if (count == 0) {
+    return 0.0;
+  }
+  const double mu = sum / static_cast<double>(count);
+  double ss = 0.0;
+  for (double r : residuals) {
+    if (IsMissing(r)) continue;
+    ss += Square(r - mu);
+  }
+  const double sigma2 =
+      std::max(ss / static_cast<double>(count), Square(sigma_floor));
+  // Sum over residuals of -log2 N(r | mu, sigma^2) =
+  // 0.5*count*log2(2*pi*sigma^2) + (ss / sigma^2) / (2 ln 2). With the ML
+  // sigma^2 the second term reduces to count / (2 ln 2); the general form
+  // keeps the floor correct.
+  const double n = static_cast<double>(count);
+  const double kInvTwoLn2 = 0.7213475204444817;  // 1 / (2 ln 2)
+  return 0.5 * n * (kLog2TwoPi + SafeLog2(sigma2)) +
+         kInvTwoLn2 * ss / sigma2;
+}
+
+double GaussianCodingCost(const Series& actual, const Series& estimate,
+                          double sigma_floor) {
+  const size_t n = std::min(actual.size(), estimate.size());
+  std::vector<double> residuals;
+  residuals.reserve(n);
+  for (size_t t = 0; t < n; ++t) {
+    if (IsMissing(actual[t]) || IsMissing(estimate[t])) continue;
+    residuals.push_back(actual[t] - estimate[t]);
+  }
+  return GaussianCodingCost(residuals, sigma_floor);
+}
+
+double PoissonCodingCost(const Series& actual, const Series& estimate,
+                         double mean_floor) {
+  const size_t n = std::min(actual.size(), estimate.size());
+  constexpr double kInvLn2 = 1.4426950408889634;
+  double bits = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    if (IsMissing(actual[t]) || IsMissing(estimate[t])) continue;
+    const double k = std::max(std::round(actual[t]), 0.0);
+    const double mean = std::max(estimate[t], mean_floor);
+    // -ln P(k | mean) = mean - k ln(mean) + ln(k!), with Stirling's
+    // ln(k!) ~ k ln k - k + 0.5 ln(2 pi k) for k >= 1.
+    double ln_k_factorial = 0.0;
+    if (k >= 1.0) {
+      ln_k_factorial = k * SafeLog(k) - k + 0.5 * SafeLog(2.0 * M_PI * k);
+    }
+    const double nll = mean - k * SafeLog(mean) + ln_k_factorial;
+    bits += kInvLn2 * std::max(nll, 0.0);
+  }
+  return bits;
+}
+
+double CodingCost(const Series& actual, const Series& estimate,
+                  CodingModel model) {
+  switch (model) {
+    case CodingModel::kGaussian:
+      return GaussianCodingCost(actual, estimate);
+    case CodingModel::kPoisson:
+      return PoissonCodingCost(actual, estimate);
+  }
+  return GaussianCodingCost(actual, estimate);
+}
+
+}  // namespace dspot

@@ -1,0 +1,58 @@
+#ifndef DSPOT_MDL_MDL_H_
+#define DSPOT_MDL_MDL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "timeseries/series.h"
+
+namespace dspot {
+
+/// Minimum-description-length coding costs (Section 4.1 of the paper).
+/// All costs are in bits.
+
+/// Cost of one floating-point model parameter; the paper uses 4x8 = 32 bits.
+inline constexpr double kFloatCostBits = 32.0;
+
+/// Universal code length log*(x) for a positive integer: log2(x) +
+/// log2 log2(x) + ... (positive terms only) + log2(c_omega). Defined as
+/// log2(c_omega) for x <= 1.
+double LogStar(double x);
+
+/// log2(x) clipped below at 0 (cost of choosing one of x alternatives).
+double LogChoiceCost(size_t alternatives);
+
+/// Gaussian data-coding cost of a residual vector (paper's Cost_C):
+/// sum over residuals of -log2 N(residual | mu, sigma^2), with mu/sigma
+/// estimated from the residuals themselves. Missing entries are skipped.
+/// `sigma_floor` avoids degenerate zero-variance codes.
+double GaussianCodingCost(const std::vector<double>& residuals,
+                          double sigma_floor = 1e-6);
+
+/// Convenience overload: coding cost of (actual - estimate). Positions
+/// where either input is missing are skipped.
+double GaussianCodingCost(const Series& actual, const Series& estimate,
+                          double sigma_floor = 1e-6);
+
+/// Poisson data-coding cost: activity volumes are counts, so an
+/// alternative to the Gaussian code is -log2 Poisson(round(actual) |
+/// mean = estimate) summed over observed positions. Variance scales with
+/// the mean, so spikes are coded more leniently than quiet stretches
+/// (heteroscedastic, unlike the Gaussian code). `mean_floor` keeps the
+/// code finite where the model predicts ~0.
+double PoissonCodingCost(const Series& actual, const Series& estimate,
+                         double mean_floor = 0.05);
+
+/// Which data-coding model Cost_C uses.
+enum class CodingModel {
+  kGaussian,  ///< the paper's choice (Section 4.1)
+  kPoisson,   ///< count-aware alternative (ablation)
+};
+
+/// Dispatches on `model`.
+double CodingCost(const Series& actual, const Series& estimate,
+                  CodingModel model);
+
+}  // namespace dspot
+
+#endif  // DSPOT_MDL_MDL_H_

@@ -1,0 +1,146 @@
+#include "optimize/levenberg_marquardt.h"
+
+#include <cmath>
+
+#include "linalg/matrix.h"
+#include "linalg/solvers.h"
+#include "linalg/vector_ops.h"
+
+namespace dspot {
+
+namespace {
+
+/// Computes the forward-difference Jacobian of `fn` at `p`. `r0` is the
+/// residual vector already evaluated at `p`. Steps are clamped so probe
+/// points stay inside `bounds` (by stepping backwards when at the upper
+/// bound).
+StatusOr<Matrix> NumericJacobian(const ResidualFn& fn,
+                                 const std::vector<double>& p,
+                                 const std::vector<double>& r0,
+                                 const Bounds& bounds, double rel_step) {
+  const size_t np = p.size();
+  const size_t m = r0.size();
+  Matrix jac(m, np);
+  std::vector<double> probe = p;
+  std::vector<double> r1;
+  for (size_t j = 0; j < np; ++j) {
+    double h = rel_step * std::max(1.0, std::fabs(p[j]));
+    // Step backwards if a forward step would leave the box.
+    if (!bounds.empty() && p[j] + h > bounds.upper[j]) {
+      h = -h;
+    }
+    probe[j] = p[j] + h;
+    Status s = fn(probe, &r1);
+    probe[j] = p[j];
+    if (!s.ok()) {
+      return s;
+    }
+    if (r1.size() != m) {
+      return Status::Internal("residual size changed between LM evaluations");
+    }
+    const double inv_h = 1.0 / h;
+    for (size_t i = 0; i < m; ++i) {
+      jac(i, j) = (r1[i] - r0[i]) * inv_h;
+    }
+  }
+  return jac;
+}
+
+double HalfSumSquares(const std::vector<double>& r) {
+  return 0.5 * SumSquares(r);
+}
+
+}  // namespace
+
+StatusOr<LmResult> LevenbergMarquardt(const ResidualFn& residual_fn,
+                                      const std::vector<double>& initial,
+                                      const Bounds& bounds,
+                                      const LmOptions& options) {
+  if (initial.empty()) {
+    return Status::InvalidArgument("LevenbergMarquardt: empty parameters");
+  }
+  if (!bounds.empty() && (bounds.lower.size() != initial.size() ||
+                          bounds.upper.size() != initial.size())) {
+    return Status::InvalidArgument(
+        "LevenbergMarquardt: bounds size does not match parameters");
+  }
+
+  std::vector<double> p = initial;
+  bounds.Clamp(&p);
+
+  std::vector<double> r;
+  DSPOT_RETURN_IF_ERROR(residual_fn(p, &r));
+  if (r.empty()) {
+    return Status::InvalidArgument("LevenbergMarquardt: empty residuals");
+  }
+  double cost = HalfSumSquares(r);
+  if (!std::isfinite(cost)) {
+    return Status::NumericalError(
+        "LevenbergMarquardt: non-finite cost at the initial point");
+  }
+
+  LmResult result;
+  result.initial_cost = cost;
+  double lambda = options.initial_lambda;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    DSPOT_ASSIGN_OR_RETURN(
+        Matrix jac, NumericJacobian(residual_fn, p, r, bounds,
+                                    options.jacobian_step));
+    // Normal equations: (J^T J + lambda I) step = -J^T r.
+    Matrix jtj = jac.Gram();
+    std::vector<double> jtr = jac.TransposedTimes(r);
+    if (NormInf(jtr) < options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    bool accepted = false;
+    while (lambda <= options.max_lambda) {
+      Matrix damped = jtj;
+      damped.AddToDiagonal(lambda);
+      auto step_or = RegularizedLdltSolve(damped, Scaled(jtr, -1.0));
+      if (!step_or.ok()) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+      std::vector<double> candidate = Add(p, step_or.value());
+      bounds.Clamp(&candidate);
+      const std::vector<double> actual_step = Sub(candidate, p);
+
+      std::vector<double> r_new;
+      Status s = residual_fn(candidate, &r_new);
+      if (!s.ok()) {
+        return s;
+      }
+      const double cost_new = HalfSumSquares(r_new);
+      if (std::isfinite(cost_new) && cost_new < cost) {
+        const double rel_decrease = (cost - cost_new) / std::max(cost, 1e-30);
+        const double step_norm = NormInf(actual_step);
+        p = std::move(candidate);
+        r = std::move(r_new);
+        cost = cost_new;
+        lambda = std::max(lambda * options.lambda_down, 1e-12);
+        accepted = true;
+        ++result.iterations;
+        if (rel_decrease < options.cost_tolerance ||
+            step_norm < options.step_tolerance) {
+          result.converged = true;
+        }
+        break;
+      }
+      lambda *= options.lambda_up;
+    }
+    if (!accepted || result.converged) {
+      // Either lambda blew past its cap (stuck) or we converged.
+      result.converged = result.converged || !accepted;
+      break;
+    }
+  }
+
+  result.params = std::move(p);
+  result.final_cost = cost;
+  return result;
+}
+
+}  // namespace dspot

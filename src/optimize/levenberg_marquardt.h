@@ -1,0 +1,58 @@
+#ifndef DSPOT_OPTIMIZE_LEVENBERG_MARQUARDT_H_
+#define DSPOT_OPTIMIZE_LEVENBERG_MARQUARDT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "optimize/objective.h"
+
+namespace dspot {
+
+/// Configuration for the Levenberg-Marquardt solver.
+struct LmOptions {
+  /// Maximum number of accepted iterations.
+  int max_iterations = 100;
+  /// Stop when the relative decrease of the cost falls below this.
+  double cost_tolerance = 1e-10;
+  /// Stop when the infinity-norm of the step falls below this.
+  double step_tolerance = 1e-10;
+  /// Stop when the infinity-norm of the gradient falls below this.
+  double gradient_tolerance = 1e-12;
+  /// Initial damping factor lambda.
+  double initial_lambda = 1e-3;
+  /// Multiplicative lambda update on rejected / accepted steps.
+  double lambda_up = 10.0;
+  double lambda_down = 0.3;
+  /// Cap beyond which the solve gives up increasing lambda.
+  double max_lambda = 1e12;
+  /// Relative step for the forward-difference Jacobian.
+  double jacobian_step = 1e-6;
+};
+
+/// Diagnostics returned alongside the solution.
+struct LmResult {
+  std::vector<double> params;
+  /// 0.5 * sum of squared residuals at the solution.
+  double final_cost = 0.0;
+  double initial_cost = 0.0;
+  int iterations = 0;
+  /// True if a convergence criterion (rather than the iteration cap) fired.
+  bool converged = false;
+};
+
+/// Minimizes 0.5 * ||r(p)||^2 with the Levenberg-Marquardt algorithm
+/// (Levenberg 1944, as cited by the paper), using a forward-difference
+/// Jacobian and box constraints enforced by clamped steps. Steps that do
+/// not decrease the cost are rejected and the damping is increased.
+///
+/// `initial` must lie inside `bounds` (it is clamped if not). The residual
+/// function must be deterministic; it is called O(np) times per iteration.
+StatusOr<LmResult> LevenbergMarquardt(const ResidualFn& residual_fn,
+                                      const std::vector<double>& initial,
+                                      const Bounds& bounds = Bounds(),
+                                      const LmOptions& options = LmOptions());
+
+}  // namespace dspot
+
+#endif  // DSPOT_OPTIMIZE_LEVENBERG_MARQUARDT_H_

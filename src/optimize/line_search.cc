@@ -1,0 +1,74 @@
+#include "optimize/line_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dspot {
+
+double GoldenSectionMinimize(const Scalar1dFn& fn, double lo, double hi,
+                             double tolerance, int max_iterations) {
+  if (hi < lo) {
+    std::swap(lo, hi);
+  }
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo, b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = fn(x1);
+  double f2 = fn(x2);
+  for (int i = 0; i < max_iterations && (b - a) > tolerance; ++i) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = fn(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = fn(x2);
+    }
+  }
+  return (f1 <= f2) ? x1 : x2;
+}
+
+double GridMinimize(const Scalar1dFn& fn, double lo, double hi, size_t steps) {
+  if (steps == 0 || hi <= lo) {
+    return lo;
+  }
+  double best_x = lo;
+  double best_f = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i <= steps; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(steps);
+    const double f = fn(x);
+    if (std::isfinite(f) && f < best_f) {
+      best_f = f;
+      best_x = x;
+    }
+  }
+  return best_x;
+}
+
+double GridThenGoldenMinimize(const Scalar1dFn& fn, double lo, double hi,
+                              size_t grid_steps, double tolerance) {
+  const double seed = GridMinimize(fn, lo, hi, grid_steps);
+  const double cell = (hi - lo) / static_cast<double>(std::max<size_t>(grid_steps, 1));
+  const double a = std::max(lo, seed - cell);
+  const double b = std::min(hi, seed + cell);
+  return GoldenSectionMinimize(fn, a, b, tolerance);
+}
+
+double GuardedMinimize(const Scalar1dFn& fn, double lo, double hi,
+                       double current, size_t grid_steps, double tolerance) {
+  const double f_current = fn(current);
+  const double candidate =
+      GridThenGoldenMinimize(fn, lo, hi, grid_steps, tolerance);
+  const double f_candidate = fn(candidate);
+  return f_candidate < f_current ? candidate : current;
+}
+
+}  // namespace dspot

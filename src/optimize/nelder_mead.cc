@@ -1,0 +1,143 @@
+#include "optimize/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace dspot {
+
+StatusOr<NelderMeadResult> NelderMead(const ScalarFn& fn,
+                                      const std::vector<double>& initial,
+                                      const Bounds& bounds,
+                                      const NelderMeadOptions& options) {
+  const size_t n = initial.size();
+  if (n == 0) {
+    return Status::InvalidArgument("NelderMead: empty parameters");
+  }
+  if (!bounds.empty() && (bounds.lower.size() != n || bounds.upper.size() != n)) {
+    return Status::InvalidArgument("NelderMead: bounds size mismatch");
+  }
+
+  NelderMeadResult result;
+  auto eval = [&](std::vector<double>* p) -> double {
+    bounds.Clamp(p);
+    ++result.evaluations;
+    const double v = fn(*p);
+    return std::isfinite(v) ? v : std::numeric_limits<double>::infinity();
+  };
+
+  // Build the initial simplex: start point plus one perturbed vertex per
+  // dimension.
+  std::vector<std::vector<double>> simplex;
+  std::vector<double> values;
+  {
+    std::vector<double> p0 = initial;
+    values.push_back(eval(&p0));
+    simplex.push_back(std::move(p0));
+    for (size_t j = 0; j < n; ++j) {
+      std::vector<double> p = simplex[0];
+      const double h =
+          options.initial_step * std::max(1.0, std::fabs(p[j]));
+      p[j] += h;
+      values.push_back(eval(&p));
+      simplex.push_back(std::move(p));
+    }
+  }
+
+  std::vector<size_t> order(n + 1);
+  std::iota(order.begin(), order.end(), 0);
+
+  while (result.evaluations < options.max_evaluations) {
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return values[a] < values[b]; });
+    const size_t best = order[0];
+    const size_t worst = order[n];
+    const size_t second_worst = order[n - 1];
+
+    // Convergence: objective spread and simplex diameter.
+    const double spread = values[worst] - values[best];
+    double diameter = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      double lo = simplex[0][j], hi = simplex[0][j];
+      for (size_t v = 1; v <= n; ++v) {
+        lo = std::min(lo, simplex[v][j]);
+        hi = std::max(hi, simplex[v][j]);
+      }
+      diameter = std::max(diameter, hi - lo);
+    }
+    if (spread < options.f_tolerance || diameter < options.x_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all vertices except the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (size_t v = 0; v <= n; ++v) {
+      if (v == worst) continue;
+      for (size_t j = 0; j < n; ++j) {
+        centroid[j] += simplex[v][j];
+      }
+    }
+    for (double& c : centroid) {
+      c /= static_cast<double>(n);
+    }
+
+    auto blend = [&](double coef) {
+      std::vector<double> p(n);
+      for (size_t j = 0; j < n; ++j) {
+        p[j] = centroid[j] + coef * (centroid[j] - simplex[worst][j]);
+      }
+      return p;
+    };
+
+    std::vector<double> reflected = blend(options.reflection);
+    const double f_reflected = eval(&reflected);
+
+    if (f_reflected < values[best]) {
+      // Try to expand further in the same direction.
+      std::vector<double> expanded = blend(options.expansion);
+      const double f_expanded = eval(&expanded);
+      if (f_expanded < f_reflected) {
+        simplex[worst] = std::move(expanded);
+        values[worst] = f_expanded;
+      } else {
+        simplex[worst] = std::move(reflected);
+        values[worst] = f_reflected;
+      }
+      continue;
+    }
+    if (f_reflected < values[second_worst]) {
+      simplex[worst] = std::move(reflected);
+      values[worst] = f_reflected;
+      continue;
+    }
+    // Contract toward the centroid.
+    std::vector<double> contracted = blend(-options.contraction);
+    const double f_contracted = eval(&contracted);
+    if (f_contracted < values[worst]) {
+      simplex[worst] = std::move(contracted);
+      values[worst] = f_contracted;
+      continue;
+    }
+    // Shrink the whole simplex toward the best vertex.
+    for (size_t v = 0; v <= n; ++v) {
+      if (v == best) continue;
+      for (size_t j = 0; j < n; ++j) {
+        simplex[v][j] =
+            simplex[best][j] +
+            options.shrink * (simplex[v][j] - simplex[best][j]);
+      }
+      values[v] = eval(&simplex[v]);
+    }
+  }
+
+  const size_t best = *std::min_element(
+      order.begin(), order.end(),
+      [&](size_t a, size_t b) { return values[a] < values[b]; });
+  result.params = simplex[best];
+  result.final_value = values[best];
+  return result;
+}
+
+}  // namespace dspot

@@ -1,0 +1,47 @@
+#ifndef DSPOT_OPTIMIZE_NELDER_MEAD_H_
+#define DSPOT_OPTIMIZE_NELDER_MEAD_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "optimize/objective.h"
+
+namespace dspot {
+
+/// Configuration for the Nelder-Mead simplex solver.
+struct NelderMeadOptions {
+  int max_evaluations = 2000;
+  /// Stop when the spread of objective values across the simplex is below
+  /// this (absolute).
+  double f_tolerance = 1e-10;
+  /// Stop when the simplex diameter (infinity norm) is below this.
+  double x_tolerance = 1e-10;
+  /// Relative size of the initial simplex around the start point.
+  double initial_step = 0.1;
+  /// Standard reflection/expansion/contraction/shrink coefficients.
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+/// Result of a Nelder-Mead minimization.
+struct NelderMeadResult {
+  std::vector<double> params;
+  double final_value = 0.0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+/// Minimizes a scalar function with the Nelder-Mead downhill-simplex method.
+/// Used where derivatives are unreliable (the TBATS smoothing-parameter fit
+/// and discrete-ish shock refinements). Box constraints are enforced by
+/// clamping proposed vertices. Infeasible regions should return +inf.
+StatusOr<NelderMeadResult> NelderMead(
+    const ScalarFn& fn, const std::vector<double>& initial,
+    const Bounds& bounds = Bounds(),
+    const NelderMeadOptions& options = NelderMeadOptions());
+
+}  // namespace dspot
+
+#endif  // DSPOT_OPTIMIZE_NELDER_MEAD_H_

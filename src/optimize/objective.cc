@@ -1,0 +1,32 @@
+#include "optimize/objective.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dspot {
+
+void Bounds::Clamp(std::vector<double>* p) const {
+  assert(p != nullptr);
+  if (empty()) {
+    return;
+  }
+  assert(lower.size() == p->size() && upper.size() == p->size());
+  for (size_t i = 0; i < p->size(); ++i) {
+    (*p)[i] = std::clamp((*p)[i], lower[i], upper[i]);
+  }
+}
+
+bool Bounds::Contains(const std::vector<double>& p) const {
+  if (empty()) {
+    return true;
+  }
+  assert(lower.size() == p.size() && upper.size() == p.size());
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] < lower[i] || p[i] > upper[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dspot

@@ -1,0 +1,41 @@
+#ifndef DSPOT_OPTIMIZE_OBJECTIVE_H_
+#define DSPOT_OPTIMIZE_OBJECTIVE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dspot {
+
+/// A vector-valued residual function r(p): R^np -> R^m, as consumed by the
+/// Levenberg-Marquardt solver. On success, fills `*residuals` (the callee
+/// chooses m, but it must be the same on every call). Non-OK status aborts
+/// the optimization.
+using ResidualFn =
+    std::function<Status(const std::vector<double>& params,
+                         std::vector<double>* residuals)>;
+
+/// A scalar objective f(p): R^np -> R, as consumed by Nelder-Mead. Lower is
+/// better. Implementations should return +inf (not an error) for infeasible
+/// points so the simplex can move away from them.
+using ScalarFn = std::function<double(const std::vector<double>& params)>;
+
+/// Box constraints for a parameter vector. Empty bounds mean unconstrained.
+struct Bounds {
+  std::vector<double> lower;
+  std::vector<double> upper;
+
+  /// True iff the bounds arrays are empty (no constraints).
+  bool empty() const { return lower.empty() && upper.empty(); }
+
+  /// Clamps `p` element-wise into the box (no-op if unconstrained).
+  void Clamp(std::vector<double>* p) const;
+
+  /// True iff `p` lies within the box.
+  bool Contains(const std::vector<double>& p) const;
+};
+
+}  // namespace dspot
+
+#endif  // DSPOT_OPTIMIZE_OBJECTIVE_H_

@@ -1,0 +1,123 @@
+#include "tensor/event_log.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dspot {
+
+size_t EventAggregator::InternKeyword(const std::string& name) {
+  for (size_t i = 0; i < keywords_.size(); ++i) {
+    if (keywords_[i] == name) return i;
+  }
+  keywords_.push_back(name);
+  return keywords_.size() - 1;
+}
+
+size_t EventAggregator::InternLocation(const std::string& name) {
+  for (size_t j = 0; j < locations_.size(); ++j) {
+    if (locations_[j] == name) return j;
+  }
+  locations_.push_back(name);
+  return locations_.size() - 1;
+}
+
+Status EventAggregator::Add(const EventRecord& record) {
+  if (config_.ticks_resolution <= 0) {
+    return Status::InvalidArgument("EventAggregator: non-positive resolution");
+  }
+  if (record.timestamp < config_.origin) {
+    return Status::InvalidArgument(
+        "EventAggregator: record timestamp precedes the origin");
+  }
+  if (record.keyword.empty() || record.location.empty()) {
+    return Status::InvalidArgument("EventAggregator: empty keyword/location");
+  }
+  const size_t tick = static_cast<size_t>(
+      (record.timestamp - config_.origin) / config_.ticks_resolution);
+  if (config_.max_ticks > 0 && tick >= config_.max_ticks) {
+    ++dropped_;
+    return Status::Ok();
+  }
+  Cell cell;
+  cell.keyword = InternKeyword(record.keyword);
+  cell.location = InternLocation(record.location);
+  cell.tick = tick;
+  cells_.emplace_back(cell, record.count);
+  max_tick_ = std::max(max_tick_, tick);
+  ++accepted_;
+  return Status::Ok();
+}
+
+StatusOr<ActivityTensor> EventAggregator::Build() const {
+  if (cells_.empty()) {
+    return Status::FailedPrecondition("EventAggregator: no records accepted");
+  }
+  ActivityTensor tensor(keywords_.size(), locations_.size(), max_tick_ + 1);
+  for (size_t i = 0; i < keywords_.size(); ++i) {
+    DSPOT_RETURN_IF_ERROR(tensor.SetKeywordName(i, keywords_[i]));
+  }
+  for (size_t j = 0; j < locations_.size(); ++j) {
+    DSPOT_RETURN_IF_ERROR(tensor.SetLocationName(j, locations_[j]));
+  }
+  for (const auto& [cell, count] : cells_) {
+    tensor.at(cell.keyword, cell.location, cell.tick) += count;
+  }
+  return tensor;
+}
+
+StatusOr<ActivityTensor> AggregateEvents(
+    const std::vector<EventRecord>& records,
+    const AggregationConfig& config) {
+  EventAggregator aggregator(config);
+  for (const EventRecord& record : records) {
+    DSPOT_RETURN_IF_ERROR(aggregator.Add(record));
+  }
+  return aggregator.Build();
+}
+
+StatusOr<ActivityTensor> LoadAndAggregateEventsCsv(
+    const std::string& path, const AggregationConfig& config) {
+  std::ifstream is(path);
+  if (!is) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::IoError("empty file: " + path);
+  }
+  EventAggregator aggregator(config);
+  size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    EventRecord record;
+    std::string timestamp;
+    std::string count;
+    if (!std::getline(fields, record.keyword, ',') ||
+        !std::getline(fields, record.location, ',') ||
+        !std::getline(fields, timestamp, ',')) {
+      return Status::IoError("line " + std::to_string(line_no) +
+                             ": expected keyword,location,timestamp[,count]");
+    }
+    char* end = nullptr;
+    record.timestamp = std::strtoll(timestamp.c_str(), &end, 10);
+    if (end == timestamp.c_str()) {
+      return Status::IoError("line " + std::to_string(line_no) +
+                             ": unparseable timestamp '" + timestamp + "'");
+    }
+    if (std::getline(fields, count, ',')) {
+      record.count = std::strtod(count.c_str(), &end);
+      if (end == count.c_str()) {
+        return Status::IoError("line " + std::to_string(line_no) +
+                               ": unparseable count '" + count + "'");
+      }
+    }
+    DSPOT_RETURN_IF_ERROR(aggregator.Add(record));
+  }
+  return aggregator.Build();
+}
+
+}  // namespace dspot

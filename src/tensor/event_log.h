@@ -1,0 +1,97 @@
+#ifndef DSPOT_TENSOR_EVENT_LOG_H_
+#define DSPOT_TENSOR_EVENT_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "tensor/activity_tensor.h"
+
+namespace dspot {
+
+/// Raw-event ingestion: the paper's input is a stream of time-stamped
+/// activities of the form (query, location, time-tick) — e.g. one row per
+/// search/post/mention — which is aggregated into the activity tensor X.
+/// This module is that aggregation layer: it buckets raw timestamps into
+/// ticks (hourly stamps into weeks, etc.) and counts entries per
+/// (keyword, location, bucket) cell.
+
+/// One raw activity record. `timestamp` is in arbitrary integer units
+/// (e.g. seconds or hours since the epoch of the dataset).
+struct EventRecord {
+  std::string keyword;
+  std::string location;
+  int64_t timestamp = 0;
+  /// Weight of the record (1 for a single search; aggregated sources may
+  /// carry pre-summed counts).
+  double count = 1.0;
+};
+
+/// Aggregation configuration.
+struct AggregationConfig {
+  /// Timestamp units per tick (e.g. 604800 for weekly ticks over
+  /// second-resolution stamps). Must be positive.
+  int64_t ticks_resolution = 1;
+  /// Timestamp mapped to tick 0; records before it are rejected.
+  int64_t origin = 0;
+  /// Drop (instead of error on) records past this tick count; 0 = no cap.
+  size_t max_ticks = 0;
+};
+
+/// Aggregates raw records into a dense tensor. Keywords/locations are
+/// indexed in first-appearance order; the tick axis spans 0..max bucket
+/// seen (or `max_ticks`). Records with negative bucketed ticks are an
+/// InvalidArgument error.
+StatusOr<ActivityTensor> AggregateEvents(
+    const std::vector<EventRecord>& records,
+    const AggregationConfig& config = AggregationConfig());
+
+/// Streaming builder variant: add records one at a time, then Build().
+/// Useful when the log does not fit in one vector or arrives incrementally.
+class EventAggregator {
+ public:
+  explicit EventAggregator(const AggregationConfig& config)
+      : config_(config) {}
+
+  /// Adds one record; returns InvalidArgument for pre-origin records and
+  /// silently drops post-cap records (counted in dropped()).
+  Status Add(const EventRecord& record);
+
+  /// Number of records dropped by the max_ticks cap.
+  size_t dropped() const { return dropped_; }
+  size_t accepted() const { return accepted_; }
+
+  /// Materializes the dense tensor. Empty aggregations are an error.
+  StatusOr<ActivityTensor> Build() const;
+
+ private:
+  struct Cell {
+    size_t keyword;
+    size_t location;
+    size_t tick;
+  };
+  size_t InternKeyword(const std::string& name);
+  size_t InternLocation(const std::string& name);
+
+  AggregationConfig config_;
+  std::vector<std::string> keywords_;
+  std::vector<std::string> locations_;
+  /// Sparse accumulation: (cell -> count), flattened per add order. A
+  /// simple sorted merge happens at Build().
+  std::vector<std::pair<Cell, double>> cells_;
+  size_t max_tick_ = 0;
+  size_t dropped_ = 0;
+  size_t accepted_ = 0;
+};
+
+/// Reads a raw event log from CSV ("keyword,location,timestamp[,count]"
+/// with header) and aggregates it.
+StatusOr<ActivityTensor> LoadAndAggregateEventsCsv(
+    const std::string& path,
+    const AggregationConfig& config = AggregationConfig());
+
+}  // namespace dspot
+
+#endif  // DSPOT_TENSOR_EVENT_LOG_H_

@@ -1,0 +1,68 @@
+#include "tensor/normalization.h"
+
+#include <algorithm>
+
+namespace dspot {
+
+Series NormalizeToMax(const Series& s, ScaleInfo* info, double target_max) {
+  ScaleInfo local;
+  const double mx = s.MaxValue();
+  if (!IsMissing(mx) && mx > 0.0) {
+    local.factor = target_max / mx;
+  }
+  if (info != nullptr) {
+    *info = local;
+  }
+  Series out = s;
+  for (double& v : out.mutable_values()) {
+    if (!IsMissing(v)) v *= local.factor;
+  }
+  return out;
+}
+
+Series Denormalize(const Series& s, const ScaleInfo& info) {
+  Series out = s;
+  const double inv = info.Valid() ? 1.0 / info.factor : 1.0;
+  for (double& v : out.mutable_values()) {
+    if (!IsMissing(v)) v *= inv;
+  }
+  return out;
+}
+
+ActivityTensor NormalizeTensorPerKeyword(const ActivityTensor& tensor,
+                                         std::vector<ScaleInfo>* infos,
+                                         double target_max) {
+  const size_t d = tensor.num_keywords();
+  const size_t l = tensor.num_locations();
+  const size_t n = tensor.num_ticks();
+  if (infos != nullptr) {
+    infos->assign(d, ScaleInfo());
+  }
+  ActivityTensor out = tensor;
+  for (size_t i = 0; i < d; ++i) {
+    // One factor per keyword: the max over all of its local sequences.
+    double mx = 0.0;
+    for (size_t j = 0; j < l; ++j) {
+      for (size_t t = 0; t < n; ++t) {
+        const double v = tensor.at(i, j, t);
+        if (!IsMissing(v)) mx = std::max(mx, v);
+      }
+    }
+    ScaleInfo info;
+    if (mx > 0.0) {
+      info.factor = target_max / mx;
+    }
+    if (infos != nullptr) {
+      (*infos)[i] = info;
+    }
+    for (size_t j = 0; j < l; ++j) {
+      for (size_t t = 0; t < n; ++t) {
+        double& v = out.at(i, j, t);
+        if (!IsMissing(v)) v *= info.factor;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dspot

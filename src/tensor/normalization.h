@@ -1,0 +1,41 @@
+#ifndef DSPOT_TENSOR_NORMALIZATION_H_
+#define DSPOT_TENSOR_NORMALIZATION_H_
+
+#include "tensor/activity_tensor.h"
+#include "timeseries/series.h"
+
+namespace dspot {
+
+/// Google-Trends-style normalization. Trends reports search interest
+/// scaled so the maximum of a series is 100; fitting works on any scale,
+/// but reproducing the paper's axes (and mixing sources) needs explicit,
+/// invertible scaling.
+
+/// A recorded scaling, so fitted/forecast values can be mapped back to
+/// the original units.
+struct ScaleInfo {
+  double factor = 1.0;  ///< normalized = original * factor
+  bool Valid() const { return factor > 0.0; }
+};
+
+/// Scales `s` so its observed maximum equals `target_max` (default 100,
+/// the Trends convention). Returns the scaled series and records the
+/// factor. A non-positive maximum leaves the series unchanged
+/// (factor = 1).
+Series NormalizeToMax(const Series& s, ScaleInfo* info,
+                      double target_max = 100.0);
+
+/// Inverse of `NormalizeToMax`.
+Series Denormalize(const Series& s, const ScaleInfo& info);
+
+/// Normalizes every keyword of the tensor *jointly across its locations*
+/// (one factor per keyword, so local shares stay comparable — scaling
+/// each location separately would destroy the area-specificity signal).
+/// Factors are returned per keyword via `infos` (resized to d).
+ActivityTensor NormalizeTensorPerKeyword(const ActivityTensor& tensor,
+                                         std::vector<ScaleInfo>* infos,
+                                         double target_max = 100.0);
+
+}  // namespace dspot
+
+#endif  // DSPOT_TENSOR_NORMALIZATION_H_

@@ -1,0 +1,207 @@
+#include "tensor/tensor_io.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+namespace dspot {
+
+namespace {
+
+/// Splits a CSV line on commas. No quoting support: labels in this library
+/// are simple identifiers.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) {
+    out.push_back(field);
+  }
+  // Trailing comma yields a final empty field.
+  if (!line.empty() && line.back() == ',') {
+    out.push_back("");
+  }
+  return out;
+}
+
+StatusOr<double> ParseValue(const std::string& field) {
+  if (field.empty() || field == "NaN" || field == "nan") {
+    return kMissingValue;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end == field.c_str()) {
+    return Status::IoError("unparseable numeric field: '" + field + "'");
+  }
+  return v;
+}
+
+StatusOr<size_t> ParseIndex(const std::string& field) {
+  char* end = nullptr;
+  const long long v = std::strtoll(field.c_str(), &end, 10);
+  if (end == field.c_str() || v < 0) {
+    return Status::IoError("unparseable index field: '" + field + "'");
+  }
+  return static_cast<size_t>(v);
+}
+
+}  // namespace
+
+Status SaveTensorCsv(const ActivityTensor& tensor, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  os << "keyword,location,tick,value\n";
+  for (size_t i = 0; i < tensor.num_keywords(); ++i) {
+    for (size_t j = 0; j < tensor.num_locations(); ++j) {
+      for (size_t t = 0; t < tensor.num_ticks(); ++t) {
+        const double v = tensor.at(i, j, t);
+        if (IsMissing(v)) continue;
+        os << tensor.keywords()[i] << ',' << tensor.locations()[j] << ',' << t
+           << ',' << v << '\n';
+      }
+    }
+  }
+  if (!os) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<ActivityTensor> LoadTensorCsv(const std::string& path,
+                                       bool fill_absent_with_zero) {
+  std::ifstream is(path);
+  if (!is) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::IoError("empty file: " + path);
+  }
+  // Records in file order; dimensions discovered on the fly.
+  struct Record {
+    size_t keyword;
+    size_t location;
+    size_t tick;
+    double value;
+  };
+  std::vector<Record> records;
+  std::vector<std::string> keywords;
+  std::vector<std::string> locations;
+  std::map<std::string, size_t> keyword_index;
+  std::map<std::string, size_t> location_index;
+  size_t max_tick = 0;
+  size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != 4) {
+      return Status::IoError("line " + std::to_string(line_no) +
+                             ": expected 4 fields, got " +
+                             std::to_string(fields.size()));
+    }
+    Record rec;
+    auto [kit, kinserted] =
+        keyword_index.emplace(fields[0], keywords.size());
+    if (kinserted) keywords.push_back(fields[0]);
+    rec.keyword = kit->second;
+    auto [lit, linserted] =
+        location_index.emplace(fields[1], locations.size());
+    if (linserted) locations.push_back(fields[1]);
+    rec.location = lit->second;
+    DSPOT_ASSIGN_OR_RETURN(rec.tick, ParseIndex(fields[2]));
+    DSPOT_ASSIGN_OR_RETURN(rec.value, ParseValue(fields[3]));
+    max_tick = std::max(max_tick, rec.tick);
+    records.push_back(rec);
+  }
+  if (records.empty()) {
+    return Status::IoError("no data rows in " + path);
+  }
+  ActivityTensor tensor(keywords.size(), locations.size(), max_tick + 1);
+  if (!fill_absent_with_zero) {
+    for (size_t i = 0; i < tensor.num_keywords(); ++i) {
+      for (size_t j = 0; j < tensor.num_locations(); ++j) {
+        for (size_t t = 0; t < tensor.num_ticks(); ++t) {
+          tensor.at(i, j, t) = kMissingValue;
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    DSPOT_RETURN_IF_ERROR(tensor.SetKeywordName(i, keywords[i]));
+  }
+  for (size_t j = 0; j < locations.size(); ++j) {
+    DSPOT_RETURN_IF_ERROR(tensor.SetLocationName(j, locations[j]));
+  }
+  for (const Record& rec : records) {
+    tensor.at(rec.keyword, rec.location, rec.tick) = rec.value;
+  }
+  return tensor;
+}
+
+Status SaveSeriesCsv(const Series& series, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  os << "tick,value\n";
+  for (size_t t = 0; t < series.size(); ++t) {
+    os << t << ',';
+    if (series.IsObserved(t)) {
+      os << series[t];
+    } else {
+      os << "NaN";
+    }
+    os << '\n';
+  }
+  if (!os) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Series> LoadSeriesCsv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string line;
+  if (!std::getline(is, line)) {
+    return Status::IoError("empty file: " + path);
+  }
+  std::vector<std::pair<size_t, double>> rows;
+  size_t max_tick = 0;
+  size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != 2) {
+      return Status::IoError("line " + std::to_string(line_no) +
+                             ": expected 2 fields");
+    }
+    DSPOT_ASSIGN_OR_RETURN(size_t tick, ParseIndex(fields[0]));
+    DSPOT_ASSIGN_OR_RETURN(double value, ParseValue(fields[1]));
+    max_tick = std::max(max_tick, tick);
+    rows.emplace_back(tick, value);
+  }
+  if (rows.empty()) {
+    return Status::IoError("no data rows in " + path);
+  }
+  Series s(max_tick + 1);
+  for (double& v : s.mutable_values()) {
+    v = kMissingValue;
+  }
+  for (const auto& [tick, value] : rows) {
+    s[tick] = value;
+  }
+  return s;
+}
+
+}  // namespace dspot

@@ -1,0 +1,43 @@
+#ifndef DSPOT_TENSOR_TENSOR_IO_H_
+#define DSPOT_TENSOR_TENSOR_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "tensor/activity_tensor.h"
+#include "timeseries/series.h"
+
+namespace dspot {
+
+/// CSV persistence for activity tensors and single sequences.
+///
+/// Tensor format (long form, with header):
+///
+///   keyword,location,tick,value
+///   harry_potter,US,0,12.5
+///   ...
+///
+/// Missing entries may be written as empty values or the literal "NaN";
+/// entries absent from the file are missing in the loaded tensor only if
+/// `fill_absent_with_zero` is false.
+
+/// Writes `tensor` in long form. Missing entries are skipped.
+Status SaveTensorCsv(const ActivityTensor& tensor, const std::string& path);
+
+/// Loads a long-form CSV. Dimensions and label sets are inferred from the
+/// file: keywords/locations in first-appearance order, ticks 0..max.
+/// If `fill_absent_with_zero` is true, cells not present in the file are 0;
+/// otherwise they are missing (NaN).
+StatusOr<ActivityTensor> LoadTensorCsv(const std::string& path,
+                                       bool fill_absent_with_zero = true);
+
+/// Writes a single series, one "tick,value" row per line (header included).
+Status SaveSeriesCsv(const Series& series, const std::string& path);
+
+/// Loads a single series saved by `SaveSeriesCsv`.
+StatusOr<Series> LoadSeriesCsv(const std::string& path);
+
+}  // namespace dspot
+
+#endif  // DSPOT_TENSOR_TENSOR_IO_H_

@@ -1,0 +1,77 @@
+#include "timeseries/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+namespace dspot {
+
+namespace {
+
+template <typename Get>
+double RmseImpl(size_t n, const Get& get_pair) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t t = 0; t < n; ++t) {
+    auto [a, e, valid] = get_pair(t);
+    if (!valid) continue;
+    sum += Square(a - e);
+    ++count;
+  }
+  return count == 0 ? 0.0 : std::sqrt(sum / static_cast<double>(count));
+}
+
+}  // namespace
+
+double Rmse(const Series& actual, const Series& estimate) {
+  const size_t n = std::min(actual.size(), estimate.size());
+  return RmseImpl(n, [&](size_t t) {
+    const double a = actual[t];
+    const double e = estimate[t];
+    return std::tuple<double, double, bool>(a, e,
+                                            !IsMissing(a) && !IsMissing(e));
+  });
+}
+
+double Rmse(const std::vector<double>& actual,
+            const std::vector<double>& estimate) {
+  return Rmse(Series(actual), Series(estimate));
+}
+
+double Mae(const Series& actual, const Series& estimate) {
+  const size_t n = std::min(actual.size(), estimate.size());
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t t = 0; t < n; ++t) {
+    if (IsMissing(actual[t]) || IsMissing(estimate[t])) continue;
+    sum += std::fabs(actual[t] - estimate[t]);
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double NormalizedRmse(const Series& actual, const Series& estimate) {
+  const double range = actual.MaxValue() - actual.MinValue();
+  if (!(range > 0.0)) {
+    return 0.0;
+  }
+  return Rmse(actual, estimate) / range;
+}
+
+double RSquared(const Series& actual, const Series& estimate) {
+  const size_t n = std::min(actual.size(), estimate.size());
+  const double mu = actual.MeanValue();
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    if (IsMissing(actual[t]) || IsMissing(estimate[t])) continue;
+    ss_res += Square(actual[t] - estimate[t]);
+    ss_tot += Square(actual[t] - mu);
+  }
+  if (ss_tot <= 0.0) {
+    return ss_res <= 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace dspot

@@ -1,0 +1,33 @@
+#ifndef DSPOT_TIMESERIES_METRICS_H_
+#define DSPOT_TIMESERIES_METRICS_H_
+
+#include <vector>
+
+#include "timeseries/series.h"
+
+namespace dspot {
+
+/// Fit/forecast quality metrics. All skip positions where the actual value
+/// is missing, and compare over min(actual.size(), estimate.size()) ticks.
+
+/// Root-mean-square error — the headline accuracy metric of the paper
+/// (Fig. 9).
+double Rmse(const Series& actual, const Series& estimate);
+
+/// Mean absolute error.
+double Mae(const Series& actual, const Series& estimate);
+
+/// Normalized RMSE: RMSE divided by the observed range of `actual`
+/// (max - min); 0 when the range is degenerate.
+double NormalizedRmse(const Series& actual, const Series& estimate);
+
+/// Coefficient of determination R^2 (can be negative for bad fits).
+double RSquared(const Series& actual, const Series& estimate);
+
+/// Vector forms used internally.
+double Rmse(const std::vector<double>& actual,
+            const std::vector<double>& estimate);
+
+}  // namespace dspot
+
+#endif  // DSPOT_TIMESERIES_METRICS_H_

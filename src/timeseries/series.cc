@@ -1,0 +1,105 @@
+#include "timeseries/series.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace dspot {
+
+size_t Series::observed_count() const {
+  size_t count = 0;
+  for (double v : values_) {
+    if (!IsMissing(v)) ++count;
+  }
+  return count;
+}
+
+Series Series::Slice(size_t begin, size_t end) const {
+  end = std::min(end, values_.size());
+  if (begin >= end) {
+    return Series();
+  }
+  return Series(std::vector<double>(values_.begin() + begin,
+                                    values_.begin() + end));
+}
+
+Series Series::AddTogether(const Series& a, const Series& b) {
+  assert(a.size() == b.size());
+  Series out(a.size());
+  for (size_t t = 0; t < a.size(); ++t) {
+    if (IsMissing(a[t]) || IsMissing(b[t])) {
+      out[t] = kMissingValue;
+    } else {
+      out[t] = a[t] + b[t];
+    }
+  }
+  return out;
+}
+
+Series Series::Interpolated() const {
+  Series out = *this;
+  const size_t n = out.size();
+  size_t first_obs = kNpos;
+  size_t last_obs = kNpos;
+  for (size_t t = 0; t < n; ++t) {
+    if (out.IsObserved(t)) {
+      if (first_obs == kNpos) first_obs = t;
+      last_obs = t;
+    }
+  }
+  if (first_obs == kNpos) {
+    // All missing: define the result as all zeros.
+    std::fill(out.values_.begin(), out.values_.end(), 0.0);
+    return out;
+  }
+  for (size_t t = 0; t < first_obs; ++t) {
+    out[t] = out[first_obs];
+  }
+  for (size_t t = last_obs + 1; t < n; ++t) {
+    out[t] = out[last_obs];
+  }
+  size_t prev = first_obs;
+  for (size_t t = first_obs + 1; t <= last_obs; ++t) {
+    if (!out.IsObserved(t)) continue;
+    if (t > prev + 1) {
+      const double lo = out[prev];
+      const double hi = out[t];
+      const double span = static_cast<double>(t - prev);
+      for (size_t k = prev + 1; k < t; ++k) {
+        out[k] = lo + (hi - lo) * static_cast<double>(k - prev) / span;
+      }
+    }
+    prev = t;
+  }
+  return out;
+}
+
+Series Series::RescaledToMax(double target_max) const {
+  const double mx = MaxValue();
+  if (IsMissing(mx) || mx <= 0.0) {
+    return *this;
+  }
+  Series out = *this;
+  const double f = target_max / mx;
+  for (double& v : out.values_) {
+    if (!IsMissing(v)) v *= f;
+  }
+  return out;
+}
+
+std::string Series::ToString(size_t max_elements) const {
+  std::ostringstream os;
+  os << "[";
+  const size_t shown = std::min(max_elements, values_.size());
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) os << ", ";
+    os << values_[i];
+  }
+  if (shown < values_.size()) {
+    os << ", ... (" << values_.size() << " total)";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace dspot

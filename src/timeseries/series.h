@@ -1,0 +1,76 @@
+#ifndef DSPOT_TIMESERIES_SERIES_H_
+#define DSPOT_TIMESERIES_SERIES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace dspot {
+
+/// A univariate time series sampled at integer time-ticks 0..n-1. Missing
+/// observations are encoded as NaN (see `kMissingValue`); all statistics in
+/// this library skip missing entries.
+class Series {
+ public:
+  Series() = default;
+
+  /// A series of `n` zeros.
+  explicit Series(size_t n) : values_(n, 0.0) {}
+
+  /// Wraps existing values (NaN = missing).
+  explicit Series(std::vector<double> values) : values_(std::move(values)) {}
+
+  Series(const Series&) = default;
+  Series& operator=(const Series&) = default;
+  Series(Series&&) noexcept = default;
+  Series& operator=(Series&&) noexcept = default;
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double& operator[](size_t t) { return values_[t]; }
+  double operator[](size_t t) const { return values_[t]; }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  /// Number of non-missing observations.
+  size_t observed_count() const;
+
+  /// True iff tick `t` holds a real observation.
+  bool IsObserved(size_t t) const { return !IsMissing(values_[t]); }
+
+  /// Sub-series [begin, end). Clamps `end` to size().
+  Series Slice(size_t begin, size_t end) const;
+
+  /// Element-wise sum of two equal-length series; a missing entry in either
+  /// operand yields a missing entry in the result.
+  static Series AddTogether(const Series& a, const Series& b);
+
+  /// Returns a copy with every missing entry replaced by linear
+  /// interpolation between its observed neighbours (edges take the nearest
+  /// observed value; an all-missing series becomes all zeros).
+  Series Interpolated() const;
+
+  /// Returns a copy scaled so the max observed value is `target_max`
+  /// (no-op for non-positive maxima).
+  Series RescaledToMax(double target_max) const;
+
+  /// Summary statistics (over observed entries).
+  double MeanValue() const { return Mean(values_); }
+  double MaxValue() const { return dspot::Max(values_); }
+  double MinValue() const { return dspot::Min(values_); }
+  double SumValue() const { return Sum(values_); }
+
+  /// Debug rendering: "[v0, v1, ...]".
+  std::string ToString(size_t max_elements = 16) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace dspot
+
+#endif  // DSPOT_TIMESERIES_SERIES_H_

@@ -1,0 +1,62 @@
+#include "timeseries/smoothing.h"
+
+#include <algorithm>
+
+namespace dspot {
+
+Series MovingAverage(const Series& s, size_t radius) {
+  const size_t n = s.size();
+  Series out(n);
+  for (size_t t = 0; t < n; ++t) {
+    const size_t lo = t >= radius ? t - radius : 0;
+    const size_t hi = std::min(n - 1, t + radius);
+    double sum = 0.0;
+    size_t count = 0;
+    for (size_t k = lo; k <= hi; ++k) {
+      if (s.IsObserved(k)) {
+        sum += s[k];
+        ++count;
+      }
+    }
+    out[t] = count == 0 ? kMissingValue : sum / static_cast<double>(count);
+  }
+  return out;
+}
+
+Series Ewma(const Series& s, double alpha) {
+  const size_t n = s.size();
+  Series out(n);
+  double level = 0.0;
+  bool initialized = false;
+  for (size_t t = 0; t < n; ++t) {
+    if (s.IsObserved(t)) {
+      if (!initialized) {
+        level = s[t];
+        initialized = true;
+      } else {
+        level = alpha * s[t] + (1.0 - alpha) * level;
+      }
+    }
+    out[t] = initialized ? level : kMissingValue;
+  }
+  return out;
+}
+
+Series Difference(const Series& s) {
+  const size_t n = s.size();
+  Series out(n);
+  if (n == 0) {
+    return out;
+  }
+  out[0] = 0.0;
+  for (size_t t = 1; t < n; ++t) {
+    if (s.IsObserved(t) && s.IsObserved(t - 1)) {
+      out[t] = s[t] - s[t - 1];
+    } else {
+      out[t] = kMissingValue;
+    }
+  }
+  return out;
+}
+
+}  // namespace dspot

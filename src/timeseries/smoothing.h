@@ -1,0 +1,24 @@
+#ifndef DSPOT_TIMESERIES_SMOOTHING_H_
+#define DSPOT_TIMESERIES_SMOOTHING_H_
+
+#include <cstddef>
+
+#include "timeseries/series.h"
+
+namespace dspot {
+
+/// Centered moving average with the given (odd effective) window radius:
+/// out[t] = mean of observed values in [t-radius, t+radius].
+Series MovingAverage(const Series& s, size_t radius);
+
+/// Exponentially weighted moving average with smoothing factor alpha in
+/// (0, 1]; missing entries carry the previous smoothed value forward.
+Series Ewma(const Series& s, double alpha);
+
+/// First difference: out[t] = s[t] - s[t-1] (out[0] = 0). Missing entries
+/// propagate.
+Series Difference(const Series& s);
+
+}  // namespace dspot
+
+#endif  // DSPOT_TIMESERIES_SMOOTHING_H_

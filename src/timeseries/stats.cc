@@ -1,0 +1,121 @@
+#include "timeseries/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dspot {
+
+std::vector<double> Autocorrelation(const Series& s, size_t max_lag) {
+  const Series filled = s.Interpolated();
+  const size_t n = filled.size();
+  std::vector<double> acf(max_lag + 1, 0.0);
+  if (n == 0) {
+    return acf;
+  }
+  const double mu = filled.MeanValue();
+  double denom = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    denom += Square(filled[t] - mu);
+  }
+  if (denom <= 0.0) {
+    return acf;
+  }
+  for (size_t lag = 0; lag <= max_lag && lag < n; ++lag) {
+    double num = 0.0;
+    for (size_t t = lag; t < n; ++t) {
+      num += (filled[t] - mu) * (filled[t - lag] - mu);
+    }
+    acf[lag] = num / denom;
+  }
+  return acf;
+}
+
+std::vector<double> PeriodogramByPeriod(const Series& s, size_t max_period) {
+  const Series filled = s.Interpolated();
+  const size_t n = filled.size();
+  std::vector<double> power(max_period + 1, 0.0);
+  if (n < 4) {
+    return power;
+  }
+  const double mu = filled.MeanValue();
+  constexpr double kTwoPi = 6.283185307179586;
+  for (size_t period = 2; period <= max_period && period <= n; ++period) {
+    const double omega = kTwoPi / static_cast<double>(period);
+    double re = 0.0;
+    double im = 0.0;
+    for (size_t t = 0; t < n; ++t) {
+      const double v = filled[t] - mu;
+      re += v * std::cos(omega * static_cast<double>(t));
+      im += v * std::sin(omega * static_cast<double>(t));
+    }
+    power[period] = (re * re + im * im) / static_cast<double>(n);
+  }
+  return power;
+}
+
+std::vector<size_t> CandidatePeriods(const Series& s, size_t max_period,
+                                     double min_acf, size_t dedup_window,
+                                     size_t max_candidates) {
+  max_period = std::min(max_period, s.size() / 2);
+  if (max_period < 2) {
+    return {};
+  }
+  const std::vector<double> acf = Autocorrelation(s, max_period);
+  // Local maxima of the ACF above the threshold.
+  struct Peak {
+    size_t lag;
+    double value;
+  };
+  std::vector<Peak> peaks;
+  for (size_t lag = 2; lag + 1 < acf.size(); ++lag) {
+    if (acf[lag] >= min_acf && acf[lag] >= acf[lag - 1] &&
+        acf[lag] >= acf[lag + 1]) {
+      peaks.push_back({lag, acf[lag]});
+    }
+  }
+  std::sort(peaks.begin(), peaks.end(),
+            [](const Peak& a, const Peak& b) { return a.value > b.value; });
+  std::vector<size_t> out;
+  for (const Peak& p : peaks) {
+    bool dominated = false;
+    for (size_t chosen : out) {
+      const size_t d = p.lag > chosen ? p.lag - chosen : chosen - p.lag;
+      if (d <= dedup_window) {
+        dominated = true;
+        break;
+      }
+      // Also drop near-multiples of an already chosen (stronger) period:
+      // lag 2P echoes period P in the ACF.
+      const size_t mod = p.lag % chosen;
+      if (chosen >= 4 && (mod <= dedup_window || chosen - mod <= dedup_window)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      out.push_back(p.lag);
+      if (out.size() >= max_candidates) break;
+    }
+  }
+  return out;
+}
+
+std::vector<double> ZScores(const Series& s) {
+  std::vector<double> out(s.size(), kMissingValue);
+  const double mu = s.MeanValue();
+  const double sd = StdDev(s.values());
+  if (sd <= 0.0) {
+    for (size_t t = 0; t < s.size(); ++t) {
+      if (s.IsObserved(t)) out[t] = 0.0;
+    }
+    return out;
+  }
+  for (size_t t = 0; t < s.size(); ++t) {
+    if (s.IsObserved(t)) {
+      out[t] = (s[t] - mu) / sd;
+    }
+  }
+  return out;
+}
+
+}  // namespace dspot

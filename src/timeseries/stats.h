@@ -1,0 +1,36 @@
+#ifndef DSPOT_TIMESERIES_STATS_H_
+#define DSPOT_TIMESERIES_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "timeseries/series.h"
+
+namespace dspot {
+
+/// Spectral / correlation statistics used by the shock-period detector.
+
+/// Sample autocorrelation of `s` at lags 0..max_lag (missing values are
+/// interpolated first). acf[0] == 1 whenever the series has variance.
+std::vector<double> Autocorrelation(const Series& s, size_t max_lag);
+
+/// Raw periodogram power at integer periods 2..max_period, computed from a
+/// naive DFT (adequate for n up to a few thousand). Element k of the result
+/// is the power associated with period k (entries 0 and 1 are zero).
+std::vector<double> PeriodogramByPeriod(const Series& s, size_t max_period);
+
+/// Candidate periodicities of `s`, strongest first: local maxima of the
+/// autocorrelation above `min_acf`, deduplicated so no candidate is within
+/// +-`dedup_window` of a stronger one. Used to propose shock cycles t_p.
+std::vector<size_t> CandidatePeriods(const Series& s, size_t max_period,
+                                     double min_acf = 0.2,
+                                     size_t dedup_window = 2,
+                                     size_t max_candidates = 5);
+
+/// Z-scores of `s` against its own mean/stddev; missing entries stay
+/// missing.
+std::vector<double> ZScores(const Series& s);
+
+}  // namespace dspot
+
+#endif  // DSPOT_TIMESERIES_STATS_H_

@@ -1,0 +1,108 @@
+// Property sweeps for the forecasting baselines: AR stability and order
+// sweeps, TBATS across periods/harmonics. These guard the Fig. 9/11
+// comparisons — a broken baseline would flatter Δ-SPOT.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "baselines/ar.h"
+#include "baselines/tbats.h"
+#include "common/random.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+/// AR(order) fit on a stable AR(2) process: residual variance close to the
+/// innovation variance for any order >= 2 (higher orders must not blow up).
+class ArOrderSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ArOrderSweep, ResidualsNearInnovationVariance) {
+  const size_t order = GetParam();
+  Random rng(101);
+  Series s(1500);
+  s[0] = 0.0;
+  s[1] = 0.0;
+  for (size_t t = 2; t < s.size(); ++t) {
+    s[t] = 0.6 * s[t - 1] - 0.2 * s[t - 2] + rng.Gaussian(0.0, 1.0);
+  }
+  auto model = ArModel::Fit(s, order);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const Series pred = model->PredictInSample(s);
+  // Compare from tick `order` on (earlier ticks just echo the data).
+  const double rmse = Rmse(s.Slice(order, s.size()), pred.Slice(order, s.size()));
+  EXPECT_GT(rmse, 0.8);   // cannot beat the innovation noise
+  EXPECT_LT(rmse, 1.25);  // and must get close to it
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ArOrderSweep,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+/// AR forecasts of a stationary process must not diverge over long
+/// horizons, whatever the fitted order.
+class ArForecastStability : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ArForecastStability, LongHorizonStaysBounded) {
+  const size_t order = GetParam();
+  Random rng(202);
+  Series s(800);
+  for (size_t t = 1; t < s.size(); ++t) {
+    s[t] = 5.0 + 0.7 * (s[t - 1] - 5.0) + rng.Gaussian(0.0, 0.5);
+  }
+  auto model = ArModel::Fit(s, order);
+  ASSERT_TRUE(model.ok());
+  const Series f = model->Forecast(s, 500);
+  for (size_t h = 0; h < f.size(); ++h) {
+    ASSERT_TRUE(std::isfinite(f[h])) << "horizon " << h;
+    ASSERT_LT(std::fabs(f[h]), 100.0) << "horizon " << h;
+  }
+  // The tail converges toward the process mean.
+  EXPECT_NEAR(f[499], 5.0, 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ArForecastStability,
+                         ::testing::Values(1, 8, 26, 50));
+
+/// TBATS across seasonal periods and harmonic counts: in-sample residual
+/// well below the seasonal amplitude, forecast phase preserved.
+class TbatsSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(TbatsSweep, TracksAndExtendsSeasonality) {
+  const auto [period, harmonics] = GetParam();
+  Series s(period * 8);
+  for (size_t t = 0; t < s.size(); ++t) {
+    const double phase =
+        2.0 * M_PI * static_cast<double>(t) / static_cast<double>(period);
+    s[t] = 40.0 + 8.0 * std::sin(phase) + 3.0 * std::cos(2.0 * phase);
+  }
+  TbatsConfig config;
+  config.period = period;
+  config.harmonics = harmonics;
+  auto model = TbatsModel::Fit(s, config);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const Series pred = model->PredictInSample(s);
+  EXPECT_LT(Rmse(s.Slice(2 * period, s.size()),
+                 pred.Slice(2 * period, s.size())),
+            4.0);
+  // One-period forecast keeps the waveform.
+  const Series f = model->Forecast(s, period);
+  Series expected(period);
+  for (size_t h = 0; h < period; ++h) {
+    const size_t t = s.size() + h;
+    const double phase =
+        2.0 * M_PI * static_cast<double>(t) / static_cast<double>(period);
+    expected[h] = 40.0 + 8.0 * std::sin(phase) + 3.0 * std::cos(2.0 * phase);
+  }
+  EXPECT_LT(Rmse(expected, f), 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TbatsSweep,
+    ::testing::Combine(::testing::Values(12u, 24u, 52u),
+                       ::testing::Values(2u, 3u, 5u)));
+
+}  // namespace
+}  // namespace dspot

@@ -1,0 +1,216 @@
+// Unit tests for src/baselines: AR, TBATS-style smoothing, FUNNEL.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ar.h"
+#include "baselines/funnel.h"
+#include "baselines/tbats.h"
+#include "common/random.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+TEST(Ar, RecoversAr1Coefficients) {
+  // y(t) = 0.8 y(t-1) + e, e ~ N(0,1): the innovation variance must be
+  // comparable to the process variance or the regression is
+  // ill-conditioned (constant column vs near-constant lag column).
+  Random rng(17);
+  Series s(2000);
+  s[0] = 0.0;
+  for (size_t t = 1; t < s.size(); ++t) {
+    s[t] = 0.8 * s[t - 1] + rng.Gaussian(0.0, 1.0);
+  }
+  auto model = ArModel::Fit(s, 1);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_NEAR(model->coefficients()[0], 0.8, 0.05);
+  EXPECT_NEAR(model->intercept(), 0.0, 0.15);
+}
+
+TEST(Ar, RecoversAr2Coefficients) {
+  Random rng(18);
+  Series s(3000);
+  s[0] = 0.0;
+  s[1] = 0.0;
+  for (size_t t = 2; t < s.size(); ++t) {
+    s[t] = 0.5 * s[t - 1] - 0.3 * s[t - 2] + rng.Gaussian(0.0, 1.0);
+  }
+  auto model = ArModel::Fit(s, 2);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->coefficients()[0], 0.5, 0.06);
+  EXPECT_NEAR(model->coefficients()[1], -0.3, 0.06);
+}
+
+TEST(Ar, InSamplePredictionTracksSignal) {
+  Series s(200);
+  for (size_t t = 0; t < s.size(); ++t) {
+    s[t] = std::sin(0.3 * static_cast<double>(t)) * 10.0 + 20.0;
+  }
+  auto model = ArModel::Fit(s, 4);
+  ASSERT_TRUE(model.ok());
+  Series pred = model->PredictInSample(s);
+  EXPECT_LT(Rmse(s, pred), 1.0);
+}
+
+TEST(Ar, ForecastConstantSeries) {
+  Series s(std::vector<double>(60, 7.0));
+  auto model = ArModel::Fit(s, 3);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  Series f = model->Forecast(s, 10);
+  for (size_t t = 0; t < f.size(); ++t) {
+    EXPECT_NEAR(f[t], 7.0, 0.1);
+  }
+}
+
+TEST(Ar, ForecastHorizonLength) {
+  Series s(100);
+  for (size_t t = 0; t < 100; ++t) s[t] = static_cast<double>(t % 7);
+  auto model = ArModel::Fit(s, 7);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Forecast(s, 23).size(), 23u);
+}
+
+TEST(Ar, RejectsBadInputs) {
+  EXPECT_FALSE(ArModel::Fit(Series(100), 0).ok());
+  EXPECT_FALSE(ArModel::Fit(Series(10), 8).ok());
+}
+
+TEST(Ar, HandlesMissingByInterpolation) {
+  Series s(120);
+  for (size_t t = 0; t < s.size(); ++t) {
+    s[t] = 5.0 + std::sin(0.5 * static_cast<double>(t));
+  }
+  s[50] = kMissingValue;
+  s[51] = kMissingValue;
+  auto model = ArModel::Fit(s, 3);
+  ASSERT_TRUE(model.ok());
+}
+
+TEST(Tbats, FitsAndForecastsSeasonalSignal) {
+  const size_t period = 24;
+  Series s(24 * 8);
+  for (size_t t = 0; t < s.size(); ++t) {
+    s[t] = 50.0 + 10.0 * std::sin(2.0 * M_PI * static_cast<double>(t) /
+                                  static_cast<double>(period));
+  }
+  TbatsConfig config;
+  config.period = period;
+  auto model = TbatsModel::Fit(s, config);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  // In-sample tracking.
+  Series pred = model->PredictInSample(s);
+  EXPECT_LT(Rmse(s.Slice(period, s.size()), pred.Slice(period, s.size())),
+            3.0);
+  // Forecast continues the sinusoid.
+  Series f = model->Forecast(s, period);
+  Series expected(period);
+  for (size_t h = 0; h < period; ++h) {
+    const size_t t = s.size() + h;
+    expected[h] = 50.0 + 10.0 * std::sin(2.0 * M_PI * static_cast<double>(t) /
+                                         static_cast<double>(period));
+  }
+  EXPECT_LT(Rmse(expected, f), 4.0);
+}
+
+TEST(Tbats, AutoPeriodFromAcf) {
+  const size_t period = 20;
+  Series s(200);
+  for (size_t t = 0; t < s.size(); ++t) {
+    s[t] = 10.0 * std::cos(2.0 * M_PI * static_cast<double>(t) /
+                           static_cast<double>(period));
+  }
+  auto model = TbatsModel::Fit(s);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(static_cast<double>(model->period()),
+              static_cast<double>(period), 2.0);
+}
+
+TEST(Tbats, RejectsTooFewCycles) {
+  TbatsConfig config;
+  config.period = 50;
+  EXPECT_FALSE(TbatsModel::Fit(Series(100), config).ok());
+  EXPECT_FALSE(TbatsModel::Fit(Series(8)).ok());
+}
+
+TEST(Funnel, SimulateMatchesSkipsWithoutShocks) {
+  FunnelParams p;
+  p.base.population = 100.0;
+  p.base.beta0 = 0.5;
+  p.base.delta = 0.2;
+  p.base.gamma = 0.1;
+  p.base.amplitude = 0.3;
+  p.base.period = 26.0;
+  p.base.i0 = 1.0;
+  Series a = SimulateFunnel(p, 120);
+  Series b = SimulateSkips(p.base, 120);
+  for (size_t t = 0; t < 120; ++t) {
+    EXPECT_NEAR(a[t], b[t], 1e-9);
+  }
+}
+
+TEST(Funnel, ShockBoostsInfection) {
+  FunnelParams p;
+  p.base.population = 100.0;
+  p.base.beta0 = 0.5;
+  p.base.delta = 0.3;
+  p.base.gamma = 0.1;
+  p.base.amplitude = 0.0;
+  p.base.i0 = 1.0;
+  Series without = SimulateFunnel(p, 100);
+  p.shocks.push_back({.start = 50, .width = 3, .strength = 10.0});
+  Series with = SimulateFunnel(p, 100);
+  EXPECT_GT(with[53], without[53] + 1.0);
+  // Before the shock, identical.
+  for (size_t t = 0; t < 50; ++t) {
+    EXPECT_NEAR(with[t], without[t], 1e-12);
+  }
+}
+
+TEST(Funnel, FitDetectsOneShotShock) {
+  FunnelParams truth;
+  truth.base.population = 150.0;
+  truth.base.beta0 = 0.55;
+  truth.base.delta = 0.35;
+  truth.base.gamma = 0.15;
+  truth.base.amplitude = 0.2;
+  truth.base.period = 26.0;
+  truth.base.i0 = 1.0;
+  truth.shocks.push_back({.start = 70, .width = 3, .strength = 12.0});
+  Series data = SimulateFunnel(truth, 130);
+  auto fit = FitFunnel(data);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  const double range = data.MaxValue() - data.MinValue();
+  EXPECT_LT(fit->rmse, 0.25 * range);
+}
+
+TEST(Funnel, LocalRefitScalesPopulation) {
+  FunnelParams truth;
+  truth.base.population = 200.0;
+  truth.base.beta0 = 0.5;
+  truth.base.delta = 0.3;
+  truth.base.gamma = 0.1;
+  truth.base.amplitude = 0.3;
+  truth.base.period = 26.0;
+  truth.base.i0 = 2.0;
+  Series global = SimulateFunnel(truth, 120);
+  // A "location" at 10% of the global volume.
+  FunnelParams small = truth;
+  small.base.population = 20.0;
+  small.base.i0 = 0.2;
+  Series local = SimulateFunnel(small, 120);
+
+  FunnelFit global_fit;
+  global_fit.params = truth;
+  auto local_fit = FitFunnelLocal(local, global_fit);
+  ASSERT_TRUE(local_fit.ok()) << local_fit.status().ToString();
+  EXPECT_NEAR(local_fit->params.base.population, 20.0, 4.0);
+}
+
+TEST(Funnel, RejectsTinySeries) {
+  EXPECT_FALSE(FitFunnel(Series(8)).ok());
+}
+
+}  // namespace
+}  // namespace dspot

@@ -1,0 +1,207 @@
+// Unit tests for src/common: Status/StatusOr, Random, math helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace dspot {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(Status, AllFactoryCodesRoundTrip) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+Status Passthrough(bool fail) {
+  DSPOT_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::Ok());
+  return Status::Ok();
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Passthrough(false).ok());
+  Status s = Passthrough(true);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "inner");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> MakeValue(bool fail) {
+  if (fail) return Status::Internal("nope");
+  return 7;
+}
+
+Status UseAssignOrReturn(bool fail, int* out) {
+  DSPOT_ASSIGN_OR_RETURN(*out, MakeValue(fail));
+  return Status::Ok();
+}
+
+TEST(StatusOr, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(false, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(UseAssignOrReturn(true, &out).code(), StatusCode::kInternal);
+}
+
+TEST(Random, DeterministicGivenSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Uniform() != b.Uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Random, UniformRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Random, UniformIntInclusive) {
+  Random rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, GaussianMoments) {
+  Random rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian(5.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Random, PoissonNonPositiveMeanIsZero) {
+  Random rng(3);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(Random, BernoulliExtremes) {
+  Random rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Random, GaussianVectorLength) {
+  Random rng(3);
+  EXPECT_EQ(rng.GaussianVector(17, 0.0, 1.0).size(), 17u);
+}
+
+TEST(MathUtil, MissingValueIsNan) {
+  EXPECT_TRUE(IsMissing(kMissingValue));
+  EXPECT_FALSE(IsMissing(0.0));
+  EXPECT_FALSE(IsMissing(-1e300));
+}
+
+TEST(MathUtil, ClampWorks) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(MathUtil, ApproxEqualRelative) {
+  EXPECT_TRUE(ApproxEqual(1e9, 1e9 + 1e-3, 1e-9));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.1));
+  EXPECT_TRUE(ApproxEqual(0.0, 0.0));
+}
+
+TEST(MathUtil, StatsSkipMissing) {
+  const std::vector<double> v = {1.0, kMissingValue, 3.0, kMissingValue};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.0);
+  EXPECT_DOUBLE_EQ(Sum(v), 4.0);
+  EXPECT_DOUBLE_EQ(Min(v), 1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 3.0);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.0);
+}
+
+TEST(MathUtil, StatsAllMissing) {
+  const std::vector<double> v = {kMissingValue, kMissingValue};
+  EXPECT_DOUBLE_EQ(Mean(v), 0.0);
+  EXPECT_TRUE(IsMissing(Min(v)));
+  EXPECT_TRUE(IsMissing(Max(v)));
+  EXPECT_EQ(ArgMax(v), kNpos);
+}
+
+TEST(MathUtil, ArgMaxFirstOnTies) {
+  const std::vector<double> v = {1.0, 5.0, 5.0, 2.0};
+  EXPECT_EQ(ArgMax(v), 1u);
+}
+
+TEST(MathUtil, SafeLogNoInfinity) {
+  EXPECT_TRUE(std::isfinite(SafeLog2(0.0)));
+  EXPECT_TRUE(std::isfinite(SafeLog(0.0)));
+  EXPECT_NEAR(SafeLog2(8.0), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dspot

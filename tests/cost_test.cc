@@ -1,0 +1,127 @@
+// Unit tests for src/core/cost: the MDL terms of Eq. (2).
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/simulate.h"
+#include "mdl/mdl.h"
+
+namespace dspot {
+namespace {
+
+Shock MakeShock(size_t occurrences, double base, size_t deviations) {
+  Shock s;
+  s.keyword = 0;
+  s.period = 52;
+  s.start = 0;
+  s.width = 2;
+  s.base_strength = base;
+  s.global_strengths.assign(occurrences, base);
+  for (size_t m = 0; m < deviations && m < occurrences; ++m) {
+    s.global_strengths[m] = base + 1.0;
+  }
+  return s;
+}
+
+TEST(Cost, SharedStrengthCostsOneFloat) {
+  const Shock s = MakeShock(10, 2.0, 0);
+  const double bits = ShockModelCostBits(s, 4, 8, 500, false);
+  // log2(4) + 3*log2(500) + one float.
+  EXPECT_NEAR(bits, 2.0 + 3.0 * LogChoiceCost(500) + kFloatCostBits, 1e-9);
+}
+
+TEST(Cost, DeviationsChargedIndividually) {
+  const Shock none = MakeShock(10, 2.0, 0);
+  const Shock two = MakeShock(10, 2.0, 2);
+  const double d = ShockModelCostBits(two, 4, 8, 500, false) -
+                   ShockModelCostBits(none, 4, 8, 500, false);
+  EXPECT_NEAR(d, 2.0 * (LogChoiceCost(10) + kFloatCostBits), 1e-9);
+}
+
+TEST(Cost, LocalStrengthsChargedWhenIncluded) {
+  Shock s = MakeShock(3, 2.0, 0);
+  s.local_strengths = Matrix(3, 4);
+  s.local_strengths(0, 0) = 1.0;
+  s.local_strengths(2, 3) = 5.0;
+  const double without = ShockModelCostBits(s, 4, 8, 500, false);
+  const double with = ShockModelCostBits(s, 4, 8, 500, true);
+  const double per_entry =
+      LogChoiceCost(4) + LogChoiceCost(8) + LogChoiceCost(500) +
+      kFloatCostBits;
+  EXPECT_NEAR(with - without, 2.0 * per_entry, 1e-9);
+}
+
+TEST(Cost, ShockTensorIncludesLogStarOfCount) {
+  std::vector<Shock> shocks = {MakeShock(2, 1.0, 0), MakeShock(3, 1.0, 0)};
+  const double total = ShockTensorModelCostBits(shocks, 4, 8, 500, false);
+  const double parts = ShockModelCostBits(shocks[0], 4, 8, 500, false) +
+                       ShockModelCostBits(shocks[1], 4, 8, 500, false);
+  EXPECT_NEAR(total - parts, LogStar(3.0), 1e-9);
+}
+
+TEST(Cost, GrowthTermPaysExtra) {
+  KeywordGlobalParams without;
+  KeywordGlobalParams with = without;
+  with.growth_rate = 0.2;
+  with.growth_start = 100;
+  EXPECT_GT(KeywordGlobalModelCostBits(with, 500),
+            KeywordGlobalModelCostBits(without, 500));
+}
+
+TEST(Cost, BetterFitCodesCheaper) {
+  // Same model structure, residuals differ: lower-variance residuals give
+  // a lower total.
+  Series data(std::vector<double>{10, 12, 11, 13, 12, 11, 10, 12});
+  Series good(std::vector<double>{10, 12, 11, 13, 12, 11, 10, 12});
+  Series bad(std::vector<double>{0, 20, 0, 20, 0, 20, 0, 20});
+  KeywordGlobalParams params;
+  const double cost_good =
+      GlobalKeywordCostBits(data, good, params, {}, 0, 1, 8);
+  const double cost_bad = GlobalKeywordCostBits(data, bad, params, {}, 0, 1, 8);
+  EXPECT_LT(cost_good, cost_bad);
+}
+
+TEST(Cost, LocalSequenceCostCountsStrengths) {
+  Series data(std::vector<double>{1, 2, 3});
+  Series est = data;
+  const double c0 = LocalSequenceCostBits(data, est, 0, 2, 4, 100);
+  const double c3 = LocalSequenceCostBits(data, est, 3, 2, 4, 100);
+  const double per = LogChoiceCost(2) + LogChoiceCost(4) + LogChoiceCost(100) +
+                     kFloatCostBits;
+  EXPECT_NEAR(c3 - c0, 3.0 * per, 1e-9);
+}
+
+TEST(Cost, TotalCostGlobalOnlyVsLocal) {
+  // A 1-keyword, 2-location tensor; the total cost function switches from
+  // global coding to local coding once local matrices exist.
+  ActivityTensor tensor(1, 2, 50);
+  ModelParamSet params;
+  params.num_keywords = 1;
+  params.num_locations = 2;
+  params.num_ticks = 50;
+  KeywordGlobalParams g;
+  g.population = 10.0;
+  g.beta = 0.5;
+  g.delta = 0.4;
+  g.gamma = 0.3;
+  g.i0 = 0.5;
+  params.global = {g};
+  Series sim = SimulateGlobal(params, 0, 50);
+  for (size_t j = 0; j < 2; ++j) {
+    Series local(50);
+    for (size_t t = 0; t < 50; ++t) local[t] = sim[t] / 2.0;
+    ASSERT_TRUE(tensor.SetLocalSequence(0, j, local).ok());
+  }
+  const double global_only = TotalCostBits(tensor, params);
+  EXPECT_TRUE(std::isfinite(global_only));
+
+  params.base_local = Matrix(1, 2, 5.0);
+  params.growth_local = Matrix(1, 2);
+  const double with_local = TotalCostBits(tensor, params);
+  EXPECT_TRUE(std::isfinite(with_local));
+  // Local coding pays the 2*d*l float cost on top.
+  EXPECT_NE(global_only, with_local);
+}
+
+}  // namespace
+}  // namespace dspot

@@ -1,0 +1,167 @@
+// Tests for src/datagen: generator invariants and the scenario catalog.
+
+#include <gtest/gtest.h>
+
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+
+namespace dspot {
+namespace {
+
+TEST(Generator, DimensionsAndNames) {
+  GeneratorConfig config = GoogleTrendsConfig();
+  config.n_ticks = 100;
+  config.num_locations = 5;
+  config.num_outlier_locations = 1;
+  auto generated = GenerateTensor({GrammyScenario()}, config);
+  ASSERT_TRUE(generated.ok());
+  EXPECT_EQ(generated->tensor.num_keywords(), 1u);
+  EXPECT_EQ(generated->tensor.num_locations(), 5u);
+  EXPECT_EQ(generated->tensor.num_ticks(), 100u);
+  EXPECT_EQ(generated->tensor.keywords()[0], "grammy");
+  EXPECT_EQ(generated->tensor.locations()[0], "US");
+  // Trailing outlier gets an outlier code.
+  EXPECT_EQ(generated->tensor.locations()[4], "LA");
+  EXPECT_TRUE(generated->truth.is_outlier[4]);
+  EXPECT_FALSE(generated->truth.is_outlier[0]);
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  GeneratorConfig config = GoogleTrendsConfig(99);
+  config.n_ticks = 64;
+  config.num_locations = 3;
+  auto a = GenerateTensor({GrammyScenario()}, config);
+  auto b = GenerateTensor({GrammyScenario()}, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t j = 0; j < 3; ++j) {
+    for (size_t t = 0; t < 64; ++t) {
+      ASSERT_DOUBLE_EQ(a->tensor.at(0, j, t), b->tensor.at(0, j, t));
+    }
+  }
+}
+
+TEST(Generator, SeedChangesData) {
+  GeneratorConfig a_cfg = GoogleTrendsConfig(1);
+  GeneratorConfig b_cfg = GoogleTrendsConfig(2);
+  a_cfg.n_ticks = b_cfg.n_ticks = 64;
+  a_cfg.num_locations = b_cfg.num_locations = 2;
+  auto a = GenerateTensor({GrammyScenario()}, a_cfg);
+  auto b = GenerateTensor({GrammyScenario()}, b_cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool differs = false;
+  for (size_t t = 0; t < 64 && !differs; ++t) {
+    differs = a->tensor.at(0, 0, t) != b->tensor.at(0, 0, t);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, ValuesNonNegative) {
+  GeneratorConfig config = GoogleTrendsConfig();
+  config.n_ticks = 200;
+  auto generated = GenerateTensor(TrendingKeywordSuite(), config);
+  ASSERT_TRUE(generated.ok());
+  const ActivityTensor& t = generated->tensor;
+  for (size_t i = 0; i < t.num_keywords(); ++i) {
+    for (size_t j = 0; j < t.num_locations(); ++j) {
+      for (size_t k = 0; k < t.num_ticks(); ++k) {
+        if (!IsMissing(t.at(i, j, k))) {
+          ASSERT_GE(t.at(i, j, k), 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(Generator, MissingRateRoughlyHonored) {
+  GeneratorConfig config = GoogleTrendsConfig();
+  config.n_ticks = 500;
+  config.num_locations = 4;
+  config.missing_rate = 0.2;
+  auto generated = GenerateTensor({GrammyScenario()}, config);
+  ASSERT_TRUE(generated.ok());
+  const size_t total = 4 * 500;
+  const size_t observed = generated->tensor.ObservedCount();
+  const double missing_frac =
+      1.0 - static_cast<double>(observed) / static_cast<double>(total);
+  EXPECT_NEAR(missing_frac, 0.2, 0.05);
+}
+
+TEST(Generator, TruthRecordsStrengthsAndPopulations) {
+  GeneratorConfig config = GoogleTrendsConfig();
+  config.n_ticks = 160;
+  config.num_locations = 3;
+  KeywordScenario sc = GrammyScenario();
+  auto generated = GenerateTensor({sc}, config);
+  ASSERT_TRUE(generated.ok());
+  ASSERT_EQ(generated->truth.shock_strengths.size(), 1u);
+  ASSERT_EQ(generated->truth.shock_strengths[0].size(), sc.shocks.size());
+  // Occurrences of the annual shock within 160 ticks: at 6, 58, 110 = 3.
+  EXPECT_EQ(generated->truth.shock_strengths[0][0].size(), 3u);
+  EXPECT_EQ(generated->truth.local_population.rows(), 1u);
+  EXPECT_EQ(generated->truth.local_population.cols(), 3u);
+  // Population shares sum to the scenario population.
+  double sum = 0.0;
+  for (size_t j = 0; j < 3; ++j) sum += generated->truth.local_population(0, j);
+  EXPECT_NEAR(sum, sc.population, 1e-6);
+}
+
+TEST(Generator, RejectsBadConfigs) {
+  GeneratorConfig config;
+  EXPECT_FALSE(GenerateTensor({}, config).ok());
+  config.num_locations = 0;
+  EXPECT_FALSE(GenerateTensor({GrammyScenario()}, config).ok());
+  GeneratorConfig mismatch = GoogleTrendsConfig();
+  mismatch.num_locations = 3;
+  mismatch.location_names = {"a", "b"};
+  EXPECT_FALSE(GenerateTensor({GrammyScenario()}, mismatch).ok());
+}
+
+TEST(Generator, CustomLocationNames) {
+  GeneratorConfig config = GoogleTrendsConfig();
+  config.n_ticks = 64;
+  config.num_locations = 2;
+  config.location_names = {"AA", "BB"};
+  auto generated = GenerateTensor({GrammyScenario()}, config);
+  ASSERT_TRUE(generated.ok());
+  EXPECT_EQ(generated->tensor.locations()[1], "BB");
+}
+
+TEST(Catalog, SuiteHasEightKeywords) {
+  const auto suite = TrendingKeywordSuite();
+  EXPECT_EQ(suite.size(), 8u);
+  for (const KeywordScenario& sc : suite) {
+    EXPECT_FALSE(sc.name.empty());
+    EXPECT_GT(sc.population, 0.0);
+  }
+}
+
+TEST(Catalog, ScenarioStructuresMatchTheirStories) {
+  // Harry Potter: two biennial trains + one one-shot.
+  const KeywordScenario hp = HarryPotterScenario();
+  ASSERT_EQ(hp.shocks.size(), 3u);
+  EXPECT_EQ(hp.shocks[0].period, 104u);
+  EXPECT_EQ(hp.shocks[1].period, 104u);
+  EXPECT_EQ(hp.shocks[2].period, 0u);
+  // Amazon: growth effect at the paper's tick 343.
+  const KeywordScenario az = AmazonScenario();
+  EXPECT_EQ(az.growth_start, 343u);
+  EXPECT_GT(az.growth_rate, 0.0);
+  // Grammy: annual.
+  EXPECT_EQ(GrammyScenario().shocks[0].period, 52u);
+  // Olympics: quadrennial.
+  EXPECT_EQ(OlympicsScenario().shocks[0].period, 208u);
+  // Memes: single one-shot burst, fast decay.
+  const KeywordScenario meme = Meme3Scenario();
+  ASSERT_EQ(meme.shocks.size(), 1u);
+  EXPECT_EQ(meme.shocks[0].period, 0u);
+  EXPECT_GT(meme.delta, 0.5);
+}
+
+TEST(Catalog, ConfigsMatchDatasetShapes) {
+  EXPECT_EQ(GoogleTrendsConfig().n_ticks, 575u);
+  EXPECT_EQ(TwitterConfig().n_ticks, 240u);
+  EXPECT_EQ(MemeTrackerConfig().n_ticks, 92u);
+}
+
+}  // namespace
+}  // namespace dspot

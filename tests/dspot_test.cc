@@ -1,0 +1,96 @@
+// Integration tests for the DSpot facade (Algorithm 1) and ModelParamSet.
+
+#include <gtest/gtest.h>
+
+#include "core/dspot.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+TEST(ModelParamSet, ShockBookkeeping) {
+  ModelParamSet params;
+  params.global.resize(3);
+  Shock a;
+  a.keyword = 0;
+  Shock b;
+  b.keyword = 2;
+  Shock c;
+  c.keyword = 0;
+  params.shocks = {a, b, c};
+  EXPECT_EQ(params.ShockCountFor(0), 2u);
+  EXPECT_EQ(params.ShockCountFor(1), 0u);
+  EXPECT_EQ(params.ShockIndicesFor(0), (std::vector<size_t>{0, 2}));
+  EXPECT_FALSE(params.has_local());
+  EXPECT_NE(params.ToString().find("shocks=2"), std::string::npos);
+}
+
+TEST(DSpot, EndToEndTwoKeywords) {
+  GeneratorConfig config = GoogleTrendsConfig(5);
+  config.n_ticks = 312;
+  config.num_locations = 5;
+  config.num_outlier_locations = 1;
+  auto generated = GenerateTensor({GrammyScenario(), EbolaScenario()}, config);
+  ASSERT_TRUE(generated.ok());
+  // Keep the ebola burst inside the shortened horizon.
+  auto scenarios = std::vector<KeywordScenario>{GrammyScenario()};
+
+  auto result = FitDspot(generated->tensor);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->global_estimates.size(), 2u);
+  EXPECT_EQ(result->global_rmse.size(), 2u);
+  EXPECT_TRUE(result->params.has_local());
+  EXPECT_TRUE(std::isfinite(result->total_cost_bits));
+
+  // Keyword 0 (grammy) should fit well; keyword 1's burst at tick 553 is
+  // outside this 312-tick horizon, so it is essentially flat — fit should
+  // still be finite and sane.
+  const Series g0 = generated->tensor.GlobalSequence(0);
+  EXPECT_LT(result->global_rmse[0], 0.15 * (g0.MaxValue() - g0.MinValue()));
+
+  // Local estimate accessor works and tracks the data.
+  const Series local = generated->tensor.LocalSequence(0, 0);
+  const Series est = result->LocalEstimate(0, 0);
+  EXPECT_EQ(est.size(), local.size());
+
+  // Shock descriptions mention the annual event.
+  const auto descriptions = result->DescribeShocks(0);
+  EXPECT_FALSE(descriptions.empty());
+}
+
+TEST(DSpot, SingleSequenceConvenience) {
+  GeneratorConfig config = GoogleTrendsConfig(9);
+  config.n_ticks = 260;
+  config.num_locations = 4;
+  config.num_outlier_locations = 0;
+  auto sequence = GenerateGlobalSequence(GrammyScenario(), config);
+  ASSERT_TRUE(sequence.ok());
+  auto result = FitDspotSingle(*sequence);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->params.num_keywords, 1u);
+  EXPECT_FALSE(result->params.has_local());
+  EXPECT_GE(result->params.ShockCountFor(0), 1u);
+}
+
+TEST(DSpot, FitLocalCanBeSkipped) {
+  GeneratorConfig config = GoogleTrendsConfig(5);
+  config.n_ticks = 260;
+  config.num_locations = 4;
+  config.num_outlier_locations = 0;
+  auto generated = GenerateTensor({GrammyScenario()}, config);
+  ASSERT_TRUE(generated.ok());
+  DspotOptions options;
+  options.fit_local = false;
+  auto result = FitDspot(generated->tensor, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->params.has_local());
+}
+
+TEST(DSpot, RejectsEmptyTensor) {
+  EXPECT_FALSE(FitDspot(ActivityTensor()).ok());
+}
+
+}  // namespace
+}  // namespace dspot

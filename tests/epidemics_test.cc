@@ -1,0 +1,190 @@
+// Unit and property tests for src/epidemics: SI / SIR / SIRS and SKIPS.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "epidemics/sir_family.h"
+#include "epidemics/skips.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+TEST(Si, SaturatesAtPopulation) {
+  SiParams p{.population = 100.0, .beta = 0.9, .i0 = 1.0};
+  Series i = SimulateSi(p, 200);
+  EXPECT_NEAR(i[199], 100.0, 1e-3);
+  // Monotone non-decreasing.
+  for (size_t t = 1; t < i.size(); ++t) {
+    EXPECT_GE(i[t] + 1e-12, i[t - 1]);
+  }
+}
+
+TEST(Si, NoInfectionWithoutSeed) {
+  SiParams p{.population = 100.0, .beta = 0.9, .i0 = 0.0};
+  Series i = SimulateSi(p, 50);
+  for (size_t t = 0; t < i.size(); ++t) {
+    EXPECT_DOUBLE_EQ(i[t], 0.0);
+  }
+}
+
+TEST(Sir, EpidemicRisesAndDies) {
+  SirParams p{.population = 100.0, .beta = 0.8, .delta = 0.2, .i0 = 1.0};
+  Series i = SimulateSir(p, 400);
+  double peak = 0.0;
+  for (size_t t = 0; t < i.size(); ++t) peak = std::max(peak, i[t]);
+  EXPECT_GT(peak, 10.0);
+  EXPECT_LT(i[399], 1.0);  // dies out (no re-susceptibility)
+}
+
+TEST(Sirs, ReachesEndemicEquilibrium) {
+  SirsParams p{.population = 100.0,
+               .beta = 0.8,
+               .delta = 0.2,
+               .gamma = 0.05,
+               .i0 = 1.0};
+  Series i = SimulateSirs(p, 2000);
+  // Endemic: infective count settles at a positive level.
+  EXPECT_GT(i[1999], 1.0);
+  EXPECT_NEAR(i[1999], i[1950], 1.0);
+}
+
+TEST(Sirs, CompartmentsStayNonNegative) {
+  SirsParams p{.population = 50.0,
+               .beta = 5.0,
+               .delta = 1.0,
+               .gamma = 1.0,
+               .i0 = 49.0};
+  Series i = SimulateSirs(p, 500);
+  for (size_t t = 0; t < i.size(); ++t) {
+    EXPECT_GE(i[t], 0.0);
+    EXPECT_LE(i[t], 50.0 + 1e-9);
+  }
+}
+
+TEST(FitSi, RecoversLogisticCurve) {
+  SiParams truth{.population = 80.0, .beta = 0.4, .i0 = 0.5};
+  Series data = SimulateSi(truth, 100);
+  auto fit = FitSi(data);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  // Logistic fits are stiff (N, beta and i0 trade off along a valley);
+  // within 5% of the range is a good fit for multi-start LM.
+  EXPECT_LT(fit->info.rmse, 0.05 * (data.MaxValue() - data.MinValue()));
+}
+
+TEST(FitSir, FitsOutbreakShape) {
+  SirParams truth{
+      .population = 120.0, .beta = 0.7, .delta = 0.25, .i0 = 1.0};
+  Series data = SimulateSir(truth, 150);
+  auto fit = FitSir(data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit->info.rmse, 1.0);
+}
+
+TEST(FitSirs, FitsEndemicShape) {
+  SirsParams truth{.population = 150.0,
+                   .beta = 0.7,
+                   .delta = 0.3,
+                   .gamma = 0.1,
+                   .i0 = 1.0};
+  Series data = SimulateSirs(truth, 200);
+  auto fit = FitSirs(data);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit->info.rmse, 1.5);
+}
+
+TEST(FitSirs, RejectsTinySeries) {
+  EXPECT_FALSE(FitSirs(Series(4)).ok());
+  EXPECT_FALSE(FitSir(Series(4)).ok());
+  EXPECT_FALSE(FitSi(Series(4)).ok());
+}
+
+TEST(Skips, ForcingCreatesOscillations) {
+  SkipsParams p;
+  p.population = 200.0;
+  p.beta0 = 0.6;
+  p.delta = 0.3;
+  p.gamma = 0.1;
+  p.amplitude = 0.5;
+  p.period = 52.0;
+  p.i0 = 1.0;
+  Series i = SimulateSkips(p, 520);
+  // After transient, successive seasons should both rise and fall.
+  double lo = 1e18;
+  double hi = -1e18;
+  for (size_t t = 260; t < 520; ++t) {
+    lo = std::min(lo, i[t]);
+    hi = std::max(hi, i[t]);
+  }
+  EXPECT_GT(hi - lo, 1.0);
+}
+
+TEST(Skips, ZeroAmplitudeMatchesSirs) {
+  SkipsParams p;
+  p.population = 100.0;
+  p.beta0 = 0.5;
+  p.delta = 0.2;
+  p.gamma = 0.05;
+  p.amplitude = 0.0;
+  p.i0 = 2.0;
+  SirsParams q{.population = 100.0,
+               .beta = 0.5,
+               .delta = 0.2,
+               .gamma = 0.05,
+               .i0 = 2.0};
+  Series a = SimulateSkips(p, 100);
+  Series b = SimulateSirs(q, 100);
+  for (size_t t = 0; t < 100; ++t) {
+    EXPECT_NEAR(a[t], b[t], 1e-9);
+  }
+}
+
+TEST(FitSkips, FitsSeasonalData) {
+  SkipsParams truth;
+  truth.population = 200.0;
+  truth.beta0 = 0.6;
+  truth.delta = 0.3;
+  truth.gamma = 0.1;
+  truth.amplitude = 0.4;
+  truth.period = 26.0;
+  truth.i0 = 1.0;
+  Series data = SimulateSkips(truth, 260);
+  auto fit = FitSkips(data);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  const double range = data.MaxValue() - data.MinValue();
+  EXPECT_LT(fit->rmse, 0.35 * range);
+}
+
+TEST(FitSkips, RejectsTinySeries) {
+  EXPECT_FALSE(FitSkips(Series(8)).ok());
+}
+
+/// Property sweep: for any admissible parameter combination, the SIRS
+/// population is conserved: I(t) never exceeds N and never goes negative.
+class SirsInvariantProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(SirsInvariantProperty, InfectiveWithinBounds) {
+  const auto [beta, delta, gamma] = GetParam();
+  SirsParams p{.population = 77.0,
+               .beta = beta,
+               .delta = delta,
+               .gamma = gamma,
+               .i0 = 3.0};
+  Series i = SimulateSirs(p, 300);
+  for (size_t t = 0; t < i.size(); ++t) {
+    ASSERT_GE(i[t], -1e-9);
+    ASSERT_LE(i[t], 77.0 + 1e-9);
+    ASSERT_TRUE(std::isfinite(i[t]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, SirsInvariantProperty,
+    ::testing::Combine(::testing::Values(0.1, 0.9, 3.0),
+                       ::testing::Values(0.05, 0.5, 1.0),
+                       ::testing::Values(0.0, 0.3, 1.0)));
+
+}  // namespace
+}  // namespace dspot

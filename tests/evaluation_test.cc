@@ -1,0 +1,127 @@
+// Tests for src/core/evaluation: fit/forecast scoring and the train/test
+// harness (including the streaming RefitGlobalSequence path).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/evaluation.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+TEST(EvaluateFit, PerfectFit) {
+  Series a(std::vector<double>{1, 5, 3, 8});
+  FitQuality q = EvaluateFit(a, a);
+  EXPECT_DOUBLE_EQ(q.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(q.mae, 0.0);
+  EXPECT_DOUBLE_EQ(q.normalized_rmse, 0.0);
+  EXPECT_DOUBLE_EQ(q.r_squared, 1.0);
+}
+
+TEST(EvaluateFit, KnownErrors) {
+  Series a(std::vector<double>{0, 0, 0, 0});
+  Series e(std::vector<double>{2, -2, 2, -2});
+  FitQuality q = EvaluateFit(a, e);
+  EXPECT_DOUBLE_EQ(q.rmse, 2.0);
+  EXPECT_DOUBLE_EQ(q.mae, 2.0);
+}
+
+TEST(EvaluateForecast, HorizonBuckets) {
+  Series actual(std::vector<double>{0, 0, 0, 0, 0, 0});
+  Series forecast(std::vector<double>{1, 1, 2, 2, 4, 4});
+  ForecastQuality q = EvaluateForecast(actual, forecast, /*bucket=*/2);
+  ASSERT_EQ(q.error_by_horizon.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.error_by_horizon[0], 1.0);
+  EXPECT_DOUBLE_EQ(q.error_by_horizon[1], 2.0);
+  EXPECT_DOUBLE_EQ(q.error_by_horizon[2], 4.0);
+  EXPECT_DOUBLE_EQ(q.mae, (1 + 1 + 2 + 2 + 4 + 4) / 6.0);
+}
+
+TEST(EvaluateForecast, SkipsMissing) {
+  Series actual(std::vector<double>{0, kMissingValue});
+  Series forecast(std::vector<double>{1, 100});
+  ForecastQuality q = EvaluateForecast(actual, forecast, 2);
+  EXPECT_DOUBLE_EQ(q.rmse, 1.0);
+}
+
+class TrainTestHarness : public ::testing::Test {
+ protected:
+  static Series MakeData(uint64_t seed = 33) {
+    GeneratorConfig config = GoogleTrendsConfig(seed);
+    config.n_ticks = 416;
+    config.num_locations = 5;
+    config.num_outlier_locations = 0;
+    auto s = GenerateGlobalSequence(GrammyScenario(), config);
+    EXPECT_TRUE(s.ok());
+    return *s;
+  }
+};
+
+TEST_F(TrainTestHarness, EndToEnd) {
+  const Series full = MakeData();
+  auto result = TrainAndForecast(full, 312);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->forecast.size(), full.size() - 312);
+  // The event-aware forecast should beat the 20%-of-range bar.
+  const double range = full.MaxValue() - full.MinValue();
+  EXPECT_LT(result->test_quality.rmse, 0.2 * range);
+  EXPECT_GT(result->train_quality.r_squared, 0.5);
+  EXPECT_FALSE(result->fit.shocks.empty());
+}
+
+TEST_F(TrainTestHarness, RejectsBadSplit) {
+  const Series full = MakeData();
+  EXPECT_FALSE(TrainAndForecast(full, 4).ok());
+  EXPECT_FALSE(TrainAndForecast(full, full.size()).ok());
+}
+
+TEST(StreamingRefit, WarmRefitTracksExtendedData) {
+  GeneratorConfig config = GoogleTrendsConfig(11);
+  config.n_ticks = 416;
+  config.num_locations = 5;
+  config.num_outlier_locations = 0;
+  auto full_or = GenerateGlobalSequence(GrammyScenario(), config);
+  ASSERT_TRUE(full_or.ok());
+  const Series full = *full_or;
+  const Series prefix = full.Slice(0, 312);
+
+  auto cold = FitGlobalSequence(prefix, 0, 1);
+  ASSERT_TRUE(cold.ok());
+  auto warm = RefitGlobalSequence(full, 0, 1, *cold);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_EQ(warm->estimate.size(), full.size());
+  // The refit tracks the full sequence about as well as a cold fit would.
+  const double range = full.MaxValue() - full.MinValue();
+  EXPECT_LT(warm->rmse, 0.15 * range);
+  // A recurring event survives the refit, with its occurrence vector
+  // extended over the appended range (the exact period may be a multiple
+  // of the true one when occurrence strengths are very uneven, so only
+  // cyclicity and the extension are required here).
+  bool cyclic = false;
+  for (const Shock& s : warm->shocks) {
+    if (s.IsCyclic()) {
+      cyclic = true;
+      EXPECT_EQ(s.global_strengths.size(), s.NumOccurrences(full.size()));
+    }
+  }
+  EXPECT_TRUE(cyclic);
+}
+
+TEST(StreamingRefit, RejectsShrunkData) {
+  GeneratorConfig config = GoogleTrendsConfig(11);
+  config.n_ticks = 260;
+  config.num_locations = 4;
+  config.num_outlier_locations = 0;
+  auto full = GenerateGlobalSequence(GrammyScenario(), config);
+  ASSERT_TRUE(full.ok());
+  auto fit = FitGlobalSequence(*full, 0, 1);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_FALSE(RefitGlobalSequence(full->Slice(0, 100), 0, 1, *fit).ok());
+}
+
+}  // namespace
+}  // namespace dspot

@@ -1,0 +1,153 @@
+// Tests for src/tensor/event_log (raw-record aggregation) and
+// src/tensor/normalization (Trends-style scaling).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "tensor/event_log.h"
+#include "tensor/normalization.h"
+
+namespace dspot {
+namespace {
+
+TEST(EventLog, AggregatesCountsIntoBuckets) {
+  std::vector<EventRecord> records = {
+      {"ebola", "US", 0},
+      {"ebola", "US", 3},       // same bucket with resolution 7
+      {"ebola", "US", 7},       // next bucket
+      {"ebola", "JP", 8},
+      {"grammy", "US", 14, 5.0},  // pre-aggregated weight
+  };
+  AggregationConfig config;
+  config.ticks_resolution = 7;
+  auto tensor = AggregateEvents(records, config);
+  ASSERT_TRUE(tensor.ok()) << tensor.status().ToString();
+  EXPECT_EQ(tensor->num_keywords(), 2u);
+  EXPECT_EQ(tensor->num_locations(), 2u);
+  EXPECT_EQ(tensor->num_ticks(), 3u);
+  EXPECT_DOUBLE_EQ(tensor->at(0, 0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(tensor->at(0, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(tensor->at(0, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(tensor->at(1, 0, 2), 5.0);
+  EXPECT_EQ(tensor->KeywordIndex("grammy"), 1u);
+}
+
+TEST(EventLog, OriginShiftsTickZero) {
+  AggregationConfig config;
+  config.ticks_resolution = 10;
+  config.origin = 100;
+  auto tensor = AggregateEvents({{"a", "US", 125}}, config);
+  ASSERT_TRUE(tensor.ok());
+  EXPECT_EQ(tensor->num_ticks(), 3u);  // tick (125-100)/10 = 2
+  EXPECT_DOUBLE_EQ(tensor->at(0, 0, 2), 1.0);
+}
+
+TEST(EventLog, RejectsPreOriginRecords) {
+  AggregationConfig config;
+  config.origin = 100;
+  EXPECT_EQ(AggregateEvents({{"a", "US", 50}}, config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EventLog, RejectsEmptyFields) {
+  EXPECT_FALSE(AggregateEvents({{"", "US", 5}}).ok());
+  EXPECT_FALSE(AggregateEvents({{"a", "", 5}}).ok());
+}
+
+TEST(EventLog, MaxTicksCapDrops) {
+  AggregationConfig config;
+  config.ticks_resolution = 1;
+  config.max_ticks = 10;
+  EventAggregator aggregator(config);
+  ASSERT_TRUE(aggregator.Add({"a", "US", 5}).ok());
+  ASSERT_TRUE(aggregator.Add({"a", "US", 50}).ok());  // dropped silently
+  EXPECT_EQ(aggregator.dropped(), 1u);
+  EXPECT_EQ(aggregator.accepted(), 1u);
+  auto tensor = aggregator.Build();
+  ASSERT_TRUE(tensor.ok());
+  EXPECT_EQ(tensor->num_ticks(), 6u);
+}
+
+TEST(EventLog, EmptyBuildFails) {
+  EventAggregator aggregator(AggregationConfig{});
+  EXPECT_EQ(aggregator.Build().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EventLog, CsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/events.csv";
+  {
+    std::ofstream os(path);
+    os << "keyword,location,timestamp,count\n";
+    os << "ebola,US,0\n";
+    os << "ebola,US,6\n";
+    os << "ebola,JP,8,2.5\n";
+  }
+  AggregationConfig config;
+  config.ticks_resolution = 7;
+  auto tensor = LoadAndAggregateEventsCsv(path, config);
+  ASSERT_TRUE(tensor.ok()) << tensor.status().ToString();
+  EXPECT_DOUBLE_EQ(tensor->at(0, 0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(tensor->at(0, 1, 1), 2.5);
+}
+
+TEST(EventLog, CsvRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/events_bad.csv";
+  {
+    std::ofstream os(path);
+    os << "keyword,location,timestamp\n";
+    os << "ebola,US,notanumber\n";
+  }
+  EXPECT_EQ(LoadAndAggregateEventsCsv(path).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(Normalization, SeriesRoundTrip) {
+  Series s(std::vector<double>{10, 20, 50});
+  ScaleInfo info;
+  Series normalized = NormalizeToMax(s, &info);
+  EXPECT_DOUBLE_EQ(normalized[2], 100.0);
+  EXPECT_DOUBLE_EQ(normalized[0], 20.0);
+  Series back = Denormalize(normalized, info);
+  for (size_t t = 0; t < s.size(); ++t) {
+    EXPECT_NEAR(back[t], s[t], 1e-12);
+  }
+}
+
+TEST(Normalization, DegenerateSeriesUnchanged) {
+  Series zeros(std::vector<double>{0, 0});
+  ScaleInfo info;
+  Series normalized = NormalizeToMax(zeros, &info);
+  EXPECT_DOUBLE_EQ(info.factor, 1.0);
+  EXPECT_DOUBLE_EQ(normalized[0], 0.0);
+}
+
+TEST(Normalization, MissingEntriesPreserved) {
+  Series s(std::vector<double>{kMissingValue, 50.0});
+  Series normalized = NormalizeToMax(s, nullptr);
+  EXPECT_TRUE(IsMissing(normalized[0]));
+  EXPECT_DOUBLE_EQ(normalized[1], 100.0);
+}
+
+TEST(Normalization, TensorPerKeywordSharedFactor) {
+  ActivityTensor tensor(2, 2, 2);
+  tensor.at(0, 0, 0) = 10.0;  // keyword 0: max 40
+  tensor.at(0, 1, 1) = 40.0;
+  tensor.at(1, 0, 0) = 400.0;  // keyword 1: max 400
+  std::vector<ScaleInfo> infos;
+  ActivityTensor normalized = NormalizeTensorPerKeyword(tensor, &infos);
+  ASSERT_EQ(infos.size(), 2u);
+  // Keyword 0: both locations scaled by the same factor 2.5.
+  EXPECT_DOUBLE_EQ(normalized.at(0, 0, 0), 25.0);
+  EXPECT_DOUBLE_EQ(normalized.at(0, 1, 1), 100.0);
+  // Keyword 1 scaled independently.
+  EXPECT_DOUBLE_EQ(normalized.at(1, 0, 0), 100.0);
+  // Local shares within a keyword are preserved.
+  EXPECT_DOUBLE_EQ(normalized.at(0, 1, 1) / normalized.at(0, 0, 0),
+                   tensor.at(0, 1, 1) / tensor.at(0, 0, 0));
+}
+
+}  // namespace
+}  // namespace dspot

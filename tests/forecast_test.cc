@@ -1,0 +1,135 @@
+// Tests for forecasting (Section 6): cyclic events recur in the future,
+// errors are reported for bad inputs.
+
+#include <gtest/gtest.h>
+
+#include "core/dspot.h"
+#include "core/forecast.h"
+#include "core/simulate.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+ModelParamSet HandBuiltParams() {
+  ModelParamSet params;
+  params.num_keywords = 1;
+  params.num_locations = 1;
+  params.num_ticks = 200;
+  KeywordGlobalParams g;
+  g.population = 100.0;
+  g.beta = 0.5;
+  g.delta = 0.45;
+  g.gamma = 0.5;
+  g.i0 = 1.0;
+  params.global = {g};
+  Shock s;
+  s.keyword = 0;
+  s.start = 20;
+  s.period = 50;
+  s.width = 2;
+  s.base_strength = 8.0;
+  s.global_strengths.assign(s.NumOccurrences(200), 8.0);
+  params.shocks.push_back(s);
+  return params;
+}
+
+TEST(Forecast, LengthAndContinuity) {
+  ModelParamSet params = HandBuiltParams();
+  auto fc = ForecastGlobal(params, 0, 60);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_EQ(fc->size(), 60u);
+  // The forecast is the continuation of the full simulation.
+  Series full = SimulateGlobal(params, 0, 260);
+  for (size_t h = 0; h < 60; ++h) {
+    ASSERT_NEAR((*fc)[h], full[200 + h], 1e-12);
+  }
+}
+
+TEST(Forecast, CyclicShockRecursInFuture) {
+  ModelParamSet params = HandBuiltParams();
+  // Occurrences at 20, 70, 120, 170, 220, 270; the last two are in the
+  // forecast range (200..299).
+  auto fc = ForecastGlobal(params, 0, 100);
+  ASSERT_TRUE(fc.ok());
+  // A spike should appear shortly after forecast offsets 20 and 70.
+  double base = (*fc)[10];
+  EXPECT_GT((*fc)[23], base * 1.5);
+  EXPECT_GT((*fc)[73], base * 1.5);
+}
+
+TEST(Forecast, OneShotShockDoesNotRecur) {
+  ModelParamSet params = HandBuiltParams();
+  params.shocks[0].period = Shock::kNonCyclic;
+  params.shocks[0].global_strengths = {8.0};
+  auto fc = ForecastGlobal(params, 0, 100);
+  ASSERT_TRUE(fc.ok());
+  // No spikes: the forecast decays to the endemic level.
+  double lo = 1e18;
+  double hi = -1e18;
+  for (size_t h = 20; h < 100; ++h) {
+    lo = std::min(lo, (*fc)[h]);
+    hi = std::max(hi, (*fc)[h]);
+  }
+  EXPECT_LT(hi - lo, 2.0);
+}
+
+TEST(Forecast, FitAndForecastConcatenates) {
+  ModelParamSet params = HandBuiltParams();
+  auto full = FitAndForecastGlobal(params, 0, 40);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->size(), 240u);
+}
+
+TEST(Forecast, ErrorsOnBadIndices) {
+  ModelParamSet params = HandBuiltParams();
+  EXPECT_EQ(ForecastGlobal(params, 5, 10).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ForecastLocal(params, 0, 5, 10).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(FitAndForecastGlobal(params, 9, 10).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(Forecast, LocalRequiresLocalFit) {
+  ModelParamSet params = HandBuiltParams();
+  EXPECT_EQ(ForecastLocal(params, 0, 0, 10).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Forecast, LocalWorksAfterLocalMatrices) {
+  ModelParamSet params = HandBuiltParams();
+  params.num_locations = 2;
+  params.base_local = Matrix(1, 2, 50.0);
+  params.growth_local = Matrix(1, 2);
+  params.shocks[0].local_strengths =
+      Matrix(params.shocks[0].global_strengths.size(), 2, 8.0);
+  auto fc = ForecastLocal(params, 0, 1, 30);
+  ASSERT_TRUE(fc.ok()) << fc.status().ToString();
+  EXPECT_EQ(fc->size(), 30u);
+}
+
+TEST(Forecast, EndToEndGrammyBeatsNaive) {
+  // Train on 5 years, forecast 1: the model's forecast should beat the
+  // "repeat the training mean" baseline thanks to the recurring event.
+  GeneratorConfig config = GoogleTrendsConfig(21);
+  config.n_ticks = 312;
+  config.num_locations = 6;
+  config.num_outlier_locations = 0;
+  auto full = GenerateGlobalSequence(GrammyScenario(), config);
+  ASSERT_TRUE(full.ok());
+  Series train = full->Slice(0, 260);
+  Series test = full->Slice(260, 312);
+  auto fit = FitDspotSingle(train);
+  ASSERT_TRUE(fit.ok());
+  auto fc = ForecastGlobal(fit->params, 0, test.size());
+  ASSERT_TRUE(fc.ok());
+  Series naive(test.size());
+  for (size_t t = 0; t < naive.size(); ++t) naive[t] = train.MeanValue();
+  EXPECT_LT(Rmse(test, *fc), Rmse(test, naive));
+}
+
+}  // namespace
+}  // namespace dspot

@@ -1,0 +1,112 @@
+// Tests for src/core/impute: model-based missing-value filling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+#include "core/dspot.h"
+#include "core/impute.h"
+#include "core/simulate.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+TEST(Impute, FillsOnlyMissingTicks) {
+  ModelParamSet params;
+  params.num_keywords = 1;
+  params.num_locations = 1;
+  params.num_ticks = 50;
+  KeywordGlobalParams g;
+  g.population = 100.0;
+  g.beta = 0.5;
+  g.delta = 0.4;
+  g.gamma = 0.3;
+  g.i0 = 1.0;
+  params.global = {g};
+
+  Series data = SimulateGlobal(params, 0, 50);
+  data[10] = kMissingValue;
+  data[20] = kMissingValue;
+  const double observed_before = data[11];
+
+  auto imputed = ImputeGlobalSequence(data, params, 0);
+  ASSERT_TRUE(imputed.ok());
+  EXPECT_TRUE(imputed->IsObserved(10));
+  EXPECT_TRUE(imputed->IsObserved(20));
+  EXPECT_DOUBLE_EQ((*imputed)[11], observed_before);
+  // The filled value is the model's estimate.
+  const Series estimate = SimulateGlobal(params, 0, 50);
+  EXPECT_DOUBLE_EQ((*imputed)[10], estimate[10]);
+}
+
+TEST(Impute, BadKeywordIndex) {
+  ModelParamSet params;
+  params.global.resize(1);
+  EXPECT_EQ(ImputeGlobalSequence(Series(10), params, 5).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(Impute, TensorRequiresMatchingParams) {
+  ActivityTensor tensor(2, 2, 30);
+  ModelParamSet params;
+  params.global.resize(1);
+  params.num_ticks = 30;
+  EXPECT_EQ(ImputeTensor(tensor, params).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Impute, TensorRequiresLocalFitForMultiLocation) {
+  ActivityTensor tensor(1, 3, 30);
+  ModelParamSet params;
+  params.global.resize(1);
+  params.num_keywords = 1;
+  params.num_locations = 3;
+  params.num_ticks = 30;
+  EXPECT_EQ(ImputeTensor(tensor, params).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Impute, EndToEndRecoversHiddenValues) {
+  // Generate clean data, hide 10% of it, fit, impute, and compare the
+  // imputed entries against the hidden truth: imputation error should be
+  // of the same order as the observation noise, far below the data range.
+  GeneratorConfig clean_config = GoogleTrendsConfig(13);
+  clean_config.n_ticks = 260;
+  clean_config.num_locations = 4;
+  clean_config.num_outlier_locations = 0;
+  auto clean = GenerateTensor({GrammyScenario()}, clean_config);
+  ASSERT_TRUE(clean.ok());
+  const Series truth = clean->tensor.GlobalSequence(0);
+
+  Series holey = truth;
+  Random rng(77);
+  std::vector<size_t> hidden;
+  for (size_t t = 20; t < holey.size(); ++t) {
+    if (rng.Bernoulli(0.1)) {
+      holey[t] = kMissingValue;
+      hidden.push_back(t);
+    }
+  }
+  ASSERT_GT(hidden.size(), 10u);
+
+  auto fit = FitDspotSingle(holey);
+  ASSERT_TRUE(fit.ok());
+  auto imputed = ImputeGlobalSequence(holey, fit->params, 0);
+  ASSERT_TRUE(imputed.ok());
+
+  double err = 0.0;
+  for (size_t t : hidden) {
+    err += Square((*imputed)[t] - truth[t]);
+  }
+  err = std::sqrt(err / static_cast<double>(hidden.size()));
+  const double range = truth.MaxValue() - truth.MinValue();
+  EXPECT_LT(err, 0.2 * range);
+}
+
+}  // namespace
+}  // namespace dspot

@@ -1,0 +1,128 @@
+// Cross-module integration tests: the full pipeline a downstream user
+// runs — generate -> save CSV -> load -> fit -> report -> outliers ->
+// impute -> forecast — plus an end-to-end property sweep over scenario
+// structures.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/dspot.h"
+#include "core/impute.h"
+#include "core/outliers.h"
+#include "core/report.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "tensor/tensor_io.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+TEST(Integration, CsvRoundTripThenFullPipeline) {
+  // 1. Generate and persist.
+  GeneratorConfig config = GoogleTrendsConfig(19);
+  config.n_ticks = 312;
+  config.num_locations = 6;
+  config.num_outlier_locations = 2;
+  config.missing_rate = 0.05;
+  KeywordScenario sc = EbolaScenario();
+  sc.shocks[0].start = 180;
+  auto generated = GenerateTensor({sc}, config);
+  ASSERT_TRUE(generated.ok());
+  const std::string path = ::testing::TempDir() + "/integration_tensor.csv";
+  ASSERT_TRUE(SaveTensorCsv(generated->tensor, path).ok());
+
+  // 2. Load it back with missing cells preserved.
+  auto loaded = LoadTensorCsv(path, /*fill_absent_with_zero=*/false);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_ticks(), 312u);
+  EXPECT_LT(loaded->ObservedCount(), 6u * 312u);  // some cells missing
+
+  // 3. Fit the full model on the loaded tensor.
+  auto result = FitDspot(*loaded);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->params.ShockCountFor(0), 1u);
+
+  // 4. Report mentions the detected burst (tick 180 -> 2007).
+  const std::string report =
+      RenderReport(result->params, loaded->keywords());
+  EXPECT_NE(report.find("ebola"), std::string::npos);
+  EXPECT_NE(report.find("event"), std::string::npos);
+
+  // 5. The generated outliers are flagged.
+  auto outliers = FindOutlierLocations(result->params, 0);
+  ASSERT_TRUE(outliers.ok()) << outliers.status().ToString();
+  size_t true_outliers_found = 0;
+  for (size_t j : *outliers) {
+    if (generated->truth.is_outlier[j]) ++true_outliers_found;
+  }
+  EXPECT_EQ(true_outliers_found, 2u);
+
+  // 6. Imputation fills every missing cell with finite values.
+  auto imputed = ImputeTensor(*loaded, result->params);
+  ASSERT_TRUE(imputed.ok()) << imputed.status().ToString();
+  EXPECT_EQ(imputed->ObservedCount(), 6u * 312u);
+
+  // 7. Forecast runs from the fitted model.
+  auto forecast = ForecastGlobal(result->params, 0, 52);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_EQ(forecast->size(), 52u);
+  for (size_t t = 0; t < forecast->size(); ++t) {
+    EXPECT_TRUE(std::isfinite((*forecast)[t]));
+  }
+}
+
+/// End-to-end property: across event periods and strengths, the pipeline
+/// detects a cyclic event whose period divides into the truth (the
+/// detector may lock onto the fundamental or a harmonic when occurrence
+/// strengths vary), and the fit is tight.
+class ScenarioSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(ScenarioSweep, DetectsPlantedCycle) {
+  const auto [period, strength] = GetParam();
+  KeywordScenario sc;
+  sc.name = "sweep";
+  sc.population = 220.0;
+  sc.beta = 0.5;
+  sc.delta = 0.45;
+  sc.gamma = 0.5;
+  sc.shocks.push_back({.period = period,
+                       .start = period / 4,
+                       .width = 2,
+                       .strength = strength,
+                       .strength_jitter = 0.15});
+  GeneratorConfig config = GoogleTrendsConfig(23 + period);
+  config.n_ticks = 416;
+  config.num_locations = 5;
+  config.num_outlier_locations = 0;
+  auto data = GenerateGlobalSequence(sc, config);
+  ASSERT_TRUE(data.ok());
+  auto fit = FitGlobalSequence(*data, 0, 1);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+
+  bool found = false;
+  for (const Shock& s : fit->shocks) {
+    if (!s.IsCyclic()) continue;
+    // Accept the fundamental or a small multiple of it.
+    for (size_t mult = 1; mult <= 4; ++mult) {
+      const size_t target = period * mult;
+      const size_t drift =
+          s.period > target ? s.period - target : target - s.period;
+      if (drift <= 2) found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "period " << period << " strength " << strength;
+  const double range = data->MaxValue() - data->MinValue();
+  EXPECT_LT(fit->rmse, 0.15 * range);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ScenarioSweep,
+    ::testing::Combine(::testing::Values(26u, 52u, 104u),
+                       ::testing::Values(6.0, 12.0)));
+
+}  // namespace
+}  // namespace dspot

@@ -1,0 +1,128 @@
+// Tests for LOCALFIT (Algorithm 3): per-location populations, growth
+// rates and sparse local shock strengths.
+
+#include <gtest/gtest.h>
+
+#include "core/dspot.h"
+#include "core/global_fit.h"
+#include "core/local_fit.h"
+#include "core/simulate.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+/// Fixture: one generated tensor + global fit, shared across the tests in
+/// this file (LocalFit inputs are deterministic given the seed).
+class LocalFitTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorConfig config = GoogleTrendsConfig(7);
+    config.n_ticks = 312;
+    config.num_locations = 8;
+    config.num_outlier_locations = 2;
+    auto generated = GenerateTensor({EbolaOn200()}, config);
+    ASSERT_TRUE(generated.ok());
+    generated_ = new GeneratedTensor(std::move(generated).value());
+    auto params = GlobalFit(generated_->tensor);
+    ASSERT_TRUE(params.ok());
+    params_ = new ModelParamSet(std::move(params).value());
+    ASSERT_TRUE(LocalFit(generated_->tensor, params_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete generated_;
+    delete params_;
+    generated_ = nullptr;
+    params_ = nullptr;
+  }
+
+  static KeywordScenario EbolaOn200() {
+    KeywordScenario sc = EbolaScenario();
+    sc.shocks[0].start = 200;
+    return sc;
+  }
+
+  static GeneratedTensor* generated_;
+  static ModelParamSet* params_;
+};
+
+GeneratedTensor* LocalFitTest::generated_ = nullptr;
+ModelParamSet* LocalFitTest::params_ = nullptr;
+
+TEST_F(LocalFitTest, PopulatesLocalMatrices) {
+  EXPECT_TRUE(params_->has_local());
+  EXPECT_EQ(params_->base_local.rows(), 1u);
+  EXPECT_EQ(params_->base_local.cols(), 8u);
+  EXPECT_EQ(params_->growth_local.rows(), 1u);
+}
+
+TEST_F(LocalFitTest, ShockLocalStrengthsSized) {
+  for (const Shock& s : params_->shocks) {
+    EXPECT_EQ(s.local_strengths.rows(), s.global_strengths.size());
+    EXPECT_EQ(s.local_strengths.cols(), 8u);
+  }
+}
+
+TEST_F(LocalFitTest, LocalPopulationsTrackTruthOrdering) {
+  // Zipf shares: location 0 largest. Fitted local populations should
+  // preserve the ordering of the true ones for the big locations.
+  EXPECT_GT(params_->base_local(0, 0), params_->base_local(0, 1));
+  EXPECT_GT(params_->base_local(0, 1), params_->base_local(0, 3));
+}
+
+TEST_F(LocalFitTest, OutliersGetSparseStrengths) {
+  // The two trailing locations are low-connectivity outliers that mostly
+  // do not participate in the burst: their fitted strengths are zero (or
+  // near) while the biggest location participates strongly.
+  double outlier_strength = 0.0;
+  double main_strength = 0.0;
+  for (const Shock& s : params_->shocks) {
+    for (size_t m = 0; m < s.local_strengths.rows(); ++m) {
+      outlier_strength += s.local_strengths(m, 7);
+      main_strength += s.local_strengths(m, 0);
+    }
+  }
+  EXPECT_GT(main_strength, 0.5);
+  EXPECT_LT(outlier_strength, 0.1);
+}
+
+TEST_F(LocalFitTest, LocalEstimatesFitLocalSequences) {
+  for (size_t j = 0; j < 8; ++j) {
+    const Series data = generated_->tensor.LocalSequence(0, j);
+    const Series est = SimulateLocal(*params_, 0, j, 312);
+    const double range = data.MaxValue() - data.MinValue();
+    if (range < 1.0) continue;  // outlier locations are nearly flat
+    EXPECT_LT(Rmse(data, est), 0.25 * range) << "location " << j;
+  }
+}
+
+TEST_F(LocalFitTest, LocalEstimatesSumNearGlobal) {
+  Series sum(312);
+  for (size_t j = 0; j < 8; ++j) {
+    const Series est = SimulateLocal(*params_, 0, j, 312);
+    for (size_t t = 0; t < 312; ++t) sum[t] += est[t];
+  }
+  const Series global = generated_->tensor.GlobalSequence(0);
+  const double range = global.MaxValue() - global.MinValue();
+  EXPECT_LT(Rmse(global, sum), 0.25 * range);
+}
+
+TEST(LocalFitErrors, NullParams) {
+  ActivityTensor tensor(1, 1, 32);
+  EXPECT_EQ(LocalFit(tensor, nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LocalFitErrors, DimensionMismatch) {
+  ActivityTensor tensor(2, 2, 32);
+  ModelParamSet params;
+  params.global.resize(1);
+  params.num_ticks = 32;
+  EXPECT_EQ(LocalFit(tensor, &params).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace dspot

@@ -1,0 +1,147 @@
+// Unit tests for src/mdl: universal integer code and Gaussian coding cost.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "mdl/mdl.h"
+
+namespace dspot {
+namespace {
+
+TEST(Mdl, LogStarSmallValues) {
+  // log*(1) = log2(c_omega) only.
+  EXPECT_NEAR(LogStar(1.0), 1.5186, 1e-3);
+  EXPECT_NEAR(LogStar(0.0), 1.5186, 1e-3);
+}
+
+TEST(Mdl, LogStarMonotone) {
+  double prev = LogStar(1.0);
+  for (double x : {2.0, 4.0, 16.0, 256.0, 65536.0}) {
+    const double cur = LogStar(x);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Mdl, LogStarKnownExpansion) {
+  // log*(16) = log2(16) + log2(4) + log2(2) + log2(1)=0 terms + c.
+  EXPECT_NEAR(LogStar(16.0), 4.0 + 2.0 + 1.0 + 1.5186, 1e-3);
+}
+
+TEST(Mdl, LogChoiceCost) {
+  EXPECT_DOUBLE_EQ(LogChoiceCost(1), 0.0);
+  EXPECT_DOUBLE_EQ(LogChoiceCost(0), 0.0);
+  EXPECT_DOUBLE_EQ(LogChoiceCost(8), 3.0);
+}
+
+TEST(Mdl, GaussianCodingCostEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(GaussianCodingCost(std::vector<double>{}), 0.0);
+}
+
+TEST(Mdl, GaussianCodingCostSkipsMissing) {
+  std::vector<double> a = {1.0, -1.0};
+  std::vector<double> b = {1.0, kMissingValue, -1.0, kMissingValue};
+  EXPECT_NEAR(GaussianCodingCost(a), GaussianCodingCost(b), 1e-9);
+}
+
+TEST(Mdl, SmallerResidualsCodeCheaper) {
+  Random rng(9);
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 200; ++i) {
+    const double g = rng.Gaussian();
+    small.push_back(0.5 * g);
+    large.push_back(5.0 * g);
+  }
+  EXPECT_LT(GaussianCodingCost(small), GaussianCodingCost(large));
+}
+
+TEST(Mdl, CostScalesWithCount) {
+  std::vector<double> r100(100);
+  std::vector<double> r200(200);
+  Random rng(10);
+  for (double& v : r100) v = rng.Gaussian();
+  for (double& v : r200) v = rng.Gaussian();
+  EXPECT_LT(GaussianCodingCost(r100), GaussianCodingCost(r200));
+}
+
+TEST(Mdl, SeriesOverloadMatchesVectorForm) {
+  Series actual(std::vector<double>{1, 2, 3, 4});
+  Series estimate(std::vector<double>{1.1, 1.9, 3.2, 3.7});
+  std::vector<double> residuals;
+  for (size_t t = 0; t < 4; ++t) residuals.push_back(actual[t] - estimate[t]);
+  EXPECT_NEAR(GaussianCodingCost(actual, estimate),
+              GaussianCodingCost(residuals), 1e-9);
+}
+
+TEST(Mdl, SigmaFloorPreventsDegenerateCodes) {
+  // Identical residuals: with the floor, the cost stays finite.
+  std::vector<double> zeros(50, 0.0);
+  const double cost = GaussianCodingCost(zeros);
+  EXPECT_TRUE(std::isfinite(cost));
+}
+
+/// Property sweep: the coding cost per residual approaches the entropy of
+/// the generating Gaussian (within a modest tolerance), for several sigmas.
+class GaussianCodingEntropy : public ::testing::TestWithParam<double> {};
+
+TEST_P(GaussianCodingEntropy, ApproachesEntropy) {
+  const double sigma = GetParam();
+  Random rng(42);
+  std::vector<double> residuals(20000);
+  for (double& v : residuals) v = rng.Gaussian(0.0, sigma);
+  const double bits_per_obs =
+      GaussianCodingCost(residuals) / static_cast<double>(residuals.size());
+  const double entropy = 0.5 * std::log2(2.0 * M_PI * M_E * sigma * sigma);
+  EXPECT_NEAR(bits_per_obs, entropy, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, GaussianCodingEntropy,
+                         ::testing::Values(0.5, 1.0, 3.0, 10.0));
+
+TEST(PoissonCoding, PerfectPredictionCheapest) {
+  Series actual(std::vector<double>{3, 7, 2, 9});
+  Series perfect = actual;
+  Series off(std::vector<double>{9, 2, 7, 3});
+  EXPECT_LT(PoissonCodingCost(actual, perfect),
+            PoissonCodingCost(actual, off));
+}
+
+TEST(PoissonCoding, SkipsMissing) {
+  Series a(std::vector<double>{5, kMissingValue});
+  Series e(std::vector<double>{5, 100});
+  Series a2(std::vector<double>{5});
+  Series e2(std::vector<double>{5});
+  EXPECT_NEAR(PoissonCodingCost(a, e), PoissonCodingCost(a2, e2), 1e-9);
+}
+
+TEST(PoissonCoding, HeteroscedasticTolerance) {
+  // The same absolute error costs fewer bits on top of a large mean than
+  // a small one (variance scales with the mean).
+  Series small_actual(std::vector<double>{8});
+  Series small_estimate(std::vector<double>{4});
+  Series big_actual(std::vector<double>{104});
+  Series big_estimate(std::vector<double>{100});
+  EXPECT_GT(PoissonCodingCost(small_actual, small_estimate),
+            PoissonCodingCost(big_actual, big_estimate));
+}
+
+TEST(PoissonCoding, FiniteOnZeroPrediction) {
+  Series actual(std::vector<double>{5});
+  Series estimate(std::vector<double>{0.0});
+  EXPECT_TRUE(std::isfinite(PoissonCodingCost(actual, estimate)));
+}
+
+TEST(PoissonCoding, DispatchMatches) {
+  Series a(std::vector<double>{1, 2, 3});
+  Series e(std::vector<double>{1.2, 2.1, 2.8});
+  EXPECT_DOUBLE_EQ(CodingCost(a, e, CodingModel::kGaussian),
+                   GaussianCodingCost(a, e));
+  EXPECT_DOUBLE_EQ(CodingCost(a, e, CodingModel::kPoisson),
+                   PoissonCodingCost(a, e));
+}
+
+}  // namespace
+}  // namespace dspot

@@ -1,0 +1,99 @@
+// Tests for src/core/outliers: participation scoring and outlier flags.
+
+#include <gtest/gtest.h>
+
+#include "core/outliers.h"
+
+namespace dspot {
+namespace {
+
+/// Hand-built LocalFit'd parameter set: 1 keyword, 4 locations, one annual
+/// shock with 3 occurrences. Locations 0/1 participate fully, location 2
+/// weakly, location 3 not at all.
+ModelParamSet BuildParams() {
+  ModelParamSet params;
+  params.num_keywords = 1;
+  params.num_locations = 4;
+  params.num_ticks = 160;
+  KeywordGlobalParams g;
+  g.population = 100.0;
+  params.global = {g};
+  params.base_local = Matrix(1, 4, 25.0);
+  params.growth_local = Matrix(1, 4);
+
+  Shock s;
+  s.keyword = 0;
+  s.period = 52;
+  s.start = 6;
+  s.width = 2;
+  s.base_strength = 4.0;
+  s.global_strengths.assign(3, 4.0);
+  s.local_strengths = Matrix(3, 4);
+  for (size_t m = 0; m < 3; ++m) {
+    s.local_strengths(m, 0) = 4.0;
+    s.local_strengths(m, 1) = 3.6;
+    s.local_strengths(m, 2) = 0.4;
+    s.local_strengths(m, 3) = 0.0;
+  }
+  params.shocks.push_back(std::move(s));
+  return params;
+}
+
+TEST(Outliers, ScoresParticipation) {
+  const ModelParamSet params = BuildParams();
+  auto scores = ScoreLocationReactions(params, 0);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  ASSERT_EQ(scores->size(), 4u);
+  EXPECT_NEAR((*scores)[0].participation_ratio, 1.0, 1e-9);
+  EXPECT_NEAR((*scores)[1].participation_ratio, 0.9, 1e-9);
+  EXPECT_NEAR((*scores)[2].participation_ratio, 0.1, 1e-9);
+  EXPECT_NEAR((*scores)[3].participation_ratio, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ((*scores)[3].zero_fraction, 1.0);
+  EXPECT_DOUBLE_EQ((*scores)[0].zero_fraction, 0.0);
+}
+
+TEST(Outliers, FlagsByThreshold) {
+  const ModelParamSet params = BuildParams();
+  auto scores = ScoreLocationReactions(params, 0);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_FALSE((*scores)[0].is_outlier);
+  EXPECT_FALSE((*scores)[1].is_outlier);
+  EXPECT_TRUE((*scores)[2].is_outlier);
+  EXPECT_TRUE((*scores)[3].is_outlier);
+}
+
+TEST(Outliers, FindOutlierLocations) {
+  auto outliers = FindOutlierLocations(BuildParams(), 0);
+  ASSERT_TRUE(outliers.ok());
+  EXPECT_EQ(*outliers, (std::vector<size_t>{2, 3}));
+}
+
+TEST(Outliers, CustomThresholds) {
+  OutlierOptions strict;
+  strict.participation_threshold = 0.95;  // flags everything below 95%
+  auto outliers = FindOutlierLocations(BuildParams(), 0, strict);
+  ASSERT_TRUE(outliers.ok());
+  EXPECT_EQ(*outliers, (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST(Outliers, ErrorsWithoutLocalFit) {
+  ModelParamSet params = BuildParams();
+  params.base_local = Matrix();
+  EXPECT_EQ(ScoreLocationReactions(params, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Outliers, ErrorsWithoutShocks) {
+  ModelParamSet params = BuildParams();
+  params.shocks.clear();
+  EXPECT_EQ(ScoreLocationReactions(params, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Outliers, ErrorsOnBadKeyword) {
+  EXPECT_EQ(ScoreLocationReactions(BuildParams(), 7).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace dspot

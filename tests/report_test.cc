@@ -1,0 +1,116 @@
+// Tests for src/core/report: calendar rendering and event summaries.
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace dspot {
+namespace {
+
+TEST(Report, TickToCalendarWeekly) {
+  EXPECT_EQ(TickToCalendar(0), "2004-Jan");
+  EXPECT_EQ(TickToCalendar(51), "2004-Dec");
+  EXPECT_EQ(TickToCalendar(52), "2005-Jan");
+  EXPECT_EQ(TickToCalendar(343), "2010-Aug");  // the Amazon onset
+}
+
+TEST(Report, TickToCalendarCustomAxis) {
+  CalendarConfig daily;
+  daily.ticks_per_year = 365;
+  daily.start_year = 2011;
+  EXPECT_EQ(TickToCalendar(0, daily), "2011-Jan");
+  EXPECT_EQ(TickToCalendar(364, daily), "2011-Dec");
+  EXPECT_EQ(TickToCalendar(400, daily), "2012-Feb");
+}
+
+Shock AnnualShock() {
+  Shock s;
+  s.keyword = 0;
+  s.period = 52;
+  s.start = 6;
+  s.width = 2;
+  s.base_strength = 3.5;
+  s.global_strengths.assign(5, 3.5);
+  return s;
+}
+
+TEST(Report, DescribeShockCyclic) {
+  const std::string d = DescribeShock(AnnualShock());
+  EXPECT_NE(d.find("cyclic"), std::string::npos);
+  EXPECT_NE(d.find("~1.0 year"), std::string::npos);
+  EXPECT_NE(d.find("2004-Feb"), std::string::npos);
+  EXPECT_NE(d.find("3.50"), std::string::npos);
+  EXPECT_NE(d.find("5 occurrences"), std::string::npos);
+}
+
+TEST(Report, DescribeShockOneShot) {
+  Shock s;
+  s.start = 553;
+  s.width = 8;
+  s.base_strength = 18.0;
+  s.global_strengths = {18.0};
+  const std::string d = DescribeShock(s);
+  EXPECT_NE(d.find("one-shot"), std::string::npos);
+  EXPECT_NE(d.find("2014"), std::string::npos);
+  EXPECT_NE(d.find("1 occurrence"), std::string::npos);
+}
+
+TEST(Report, DescribeShortPeriodInTicks) {
+  Shock s = AnnualShock();
+  s.period = 7;
+  const std::string d = DescribeShock(s);
+  EXPECT_NE(d.find("every 7 ticks"), std::string::npos);
+}
+
+ModelParamSet SampleParams() {
+  ModelParamSet params;
+  params.num_keywords = 2;
+  params.num_locations = 3;
+  params.num_ticks = 260;
+  KeywordGlobalParams g;
+  g.population = 150.0;
+  g.beta = 0.5;
+  g.delta = 0.4;
+  g.gamma = 0.3;
+  params.global = {g, g};
+  params.global[1].growth_rate = 0.2;
+  params.global[1].growth_start = 100;
+  Shock strong = AnnualShock();
+  strong.base_strength = 9.0;
+  Shock weak = AnnualShock();
+  weak.keyword = 1;
+  weak.base_strength = 2.0;
+  params.shocks = {weak, strong};
+  return params;
+}
+
+TEST(Report, SummariesSortedByStrength) {
+  const auto events = SummarizeEvents(SampleParams());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].strength, 9.0);
+  EXPECT_DOUBLE_EQ(events[1].strength, 2.0);
+  EXPECT_EQ(events[0].keyword, 0u);
+  EXPECT_TRUE(events[0].cyclic);
+  EXPECT_FALSE(events[0].description.empty());
+}
+
+TEST(Report, RenderReportMentionsEverything) {
+  const std::string report =
+      RenderReport(SampleParams(), {"grammy", "amazon"});
+  EXPECT_NE(report.find("grammy"), std::string::npos);
+  EXPECT_NE(report.find("amazon"), std::string::npos);
+  EXPECT_NE(report.find("growth effect"), std::string::npos);
+  EXPECT_NE(report.find("cyclic event"), std::string::npos);
+  EXPECT_NE(report.find("N=150.0"), std::string::npos);
+}
+
+TEST(Report, RenderReportWithoutNames) {
+  ModelParamSet params = SampleParams();
+  params.shocks.clear();
+  const std::string report = RenderReport(params);
+  EXPECT_NE(report.find("keyword 0"), std::string::npos);
+  EXPECT_NE(report.find("no external events"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dspot

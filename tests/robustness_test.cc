@@ -1,0 +1,175 @@
+// Failure-injection and degenerate-input robustness: the fitter and its
+// substrates must return clean errors or sane fits — never crash, hang or
+// emit non-finite values — on hostile inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ar.h"
+#include "baselines/tbats.h"
+#include "core/dspot.h"
+#include "core/global_fit.h"
+#include "common/random.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "epidemics/sir_family.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+Series ConstantSeries(size_t n, double v) {
+  Series s(n);
+  for (size_t t = 0; t < n; ++t) s[t] = v;
+  return s;
+}
+
+TEST(Robustness, ConstantSeriesFitsWithoutEvents) {
+  auto fit = FitGlobalSequence(ConstantSeries(128, 25.0), 0, 1);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_TRUE(fit->shocks.empty());
+  EXPECT_LT(fit->rmse, 2.0);
+  for (size_t t = 0; t < fit->estimate.size(); ++t) {
+    ASSERT_TRUE(std::isfinite(fit->estimate[t]));
+  }
+}
+
+TEST(Robustness, AllZeroSeries) {
+  auto fit = FitGlobalSequence(ConstantSeries(96, 0.0), 0, 1);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_LT(fit->rmse, 1.0);
+}
+
+TEST(Robustness, MostlyMissingSeriesRejectedOrFit) {
+  Series s(100);
+  for (size_t t = 0; t < 100; ++t) s[t] = kMissingValue;
+  // 10 observed points: below the fitter's floor -> clean error.
+  for (size_t t = 0; t < 10; ++t) s[t * 10] = 5.0;
+  auto fit = FitGlobalSequence(s, 0, 1);
+  EXPECT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Robustness, HalfMissingStillFits) {
+  GeneratorConfig config = GoogleTrendsConfig(3);
+  config.n_ticks = 260;
+  config.num_locations = 4;
+  config.num_outlier_locations = 0;
+  config.missing_rate = 0.5;
+  auto data = GenerateGlobalSequence(GrammyScenario(), config);
+  ASSERT_TRUE(data.ok());
+  auto fit = FitGlobalSequence(*data, 0, 1);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  for (size_t t = 0; t < fit->estimate.size(); ++t) {
+    ASSERT_TRUE(std::isfinite(fit->estimate[t]));
+  }
+}
+
+TEST(Robustness, SingleExtremeOutlierDoesNotPoisonFit) {
+  Series s = ConstantSeries(200, 10.0);
+  s[77] = 1e5;  // a data glitch, not an event the base should absorb
+  auto fit = FitGlobalSequence(s, 0, 1);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  // Away from the glitch, the fit stays at the signal's order of
+  // magnitude — not dragged toward the 1e5 outlier (N >= peak forces the
+  // dynamics to a huge population, so some level distortion is expected).
+  double err = 0.0;
+  size_t count = 0;
+  for (size_t t = 0; t < 60; ++t) {
+    err += std::fabs(fit->estimate[t] - 10.0);
+    ++count;
+  }
+  EXPECT_LT(err / static_cast<double>(count), 50.0);
+}
+
+TEST(Robustness, TinyMagnitudeSeries) {
+  Random rng(5);
+  Series s(128);
+  for (size_t t = 0; t < s.size(); ++t) {
+    s[t] = 1e-4 * (1.0 + 0.1 * rng.Gaussian());
+  }
+  auto fit = FitGlobalSequence(s, 0, 1);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_TRUE(std::isfinite(fit->rmse));
+}
+
+TEST(Robustness, HugeMagnitudeSeries) {
+  Random rng(6);
+  Series s(128);
+  for (size_t t = 0; t < s.size(); ++t) {
+    s[t] = 1e8 * (1.0 + 0.1 * rng.Gaussian());
+  }
+  auto fit = FitGlobalSequence(s, 0, 1);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_TRUE(std::isfinite(fit->rmse));
+  EXPECT_LT(fit->rmse, 1e8);
+}
+
+TEST(Robustness, PureNoiseFindsFewOrNoEvents) {
+  Random rng(8);
+  Series s(312);
+  for (size_t t = 0; t < s.size(); ++t) {
+    s[t] = std::max(20.0 + rng.Gaussian(0.0, 4.0), 0.0);
+  }
+  auto fit = FitGlobalSequence(s, 0, 1);
+  ASSERT_TRUE(fit.ok());
+  // White noise admits no justified events (allow at most one marginal
+  // false positive across the whole sequence).
+  EXPECT_LE(fit->shocks.size(), 1u);
+}
+
+TEST(Robustness, BaselinesHandleConstantInput) {
+  const Series s = ConstantSeries(120, 5.0);
+  EXPECT_TRUE(ArModel::Fit(s, 4).ok());
+  auto sirs = FitSirs(s);
+  ASSERT_TRUE(sirs.ok());
+  EXPECT_TRUE(std::isfinite(sirs->info.rmse));
+}
+
+TEST(Robustness, TbatsConstantInput) {
+  TbatsConfig config;
+  config.period = 12;
+  auto model = TbatsModel::Fit(ConstantSeries(120, 5.0), config);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  Series f = model->Forecast(ConstantSeries(120, 5.0), 12);
+  for (size_t t = 0; t < f.size(); ++t) {
+    EXPECT_NEAR(f[t], 5.0, 1.0);
+  }
+}
+
+TEST(Robustness, ForecastHorizonZero) {
+  ModelParamSet params;
+  params.num_keywords = 1;
+  params.num_locations = 1;
+  params.num_ticks = 64;
+  params.global.resize(1);
+  auto fc = ForecastGlobal(params, 0, 0);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_EQ(fc->size(), 0u);
+}
+
+TEST(Robustness, TensorWithOneTick) {
+  // Degenerate duration: generation refuses (< 8 ticks).
+  GeneratorConfig config;
+  config.n_ticks = 4;
+  config.num_locations = 2;
+  EXPECT_FALSE(GenerateTensor({GrammyScenario()}, config).ok());
+}
+
+TEST(Robustness, FitDspotSingleOnShortButValidSeries) {
+  GeneratorConfig config = GoogleTrendsConfig(4);
+  config.n_ticks = 64;
+  config.num_locations = 3;
+  config.num_outlier_locations = 0;
+  KeywordScenario sc = GrammyScenario();
+  sc.shocks[0].period = 26;
+  sc.shocks[0].start = 6;
+  auto data = GenerateGlobalSequence(sc, config);
+  ASSERT_TRUE(data.ok());
+  auto fit = FitDspotSingle(*data);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+}
+
+}  // namespace
+}  // namespace dspot

@@ -1,0 +1,113 @@
+// Unit tests for src/core/shock_detection: candidate proposal from
+// residual bursts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/shock_detection.h"
+
+namespace dspot {
+namespace {
+
+/// A residual with bursts at the given starts (each `width` ticks tall).
+Series ResidualWithBursts(size_t n, const std::vector<size_t>& starts,
+                          size_t width = 2, double height = 50.0) {
+  Series r(n);
+  for (size_t s : starts) {
+    for (size_t w = 0; w < width && s + w < n; ++w) {
+      r[s + w] = height;
+    }
+  }
+  return r;
+}
+
+TEST(ShockDetection, EmptyResidualYieldsNoCandidates) {
+  EXPECT_TRUE(ProposeShockCandidates(Series(100), 0).empty());
+}
+
+TEST(ShockDetection, SingleBurstYieldsOneShot) {
+  Series r = ResidualWithBursts(200, {80});
+  auto candidates = ProposeShockCandidates(r, 3);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].keyword, 3u);
+  EXPECT_FALSE(candidates[0].IsCyclic());
+  EXPECT_EQ(candidates[0].start, 80u);
+  EXPECT_EQ(candidates[0].global_strengths.size(), 1u);
+}
+
+TEST(ShockDetection, PeriodicBurstsYieldCyclicHypothesis) {
+  Series r = ResidualWithBursts(260, {6, 58, 110, 162, 214});
+  auto candidates = ProposeShockCandidates(r, 0);
+  bool found_52 = false;
+  for (const Shock& c : candidates) {
+    if (c.IsCyclic() && c.period >= 50 && c.period <= 54) {
+      found_52 = true;
+      EXPECT_LE(c.start, 8u);
+      EXPECT_EQ(c.global_strengths.size(), c.NumOccurrences(260));
+    }
+  }
+  EXPECT_TRUE(found_52);
+}
+
+TEST(ShockDetection, CyclicDisabledByOption) {
+  Series r = ResidualWithBursts(260, {6, 58, 110, 162, 214});
+  ShockDetectionOptions options;
+  options.allow_cyclic = false;
+  auto candidates = ProposeShockCandidates(r, 0, options);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_FALSE(candidates[0].IsCyclic());
+}
+
+TEST(ShockDetection, MixedTrainsDoNotAlign) {
+  // Two interleaved trains 18 ticks apart; hypotheses for the anchor train
+  // must not claim the other train's bursts (drift > tolerance).
+  Series r = ResidualWithBursts(300, {20, 124, 228}, 2, 100.0);
+  Series other = ResidualWithBursts(300, {38, 142, 246}, 2, 40.0);
+  for (size_t t = 0; t < 300; ++t) {
+    r[t] = std::max(r[t], other[t]);
+  }
+  auto candidates = ProposeShockCandidates(r, 0);
+  bool found_104 = false;
+  for (const Shock& c : candidates) {
+    if (c.IsCyclic() && c.period == 104) {
+      found_104 = true;
+      EXPECT_EQ(c.start, 20u);
+    }
+  }
+  EXPECT_TRUE(found_104);
+}
+
+TEST(ShockDetection, RespectsMinPeriod) {
+  // Bursts 3 apart: below min_period, so only the one-shot remains.
+  Series r = ResidualWithBursts(100, {40, 43, 46}, 1, 80.0);
+  ShockDetectionOptions options;
+  options.min_period = 10;
+  auto candidates = ProposeShockCandidates(r, 0, options);
+  for (const Shock& c : candidates) {
+    if (c.IsCyclic()) {
+      EXPECT_GE(c.period, 10u);
+    }
+  }
+}
+
+TEST(ShockDetection, CandidateCountBounded) {
+  // Rich burst structure: at most 1 + max_period_candidates proposals.
+  Series r = ResidualWithBursts(520, {6, 58, 110, 162, 214, 266, 318, 370});
+  ShockDetectionOptions options;
+  options.max_period_candidates = 2;
+  auto candidates = ProposeShockCandidates(r, 0, options);
+  EXPECT_LE(candidates.size(), 3u);
+}
+
+TEST(ShockDetection, StrengthsProposedAsZero) {
+  Series r = ResidualWithBursts(260, {6, 58, 110});
+  for (const Shock& c : ProposeShockCandidates(r, 0)) {
+    for (double s : c.global_strengths) {
+      EXPECT_DOUBLE_EQ(s, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dspot

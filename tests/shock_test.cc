@@ -1,0 +1,156 @@
+// Unit tests for src/core/shock: occurrence indexing, strength lookup,
+// epsilon construction.
+
+#include <gtest/gtest.h>
+
+#include "core/shock.h"
+
+namespace dspot {
+namespace {
+
+Shock MakeCyclic(size_t start, size_t period, size_t width, size_t n) {
+  Shock s;
+  s.keyword = 0;
+  s.start = start;
+  s.period = period;
+  s.width = width;
+  s.global_strengths.assign(s.NumOccurrences(n), 1.0);
+  s.base_strength = 1.0;
+  return s;
+}
+
+TEST(Shock, NumOccurrencesOneShot) {
+  Shock s;
+  s.start = 10;
+  s.width = 3;
+  EXPECT_EQ(s.NumOccurrences(100), 1u);
+  EXPECT_EQ(s.NumOccurrences(10), 0u);  // starts at/after horizon
+  EXPECT_EQ(s.NumOccurrences(11), 1u);
+}
+
+TEST(Shock, NumOccurrencesCyclic) {
+  Shock s = MakeCyclic(6, 52, 2, 260);
+  // Occurrences at 6, 58, 110, 162, 214: five within 260 ticks.
+  EXPECT_EQ(s.NumOccurrences(260), 5u);
+  EXPECT_EQ(s.NumOccurrences(59), 2u);  // tick 58 is inside horizon 59
+  EXPECT_EQ(s.NumOccurrences(58), 1u);  // ticks 0..57 only
+}
+
+TEST(Shock, OccurrenceIndexAtCoversWindows) {
+  Shock s = MakeCyclic(6, 52, 2, 260);
+  EXPECT_EQ(s.OccurrenceIndexAt(5), kNpos);
+  EXPECT_EQ(s.OccurrenceIndexAt(6), 0u);
+  EXPECT_EQ(s.OccurrenceIndexAt(7), 0u);
+  EXPECT_EQ(s.OccurrenceIndexAt(8), kNpos);
+  EXPECT_EQ(s.OccurrenceIndexAt(58), 1u);
+  EXPECT_EQ(s.OccurrenceIndexAt(110), 2u);
+  EXPECT_EQ(s.OccurrenceIndexAt(109), kNpos);
+}
+
+TEST(Shock, OneShotWindow) {
+  Shock s;
+  s.start = 10;
+  s.width = 4;
+  s.global_strengths = {2.0};
+  s.base_strength = 2.0;
+  EXPECT_EQ(s.OccurrenceIndexAt(9), kNpos);
+  EXPECT_EQ(s.OccurrenceIndexAt(10), 0u);
+  EXPECT_EQ(s.OccurrenceIndexAt(13), 0u);
+  EXPECT_EQ(s.OccurrenceIndexAt(14), kNpos);
+  EXPECT_EQ(s.OccurrenceIndexAt(100), kNpos);  // one-shot never recurs
+}
+
+TEST(Shock, GlobalStrengthPerOccurrence) {
+  Shock s = MakeCyclic(0, 10, 1, 30);
+  s.global_strengths = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(s.GlobalStrengthAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.GlobalStrengthAt(10), 2.0);
+  EXPECT_DOUBLE_EQ(s.GlobalStrengthAt(20), 3.0);
+  EXPECT_DOUBLE_EQ(s.GlobalStrengthAt(5), 0.0);
+}
+
+TEST(Shock, FutureOccurrencesUseBaseStrength) {
+  Shock s = MakeCyclic(0, 10, 1, 30);
+  s.global_strengths = {1.0, 2.0, 3.0};
+  s.base_strength = 9.0;
+  // Occurrence index 5 (tick 50) is past the fitted range.
+  EXPECT_DOUBLE_EQ(s.GlobalStrengthAt(50), 9.0);
+}
+
+TEST(Shock, DeviatingOccurrences) {
+  Shock s = MakeCyclic(0, 10, 1, 40);
+  s.base_strength = 2.0;
+  s.global_strengths = {2.0, 2.0, 5.0, 2.0};
+  EXPECT_EQ(s.DeviatingOccurrences(), 1u);
+}
+
+TEST(Shock, LocalStrengthFallsBackToGlobal) {
+  Shock s = MakeCyclic(0, 10, 1, 30);
+  s.global_strengths = {1.0, 2.0, 3.0};
+  // No local matrix: local lookups mirror global.
+  EXPECT_DOUBLE_EQ(s.LocalStrengthAt(10, 7), 2.0);
+}
+
+TEST(Shock, LocalStrengthUsesMatrix) {
+  Shock s = MakeCyclic(0, 10, 1, 30);
+  s.local_strengths = Matrix(3, 2);
+  s.local_strengths(1, 0) = 4.0;
+  s.local_strengths(1, 1) = 0.0;
+  EXPECT_DOUBLE_EQ(s.LocalStrengthAt(10, 0), 4.0);
+  EXPECT_DOUBLE_EQ(s.LocalStrengthAt(10, 1), 0.0);
+  // Out-of-range location: zero.
+  EXPECT_DOUBLE_EQ(s.LocalStrengthAt(10, 9), 0.0);
+}
+
+TEST(Shock, LocalStrengthFutureUsesLocationMean) {
+  Shock s = MakeCyclic(0, 10, 1, 30);
+  s.local_strengths = Matrix(3, 1);
+  s.local_strengths(0, 0) = 1.0;
+  s.local_strengths(1, 0) = 2.0;
+  s.local_strengths(2, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(s.LocalStrengthAt(50, 0), 2.0);  // mean of column
+}
+
+TEST(Shock, ToStringMentionsStructure) {
+  Shock s = MakeCyclic(6, 52, 2, 260);
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("t_s=6"), std::string::npos);
+  EXPECT_NE(str.find("t_p=52"), std::string::npos);
+  Shock one;
+  one.start = 3;
+  EXPECT_NE(one.ToString().find("t_p=inf"), std::string::npos);
+}
+
+TEST(BuildEpsilon, SumsShocksOfSameKeyword) {
+  Shock a = MakeCyclic(0, 10, 1, 20);
+  Shock b = MakeCyclic(0, 20, 1, 20);
+  b.global_strengths = {5.0};
+  b.base_strength = 5.0;
+  std::vector<Shock> shocks = {a, b};
+  std::vector<double> eps = BuildGlobalEpsilon(shocks, 0, 20);
+  EXPECT_DOUBLE_EQ(eps[0], 1.0 + 1.0 + 5.0);  // both active at t=0
+  EXPECT_DOUBLE_EQ(eps[10], 1.0 + 1.0);       // only a
+  EXPECT_DOUBLE_EQ(eps[5], 1.0);
+}
+
+TEST(BuildEpsilon, IgnoresOtherKeywords) {
+  Shock a = MakeCyclic(0, 10, 1, 20);
+  a.keyword = 3;
+  std::vector<double> eps = BuildGlobalEpsilon({a}, 0, 20);
+  for (double v : eps) {
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  }
+}
+
+TEST(BuildEpsilon, LocalVariant) {
+  Shock a = MakeCyclic(0, 10, 1, 20);
+  a.local_strengths = Matrix(2, 2);
+  a.local_strengths(0, 1) = 7.0;
+  std::vector<double> eps0 = BuildLocalEpsilon({a}, 0, 0, 20);
+  std::vector<double> eps1 = BuildLocalEpsilon({a}, 0, 1, 20);
+  EXPECT_DOUBLE_EQ(eps0[0], 1.0);
+  EXPECT_DOUBLE_EQ(eps1[0], 8.0);
+}
+
+}  // namespace
+}  // namespace dspot

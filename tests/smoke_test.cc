@@ -1,0 +1,37 @@
+// End-to-end smoke test: generate a small synthetic tensor, fit Δ-SPOT,
+// and check the fit is sane. Deeper behaviour is covered by the per-module
+// suites.
+
+#include <gtest/gtest.h>
+
+#include "core/dspot.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+TEST(Smoke, FitGrammyGlobal) {
+  GeneratorConfig config = GoogleTrendsConfig();
+  config.n_ticks = 260;  // 5 years is plenty for a smoke test
+  config.num_locations = 4;
+  config.num_outlier_locations = 0;
+  auto generated = GenerateTensor({GrammyScenario()}, config);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+
+  DspotOptions options;
+  options.fit_local = false;
+  auto result = FitDspot(generated->tensor, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const Series global = generated->tensor.GlobalSequence(0);
+  const double range = global.MaxValue() - global.MinValue();
+  EXPECT_LT(result->global_rmse[0], 0.3 * range)
+      << "fit should track the sequence within 30% of its range";
+  EXPECT_GE(result->params.ShockCountFor(0), 1u)
+      << "the annual Grammy shock should be detected";
+}
+
+}  // namespace
+}  // namespace dspot

@@ -1,0 +1,119 @@
+// Tests for src/baselines/spikem: the rise-and-fall information-diffusion
+// model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/spikem.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+SpikeMParams CanonicalBurst() {
+  SpikeMParams p;
+  p.population = 200.0;
+  p.beta = 0.8;
+  p.shock_start = 20;
+  p.shock_size = 15.0;
+  p.background = 0.0;
+  return p;
+}
+
+TEST(SpikeM, SilentBeforeShock) {
+  const Series d = SimulateSpikeM(CanonicalBurst(), 100);
+  for (size_t t = 0; t <= 20; ++t) {
+    EXPECT_DOUBLE_EQ(d[t], 0.0) << "tick " << t;
+  }
+  EXPECT_GT(d[22], 0.0);
+}
+
+TEST(SpikeM, RiseAndFallShape) {
+  const Series d = SimulateSpikeM(CanonicalBurst(), 200);
+  size_t peak = ArgMax(d.values());
+  ASSERT_NE(peak, kNpos);
+  EXPECT_GT(peak, 20u);
+  EXPECT_LT(peak, 80u);
+  // After the peak the burst decays substantially.
+  EXPECT_LT(d[199], d[peak] * 0.25);
+}
+
+TEST(SpikeM, TotalInformedBoundedByPopulation) {
+  SpikeMParams p = CanonicalBurst();
+  p.beta = 3.0;  // aggressive contagion
+  const Series d = SimulateSpikeM(p, 300);
+  EXPECT_LE(d.SumValue(), p.population + 1e-6);
+  for (size_t t = 0; t < d.size(); ++t) {
+    EXPECT_GE(d[t], 0.0);
+  }
+}
+
+TEST(SpikeM, BackgroundKeepsFloorActive) {
+  SpikeMParams p = CanonicalBurst();
+  p.background = 2.0;
+  const Series d = SimulateSpikeM(p, 60);
+  // Even before the shock, the background produces activity (from t=1).
+  EXPECT_GT(d[5], 0.0);
+}
+
+TEST(SpikeM, PeriodicModulationCreatesDips) {
+  SpikeMParams p = CanonicalBurst();
+  p.period = 7.0;
+  p.periodicity_amplitude = 0.9;
+  const Series with = SimulateSpikeM(p, 120);
+  p.periodicity_amplitude = 0.0;
+  const Series without = SimulateSpikeM(p, 120);
+  // Modulated curve differs and dips below the unmodulated one somewhere
+  // near the peak.
+  bool dips = false;
+  for (size_t t = 20; t < 60; ++t) {
+    if (with[t] < 0.6 * without[t] && without[t] > 1.0) dips = true;
+  }
+  EXPECT_TRUE(dips);
+}
+
+TEST(SpikeM, FitRecoversBurst) {
+  const Series data = SimulateSpikeM(CanonicalBurst(), 150);
+  auto fit = FitSpikeM(data);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  const double range = data.MaxValue() - data.MinValue();
+  EXPECT_LT(fit->rmse, 0.1 * range);
+  // Shock start within a few ticks of the truth.
+  EXPECT_NEAR(static_cast<double>(fit->params.shock_start), 20.0, 6.0);
+}
+
+TEST(SpikeM, FitRejectsTinySeries) {
+  EXPECT_FALSE(FitSpikeM(Series(6)).ok());
+}
+
+/// Property sweep: the simulation stays finite and within population
+/// bounds across a parameter grid.
+class SpikeMInvariantProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SpikeMInvariantProperty, FiniteAndBounded) {
+  const auto [beta, shock] = GetParam();
+  SpikeMParams p;
+  p.population = 120.0;
+  p.beta = beta;
+  p.shock_start = 10;
+  p.shock_size = shock;
+  p.background = 0.5;
+  const Series d = SimulateSpikeM(p, 250);
+  double total = 0.0;
+  for (size_t t = 0; t < d.size(); ++t) {
+    ASSERT_TRUE(std::isfinite(d[t]));
+    ASSERT_GE(d[t], 0.0);
+    total += d[t];
+  }
+  EXPECT_LE(total, 120.0 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, SpikeMInvariantProperty,
+    ::testing::Combine(::testing::Values(0.1, 0.8, 2.5, 8.0),
+                       ::testing::Values(1.0, 20.0, 500.0)));
+
+}  // namespace
+}  // namespace dspot

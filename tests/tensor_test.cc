@@ -1,0 +1,178 @@
+// Unit tests for src/tensor: ActivityTensor and CSV I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "tensor/activity_tensor.h"
+#include "tensor/tensor_io.h"
+
+namespace dspot {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(ActivityTensor, DimensionsAndDefaults) {
+  ActivityTensor t(2, 3, 4);
+  EXPECT_EQ(t.num_keywords(), 2u);
+  EXPECT_EQ(t.num_locations(), 3u);
+  EXPECT_EQ(t.num_ticks(), 4u);
+  EXPECT_EQ(t.keywords()[0], "kw0");
+  EXPECT_EQ(t.locations()[2], "loc2");
+  EXPECT_DOUBLE_EQ(t.at(1, 2, 3), 0.0);
+}
+
+TEST(ActivityTensor, NamesAndLookup) {
+  ActivityTensor t(2, 2, 2);
+  ASSERT_TRUE(t.SetKeywordName(0, "ebola").ok());
+  ASSERT_TRUE(t.SetLocationName(1, "JP").ok());
+  EXPECT_EQ(t.KeywordIndex("ebola"), 0u);
+  EXPECT_EQ(t.LocationIndex("JP"), 1u);
+  EXPECT_EQ(t.KeywordIndex("nope"), kNpos);
+  EXPECT_FALSE(t.SetKeywordName(5, "x").ok());
+  EXPECT_FALSE(t.SetLocationName(5, "x").ok());
+}
+
+TEST(ActivityTensor, LocalSequenceRoundTrip) {
+  ActivityTensor t(1, 2, 3);
+  Series s(std::vector<double>{1, 2, 3});
+  ASSERT_TRUE(t.SetLocalSequence(0, 1, s).ok());
+  Series got = t.LocalSequence(0, 1);
+  EXPECT_DOUBLE_EQ(got[0], 1.0);
+  EXPECT_DOUBLE_EQ(got[2], 3.0);
+  EXPECT_FALSE(t.SetLocalSequence(0, 1, Series(5)).ok());
+  EXPECT_FALSE(t.SetLocalSequence(3, 0, s).ok());
+}
+
+TEST(ActivityTensor, GlobalSequenceSumsAcrossLocations) {
+  ActivityTensor t(1, 3, 2);
+  for (size_t j = 0; j < 3; ++j) {
+    t.at(0, j, 0) = static_cast<double>(j + 1);
+    t.at(0, j, 1) = 10.0;
+  }
+  Series g = t.GlobalSequence(0);
+  EXPECT_DOUBLE_EQ(g[0], 6.0);
+  EXPECT_DOUBLE_EQ(g[1], 30.0);
+}
+
+TEST(ActivityTensor, GlobalSequenceMissingOnlyIfAllMissing) {
+  ActivityTensor t(1, 2, 2);
+  t.at(0, 0, 0) = kMissingValue;
+  t.at(0, 1, 0) = 5.0;
+  t.at(0, 0, 1) = kMissingValue;
+  t.at(0, 1, 1) = kMissingValue;
+  Series g = t.GlobalSequence(0);
+  EXPECT_DOUBLE_EQ(g[0], 5.0);
+  EXPECT_TRUE(IsMissing(g[1]));
+}
+
+TEST(ActivityTensor, VolumeAndObservedCount) {
+  ActivityTensor t(1, 1, 4);
+  t.at(0, 0, 0) = 2.0;
+  t.at(0, 0, 1) = 3.0;
+  t.at(0, 0, 2) = kMissingValue;
+  EXPECT_DOUBLE_EQ(t.TotalVolume(), 5.0);
+  EXPECT_EQ(t.ObservedCount(), 3u);
+}
+
+TEST(TensorIo, SaveLoadRoundTrip) {
+  ActivityTensor t(2, 2, 3);
+  ASSERT_TRUE(t.SetKeywordName(0, "a").ok());
+  ASSERT_TRUE(t.SetKeywordName(1, "b").ok());
+  ASSERT_TRUE(t.SetLocationName(0, "US").ok());
+  ASSERT_TRUE(t.SetLocationName(1, "JP").ok());
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      for (size_t k = 0; k < 3; ++k) {
+        t.at(i, j, k) = static_cast<double>(i * 100 + j * 10 + k) + 0.5;
+      }
+    }
+  }
+  const std::string path = TempPath("tensor_roundtrip.csv");
+  ASSERT_TRUE(SaveTensorCsv(t, path).ok());
+  auto loaded = LoadTensorCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_keywords(), 2u);
+  EXPECT_EQ(loaded->num_locations(), 2u);
+  EXPECT_EQ(loaded->num_ticks(), 3u);
+  EXPECT_EQ(loaded->keywords()[1], "b");
+  EXPECT_EQ(loaded->locations()[1], "JP");
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      for (size_t k = 0; k < 3; ++k) {
+        EXPECT_DOUBLE_EQ(loaded->at(i, j, k), t.at(i, j, k));
+      }
+    }
+  }
+}
+
+TEST(TensorIo, MissingEntriesSkippedAndRefilled) {
+  ActivityTensor t(1, 1, 3);
+  t.at(0, 0, 0) = 1.0;
+  t.at(0, 0, 1) = kMissingValue;
+  t.at(0, 0, 2) = 3.0;
+  const std::string path = TempPath("tensor_missing.csv");
+  ASSERT_TRUE(SaveTensorCsv(t, path).ok());
+  auto as_zero = LoadTensorCsv(path, /*fill_absent_with_zero=*/true);
+  ASSERT_TRUE(as_zero.ok());
+  EXPECT_DOUBLE_EQ(as_zero->at(0, 0, 1), 0.0);
+  auto as_missing = LoadTensorCsv(path, /*fill_absent_with_zero=*/false);
+  ASSERT_TRUE(as_missing.ok());
+  EXPECT_TRUE(IsMissing(as_missing->at(0, 0, 1)));
+}
+
+TEST(TensorIo, LoadRejectsMissingFile) {
+  EXPECT_EQ(LoadTensorCsv("/nonexistent/path.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(TensorIo, LoadRejectsMalformedRow) {
+  const std::string path = TempPath("tensor_bad.csv");
+  std::ofstream os(path);
+  os << "keyword,location,tick,value\n";
+  os << "a,US,0\n";  // 3 fields
+  os.close();
+  EXPECT_EQ(LoadTensorCsv(path).status().code(), StatusCode::kIoError);
+}
+
+TEST(TensorIo, LoadRejectsBadNumber) {
+  const std::string path = TempPath("tensor_badnum.csv");
+  std::ofstream os(path);
+  os << "keyword,location,tick,value\n";
+  os << "a,US,zero,1.0\n";
+  os.close();
+  EXPECT_EQ(LoadTensorCsv(path).status().code(), StatusCode::kIoError);
+}
+
+TEST(TensorIo, LoadRejectsEmptyFile) {
+  const std::string path = TempPath("tensor_empty.csv");
+  std::ofstream(path).close();
+  EXPECT_EQ(LoadTensorCsv(path).status().code(), StatusCode::kIoError);
+}
+
+TEST(TensorIo, SeriesRoundTripWithMissing) {
+  Series s(std::vector<double>{1.5, kMissingValue, 3.25});
+  const std::string path = TempPath("series_roundtrip.csv");
+  ASSERT_TRUE(SaveSeriesCsv(s, path).ok());
+  auto loaded = LoadSeriesCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_DOUBLE_EQ((*loaded)[0], 1.5);
+  EXPECT_TRUE(IsMissing((*loaded)[1]));
+  EXPECT_DOUBLE_EQ((*loaded)[2], 3.25);
+}
+
+TEST(TensorIo, SeriesLoadRejectsGarbage) {
+  const std::string path = TempPath("series_bad.csv");
+  std::ofstream os(path);
+  os << "tick,value\n0,1.0,extra\n";
+  os.close();
+  EXPECT_EQ(LoadSeriesCsv(path).status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace dspot

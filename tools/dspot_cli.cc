@@ -1,0 +1,295 @@
+// dspot_cli — command-line front end for the DSPOT library.
+//
+// Subcommands:
+//   scenarios                             list built-in synthetic scenarios
+//   generate  --scenario NAME --output F  write a synthetic tensor (CSV)
+//             [--ticks N] [--locations L] [--outliers K] [--seed S]
+//             [--series]                  write the global sequence instead
+//   fit       --series F                  fit one sequence (CSV from
+//             [--forecast H]              SaveSeriesCsv / "tick,value")
+//             [--forecast-output F]
+//   fit-tensor --input F                  fit a full tensor (long-form CSV)
+//             [--outliers-for KEYWORD]
+//
+// Exit code 0 on success, 1 on any error (message on stderr).
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dspot.h"
+#include "core/outliers.h"
+#include "core/report.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "tensor/event_log.h"
+#include "tensor/tensor_io.h"
+#include "timeseries/metrics.h"
+
+namespace dspot {
+namespace {
+
+/// Minimal flag parser: --key value pairs after the subcommand.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc;) {
+      const std::string key = argv[i];
+      present_.push_back(key);
+      // "--key value" pairs consume two tokens; a flag followed by another
+      // flag (or nothing) is boolean.
+      if (key.rfind("--", 0) == 0 && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[i + 1];
+        i += 2;
+      } else {
+        i += 1;
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+
+  bool Has(const std::string& key) const {
+    for (const std::string& p : present_) {
+      if (p == key) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> present_;
+};
+
+std::map<std::string, KeywordScenario> ScenarioCatalog() {
+  std::map<std::string, KeywordScenario> catalog;
+  for (const KeywordScenario& sc : TrendingKeywordSuite()) {
+    catalog[sc.name] = sc;
+  }
+  catalog[HashtagAppleScenario().name] = HashtagAppleScenario();
+  catalog[HashtagBackToSchoolScenario().name] = HashtagBackToSchoolScenario();
+  catalog[Meme3Scenario().name] = Meme3Scenario();
+  catalog[Meme16Scenario().name] = Meme16Scenario();
+  return catalog;
+}
+
+int CmdScenarios() {
+  std::printf("built-in scenarios:\n");
+  for (const auto& [name, sc] : ScenarioCatalog()) {
+    std::printf("  %-22s %zu event(s)%s\n", name.c_str(), sc.shocks.size(),
+                sc.growth_start != kNpos ? " + growth effect" : "");
+  }
+  return 0;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string name = flags.GetString("--scenario");
+  const std::string output = flags.GetString("--output");
+  if (name.empty() || output.empty()) {
+    std::fprintf(stderr,
+                 "usage: dspot_cli generate --scenario NAME --output FILE "
+                 "[--ticks N] [--locations L] [--outliers K] [--seed S] "
+                 "[--series]\n");
+    return 1;
+  }
+  const auto catalog = ScenarioCatalog();
+  const auto it = catalog.find(name);
+  if (it == catalog.end()) {
+    std::fprintf(stderr, "unknown scenario '%s' (try: dspot_cli scenarios)\n",
+                 name.c_str());
+    return 1;
+  }
+  GeneratorConfig config = GoogleTrendsConfig(
+      static_cast<uint64_t>(flags.GetInt("--seed", 42)));
+  config.n_ticks = static_cast<size_t>(flags.GetInt("--ticks", 575));
+  config.num_locations =
+      static_cast<size_t>(flags.GetInt("--locations", 20));
+  config.num_outlier_locations =
+      static_cast<size_t>(flags.GetInt("--outliers", 3));
+
+  if (flags.Has("--series")) {
+    auto series = GenerateGlobalSequence(it->second, config);
+    if (!series.ok()) {
+      std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+      return 1;
+    }
+    if (Status s = SaveSeriesCsv(*series, output); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu-tick series to %s\n", series->size(),
+                output.c_str());
+    return 0;
+  }
+  auto generated = GenerateTensor({it->second}, config);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "%s\n", generated.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = SaveTensorCsv(generated->tensor, output); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zux%zux%zu tensor to %s\n",
+              generated->tensor.num_keywords(),
+              generated->tensor.num_locations(),
+              generated->tensor.num_ticks(), output.c_str());
+  return 0;
+}
+
+int CmdFit(const Flags& flags) {
+  const std::string input = flags.GetString("--series");
+  if (input.empty()) {
+    std::fprintf(stderr,
+                 "usage: dspot_cli fit --series FILE [--forecast H] "
+                 "[--forecast-output FILE]\n");
+    return 1;
+  }
+  auto series = LoadSeriesCsv(input);
+  if (!series.ok()) {
+    std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+    return 1;
+  }
+  auto fit = FitDspotSingle(*series);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "%s\n", fit.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", RenderReport(fit->params).c_str());
+  std::printf("\nfit RMSE %.3f over %zu ticks; MDL total %.0f bits\n",
+              fit->global_rmse[0], series->size(), fit->total_cost_bits);
+
+  const long horizon = flags.GetInt("--forecast", 0);
+  if (horizon > 0) {
+    auto forecast =
+        ForecastGlobal(fit->params, 0, static_cast<size_t>(horizon));
+    if (!forecast.ok()) {
+      std::fprintf(stderr, "%s\n", forecast.status().ToString().c_str());
+      return 1;
+    }
+    const std::string out = flags.GetString("--forecast-output");
+    if (!out.empty()) {
+      if (Status s = SaveSeriesCsv(*forecast, out); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %ld-tick forecast to %s\n", horizon, out.c_str());
+    } else {
+      std::printf("\nforecast (%ld ticks):\n", horizon);
+      for (size_t t = 0; t < forecast->size(); ++t) {
+        std::printf("%zu,%.3f\n", series->size() + t, (*forecast)[t]);
+      }
+    }
+  }
+  return 0;
+}
+
+int CmdFitTensor(const Flags& flags) {
+  const std::string input = flags.GetString("--input");
+  if (input.empty()) {
+    std::fprintf(stderr,
+                 "usage: dspot_cli fit-tensor --input FILE "
+                 "[--outliers-for KEYWORD]\n");
+    return 1;
+  }
+  auto tensor = LoadTensorCsv(input);
+  if (!tensor.ok()) {
+    std::fprintf(stderr, "%s\n", tensor.status().ToString().c_str());
+    return 1;
+  }
+  auto result = FitDspot(*tensor);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", RenderReport(result->params, tensor->keywords()).c_str());
+  std::printf("\nper-keyword fit RMSE:\n");
+  for (size_t i = 0; i < tensor->num_keywords(); ++i) {
+    std::printf("  %-20s %.3f\n", tensor->keywords()[i].c_str(),
+                result->global_rmse[i]);
+  }
+
+  const std::string outlier_kw = flags.GetString("--outliers-for");
+  if (!outlier_kw.empty()) {
+    const size_t i = tensor->KeywordIndex(outlier_kw);
+    if (i == kNpos) {
+      std::fprintf(stderr, "unknown keyword '%s'\n", outlier_kw.c_str());
+      return 1;
+    }
+    auto reactions = ScoreLocationReactions(result->params, i);
+    if (!reactions.ok()) {
+      std::fprintf(stderr, "%s\n", reactions.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nlocation reactions for '%s':\n", outlier_kw.c_str());
+    for (const LocationReaction& r : *reactions) {
+      std::printf("  %-8s participation %.2f zero-frac %.2f %s\n",
+                  tensor->locations()[r.location].c_str(),
+                  r.participation_ratio, r.zero_fraction,
+                  r.is_outlier ? "OUTLIER" : "");
+    }
+  }
+  return 0;
+}
+
+int CmdAggregate(const Flags& flags) {
+  const std::string input = flags.GetString("--events");
+  const std::string output = flags.GetString("--output");
+  if (input.empty() || output.empty()) {
+    std::fprintf(stderr,
+                 "usage: dspot_cli aggregate --events FILE --output FILE "
+                 "[--resolution N] [--origin T]\n");
+    return 1;
+  }
+  AggregationConfig config;
+  config.ticks_resolution = flags.GetInt("--resolution", 1);
+  config.origin = flags.GetInt("--origin", 0);
+  auto tensor = LoadAndAggregateEventsCsv(input, config);
+  if (!tensor.ok()) {
+    std::fprintf(stderr, "%s\n", tensor.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = SaveTensorCsv(*tensor, output); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("aggregated into %zux%zux%zu tensor -> %s\n",
+              tensor->num_keywords(), tensor->num_locations(),
+              tensor->num_ticks(), output.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: dspot_cli "
+                 "<scenarios|generate|aggregate|fit|fit-tensor> [flags]\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "scenarios") return CmdScenarios();
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "aggregate") return CmdAggregate(flags);
+  if (command == "fit") return CmdFit(flags);
+  if (command == "fit-tensor") return CmdFitTensor(flags);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 1;
+}
+
+}  // namespace
+}  // namespace dspot
+
+int main(int argc, char** argv) { return dspot::Main(argc, argv); }
