@@ -1,7 +1,8 @@
 // Fig. 10: wall-clock time of Δ-SPOT vs dataset size, varied along each of
 // the three tensor dimensions — (a) keywords d, (b) locations l,
 // (c) duration n. Lemma 1 claims O(d*l*n); the printed series should grow
-// ~linearly in each sweep.
+// ~linearly in each sweep. A final sweep (d) varies num_threads on a fixed
+// tensor and reports the speedup over the serial baseline.
 
 #include <algorithm>
 #include <array>
@@ -16,7 +17,8 @@
 namespace dspot {
 namespace {
 
-double FitSeconds(size_t d, size_t l, size_t n, uint64_t seed) {
+double FitSeconds(size_t d, size_t l, size_t n, uint64_t seed,
+                  size_t num_threads = 1) {
   GeneratorConfig config = GoogleTrendsConfig(seed);
   config.n_ticks = n;
   config.num_locations = l;
@@ -45,6 +47,7 @@ double FitSeconds(size_t d, size_t l, size_t n, uint64_t seed) {
   // shape.
   options.global.max_outer_rounds = 1;
   options.local.max_rounds = 1;
+  options.num_threads = num_threads;
 
   const auto start = std::chrono::steady_clock::now();
   auto result = FitDspot(generated->tensor, options);
@@ -72,6 +75,27 @@ void Sweep(const char* label, const std::vector<std::array<size_t, 3>>& dims) {
   }
 }
 
+// Thread sweep on a fixed tensor: the fit is bit-identical at any thread
+// count (see src/parallel/), so this measures wall-clock only. Speedup is
+// relative to the num_threads=1 row; expect it to flatten once the thread
+// count passes the hardware concurrency of the machine.
+void ThreadSweep(size_t d, size_t l, size_t n) {
+  std::printf("--- Fig.10(d) varying num_threads (d=%zu l=%zu n=%zu) ---\n", d,
+              l, n);
+  std::printf("%8s %12s %10s\n", "threads", "median s", "speedup");
+  double serial_secs = -1.0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    std::vector<double> secs;
+    for (int rep = 0; rep < 3; ++rep) {
+      secs.push_back(FitSeconds(d, l, n, /*seed=*/7 + rep, threads));
+    }
+    std::sort(secs.begin(), secs.end());
+    if (threads == 1) serial_secs = secs[1];
+    std::printf("%8zu %12.3f %9.2fx\n", threads, secs[1],
+                serial_secs / secs[1]);
+  }
+}
+
 }  // namespace
 }  // namespace dspot
 
@@ -83,5 +107,6 @@ int main() {
                {{{2, 8, 208}}, {{2, 16, 208}}, {{2, 32, 208}}, {{2, 64, 208}}});
   dspot::Sweep("(c) varying duration n",
                {{{2, 8, 104}}, {{2, 8, 208}}, {{2, 8, 416}}, {{2, 8, 832}}});
+  dspot::ThreadSweep(/*d=*/8, /*l=*/16, /*n=*/208);
   return 0;
 }

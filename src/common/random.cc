@@ -4,6 +4,13 @@
 
 namespace dspot {
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 double Random::Uniform() {
   std::uniform_real_distribution<double> dist(0.0, 1.0);
   return dist(engine_);

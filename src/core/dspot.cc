@@ -2,6 +2,7 @@
 
 #include "core/cost.h"
 #include "core/simulate.h"
+#include "parallel/parallel_for.h"
 #include "timeseries/metrics.h"
 
 namespace dspot {
@@ -22,19 +23,28 @@ std::vector<std::string> DspotResult::DescribeShocks(size_t keyword) const {
 
 StatusOr<DspotResult> FitDspot(const ActivityTensor& tensor,
                                const DspotOptions& options) {
+  // num_threads is the pipeline-wide knob: it overrides whatever the
+  // sub-option structs carry so callers configure one field, not three.
+  GlobalFitOptions global_options = options.global;
+  global_options.num_threads = options.num_threads;
+  LocalFitOptions local_options = options.local;
+  local_options.num_threads = options.num_threads;
+
   DspotResult result;
-  DSPOT_ASSIGN_OR_RETURN(result.params, GlobalFit(tensor, options.global));
+  DSPOT_ASSIGN_OR_RETURN(result.params, GlobalFit(tensor, global_options));
   if (options.fit_local && tensor.num_locations() > 1) {
-    DSPOT_RETURN_IF_ERROR(LocalFit(tensor, &result.params, options.local));
+    DSPOT_RETURN_IF_ERROR(LocalFit(tensor, &result.params, local_options));
   }
   const size_t d = tensor.num_keywords();
-  result.global_estimates.reserve(d);
-  result.global_rmse.reserve(d);
-  for (size_t i = 0; i < d; ++i) {
+  result.global_estimates.resize(d);
+  result.global_rmse.resize(d);
+  ParallelOptions popts;
+  popts.num_threads = options.num_threads;
+  ParallelFor(d, popts, [&](size_t i) {
     Series estimate = SimulateGlobal(result.params, i, tensor.num_ticks());
-    result.global_rmse.push_back(Rmse(tensor.GlobalSequence(i), estimate));
-    result.global_estimates.push_back(std::move(estimate));
-  }
+    result.global_rmse[i] = Rmse(tensor.GlobalSequence(i), estimate);
+    result.global_estimates[i] = std::move(estimate);
+  });
   result.total_cost_bits = TotalCostBits(tensor, result.params);
   return result;
 }

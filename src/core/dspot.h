@@ -24,6 +24,15 @@ struct DspotOptions {
   LocalFitOptions local;
   /// Skip LOCALFIT (e.g. for single-location tensors or global-only use).
   bool fit_local = true;
+  /// Worker threads for the whole pipeline: keywords fit concurrently in
+  /// GLOBALFIT, locations concurrently in LOCALFIT, and Jacobian columns
+  /// concurrently in high-dimensional LM solves. 0 = hardware
+  /// concurrency, 1 = fully serial. FitDspot copies this value over
+  /// `global.num_threads` and `local.num_threads`, so it is the single
+  /// knob to set. The fit is bit-identical at any thread count — results
+  /// land in pre-assigned slots and reductions stay in index order — so
+  /// this trades only wall-clock, never output.
+  size_t num_threads = 0;
 };
 
 /// The result of fitting Δ-SPOT on an activity tensor.

@@ -9,6 +9,7 @@
 #include "core/simulate.h"
 #include "optimize/levenberg_marquardt.h"
 #include "optimize/line_search.h"
+#include "parallel/parallel_for.h"
 #include "timeseries/metrics.h"
 
 namespace dspot {
@@ -541,12 +542,22 @@ StatusOr<ModelParamSet> GlobalFit(const ActivityTensor& tensor,
   params.num_keywords = tensor.num_keywords();
   params.num_locations = tensor.num_locations();
   params.num_ticks = tensor.num_ticks();
+  // Keywords are independent (Algorithm 2 runs per keyword), so fit them
+  // concurrently. ParallelMap lands each fit in its keyword's slot and
+  // reports the lowest failing keyword's error, so both the result and
+  // the error path match the serial loop bit for bit.
+  ParallelOptions popts;
+  popts.num_threads = options.num_threads;
+  DSPOT_ASSIGN_OR_RETURN(
+      std::vector<GlobalSequenceFit> fits,
+      ParallelMap<GlobalSequenceFit>(
+          params.num_keywords, popts, [&](size_t i) {
+            return FitGlobalSequence(tensor.GlobalSequence(i), i,
+                                     params.num_keywords, options);
+          }));
+  // Deterministic assembly: keyword order, exactly like the serial loop.
   params.global.reserve(params.num_keywords);
-  for (size_t i = 0; i < params.num_keywords; ++i) {
-    const Series global = tensor.GlobalSequence(i);
-    DSPOT_ASSIGN_OR_RETURN(
-        GlobalSequenceFit fit,
-        FitGlobalSequence(global, i, params.num_keywords, options));
+  for (GlobalSequenceFit& fit : fits) {
     params.global.push_back(fit.params);
     for (Shock& shock : fit.shocks) {
       params.shocks.push_back(std::move(shock));

@@ -55,6 +55,12 @@ struct GlobalFitOptions {
   /// the alternation instead of the MDL-optimal snapshot. Never enable in
   /// production use — it disables the parsimony guarantee.
   bool return_final_state = false;
+  /// Worker threads for fitting keywords concurrently in GlobalFit
+  /// (0 = hardware concurrency, 1 = serial). Each keyword's GLOBALFIT is
+  /// independent and results are assembled in keyword order, so the fit
+  /// is bit-identical at any thread count. FitDspot plumbs
+  /// DspotOptions::num_threads through this field.
+  size_t num_threads = 1;
 };
 
 /// Result of fitting one global sequence.

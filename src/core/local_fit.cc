@@ -9,6 +9,7 @@
 #include "core/simulate.h"
 #include "mdl/mdl.h"
 #include "optimize/line_search.h"
+#include "parallel/parallel_for.h"
 #include "timeseries/metrics.h"
 
 namespace dspot {
@@ -162,13 +163,22 @@ Status LocalFit(const ActivityTensor& tensor, ModelParamSet* params,
   }
 
   double previous_total = std::numeric_limits<double>::infinity();
+  ParallelOptions popts;
+  popts.num_threads = options.num_threads;
   for (int round = 0; round < options.max_rounds; ++round) {
     double total = 0.0;
     for (size_t i = 0; i < d; ++i) {
       const std::vector<size_t> shock_indices = params->ShockIndicesFor(i);
       const Series global_seq = tensor.GlobalSequence(i);
       const double global_volume = std::max(global_seq.SumValue(), 1e-9);
-      for (size_t j = 0; j < l; ++j) {
+      // Locations are independent given the keyword's global fit: each
+      // task reads shared state (global params, shock list, last round's
+      // strengths) and writes only column j of the local matrices. Costs
+      // land in per-location slots and are reduced in location order, so
+      // the round total — and the convergence decision it drives — is
+      // bit-identical at any thread count.
+      std::vector<double> costs(l, 0.0);
+      ParallelFor(l, popts, [&](size_t j) {
         const Series local_data = tensor.LocalSequence(i, j);
 
         LocalState state;
@@ -202,9 +212,9 @@ Status LocalFit(const ActivityTensor& tensor, ModelParamSet* params,
           }
         }
 
-        total += FitOneLocal(&state, d, l, options);
+        costs[j] = FitOneLocal(&state, d, l, options);
 
-        // Write back.
+        // Write back (disjoint per location: column j only).
         params->base_local(i, j) = state.population;
         params->growth_local(i, j) = state.growth_rate;
         for (size_t si = 0; si < shock_indices.size(); ++si) {
@@ -213,6 +223,9 @@ Status LocalFit(const ActivityTensor& tensor, ModelParamSet* params,
             shock.local_strengths(m, j) = state.strengths[si][m];
           }
         }
+      });
+      for (size_t j = 0; j < l; ++j) {
+        total += costs[j];
       }
     }
     if (total >= previous_total * (1.0 - options.min_cost_decrease)) {

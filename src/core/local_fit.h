@@ -24,6 +24,13 @@ struct LocalFitOptions {
   bool sparsify = true;
   /// Minimum relative improvement for another sweep.
   double min_cost_decrease = 1e-4;
+  /// Worker threads for fitting a keyword's locations concurrently
+  /// (0 = hardware concurrency, 1 = serial). Location fits within a round
+  /// only read the shared global parameters and write location-disjoint
+  /// slots, and the round cost is reduced in location order, so the fit
+  /// is bit-identical at any thread count. FitDspot plumbs
+  /// DspotOptions::num_threads through this field.
+  size_t num_threads = 1;
 };
 
 /// Fills `params->base_local`, `params->growth_local` and every shock's

@@ -90,7 +90,12 @@ StatusOr<GeneratedTensor> GenerateTensor(
   const size_t d = scenarios.size();
   const size_t l = config.num_locations;
   const size_t n = config.n_ticks;
-  Random rng(config.seed);
+  // Root engine: only used to derive per-keyword children, so each
+  // keyword's draws are a pure function of (seed, keyword index). That
+  // keeps a keyword's data identical whatever other keywords are in the
+  // batch, and lets a future parallel generator fan out per keyword
+  // without sharing an engine (Random is single-threaded; see random.h).
+  const Random root(config.seed);
 
   GeneratedTensor out;
   out.tensor = ActivityTensor(d, l, n);
@@ -110,6 +115,7 @@ StatusOr<GeneratedTensor> GenerateTensor(
 
   for (size_t i = 0; i < d; ++i) {
     const KeywordScenario& scenario = scenarios[i];
+    Random rng = root.Child(i);
     DSPOT_RETURN_IF_ERROR(out.tensor.SetKeywordName(i, scenario.name));
 
     // Draw per-occurrence global strengths (jittered) once per shock, then

@@ -1,10 +1,12 @@
 #include "optimize/levenberg_marquardt.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "linalg/matrix.h"
 #include "linalg/solvers.h"
 #include "linalg/vector_ops.h"
+#include "parallel/parallel_for.h"
 
 namespace dspot {
 
@@ -13,34 +15,67 @@ namespace {
 /// Computes the forward-difference Jacobian of `fn` at `p`. `r0` is the
 /// residual vector already evaluated at `p`. Steps are clamped so probe
 /// points stay inside `bounds` (by stepping backwards when at the upper
-/// bound).
+/// bound). Columns are evaluated in parallel once the parameter count
+/// reaches `options.parallel_jacobian_min_params` (and
+/// `options.num_threads != 1`); each task owns one probe vector and one
+/// scratch residual buffer reused across its whole block of columns, so
+/// concurrent probes do not churn allocations. Column j writes only
+/// column j of the Jacobian, so the result is bit-identical at any
+/// thread count.
 StatusOr<Matrix> NumericJacobian(const ResidualFn& fn,
                                  const std::vector<double>& p,
                                  const std::vector<double>& r0,
-                                 const Bounds& bounds, double rel_step) {
+                                 const Bounds& bounds,
+                                 const LmOptions& options) {
   const size_t np = p.size();
   const size_t m = r0.size();
   Matrix jac(m, np);
-  std::vector<double> probe = p;
-  std::vector<double> r1;
+  std::vector<Status> statuses(np, Status::Ok());
+  // One invocation per contiguous column block; scratch lives across the
+  // block. On error the rest of the block is skipped — the first failing
+  // column (lowest index, see below) decides the returned status, exactly
+  // like the serial early return did.
+  auto eval_columns = [&](size_t begin, size_t end) {
+    std::vector<double> probe = p;
+    std::vector<double> r1;
+    r1.reserve(m);
+    for (size_t j = begin; j < end; ++j) {
+      double h = options.jacobian_step * std::max(1.0, std::fabs(p[j]));
+      // Step backwards if a forward step would leave the box.
+      if (!bounds.empty() && p[j] + h > bounds.upper[j]) {
+        h = -h;
+      }
+      probe[j] = p[j] + h;
+      Status s = fn(probe, &r1);
+      probe[j] = p[j];
+      if (!s.ok()) {
+        statuses[j] = std::move(s);
+        return;
+      }
+      if (r1.size() != m) {
+        statuses[j] =
+            Status::Internal("residual size changed between LM evaluations");
+        return;
+      }
+      const double inv_h = 1.0 / h;
+      for (size_t i = 0; i < m; ++i) {
+        jac(i, j) = (r1[i] - r0[i]) * inv_h;
+      }
+    }
+  };
+  const size_t threads = EffectiveNumThreads(options.num_threads);
+  if (threads <= 1 || np < options.parallel_jacobian_min_params) {
+    eval_columns(0, np);
+  } else {
+    ParallelOptions popts;
+    popts.num_threads = options.num_threads;
+    // One block per runner: scratch allocations stay O(threads).
+    popts.grain = (np + threads - 1) / threads;
+    ParallelForBlocks(np, popts, eval_columns);
+  }
   for (size_t j = 0; j < np; ++j) {
-    double h = rel_step * std::max(1.0, std::fabs(p[j]));
-    // Step backwards if a forward step would leave the box.
-    if (!bounds.empty() && p[j] + h > bounds.upper[j]) {
-      h = -h;
-    }
-    probe[j] = p[j] + h;
-    Status s = fn(probe, &r1);
-    probe[j] = p[j];
-    if (!s.ok()) {
-      return s;
-    }
-    if (r1.size() != m) {
-      return Status::Internal("residual size changed between LM evaluations");
-    }
-    const double inv_h = 1.0 / h;
-    for (size_t i = 0; i < m; ++i) {
-      jac(i, j) = (r1[i] - r0[i]) * inv_h;
+    if (!statuses[j].ok()) {
+      return statuses[j];
     }
   }
   return jac;
@@ -85,8 +120,7 @@ StatusOr<LmResult> LevenbergMarquardt(const ResidualFn& residual_fn,
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     DSPOT_ASSIGN_OR_RETURN(
-        Matrix jac, NumericJacobian(residual_fn, p, r, bounds,
-                                    options.jacobian_step));
+        Matrix jac, NumericJacobian(residual_fn, p, r, bounds, options));
     // Normal equations: (J^T J + lambda I) step = -J^T r.
     Matrix jtj = jac.Gram();
     std::vector<double> jtr = jac.TransposedTimes(r);

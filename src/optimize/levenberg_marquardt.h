@@ -28,6 +28,18 @@ struct LmOptions {
   double max_lambda = 1e12;
   /// Relative step for the forward-difference Jacobian.
   double jacobian_step = 1e-6;
+  /// Worker threads for evaluating numeric-Jacobian columns (0 = hardware
+  /// concurrency, 1 = serial). Each column probe is independent, so the
+  /// Jacobian — and therefore the whole solve — is bit-identical at any
+  /// thread count. With more than one thread the residual function must
+  /// be safe to call concurrently (each call gets its own probe vector
+  /// and residual buffer).
+  size_t num_threads = 1;
+  /// Columns are only parallelized once the parameter count reaches this
+  /// grain threshold; below it, the per-task overhead outweighs the probe
+  /// work (the Δ-SPOT base fit has 5 parameters and stays serial —
+  /// parallelism comes from the keyword/location layers above it).
+  size_t parallel_jacobian_min_params = 8;
 };
 
 /// Diagnostics returned alongside the solution.

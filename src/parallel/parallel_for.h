@@ -1,0 +1,125 @@
+#ifndef DSPOT_PARALLEL_PARALLEL_FOR_H_
+#define DSPOT_PARALLEL_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+#include "parallel/thread_pool.h"
+
+namespace dspot {
+
+/// Tuning knobs for the parallel loops below.
+struct ParallelOptions {
+  /// Worker threads to use: 0 = hardware concurrency, 1 = run serially on
+  /// the calling thread (no pool involvement at all).
+  size_t num_threads = 0;
+  /// Minimum indices per task. Raising it trades load balance for lower
+  /// scheduling overhead and larger per-task scratch reuse; a loop whose
+  /// whole range fits in one grain runs inline.
+  size_t grain = 1;
+};
+
+/// Runs `fn(begin, end)` over a partition of [0, n) into contiguous
+/// blocks of at least `options.grain` indices. Blocks are claimed by at
+/// most `num_threads` concurrent runners through a shared atomic cursor
+/// (self-scheduling), so skewed block costs rebalance automatically and
+/// the configured thread count is honored even when the shared pool is
+/// larger. Each `fn` invocation covers one block; a runner invokes it for
+/// several blocks in sequence, so per-invocation scratch is amortized
+/// over `grain` indices.
+///
+/// Determinism contract: `fn` must write only to slots derived from its
+/// indices (and read only shared immutable state); then the aggregate
+/// result is bit-identical for every `num_threads`, because each index is
+/// processed exactly once and lands in the same slot regardless of which
+/// thread claims it. Blocking calls inside `fn` may execute other queued
+/// tasks on this thread (nested parallel sections do this by design).
+template <typename BlockFn>
+void ParallelForBlocks(size_t n, const ParallelOptions& options,
+                       const BlockFn& fn) {
+  if (n == 0) {
+    return;
+  }
+  const size_t threads = EffectiveNumThreads(options.num_threads);
+  const size_t grain = std::max<size_t>(options.grain, 1);
+  if (threads <= 1 || n <= grain) {
+    fn(0, n);
+    return;
+  }
+  // ~4 blocks per runner keeps the tail short without shredding the range
+  // below the grain size.
+  const size_t target_blocks = threads * 4;
+  const size_t block_size =
+      std::max(grain, (n + target_blocks - 1) / target_blocks);
+  const size_t blocks = (n + block_size - 1) / block_size;
+  const size_t runners = std::min(threads, blocks);
+
+  ThreadPool& pool = ThreadPool::Shared(threads);
+  std::atomic<size_t> next_block{0};
+  TaskGroup group(&pool);
+  for (size_t r = 0; r < runners; ++r) {
+    group.Run([&next_block, &fn, n, blocks, block_size] {
+      for (;;) {
+        const size_t b = next_block.fetch_add(1, std::memory_order_relaxed);
+        if (b >= blocks) {
+          return;
+        }
+        const size_t begin = b * block_size;
+        fn(begin, std::min(n, begin + block_size));
+      }
+    });
+  }
+  group.Wait();
+}
+
+/// Runs `fn(i)` for every i in [0, n). See ParallelForBlocks for the
+/// scheduling and determinism contract.
+template <typename Fn>
+void ParallelFor(size_t n, const ParallelOptions& options, const Fn& fn) {
+  ParallelForBlocks(n, options, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+  });
+}
+
+/// Maps `fn(i) -> StatusOr<T>` over [0, n) in parallel and collects the
+/// values into a vector in index order (slot i holds fn(i), bit-identical
+/// at any thread count). Errors do not tear down in-flight work: every
+/// index still runs, and the returned status is the error of the *lowest
+/// failing index* — the same error a serial first-failure loop reports,
+/// keeping the error path deterministic too.
+template <typename T, typename Fn>
+StatusOr<std::vector<T>> ParallelMap(size_t n, const ParallelOptions& options,
+                                     const Fn& fn) {
+  std::vector<std::optional<T>> slots(n);
+  std::vector<Status> statuses(n, Status::Ok());
+  ParallelFor(n, options, [&slots, &statuses, &fn](size_t i) {
+    StatusOr<T> result = fn(i);
+    if (result.ok()) {
+      slots[i] = std::move(result).value();
+    } else {
+      statuses[i] = result.status();
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) {
+      return statuses[i];
+    }
+  }
+  std::vector<T> values;
+  values.reserve(n);
+  for (std::optional<T>& slot : slots) {
+    values.push_back(std::move(*slot));
+  }
+  return values;
+}
+
+}  // namespace dspot
+
+#endif  // DSPOT_PARALLEL_PARALLEL_FOR_H_

@@ -8,8 +8,10 @@
 //   fit       --series F                  fit one sequence (CSV from
 //             [--forecast H]              SaveSeriesCsv / "tick,value")
 //             [--forecast-output F]
+//             [--threads T]               0 = hardware concurrency
 //   fit-tensor --input F                  fit a full tensor (long-form CSV)
 //             [--outliers-for KEYWORD]
+//             [--threads T]
 //
 // Exit code 0 on success, 1 on any error (message on stderr).
 
@@ -154,7 +156,7 @@ int CmdFit(const Flags& flags) {
   if (input.empty()) {
     std::fprintf(stderr,
                  "usage: dspot_cli fit --series FILE [--forecast H] "
-                 "[--forecast-output FILE]\n");
+                 "[--forecast-output FILE] [--threads T]\n");
     return 1;
   }
   auto series = LoadSeriesCsv(input);
@@ -162,7 +164,10 @@ int CmdFit(const Flags& flags) {
     std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
     return 1;
   }
-  auto fit = FitDspotSingle(*series);
+  DspotOptions options;
+  // 0 = hardware concurrency; the fit is bit-identical at any setting.
+  options.num_threads = static_cast<size_t>(flags.GetInt("--threads", 0));
+  auto fit = FitDspotSingle(*series, options);
   if (!fit.ok()) {
     std::fprintf(stderr, "%s\n", fit.status().ToString().c_str());
     return 1;
@@ -201,7 +206,7 @@ int CmdFitTensor(const Flags& flags) {
   if (input.empty()) {
     std::fprintf(stderr,
                  "usage: dspot_cli fit-tensor --input FILE "
-                 "[--outliers-for KEYWORD]\n");
+                 "[--outliers-for KEYWORD] [--threads T]\n");
     return 1;
   }
   auto tensor = LoadTensorCsv(input);
@@ -209,7 +214,10 @@ int CmdFitTensor(const Flags& flags) {
     std::fprintf(stderr, "%s\n", tensor.status().ToString().c_str());
     return 1;
   }
-  auto result = FitDspot(*tensor);
+  DspotOptions options;
+  // 0 = hardware concurrency; the fit is bit-identical at any setting.
+  options.num_threads = static_cast<size_t>(flags.GetInt("--threads", 0));
+  auto result = FitDspot(*tensor, options);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
