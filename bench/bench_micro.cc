@@ -4,8 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/dspot.h"
 #include "core/shock.h"
 #include "core/simulate.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
 #include "linalg/matrix.h"
 #include "linalg/solvers.h"
 #include "mdl/mdl.h"
@@ -37,6 +40,122 @@ void BM_SimulateSiv(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateSiv)->Arg(128)->Arg(575)->Arg(2048);
 
+/// The bare recurrence with caller-owned schedules and output buffer — the
+/// floor every residual evaluation pays. The loop is a serial FP
+/// dependency chain (one divide + chained multiplies per tick), so this
+/// does not vectorize; the workspace refactor removes everything *around*
+/// it, not the chain itself.
+void BM_SimulateSivInto(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> epsilon(n, 1.0);
+  for (size_t t = 30; t < n; t += 52) {
+    epsilon[t] = 9.0;
+  }
+  const SivDynamics dynamics{200.0, 0.5, 0.45, 0.5, 1.0};
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    SimulateSivInto(dynamics, epsilon, {}, out);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SimulateSivInto)->Arg(128)->Arg(575)->Arg(2048);
+
+/// Fixture mirroring GLOBALFIT's per-keyword state: the data sequence,
+/// the keyword's shocks, and the SIV scalars under optimization.
+struct ResidualFixture {
+  Series data;
+  std::vector<Shock> shocks;
+  double population = 200.0;
+  double beta = 0.5;
+  double delta = 0.45;
+  double gamma = 0.5;
+  double i0 = 1.0;
+};
+
+ResidualFixture MakeResidualFixture(size_t n) {
+  ResidualFixture f;
+  f.data = Series(n);
+  for (size_t t = 0; t < n; ++t) {
+    f.data[t] = 5.0 + 2.0 * std::sin(0.2 * static_cast<double>(t));
+  }
+  f.shocks.resize(1);
+  f.shocks[0].period = 52;
+  f.shocks[0].start = 30;
+  f.shocks[0].width = 3;
+  f.shocks[0].global_strengths.assign(f.shocks[0].NumOccurrences(n), 8.0);
+  return f;
+}
+
+/// One residual evaluation as the pre-workspace base fit performed it:
+/// copy the fit state (data + shocks), rebuild the epsilon/eta schedules,
+/// allocate a fresh Series trajectory, and grow the residual vector with
+/// push_back — on every single LM residual call.
+void BM_ResidualSimulateAllocating(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const ResidualFixture fixture = MakeResidualFixture(n);
+  std::vector<double> residuals;
+  for (auto _ : state) {
+    ResidualFixture probe = fixture;
+    SivInputs inputs;
+    inputs.population = probe.population;
+    inputs.beta = probe.beta;
+    inputs.delta = probe.delta;
+    inputs.gamma = probe.gamma;
+    inputs.i0 = probe.i0;
+    inputs.epsilon = BuildGlobalEpsilon(probe.shocks, 0, n);
+    inputs.eta = BuildEta(0.01, n / 3, n);
+    const Series est = SimulateSiv(inputs, n);
+    residuals.clear();
+    for (size_t t = 0; t < n; ++t) {
+      if (!probe.data.IsObserved(t)) continue;
+      residuals.push_back(est[t] - probe.data[t]);
+    }
+    benchmark::DoNotOptimize(residuals.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ResidualSimulateAllocating)->Arg(128)->Arg(575)->Arg(2048);
+
+/// The same residual evaluation on the workspace path: schedules hoisted
+/// out of the solve (ScheduleCache serves memoized spans), the trajectory
+/// written into a caller-owned buffer, and residuals written through the
+/// precomputed observed-tick index — what every LM residual call costs
+/// after the refactor.
+void BM_ResidualSimulateWorkspace(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const ResidualFixture fixture = MakeResidualFixture(n);
+  ScheduleCache cache;
+  const std::span<const double> epsilon =
+      cache.GlobalEpsilon(fixture.shocks, 0, n);
+  const std::span<const double> eta = cache.Eta(0.01, n / 3, n);
+  std::vector<size_t> observed;
+  for (size_t t = 0; t < n; ++t) {
+    if (fixture.data.IsObserved(t)) observed.push_back(t);
+  }
+  const std::span<const double> data = fixture.data.values();
+  std::vector<double> estimate(n);
+  std::vector<double> residuals(observed.size());
+  for (auto _ : state) {
+    const SivDynamics dynamics{fixture.population, fixture.beta,
+                               fixture.delta, fixture.gamma, fixture.i0};
+    SimulateSivInto(dynamics, epsilon, eta, estimate);
+    for (size_t k = 0; k < observed.size(); ++k) {
+      const size_t t = observed[k];
+      residuals[k] = estimate[t] - data[t];
+    }
+    benchmark::DoNotOptimize(residuals.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ResidualSimulateWorkspace)->Arg(128)->Arg(575)->Arg(2048);
+
 void BM_BuildGlobalEpsilon(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   std::vector<Shock> shocks(4);
@@ -65,6 +184,47 @@ void BM_LevenbergMarquardtRosenbrock(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LevenbergMarquardtRosenbrock);
+
+void BM_LevenbergMarquardtWorkspace(benchmark::State& state) {
+  ResidualIntoFn residual_fn = [](std::span<const double> p,
+                                  std::span<double> r) -> Status {
+    r[0] = 10.0 * (p[1] - p[0] * p[0]);
+    r[1] = 1.0 - p[0];
+    return Status::Ok();
+  };
+  LmWorkspace workspace;
+  const std::vector<double> initial = {-1.2, 1.0};
+  for (auto _ : state) {
+    auto result = LevenbergMarquardt(residual_fn, 2, initial, Bounds(),
+                                     LmOptions(), &workspace);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LevenbergMarquardtWorkspace);
+
+/// End-to-end Δ-SPOT fit on a small synthetic tensor (1 keyword, 3
+/// locations, 2 years of weekly ticks): the macro view of the workspace
+/// refactor, covering GLOBALFIT's alternation, LOCALFIT, and the final
+/// MDL scoring.
+void BM_FitDspotSmall(benchmark::State& state) {
+  GeneratorConfig config = GoogleTrendsConfig(3);
+  config.n_ticks = 104;
+  config.num_locations = 3;
+  config.num_outlier_locations = 0;
+  auto generated = GenerateTensor({GrammyScenario()}, config);
+  if (!generated.ok()) {
+    state.SkipWithError("tensor generation failed");
+    return;
+  }
+  DspotOptions options;
+  options.global.max_outer_rounds = 1;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = FitDspot(generated->tensor, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FitDspotSmall)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_CholeskySolve(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

@@ -33,12 +33,15 @@ StatusOr<ArModel> ArModel::Fit(const Series& data, size_t order) {
   if (!solved.ok()) {
     // Rank deficiency (e.g. constant series): fall back to ridge-style
     // normal equations, which the regularized LDLT always solves.
-    Matrix gram = design.Gram();
+    Matrix gram;
+    design.GramInto(&gram);
     gram.AddToDiagonal(1e-8);
-    solved = RegularizedLdltSolve(gram, design.TransposedTimes(target));
-    if (!solved.ok()) {
-      return solved.status();
-    }
+    std::vector<double> rhs(order + 1);
+    design.TransposedTimesInto(target, rhs);
+    std::vector<double> x(order + 1);
+    LdltWorkspace ldlt;
+    DSPOT_RETURN_IF_ERROR(RegularizedLdltSolveInto(gram, rhs, x, &ldlt));
+    return ArModel(x[0], std::vector<double>(x.begin() + 1, x.end()));
   }
   const std::vector<double>& x = solved.value();
   return ArModel(x[0], std::vector<double>(x.begin() + 1, x.end()));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
+#include <vector>
 
 #include "mdl/mdl.h"
 #include "optimize/levenberg_marquardt.h"
@@ -26,17 +28,21 @@ double FunnelModelCostBits(const FunnelParams& params, size_t n_ticks) {
   return bits;
 }
 
-double TotalCostBits(const Series& data, const FunnelParams& params) {
-  const Series est = SimulateFunnel(params, data.size());
+/// MDL total cost with the simulation written into a caller-owned buffer.
+double TotalCostBits(const Series& data, const FunnelParams& params,
+                     std::vector<double>* estimate) {
+  estimate->resize(data.size());
+  SimulateFunnelInto(params, *estimate);
   return FunnelModelCostBits(params, data.size()) +
-         GaussianCodingCost(data, est);
+         GaussianCodingCost(std::span<const double>(data.values()),
+                            std::span<const double>(*estimate));
 }
 
 }  // namespace
 
-Series SimulateFunnel(const FunnelParams& params, size_t n_ticks) {
+void SimulateFunnelInto(const FunnelParams& params, std::span<double> out) {
   const SkipsParams& base = params.base;
-  Series out(n_ticks);
+  const size_t n_ticks = out.size();
   const double n = std::max(base.population, 1e-9);
   double s = std::max(n - base.i0, 0.0);
   double i = std::min(base.i0, n);
@@ -66,6 +72,11 @@ Series SimulateFunnel(const FunnelParams& params, size_t n_ticks) {
     i = std::max(i, 0.0);
     v = std::max(v, 0.0);
   }
+}
+
+Series SimulateFunnel(const FunnelParams& params, size_t n_ticks) {
+  Series out(n_ticks);
+  SimulateFunnelInto(params, out.mutable_values());
   return out;
 }
 
@@ -81,27 +92,38 @@ StatusOr<FunnelFit> FitFunnel(const Series& data,
   // Phase 1: base forced-SIRS (reuse the SKIPS fitter).
   DSPOT_ASSIGN_OR_RETURN(SkipsFit base_fit, FitSkips(data));
   fit.params.base = base_fit.params;
-  double best_cost = TotalCostBits(data, fit.params);
+
+  // Shared scratch for the alternation: observed-tick indices, simulation
+  // buffer, and the LM workspace.
+  std::vector<size_t> observed;
+  for (size_t t = 0; t < n_ticks; ++t) {
+    if (data.IsObserved(t)) observed.push_back(t);
+  }
+  std::vector<double> estimate(n_ticks);
+  LmWorkspace lm_workspace;
+
+  double best_cost = TotalCostBits(data, fit.params, &estimate);
 
   // Phase 2/3 alternation: refit base continuous params given shocks, then
   // greedily add one-shot shocks while the MDL cost drops.
   for (int round = 0; round < options.max_alternations; ++round) {
-    // Refit the continuous base parameters with shocks held fixed.
-    auto residual_fn = [&](const std::vector<double>& p,
-                           std::vector<double>* r) -> Status {
-      FunnelParams candidate = fit.params;
-      candidate.base.population = p[0];
-      candidate.base.beta0 = p[1];
-      candidate.base.delta = p[2];
-      candidate.base.gamma = p[3];
-      candidate.base.amplitude = p[4];
-      candidate.base.phase = p[5];
-      candidate.base.i0 = p[6];
-      const Series est = SimulateFunnel(candidate, n_ticks);
-      r->clear();
-      for (size_t t = 0; t < n_ticks; ++t) {
-        if (!data.IsObserved(t)) continue;
-        r->push_back(est[t] - data[t]);
+    // Refit the continuous base parameters with shocks held fixed; the
+    // shock set is constant during the solve, so the candidate (and its
+    // shocks vector) is built once and only the scalars vary per call.
+    FunnelParams residual_candidate = fit.params;
+    auto residual_fn = [&](std::span<const double> p,
+                           std::span<double> r) -> Status {
+      residual_candidate.base.population = p[0];
+      residual_candidate.base.beta0 = p[1];
+      residual_candidate.base.delta = p[2];
+      residual_candidate.base.gamma = p[3];
+      residual_candidate.base.amplitude = p[4];
+      residual_candidate.base.phase = p[5];
+      residual_candidate.base.i0 = p[6];
+      SimulateFunnelInto(residual_candidate, estimate);
+      for (size_t k = 0; k < observed.size(); ++k) {
+        const size_t t = observed[k];
+        r[k] = estimate[t] - data[t];
       }
       return Status::Ok();
     };
@@ -111,7 +133,8 @@ StatusOr<FunnelFit> FitFunnel(const Series& data,
     const SkipsParams& b = fit.params.base;
     std::vector<double> init = {b.population, b.beta0, b.delta, b.gamma,
                                 b.amplitude, b.phase, b.i0};
-    auto lm_or = LevenbergMarquardt(residual_fn, init, bounds);
+    auto lm_or = LevenbergMarquardt(residual_fn, observed.size(), init,
+                                    bounds, LmOptions(), &lm_workspace);
     if (lm_or.ok()) {
       FunnelParams candidate = fit.params;
       const auto& p = lm_or->params;
@@ -122,7 +145,7 @@ StatusOr<FunnelFit> FitFunnel(const Series& data,
       candidate.base.amplitude = p[4];
       candidate.base.phase = p[5];
       candidate.base.i0 = p[6];
-      const double cost = TotalCostBits(data, candidate);
+      const double cost = TotalCostBits(data, candidate, &estimate);
       if (cost < best_cost) {
         best_cost = cost;
         fit.params = candidate;
@@ -132,10 +155,11 @@ StatusOr<FunnelFit> FitFunnel(const Series& data,
     // Greedy one-shot shock additions.
     bool added = false;
     while (fit.params.shocks.size() < options.max_shocks) {
-      const Series est = SimulateFunnel(fit.params, n_ticks);
+      SimulateFunnelInto(fit.params, estimate);
       Series residual(n_ticks);
       for (size_t t = 0; t < n_ticks; ++t) {
-        residual[t] = data.IsObserved(t) ? data[t] - est[t] : kMissingValue;
+        residual[t] = data.IsObserved(t) ? data[t] - estimate[t]
+                                         : kMissingValue;
       }
       const std::vector<Burst> bursts = FindBursts(residual);
       if (bursts.empty()) break;
@@ -150,12 +174,13 @@ StatusOr<FunnelFit> FitFunnel(const Series& data,
       const double best_strength = GridThenGoldenMinimize(
           [&](double strength) {
             candidate.shocks.back().strength = strength;
-            const Series sim = SimulateFunnel(candidate, n_ticks);
-            return Rmse(data, sim);
+            SimulateFunnelInto(candidate, estimate);
+            return Rmse(std::span<const double>(data.values()),
+                        std::span<const double>(estimate));
           },
           0.0, 50.0, 50);
       candidate.shocks.back().strength = best_strength;
-      const double cost = TotalCostBits(data, candidate);
+      const double cost = TotalCostBits(data, candidate, &estimate);
       if (cost < best_cost) {
         best_cost = cost;
         fit.params = candidate;
@@ -168,7 +193,9 @@ StatusOr<FunnelFit> FitFunnel(const Series& data,
   }
 
   fit.total_cost_bits = best_cost;
-  fit.rmse = Rmse(data, SimulateFunnel(fit.params, n_ticks));
+  SimulateFunnelInto(fit.params, estimate);
+  fit.rmse = Rmse(std::span<const double>(data.values()),
+                  std::span<const double>(estimate));
   return fit;
 }
 
@@ -179,36 +206,46 @@ StatusOr<FunnelFit> FitFunnelLocal(const Series& local_data,
   }
   const size_t n_ticks = local_data.size();
   FunnelFit fit = global_fit;
+  std::vector<double> estimate(n_ticks);
 
   // Rescale the population (and i0 proportionally) to the local volume.
   const double scale_seed =
       std::max(local_data.MaxValue(), 1e-6) /
       std::max(SimulateFunnel(global_fit.params, n_ticks).MaxValue(), 1e-6);
+  FunnelParams scale_candidate = global_fit.params;
   const double best_scale = GridThenGoldenMinimize(
       [&](double scale) {
-        FunnelParams candidate = global_fit.params;
-        candidate.base.population *= scale;
-        candidate.base.i0 *= scale;
-        return Rmse(local_data, SimulateFunnel(candidate, n_ticks));
+        scale_candidate.base.population = global_fit.params.base.population;
+        scale_candidate.base.i0 = global_fit.params.base.i0;
+        scale_candidate.base.population *= scale;
+        scale_candidate.base.i0 *= scale;
+        SimulateFunnelInto(scale_candidate, estimate);
+        return Rmse(std::span<const double>(local_data.values()),
+                    std::span<const double>(estimate));
       },
       scale_seed * 0.05, scale_seed * 20.0, 60);
   fit.params.base.population *= best_scale;
   fit.params.base.i0 *= best_scale;
 
   // Refit each shock strength locally.
+  FunnelParams strength_candidate = fit.params;
   for (size_t k = 0; k < fit.params.shocks.size(); ++k) {
     const double best_strength = GridThenGoldenMinimize(
         [&](double strength) {
-          FunnelParams candidate = fit.params;
-          candidate.shocks[k].strength = strength;
-          return Rmse(local_data, SimulateFunnel(candidate, n_ticks));
+          strength_candidate.shocks[k].strength = strength;
+          SimulateFunnelInto(strength_candidate, estimate);
+          return Rmse(std::span<const double>(local_data.values()),
+                      std::span<const double>(estimate));
         },
         0.0, 50.0, 50);
     fit.params.shocks[k].strength = best_strength;
+    strength_candidate.shocks[k].strength = best_strength;
   }
 
-  fit.total_cost_bits = TotalCostBits(local_data, fit.params);
-  fit.rmse = Rmse(local_data, SimulateFunnel(fit.params, n_ticks));
+  fit.total_cost_bits = TotalCostBits(local_data, fit.params, &estimate);
+  SimulateFunnelInto(fit.params, estimate);
+  fit.rmse = Rmse(std::span<const double>(local_data.values()),
+                  std::span<const double>(estimate));
   return fit;
 }
 

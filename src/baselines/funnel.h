@@ -2,6 +2,7 @@
 #define DSPOT_BASELINES_FUNNEL_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/statusor.h"
@@ -33,6 +34,10 @@ struct FunnelParams {
 
 /// Simulates the shocked, forced SIRS; returns I(t).
 Series SimulateFunnel(const FunnelParams& params, size_t n_ticks);
+
+/// In-place form over a horizon of `out.size()` ticks; the Series overload
+/// delegates here. Keeps the FitFunnel alternation loop allocation-free.
+void SimulateFunnelInto(const FunnelParams& params, std::span<double> out);
 
 struct FunnelFit {
   FunnelParams params;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "optimize/levenberg_marquardt.h"
@@ -16,17 +17,28 @@ constexpr double kTwoPi = 6.283185307179586;
 constexpr double kDecayExponent = -1.5;
 }  // namespace
 
-Series SimulateSpikeM(const SpikeMParams& params, size_t n_ticks) {
-  Series delta(n_ticks);
+void SimulateSpikeMInto(const SpikeMParams& params, SpikeMWorkspace* workspace,
+                        std::span<double> out) {
+  const size_t n_ticks = out.size();
   if (n_ticks == 0) {
-    return delta;
+    return;
   }
   const double n_total = std::max(params.population, 1e-9);
-  // Precompute the power-law kernel f(tau) = beta * tau^{-1.5}.
-  std::vector<double> kernel(n_ticks + 1, 0.0);
+  // The power-law kernel f(tau) = beta * tau^{-1.5} factors into a
+  // beta-independent decay (cached per horizon — the pow calls dominate
+  // the kernel build) times the current beta.
+  std::vector<double>& decay = workspace->decay;
+  if (decay.size() != n_ticks + 1) {
+    decay.assign(n_ticks + 1, 0.0);
+    for (size_t tau = 1; tau <= n_ticks; ++tau) {
+      decay[tau] = std::pow(static_cast<double>(tau), kDecayExponent);
+    }
+  }
+  std::vector<double>& kernel = workspace->kernel;
+  kernel.resize(n_ticks + 1);
+  kernel[0] = 0.0;
   for (size_t tau = 1; tau <= n_ticks; ++tau) {
-    kernel[tau] =
-        params.beta * std::pow(static_cast<double>(tau), kDecayExponent);
+    kernel[tau] = params.beta * decay[tau];
   }
   auto modulation = [&](size_t t) {
     if (params.period < 2.0 || params.periodicity_amplitude <= 0.0) {
@@ -40,21 +52,27 @@ Series SimulateSpikeM(const SpikeMParams& params, size_t n_ticks) {
   };
 
   double informed = 0.0;  // B(t)
-  delta[0] = 0.0;
+  out[0] = 0.0;
   for (size_t t = 0; t + 1 < n_ticks; ++t) {
     double influence = 0.0;
     for (size_t s = params.shock_start; s <= t; ++s) {
       const double source =
-          delta[s] + (s == params.shock_start ? params.shock_size : 0.0);
+          out[s] + (s == params.shock_start ? params.shock_size : 0.0);
       influence += source * kernel[t + 1 - s];
     }
     const double available = std::max(n_total - informed, 0.0);
     double next = modulation(t + 1) *
                   (available / n_total * influence + params.background);
     next = std::clamp(next, 0.0, available);
-    delta[t + 1] = next;
+    out[t + 1] = next;
     informed += next;
   }
+}
+
+Series SimulateSpikeM(const SpikeMParams& params, size_t n_ticks) {
+  Series delta(n_ticks);
+  SpikeMWorkspace workspace;
+  SimulateSpikeMInto(params, &workspace, delta.mutable_values());
   return delta;
 }
 
@@ -78,13 +96,24 @@ StatusOr<SpikeMFit> FitSpikeM(const Series& data,
     candidates.push_back(n * g / grid);
   }
 
+  // One scratch for every candidate-start solve: observed-tick indices,
+  // the simulation buffer and workspace (the cached decay kernel survives
+  // across all solves — the horizon never changes), and the LM workspace.
+  std::vector<size_t> observed;
+  for (size_t t = 0; t < n; ++t) {
+    if (data.IsObserved(t)) observed.push_back(t);
+  }
+  std::vector<double> estimate(n);
+  SpikeMWorkspace sim_workspace;
+  LmWorkspace lm_workspace;
+
   SpikeMFit best;
   double best_cost = std::numeric_limits<double>::infinity();
   for (size_t start : candidates) {
     if (start + 4 >= n) continue;
     const bool periodic = options.period >= 2.0;
-    auto residual_fn = [&](const std::vector<double>& p,
-                           std::vector<double>* r) -> Status {
+    auto residual_fn = [&](std::span<const double> p,
+                           std::span<double> r) -> Status {
       SpikeMParams params;
       params.population = p[0];
       params.beta = p[1];
@@ -96,11 +125,10 @@ StatusOr<SpikeMFit> FitSpikeM(const Series& data,
         params.periodicity_amplitude = p[4];
         params.periodicity_shift = p[5];
       }
-      const Series est = SimulateSpikeM(params, n);
-      r->clear();
-      for (size_t t = 0; t < n; ++t) {
-        if (!data.IsObserved(t)) continue;
-        r->push_back(est[t] - data[t]);
+      SimulateSpikeMInto(params, &sim_workspace, estimate);
+      for (size_t k = 0; k < observed.size(); ++k) {
+        const size_t t = observed[k];
+        r[k] = estimate[t] - data[t];
       }
       return Status::Ok();
     };
@@ -113,7 +141,8 @@ StatusOr<SpikeMFit> FitSpikeM(const Series& data,
       bounds.upper.insert(bounds.upper.end(), {1.0, options.period});
       init.insert(init.end(), {0.3, 0.0});
     }
-    auto fit_or = LevenbergMarquardt(residual_fn, init, bounds);
+    auto fit_or = LevenbergMarquardt(residual_fn, observed.size(), init,
+                                     bounds, LmOptions(), &lm_workspace);
     if (!fit_or.ok()) continue;
     if (fit_or->final_cost < best_cost) {
       best_cost = fit_or->final_cost;
@@ -133,7 +162,9 @@ StatusOr<SpikeMFit> FitSpikeM(const Series& data,
   if (!std::isfinite(best_cost)) {
     return Status::NumericalError("FitSpikeM: all starts failed");
   }
-  best.rmse = Rmse(data, SimulateSpikeM(best.params, n));
+  SimulateSpikeMInto(best.params, &sim_workspace, estimate);
+  best.rmse = Rmse(std::span<const double>(data.values()),
+                   std::span<const double>(estimate));
   return best;
 }
 

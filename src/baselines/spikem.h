@@ -2,6 +2,8 @@
 #define DSPOT_BASELINES_SPIKEM_H_
 
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "common/statusor.h"
 #include "timeseries/series.h"
@@ -37,6 +39,21 @@ struct SpikeMParams {
 
 /// Simulates dB(t) for t = 0..n_ticks-1.
 Series SimulateSpikeM(const SpikeMParams& params, size_t n_ticks);
+
+/// Reusable scratch for SimulateSpikeMInto. `decay` caches the
+/// beta-independent power-law kernel tau^{-1.5} (recomputed only when the
+/// horizon changes — it is by far the most expensive part of the kernel);
+/// `kernel` holds beta * decay for the current parameters.
+struct SpikeMWorkspace {
+  std::vector<double> decay;
+  std::vector<double> kernel;
+};
+
+/// In-place form over a horizon of `out.size()` ticks; the Series overload
+/// delegates here with a throwaway workspace. The LM residual loop of
+/// FitSpikeM reuses one workspace across all evaluations.
+void SimulateSpikeMInto(const SpikeMParams& params, SpikeMWorkspace* workspace,
+                        std::span<double> out);
 
 struct SpikeMFit {
   SpikeMParams params;

@@ -17,21 +17,42 @@ double TbatsModel::RunFilter(const Series& data, Series* fitted,
                              double* level_out, double* trend_out,
                              std::vector<double>* seasonal_out,
                              std::vector<double>* seasonal_star_out) const {
+  TbatsWorkspace workspace;
+  return RunFilter(data, fitted, level_out, trend_out, seasonal_out,
+                   seasonal_star_out, &workspace);
+}
+
+double TbatsModel::RunFilter(const Series& data, Series* fitted,
+                             double* level_out, double* trend_out,
+                             std::vector<double>* seasonal_out,
+                             std::vector<double>* seasonal_star_out,
+                             TbatsWorkspace* workspace) const {
   const size_t n = data.size();
   const size_t k = harmonics_;
   double level = init_level_;
   double trend = init_trend_;
-  std::vector<double> s(k, 0.0);
-  std::vector<double> s_star(k, 0.0);
+  std::vector<double>& s = workspace->s;
+  std::vector<double>& s_star = workspace->s_star;
+  s.assign(k, 0.0);
+  s_star.assign(k, 0.0);
 
   if (fitted != nullptr && fitted->size() != n) {
     *fitted = Series(n);
   }
 
-  std::vector<double> lambda(k);
+  // The rotation coefficients are constant over the pass, so cos/sin run
+  // once per harmonic here instead of once per (tick, harmonic).
+  std::vector<double>& lambda = workspace->lambda;
+  std::vector<double>& cos_lambda = workspace->cos_lambda;
+  std::vector<double>& sin_lambda = workspace->sin_lambda;
+  lambda.resize(k);
+  cos_lambda.resize(k);
+  sin_lambda.resize(k);
   for (size_t j = 0; j < k; ++j) {
     lambda[j] = kTwoPi * static_cast<double>(j + 1) /
                 static_cast<double>(std::max<size_t>(period_, 2));
+    cos_lambda[j] = std::cos(lambda[j]);
+    sin_lambda[j] = std::sin(lambda[j]);
   }
 
   double sse = 0.0;
@@ -51,8 +72,8 @@ double TbatsModel::RunFilter(const Series& data, Series* fitted,
     level = level + phi_ * trend + alpha_ * innovation;
     trend = phi_ * trend + beta_ * innovation;
     for (size_t j = 0; j < k; ++j) {
-      const double c = std::cos(lambda[j]);
-      const double d = std::sin(lambda[j]);
+      const double c = cos_lambda[j];
+      const double d = sin_lambda[j];
       const double sj = s[j];
       const double sj_star = s_star[j];
       s[j] = sj * c + sj_star * d + gamma1_ * innovation;
@@ -91,7 +112,9 @@ StatusOr<TbatsModel> TbatsModel::Fit(const Series& data,
   model.init_level_ = filled.MeanValue();
   model.init_trend_ = 0.0;
 
-  // Optimize the smoothing parameters on the one-step-ahead SSE.
+  // Optimize the smoothing parameters on the one-step-ahead SSE. One
+  // workspace serves every evaluation of the search.
+  TbatsWorkspace workspace;
   auto objective = [&](const std::vector<double>& p) -> double {
     TbatsModel candidate = model;
     candidate.alpha_ = p[0];
@@ -99,9 +122,8 @@ StatusOr<TbatsModel> TbatsModel::Fit(const Series& data,
     candidate.phi_ = p[2];
     candidate.gamma1_ = p[3];
     candidate.gamma2_ = p[4];
-    const double sse =
-        candidate.RunFilter(filled, nullptr, nullptr, nullptr, nullptr,
-                            nullptr);
+    const double sse = candidate.RunFilter(filled, nullptr, nullptr, nullptr,
+                                           nullptr, nullptr, &workspace);
     return std::isfinite(sse) ? sse
                               : std::numeric_limits<double>::infinity();
   };

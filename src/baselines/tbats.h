@@ -24,6 +24,18 @@ struct TbatsConfig {
   int max_evaluations = 4000;
 };
 
+/// Reusable scratch for TbatsModel::RunFilter: the seasonal state vectors
+/// and the per-harmonic angular frequencies with their cos/sin rotation
+/// coefficients (constant throughout one filter pass, so they are computed
+/// once per call instead of once per tick).
+struct TbatsWorkspace {
+  std::vector<double> s;
+  std::vector<double> s_star;
+  std::vector<double> lambda;
+  std::vector<double> cos_lambda;
+  std::vector<double> sin_lambda;
+};
+
 /// A fitted TBATS-style model.
 class TbatsModel {
  public:
@@ -55,6 +67,13 @@ class TbatsModel {
   double RunFilter(const Series& data, Series* fitted, double* level_out,
                    double* trend_out, std::vector<double>* seasonal_out,
                    std::vector<double>* seasonal_star_out) const;
+
+  /// Workspace form: identical arithmetic, state kept in `workspace` so the
+  /// smoothing-parameter search reuses one allocation across evaluations.
+  double RunFilter(const Series& data, Series* fitted, double* level_out,
+                   double* trend_out, std::vector<double>* seasonal_out,
+                   std::vector<double>* seasonal_star_out,
+                   TbatsWorkspace* workspace) const;
 
   size_t period_ = 0;
   size_t harmonics_ = 0;

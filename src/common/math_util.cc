@@ -17,7 +17,7 @@ double SafeLog2(double x) { return std::log2(std::max(x, kLogFloor)); }
 
 double SafeLog(double x) { return std::log(std::max(x, kLogFloor)); }
 
-double Mean(const std::vector<double>& v) {
+double Mean(std::span<const double> v) {
   double sum = 0.0;
   size_t count = 0;
   for (double x : v) {
@@ -27,6 +27,10 @@ double Mean(const std::vector<double>& v) {
     }
   }
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double Mean(const std::vector<double>& v) {
+  return Mean(std::span<const double>(v));
 }
 
 double Variance(const std::vector<double>& v) {
@@ -44,7 +48,7 @@ double Variance(const std::vector<double>& v) {
 
 double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
 
-double Min(const std::vector<double>& v) {
+double Min(std::span<const double> v) {
   double best = kMissingValue;
   for (double x : v) {
     if (IsMissing(x)) continue;
@@ -53,7 +57,11 @@ double Min(const std::vector<double>& v) {
   return best;
 }
 
-double Max(const std::vector<double>& v) {
+double Min(const std::vector<double>& v) {
+  return Min(std::span<const double>(v));
+}
+
+double Max(std::span<const double> v) {
   double best = kMissingValue;
   for (double x : v) {
     if (IsMissing(x)) continue;
@@ -62,12 +70,20 @@ double Max(const std::vector<double>& v) {
   return best;
 }
 
-double Sum(const std::vector<double>& v) {
+double Max(const std::vector<double>& v) {
+  return Max(std::span<const double>(v));
+}
+
+double Sum(std::span<const double> v) {
   double sum = 0.0;
   for (double x : v) {
     if (!IsMissing(x)) sum += x;
   }
   return sum;
+}
+
+double Sum(const std::vector<double>& v) {
+  return Sum(std::span<const double>(v));
 }
 
 size_t ArgMax(const std::vector<double>& v) {

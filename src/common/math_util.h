@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstddef>
 #include <limits>
+#include <span>
 #include <vector>
 
 namespace dspot {
@@ -34,7 +35,10 @@ double SafeLog(double x);
 /// x * x.
 inline double Square(double x) { return x * x; }
 
-/// Mean of the non-missing entries of `v`; 0 if all are missing.
+/// Mean of the non-missing entries of `v`; 0 if all are missing. The span
+/// overloads below are the primitives; the vector overloads delegate to
+/// them, so both run the same floating-point loop.
+double Mean(std::span<const double> v);
 double Mean(const std::vector<double>& v);
 
 /// Population variance of the non-missing entries of `v`; 0 if fewer than
@@ -45,10 +49,13 @@ double Variance(const std::vector<double>& v);
 double StdDev(const std::vector<double>& v);
 
 /// Minimum / maximum over non-missing entries. Return NaN if all missing.
+double Min(std::span<const double> v);
 double Min(const std::vector<double>& v);
+double Max(std::span<const double> v);
 double Max(const std::vector<double>& v);
 
 /// Sum over non-missing entries.
+double Sum(std::span<const double> v);
 double Sum(const std::vector<double>& v);
 
 /// Index of the maximum non-missing entry (first on ties); `npos` if all

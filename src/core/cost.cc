@@ -55,6 +55,16 @@ double GlobalKeywordCostBits(const Series& data, const Series& estimate,
                              const KeywordGlobalParams& params,
                              const std::vector<Shock>& shocks, size_t keyword,
                              size_t d, size_t n, CodingModel coding) {
+  return GlobalKeywordCostBits(std::span<const double>(data.values()),
+                               std::span<const double>(estimate.values()),
+                               params, shocks, keyword, d, n, coding);
+}
+
+double GlobalKeywordCostBits(std::span<const double> data,
+                             std::span<const double> estimate,
+                             const KeywordGlobalParams& params,
+                             const std::vector<Shock>& shocks, size_t keyword,
+                             size_t d, size_t n, CodingModel coding) {
   double bits = KeywordGlobalModelCostBits(params, n);
   size_t count = 0;
   for (const Shock& shock : shocks) {
@@ -70,6 +80,15 @@ double GlobalKeywordCostBits(const Series& data, const Series& estimate,
 double LocalSequenceCostBits(const Series& data, const Series& estimate,
                              size_t non_zero_strengths, size_t d, size_t l,
                              size_t n) {
+  return LocalSequenceCostBits(std::span<const double>(data.values()),
+                               std::span<const double>(estimate.values()),
+                               non_zero_strengths, d, l, n);
+}
+
+double LocalSequenceCostBits(std::span<const double> data,
+                             std::span<const double> estimate,
+                             size_t non_zero_strengths, size_t d, size_t l,
+                             size_t n) {
   // b^(L)_ij and r^(L)_ij.
   double bits = 2.0 * kFloatCostBits;
   bits += static_cast<double>(non_zero_strengths) *
@@ -81,6 +100,12 @@ double LocalSequenceCostBits(const Series& data, const Series& estimate,
 
 double TotalCostBits(const ActivityTensor& tensor,
                      const ModelParamSet& params) {
+  CostWorkspace workspace;
+  return TotalCostBits(tensor, params, &workspace);
+}
+
+double TotalCostBits(const ActivityTensor& tensor, const ModelParamSet& params,
+                     CostWorkspace* workspace) {
   const size_t d = tensor.num_keywords();
   const size_t l = tensor.num_locations();
   const size_t n = tensor.num_ticks();
@@ -98,20 +123,26 @@ double TotalCostBits(const ActivityTensor& tensor,
   bits += ShockTensorModelCostBits(params.shocks, d, l, n,
                                    /*include_local=*/params.has_local());
   // Data coding cost: local residuals when local parameters exist,
-  // otherwise global residuals.
+  // otherwise global residuals. Sequences are read through zero-copy views
+  // and simulations reuse the workspace buffers / schedule cache.
+  std::vector<double>& estimate = workspace->estimate;
+  estimate.resize(n);
   if (params.has_local()) {
     for (size_t i = 0; i < d; ++i) {
       for (size_t j = 0; j < l; ++j) {
-        const Series actual = tensor.LocalSequence(i, j);
-        const Series estimate = SimulateLocal(params, i, j, n);
-        bits += GaussianCodingCost(actual, estimate);
+        SimulateLocalInto(params, i, j, &workspace->schedules, estimate);
+        bits += GaussianCodingCost(tensor.LocalSequenceView(i, j),
+                                   std::span<const double>(estimate));
       }
     }
   } else {
+    std::vector<double>& actual = workspace->global_actual;
+    actual.resize(n);
     for (size_t i = 0; i < d; ++i) {
-      const Series actual = tensor.GlobalSequence(i);
-      const Series estimate = SimulateGlobal(params, i, n);
-      bits += GaussianCodingCost(actual, estimate);
+      tensor.GlobalSequenceInto(i, actual);
+      SimulateGlobalInto(params, i, &workspace->schedules, estimate);
+      bits += GaussianCodingCost(std::span<const double>(actual),
+                                 std::span<const double>(estimate));
     }
   }
   return bits;

@@ -2,8 +2,11 @@
 #define DSPOT_CORE_COST_H_
 
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "core/params.h"
+#include "core/schedule_cache.h"
 #include "mdl/mdl.h"
 #include "tensor/activity_tensor.h"
 #include "timeseries/series.h"
@@ -45,17 +48,46 @@ double GlobalKeywordCostBits(const Series& data, const Series& estimate,
                              size_t d, size_t n,
                              CodingModel coding = CodingModel::kGaussian);
 
+/// Span form (same floating-point sequence; the Series overload delegates
+/// here). Lets fit loops feed cached simulation buffers without copies.
+double GlobalKeywordCostBits(std::span<const double> data,
+                             std::span<const double> estimate,
+                             const KeywordGlobalParams& params,
+                             const std::vector<Shock>& shocks, size_t keyword,
+                             size_t d, size_t n,
+                             CodingModel coding = CodingModel::kGaussian);
+
 /// Local-level cost for one (keyword, location): two floats (b_L, r_L),
 /// the location's share of shock strengths, and the local coding cost.
 /// Used by LOCALFIT when deciding local strengths and sparsification.
 double LocalSequenceCostBits(const Series& data, const Series& estimate,
                              size_t non_zero_strengths, size_t d, size_t l,
                              size_t n);
+double LocalSequenceCostBits(std::span<const double> data,
+                             std::span<const double> estimate,
+                             size_t non_zero_strengths, size_t d, size_t l,
+                             size_t n);
+
+/// Reusable scratch for TotalCostBits: the schedule cache plus the
+/// simulation / global-sequence buffers the d x l coding loop cycles
+/// through. One workspace per thread; reuse across calls to keep repeated
+/// MDL evaluations allocation-free.
+struct CostWorkspace {
+  ScheduleCache schedules;
+  std::vector<double> estimate;
+  std::vector<double> global_actual;
+};
 
 /// The full Eq. (2) over a tensor and a complete parameter set (global
 /// estimates from SimulateGlobal, local from SimulateLocal).
 double TotalCostBits(const ActivityTensor& tensor,
                      const ModelParamSet& params);
+
+/// Workspace form: identical result, but simulations write into
+/// `workspace` buffers and sequences are read through zero-copy tensor
+/// views, so steady-state evaluations do not allocate.
+double TotalCostBits(const ActivityTensor& tensor, const ModelParamSet& params,
+                     CostWorkspace* workspace);
 
 }  // namespace dspot
 

@@ -1,5 +1,8 @@
 #include "core/dspot.h"
 
+#include <span>
+#include <vector>
+
 #include "core/cost.h"
 #include "core/simulate.h"
 #include "parallel/parallel_for.h"
@@ -41,11 +44,19 @@ StatusOr<DspotResult> FitDspot(const ActivityTensor& tensor,
   ParallelOptions popts;
   popts.num_threads = options.num_threads;
   ParallelFor(d, popts, [&](size_t i) {
-    Series estimate = SimulateGlobal(result.params, i, tensor.num_ticks());
-    result.global_rmse[i] = Rmse(tensor.GlobalSequence(i), estimate);
+    Series estimate(tensor.num_ticks());
+    ScheduleCache cache;
+    SimulateGlobalInto(result.params, i, &cache, estimate.mutable_values());
+    std::vector<double> actual(tensor.num_ticks());
+    tensor.GlobalSequenceInto(i, actual);
+    result.global_rmse[i] =
+        Rmse(std::span<const double>(actual),
+             std::span<const double>(estimate.values()));
     result.global_estimates[i] = std::move(estimate);
   });
-  result.total_cost_bits = TotalCostBits(tensor, result.params);
+  CostWorkspace cost_workspace;
+  result.total_cost_bits = TotalCostBits(tensor, result.params,
+                                         &cost_workspace);
   return result;
 }
 

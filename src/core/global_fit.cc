@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <span>
 
 #include "core/cost.h"
 #include "core/simulate.h"
@@ -28,48 +29,88 @@ struct FitState {
   CodingModel coding = CodingModel::kGaussian;
 };
 
-Series SimulateState(const FitState& state) {
-  SivInputs inputs;
-  inputs.population = state.params.population;
-  inputs.beta = state.params.beta;
-  inputs.delta = state.params.delta;
-  inputs.gamma = state.params.gamma;
-  inputs.i0 = state.params.i0;
-  inputs.epsilon = BuildGlobalEpsilon(state.shocks, state.keyword, state.n);
-  inputs.eta = state.params.has_growth()
-                   ? BuildEta(state.params.growth_rate,
-                              state.params.growth_start, state.n)
-                   : std::vector<double>();
-  return SimulateSiv(inputs, state.n);
+/// Per-keyword scratch threaded through every helper below: the schedule
+/// cache, the LM workspace, and the simulation / residual-index buffers.
+/// One instance per FitGlobalSequence call (and hence per ParallelMap task
+/// in GlobalFit), so the alternation loop stays allocation-free once warm
+/// without sharing mutable state across threads.
+struct FitScratch {
+  ScheduleCache schedules;
+  LmWorkspace lm;
+  std::vector<double> estimate;
+  std::vector<size_t> observed;
+};
+
+/// Simulates the state into scratch->estimate and returns a view of it.
+/// The view is valid until the next simulation through the same scratch.
+std::span<const double> SimulateStateInto(const FitState& state,
+                                          FitScratch* scratch) {
+  scratch->estimate.resize(state.n);
+  const std::span<const double> epsilon =
+      scratch->schedules.GlobalEpsilon(state.shocks, state.keyword, state.n);
+  const std::span<const double> eta =
+      state.params.has_growth()
+          ? scratch->schedules.Eta(state.params.growth_rate,
+                                   state.params.growth_start, state.n)
+          : std::span<const double>();
+  const SivDynamics dynamics{state.params.population, state.params.beta,
+                             state.params.delta, state.params.gamma,
+                             state.params.i0};
+  SimulateSivInto(dynamics, epsilon, eta, scratch->estimate);
+  return scratch->estimate;
 }
 
-double StateCostBits(const FitState& state) {
-  return GlobalKeywordCostBits(state.data, SimulateState(state), state.params,
+/// Owning-Series variant for results that outlive the scratch.
+Series SimulateStateSeries(const FitState& state, FitScratch* scratch) {
+  const std::span<const double> estimate = SimulateStateInto(state, scratch);
+  Series out(state.n);
+  std::copy(estimate.begin(), estimate.end(), out.mutable_values().begin());
+  return out;
+}
+
+double StateCostBits(const FitState& state, FitScratch* scratch) {
+  return GlobalKeywordCostBits(std::span<const double>(state.data.values()),
+                               SimulateStateInto(state, scratch), state.params,
                                state.shocks, state.keyword,
                                state.num_keywords, state.n, state.coding);
 }
 
-double StateRmse(const FitState& state) {
-  return Rmse(state.data, SimulateState(state));
+double StateRmse(const FitState& state, FitScratch* scratch) {
+  return Rmse(std::span<const double>(state.data.values()),
+              SimulateStateInto(state, scratch));
 }
 
 /// LM fit of the continuous base parameters {N, beta, delta, gamma, i0}
 /// with shocks and growth held fixed. Multi-start on the first round.
-void FitBaseParams(FitState* state, bool multi_start) {
+void FitBaseParams(FitState* state, bool multi_start, FitScratch* scratch) {
   const double peak = state->peak;
-  auto residual_fn = [state](const std::vector<double>& p,
-                             std::vector<double>* r) -> Status {
-    FitState probe = *state;  // shocks copied; cheap relative to simulate
-    probe.params.population = p[0];
-    probe.params.beta = p[1];
-    probe.params.delta = p[2];
-    probe.params.gamma = p[3];
-    probe.params.i0 = p[4];
-    const Series est = SimulateState(probe);
-    r->clear();
-    for (size_t t = 0; t < probe.n; ++t) {
-      if (!probe.data.IsObserved(t)) continue;
-      r->push_back(est[t] - probe.data[t]);
+  // Shocks and growth are held fixed here, so both schedules can be
+  // materialized once for the whole solve instead of per residual call;
+  // nothing below touches the cache, so the views stay valid. Only the
+  // five scalar dynamics vary between evaluations.
+  const std::span<const double> epsilon =
+      scratch->schedules.GlobalEpsilon(state->shocks, state->keyword,
+                                       state->n);
+  const std::span<const double> eta =
+      state->params.has_growth()
+          ? scratch->schedules.Eta(state->params.growth_rate,
+                                   state->params.growth_start, state->n)
+          : std::span<const double>();
+  std::vector<size_t>& observed = scratch->observed;
+  observed.clear();
+  for (size_t t = 0; t < state->n; ++t) {
+    if (state->data.IsObserved(t)) observed.push_back(t);
+  }
+  std::vector<double>& estimate = scratch->estimate;
+  estimate.resize(state->n);
+  const Series& data = state->data;
+  auto residual_fn = [&](std::span<const double> p,
+                         std::span<double> r) -> Status {
+    const SivDynamics dynamics{p[0], p[1], p[2], p[3], p[4]};
+    SimulateSivInto(dynamics, epsilon, eta, estimate);
+    for (size_t k = 0; k < observed.size(); ++k) {
+      const size_t t = observed[k];
+      r[k] = estimate[t] - data[t];
     }
     return Status::Ok();
   };
@@ -94,7 +135,8 @@ void FitBaseParams(FitState* state, bool multi_start) {
   double best_cost = std::numeric_limits<double>::infinity();
   KeywordGlobalParams best = state->params;
   for (const auto& init : starts) {
-    auto fit_or = LevenbergMarquardt(residual_fn, init, bounds);
+    auto fit_or = LevenbergMarquardt(residual_fn, observed.size(), init,
+                                     bounds, LmOptions(), &scratch->lm);
     if (!fit_or.ok()) continue;
     if (fit_or->final_cost < best_cost) {
       best_cost = fit_or->final_cost;
@@ -118,15 +160,16 @@ void FitBaseParams(FitState* state, bool multi_start) {
 /// addition; the term only costs ~40 bits, so any real improvement also
 /// wins on cost at the next evaluation). An existing term is dropped when
 /// the model without it codes cheaper.
-void FitGrowth(FitState* state, const GlobalFitOptions& options) {
-  const double base_cost = StateCostBits(*state);
+void FitGrowth(FitState* state, const GlobalFitOptions& options,
+               FitScratch* scratch) {
+  const double base_cost = StateCostBits(*state, scratch);
 
   FitState probe = *state;
   // Consider removing an existing growth term (strict MDL).
   if (state->params.has_growth()) {
     probe.params.growth_start = kNpos;
     probe.params.growth_rate = 0.0;
-    if (StateCostBits(probe) < base_cost) {
+    if (StateCostBits(probe, scratch) < base_cost) {
       state->params = probe.params;
       return;
     }
@@ -143,14 +186,14 @@ void FitGrowth(FitState* state, const GlobalFitOptions& options) {
     const double rate = GridThenGoldenMinimize(
         [&](double eta0) {
           probe.params.growth_rate = eta0;
-          return StateRmse(probe);
+          return StateRmse(probe, scratch);
         },
         0.0, options.max_growth_rate, 20, 1e-4);
     probe.params.growth_rate = rate;
-    const double rmse = StateRmse(probe);
+    const double rmse = StateRmse(probe, scratch);
     if (rmse < best_rmse) {
       best_rmse = rmse;
-      best_cost = StateCostBits(probe);
+      best_cost = StateCostBits(probe, scratch);
       best = probe.params;
     }
   }
@@ -167,7 +210,7 @@ void FitGrowth(FitState* state, const GlobalFitOptions& options) {
 /// pay their own description cost — keeping most occurrences at the
 /// default and the model parsimonious.
 void FitShockStrengths(FitState* state, size_t shock_index,
-                       double max_strength) {
+                       double max_strength, FitScratch* scratch) {
   Shock& shock = state->shocks[shock_index];
   // Stage 1: shared strength.
   const double shared = GuardedMinimize(
@@ -175,7 +218,7 @@ void FitShockStrengths(FitState* state, size_t shock_index,
         shock.base_strength = strength;
         std::fill(shock.global_strengths.begin(),
                   shock.global_strengths.end(), strength);
-        return StateRmse(*state);
+        return StateRmse(*state, scratch);
       },
       0.0, max_strength, shock.base_strength);
   shock.base_strength = shared;
@@ -189,18 +232,18 @@ void FitShockStrengths(FitState* state, size_t shock_index,
     shock.global_strengths[m] = GuardedMinimize(
         [&](double strength) {
           shock.global_strengths[m] = strength;
-          return StateRmse(*state);
+          return StateRmse(*state, scratch);
         },
         0.0, max_strength, shock.global_strengths[m]);
   }
   // MDL sweep: a deviation stays only if it codes cheaper than the
   // default.
-  double cost = StateCostBits(*state);
+  double cost = StateCostBits(*state, scratch);
   for (size_t m = 0; m < shock.global_strengths.size(); ++m) {
     if (shock.global_strengths[m] == shock.base_strength) continue;
     const double saved = shock.global_strengths[m];
     shock.global_strengths[m] = shock.base_strength;
-    const double cost_reverted = StateCostBits(*state);
+    const double cost_reverted = StateCostBits(*state, scratch);
     if (cost_reverted <= cost) {
       cost = cost_reverted;
     } else {
@@ -216,7 +259,7 @@ void FitShockStrengths(FitState* state, size_t shock_index,
 /// a single shared strength; the winner is returned with its occurrence
 /// vector resized.
 Shock RefineShockPlacement(const FitState& state, const Shock& candidate,
-                           double max_strength) {
+                           double max_strength, FitScratch* scratch) {
   Shock best = candidate;
   double best_rmse = std::numeric_limits<double>::infinity();
   FitState probe = state;
@@ -234,13 +277,13 @@ Shock RefineShockPlacement(const FitState& state, const Shock& candidate,
           [&](double v) {
             std::fill(trial.global_strengths.begin(),
                       trial.global_strengths.end(), v);
-            return StateRmse(probe);
+            return StateRmse(probe, scratch);
           },
           0.0, max_strength, 20, 1e-2);
       trial.base_strength = strength;
       std::fill(trial.global_strengths.begin(), trial.global_strengths.end(),
                 strength);
-      const double rmse = StateRmse(probe);
+      const double rmse = StateRmse(probe, scratch);
       if (rmse < best_rmse) {
         best_rmse = rmse;
         best = trial;
@@ -260,8 +303,8 @@ Shock RefineShockPlacement(const FitState& state, const Shock& candidate,
 /// strict gate is instead applied by the backward pruning pass after the
 /// joint refit. Returns true if a shock was added.
 bool TryAddShock(FitState* state, const GlobalFitOptions& options,
-                 double* current_cost) {
-  const Series estimate = SimulateState(*state);
+                 double* current_cost, FitScratch* scratch) {
+  const std::span<const double> estimate = SimulateStateInto(*state, scratch);
   Series residual(state->n);
   for (size_t t = 0; t < state->n; ++t) {
     residual[t] = state->data.IsObserved(t) ? state->data[t] - estimate[t]
@@ -273,7 +316,7 @@ bool TryAddShock(FitState* state, const GlobalFitOptions& options,
     return false;
   }
   const double base_cost = *current_cost;
-  const double base_rmse = StateRmse(*state);
+  const double base_rmse = StateRmse(*state, scratch);
   // The forward pass optimizes explanatory power optimistically; the
   // backward pass restores parsimony.
   double best_cost = std::numeric_limits<double>::infinity();
@@ -281,10 +324,10 @@ bool TryAddShock(FitState* state, const GlobalFitOptions& options,
   bool improved = false;
   for (const Shock& candidate : candidates) {
     FitState probe = *state;
-    probe.shocks.push_back(RefineShockPlacement(*state, candidate,
-                                                options.max_shock_strength));
+    probe.shocks.push_back(RefineShockPlacement(
+        *state, candidate, options.max_shock_strength, scratch));
     FitShockStrengths(&probe, probe.shocks.size() - 1,
-                      options.max_shock_strength);
+                      options.max_shock_strength, scratch);
     // Joint refinement before the MDL verdict: the incumbent base was fit
     // with this spike mass unexplained, so judge the candidate only after
     // base and strengths are refit *together*. Shock-free optima often sit
@@ -315,11 +358,11 @@ bool TryAddShock(FitState* state, const GlobalFitOptions& options,
       for (const KeywordGlobalParams& seed : seeds) {
         FitState trial = probe;
         trial.params = seed;
-        FitBaseParams(&trial, /*multi_start=*/false);
+        FitBaseParams(&trial, /*multi_start=*/false, scratch);
         FitShockStrengths(&trial, trial.shocks.size() - 1,
-                          options.max_shock_strength);
-        FitBaseParams(&trial, /*multi_start=*/false);
-        const double trial_rmse = StateRmse(trial);
+                          options.max_shock_strength, scratch);
+        FitBaseParams(&trial, /*multi_start=*/false, scratch);
+        const double trial_rmse = StateRmse(trial, scratch);
         if (trial_rmse < best_joint_rmse) {
           best_joint_rmse = trial_rmse;
           best_joint = std::move(trial);
@@ -327,8 +370,8 @@ bool TryAddShock(FitState* state, const GlobalFitOptions& options,
       }
       probe = std::move(best_joint);
     }
-    const double cost = StateCostBits(probe);
-    const double rmse = StateRmse(probe);
+    const double cost = StateCostBits(probe, scratch);
+    const double rmse = StateRmse(probe, scratch);
     if (options.verbose) {
       std::fprintf(stderr, "[dspot]   cand %s -> rmse=%.3f cost=%.1f (vs %.1f)\n",
                    probe.shocks.back().ToString().c_str(), rmse, cost,
@@ -357,8 +400,9 @@ bool TryAddShock(FitState* state, const GlobalFitOptions& options,
 /// The alternation loop shared by FitGlobalSequence (cold start) and
 /// RefitGlobalSequence (warm start from a previous fit).
 GlobalSequenceFit RunAlternation(FitState state,
-                                 const GlobalFitOptions& options) {
-  double cost = StateCostBits(state);
+                                 const GlobalFitOptions& options,
+                                 FitScratch* scratch) {
+  double cost = StateCostBits(state, scratch);
 
   // `best_state` tracks the strict-MDL optimum (what we return); the round
   // loop keeps exploring while either the cost or the RMSE is still
@@ -366,37 +410,38 @@ GlobalSequenceFit RunAlternation(FitState state,
   // rounds they need to pay for themselves.
   FitState best_state = state;
   double best_cost = cost;
-  double prev_rmse = StateRmse(state);
+  double prev_rmse = StateRmse(state, scratch);
 
   for (int round = 0; round < options.max_outer_rounds; ++round) {
     // Base refit against the current shock set. Multi-start once shocks
     // exist: the no-shock optimum (which absorbs spikes into the base
     // dynamics) is a poor basin for the shocked model.
-    FitBaseParams(&state, /*multi_start=*/!state.shocks.empty());
+    FitBaseParams(&state, /*multi_start=*/!state.shocks.empty(), scratch);
     if (options.verbose) {
       std::fprintf(stderr, "[dspot] round %d after base: cost=%.1f rmse=%.3f\n",
-                   round, StateCostBits(state), StateRmse(state));
+                   round, StateCostBits(state, scratch),
+                   StateRmse(state, scratch));
     }
     if (options.allow_shocks) {
       // Refit the strengths of already-accepted shocks against the
       // refreshed base, then greedily extend the shock set.
       for (size_t k = 0; k < state.shocks.size(); ++k) {
-        FitShockStrengths(&state, k, options.max_shock_strength);
+        FitShockStrengths(&state, k, options.max_shock_strength, scratch);
       }
-      cost = StateCostBits(state);
+      cost = StateCostBits(state, scratch);
       while (state.shocks.size() < options.max_shocks_per_keyword &&
-             TryAddShock(&state, options, &cost)) {
+             TryAddShock(&state, options, &cost, scratch)) {
       }
     }
     if (options.allow_shocks) {
       // Backward pass: drop shocks whose description cost is no longer
       // justified (mirrors the paper's re-initialization of s_i without
       // discarding still-useful events).
-      cost = StateCostBits(state);
+      cost = StateCostBits(state, scratch);
       for (size_t k = 0; k < state.shocks.size();) {
         FitState without = state;
         without.shocks.erase(without.shocks.begin() + k);
-        const double cost_without = StateCostBits(without);
+        const double cost_without = StateCostBits(without, scratch);
         if (cost_without <= cost + options.prune_slack_bits) {
           state = std::move(without);
           cost = cost_without;
@@ -419,8 +464,8 @@ GlobalSequenceFit RunAlternation(FitState state,
         alt.start = shock.start + m_best * shock.period;
         alt.base_strength = shock.global_strengths[m_best];
         alt.global_strengths = {alt.base_strength};
-        FitShockStrengths(&probe, k, options.max_shock_strength);
-        const double cost_alt = StateCostBits(probe);
+        FitShockStrengths(&probe, k, options.max_shock_strength, scratch);
+        const double cost_alt = StateCostBits(probe, scratch);
         if (cost_alt <= cost + options.prune_slack_bits) {
           state = std::move(probe);
           cost = cost_alt;
@@ -433,15 +478,16 @@ GlobalSequenceFit RunAlternation(FitState state,
     // the spikes are explained, the junk is pruned, and a level shift
     // shows up cleanly in the coding-cost balance.
     if (options.allow_growth) {
-      FitGrowth(&state, options);
+      FitGrowth(&state, options, scratch);
       if (options.verbose) {
         std::fprintf(stderr,
                      "[dspot] round %d after growth: cost=%.1f rmse=%.3f\n",
-                     round, StateCostBits(state), StateRmse(state));
+                     round, StateCostBits(state, scratch),
+                     StateRmse(state, scratch));
       }
     }
-    cost = StateCostBits(state);
-    const double rmse = StateRmse(state);
+    cost = StateCostBits(state, scratch);
+    const double rmse = StateRmse(state, scratch);
     if (options.verbose) {
       std::fprintf(stderr,
                    "[dspot] round %d end: cost=%.1f best=%.1f rmse=%.3f "
@@ -466,12 +512,12 @@ GlobalSequenceFit RunAlternation(FitState state,
 
   if (options.return_final_state) {
     best_state = state;
-    best_cost = StateCostBits(state);
+    best_cost = StateCostBits(state, scratch);
   }
   GlobalSequenceFit fit;
   fit.params = best_state.params;
   fit.shocks = best_state.shocks;
-  fit.estimate = SimulateState(best_state);
+  fit.estimate = SimulateStateSeries(best_state, scratch);
   fit.cost_bits = best_cost;
   fit.rmse = Rmse(best_state.data, fit.estimate);
   return fit;
@@ -497,8 +543,9 @@ StatusOr<GlobalSequenceFit> FitGlobalSequence(const Series& data,
   state.params.population = state.peak * 2.0;
   state.params.i0 = 1.0;
 
-  FitBaseParams(&state, /*multi_start=*/true);
-  return RunAlternation(std::move(state), options);
+  FitScratch scratch;
+  FitBaseParams(&state, /*multi_start=*/true, &scratch);
+  return RunAlternation(std::move(state), options, &scratch);
 }
 
 StatusOr<GlobalSequenceFit> RefitGlobalSequence(
@@ -530,7 +577,8 @@ StatusOr<GlobalSequenceFit> RefitGlobalSequence(
   }
   GlobalFitOptions warm_options = options;
   warm_options.max_outer_rounds = std::min(options.max_outer_rounds, 2);
-  return RunAlternation(std::move(state), warm_options);
+  FitScratch scratch;
+  return RunAlternation(std::move(state), warm_options, &scratch);
 }
 
 StatusOr<ModelParamSet> GlobalFit(const ActivityTensor& tensor,

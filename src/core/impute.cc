@@ -32,14 +32,19 @@ StatusOr<ActivityTensor> ImputeTensor(const ActivityTensor& tensor,
         "ImputeTensor: LocalFit required for multi-location tensors");
   }
   ActivityTensor out = tensor;
+  // One cache + buffer for the whole d x l sweep: adjacent cells of a
+  // keyword share their global schedules, so most simulations only rebuild
+  // the location-dependent pieces.
+  ScheduleCache cache;
+  std::vector<double> estimate;
   for (size_t i = 0; i < tensor.num_keywords(); ++i) {
     for (size_t j = 0; j < tensor.num_locations(); ++j) {
-      Series estimate;
       bool simulated = false;
       for (size_t t = 0; t < tensor.num_ticks(); ++t) {
         if (!IsMissing(tensor.at(i, j, t))) continue;
         if (!simulated) {
-          estimate = SimulateLocal(params, i, j, tensor.num_ticks());
+          estimate.resize(tensor.num_ticks());
+          SimulateLocalInto(params, i, j, &cache, estimate);
           simulated = true;
         }
         out.at(i, j, t) = estimate[t];

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "core/cost.h"
@@ -31,34 +32,48 @@ struct LocalState {
   size_t n = 0;
 };
 
-Series SimulateLocalState(const LocalState& state) {
-  SivInputs inputs;
-  inputs.population = state.population;
-  inputs.beta = state.global->beta;
-  inputs.delta = state.global->delta;
-  inputs.gamma = state.global->gamma;
-  inputs.i0 = state.global->i0 * state.population /
-              std::max(state.global->population, 1e-9);
-  inputs.epsilon.assign(state.n, 1.0);
+/// Per-location scratch: the schedule and simulation buffers the
+/// coordinate descent cycles through. One instance per ParallelFor task,
+/// so the hundreds of objective evaluations behind each (keyword,
+/// location) fit reuse the same storage without cross-thread sharing.
+struct LocalScratch {
+  std::vector<double> epsilon;
+  std::vector<double> eta;
+  std::vector<double> estimate;
+};
+
+/// Simulates the local model into scratch->estimate and returns a view of
+/// it (valid until the next call with the same scratch). The epsilon
+/// schedule is rebuilt from the candidate strengths by windowed occurrence
+/// sweeps, bit-identical to the per-tick OccurrenceIndexAt scan.
+std::span<const double> SimulateLocalStateInto(const LocalState& state,
+                                               LocalScratch* scratch) {
+  SivDynamics dynamics;
+  dynamics.population = state.population;
+  dynamics.beta = state.global->beta;
+  dynamics.delta = state.global->delta;
+  dynamics.gamma = state.global->gamma;
+  dynamics.i0 = state.global->i0 * state.population /
+                std::max(state.global->population, 1e-9);
+  scratch->epsilon.assign(state.n, 1.0);
   for (size_t k = 0; k < state.shocks.size(); ++k) {
-    const Shock& shock = *state.shocks[k];
-    const std::vector<double>& strengths = state.strengths[k];
-    for (size_t t = 0; t < state.n; ++t) {
-      const size_t m = shock.OccurrenceIndexAt(t);
-      if (m != kNpos && m < strengths.size()) {
-        inputs.epsilon[t] += strengths[m];
-      }
-    }
+    AddOccurrenceStrengthsInto(*state.shocks[k], state.strengths[k],
+                               scratch->epsilon);
   }
+  std::span<const double> eta;
   if (state.global->has_growth()) {
-    inputs.eta =
-        BuildEta(state.growth_rate, state.global->growth_start, state.n);
+    BuildEtaInto(state.growth_rate, state.global->growth_start, state.n,
+                 &scratch->eta);
+    eta = scratch->eta;
   }
-  return SimulateSiv(inputs, state.n);
+  scratch->estimate.resize(state.n);
+  SimulateSivInto(dynamics, scratch->epsilon, eta, scratch->estimate);
+  return scratch->estimate;
 }
 
-double LocalStateRmse(const LocalState& state) {
-  return Rmse(*state.data, SimulateLocalState(state));
+double LocalStateRmse(const LocalState& state, LocalScratch* scratch) {
+  return Rmse(std::span<const double>(state.data->values()),
+              SimulateLocalStateInto(state, scratch));
 }
 
 size_t NonZeroStrengths(const LocalState& state) {
@@ -71,21 +86,23 @@ size_t NonZeroStrengths(const LocalState& state) {
   return count;
 }
 
-double LocalStateCostBits(const LocalState& state, size_t d, size_t l) {
-  return LocalSequenceCostBits(*state.data, SimulateLocalState(state),
+double LocalStateCostBits(const LocalState& state, size_t d, size_t l,
+                          LocalScratch* scratch) {
+  return LocalSequenceCostBits(std::span<const double>(state.data->values()),
+                               SimulateLocalStateInto(state, scratch),
                                NonZeroStrengths(state), d, l, state.n);
 }
 
 /// Fits one local sequence by coordinate descent; returns its final cost.
 double FitOneLocal(LocalState* state, size_t d, size_t l,
-                   const LocalFitOptions& options) {
+                   const LocalFitOptions& options, LocalScratch* scratch) {
   const double peak = std::max(state->data->MaxValue(), 1e-3);
 
   // b^(L)_ij: local potential population.
   state->population = GridThenGoldenMinimize(
       [&](double pop) {
         state->population = pop;
-        return LocalStateRmse(*state);
+        return LocalStateRmse(*state, scratch);
       },
       peak * 0.3, peak * 300.0, 40, 1e-3);
 
@@ -94,7 +111,7 @@ double FitOneLocal(LocalState* state, size_t d, size_t l,
     state->growth_rate = GuardedMinimize(
         [&](double rate) {
           state->growth_rate = rate;
-          return LocalStateRmse(*state);
+          return LocalStateRmse(*state, scratch);
         },
         0.0, 4.0, state->growth_rate);
   }
@@ -105,13 +122,13 @@ double FitOneLocal(LocalState* state, size_t d, size_t l,
       state->strengths[k][m] = GuardedMinimize(
           [&](double s) {
             state->strengths[k][m] = s;
-            return LocalStateRmse(*state);
+            return LocalStateRmse(*state, scratch);
           },
           0.0, options.max_local_strength, state->strengths[k][m]);
     }
   }
 
-  double cost = LocalStateCostBits(*state, d, l);
+  double cost = LocalStateCostBits(*state, d, l, scratch);
 
   // Sparsification: drop strengths whose description cost exceeds their
   // coding benefit.
@@ -121,7 +138,8 @@ double FitOneLocal(LocalState* state, size_t d, size_t l,
         if (state->strengths[k][m] == 0.0) continue;
         const double saved = state->strengths[k][m];
         state->strengths[k][m] = 0.0;
-        const double cost_without = LocalStateCostBits(*state, d, l);
+        const double cost_without =
+            LocalStateCostBits(*state, d, l, scratch);
         if (cost_without <= cost) {
           cost = cost_without;  // keep it zeroed
         } else {
@@ -181,6 +199,7 @@ Status LocalFit(const ActivityTensor& tensor, ModelParamSet* params,
       ParallelFor(l, popts, [&](size_t j) {
         const Series local_data = tensor.LocalSequence(i, j);
 
+        LocalScratch scratch;
         LocalState state;
         state.data = &local_data;
         state.global = &params->global[i];
@@ -212,7 +231,7 @@ Status LocalFit(const ActivityTensor& tensor, ModelParamSet* params,
           }
         }
 
-        costs[j] = FitOneLocal(&state, d, l, options);
+        costs[j] = FitOneLocal(&state, d, l, options, &scratch);
 
         // Write back (disjoint per location: column j only).
         params->base_local(i, j) = state.population;

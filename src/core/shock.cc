@@ -96,27 +96,111 @@ std::string Shock::ToString() const {
 
 std::vector<double> BuildGlobalEpsilon(const std::vector<Shock>& shocks,
                                        size_t keyword, size_t n_ticks) {
-  std::vector<double> eps(n_ticks, 1.0);
-  for (const Shock& shock : shocks) {
-    if (shock.keyword != keyword) continue;
-    for (size_t t = 0; t < n_ticks; ++t) {
-      eps[t] += shock.GlobalStrengthAt(t);
-    }
-  }
+  std::vector<double> eps;
+  BuildGlobalEpsilonInto(shocks, keyword, n_ticks, &eps);
   return eps;
 }
 
 std::vector<double> BuildLocalEpsilon(const std::vector<Shock>& shocks,
                                       size_t keyword, size_t location,
                                       size_t n_ticks) {
-  std::vector<double> eps(n_ticks, 1.0);
+  std::vector<double> eps;
+  BuildLocalEpsilonInto(shocks, keyword, location, n_ticks, &eps);
+  return eps;
+}
+
+namespace {
+
+/// Ticks covered by one occurrence: a cyclic shock's occurrence window is
+/// capped at the period, because OccurrenceIndexAt attributes each tick to
+/// the most recent occurrence (so with width >= period the next occurrence
+/// owns the overlap). This is what makes the windowed sweep below add at
+/// most one contribution per (tick, shock), matching the per-tick scan
+/// exactly.
+size_t OccurrenceWindow(const Shock& shock) {
+  return shock.IsCyclic() ? std::min(shock.width, shock.period) : shock.width;
+}
+
+}  // namespace
+
+void BuildGlobalEpsilonInto(const std::vector<Shock>& shocks, size_t keyword,
+                            size_t n_ticks, std::vector<double>* out) {
+  out->assign(n_ticks, 1.0);
+  std::vector<double>& eps = *out;
   for (const Shock& shock : shocks) {
     if (shock.keyword != keyword) continue;
-    for (size_t t = 0; t < n_ticks; ++t) {
-      eps[t] += shock.LocalStrengthAt(t, location);
+    const size_t occurrences = shock.NumOccurrences(n_ticks);
+    const size_t window = OccurrenceWindow(shock);
+    for (size_t m = 0; m < occurrences; ++m) {
+      const double strength = m < shock.global_strengths.size()
+                                  ? shock.global_strengths[m]
+                                  : shock.base_strength;
+      // Adding 0.0 is an exact no-op, so skipping keeps bit-identity.
+      if (strength == 0.0) continue;
+      const size_t begin = shock.start + m * shock.period;
+      const size_t end = std::min(begin + window, n_ticks);
+      for (size_t t = begin; t < end; ++t) {
+        eps[t] += strength;
+      }
     }
   }
-  return eps;
+}
+
+void BuildLocalEpsilonInto(const std::vector<Shock>& shocks, size_t keyword,
+                           size_t location, size_t n_ticks,
+                           std::vector<double>* out) {
+  out->assign(n_ticks, 1.0);
+  std::vector<double>& eps = *out;
+  for (const Shock& shock : shocks) {
+    if (shock.keyword != keyword) continue;
+    const size_t occurrences = shock.NumOccurrences(n_ticks);
+    const size_t window = OccurrenceWindow(shock);
+    const Matrix& local = shock.local_strengths;
+    for (size_t m = 0; m < occurrences; ++m) {
+      // Mirrors Shock::LocalStrengthAt branch for branch.
+      double strength;
+      if (local.empty()) {
+        strength = m < shock.global_strengths.size()
+                       ? shock.global_strengths[m]
+                       : shock.base_strength;
+      } else if (location >= local.cols()) {
+        strength = 0.0;
+      } else if (m < local.rows()) {
+        strength = local(m, location);
+      } else {
+        double sum = 0.0;
+        for (size_t r = 0; r < local.rows(); ++r) {
+          sum += local(r, location);
+        }
+        strength =
+            local.rows() == 0 ? 0.0 : sum / static_cast<double>(local.rows());
+      }
+      if (strength == 0.0) continue;
+      const size_t begin = shock.start + m * shock.period;
+      const size_t end = std::min(begin + window, n_ticks);
+      for (size_t t = begin; t < end; ++t) {
+        eps[t] += strength;
+      }
+    }
+  }
+}
+
+void AddOccurrenceStrengthsInto(const Shock& shock,
+                                std::span<const double> strengths,
+                                std::span<double> epsilon) {
+  const size_t n_ticks = epsilon.size();
+  const size_t occurrences =
+      std::min(shock.NumOccurrences(n_ticks), strengths.size());
+  const size_t window = OccurrenceWindow(shock);
+  for (size_t m = 0; m < occurrences; ++m) {
+    const double strength = strengths[m];
+    if (strength == 0.0) continue;
+    const size_t begin = shock.start + m * shock.period;
+    const size_t end = std::min(begin + window, n_ticks);
+    for (size_t t = begin; t < end; ++t) {
+      epsilon[t] += strength;
+    }
+  }
 }
 
 }  // namespace dspot

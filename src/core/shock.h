@@ -2,6 +2,7 @@
 #define DSPOT_CORE_SHOCK_H_
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,27 @@ std::vector<double> BuildGlobalEpsilon(const std::vector<Shock>& shocks,
 std::vector<double> BuildLocalEpsilon(const std::vector<Shock>& shocks,
                                       size_t keyword, size_t location,
                                       size_t n_ticks);
+
+/// Builders into caller-owned storage (`*out` is resized to n_ticks and
+/// fully overwritten, so its capacity is reused across calls). They sweep
+/// occurrence windows instead of scanning every tick per shock; since each
+/// tick receives at most one contribution per shock, the accumulated
+/// values are bit-identical to the per-tick scan (which delegates here).
+void BuildGlobalEpsilonInto(const std::vector<Shock>& shocks, size_t keyword,
+                            size_t n_ticks, std::vector<double>* out);
+void BuildLocalEpsilonInto(const std::vector<Shock>& shocks, size_t keyword,
+                           size_t location, size_t n_ticks,
+                           std::vector<double>* out);
+
+/// Adds candidate occurrence strengths of one shock into an existing
+/// epsilon schedule: occurrence m contributes `strengths[m]` over its
+/// window (occurrences beyond `strengths.size()` contribute nothing).
+/// Windowed counterpart of the per-tick `OccurrenceIndexAt` scan used by
+/// LocalFit's coordinate descent, where the strengths under test live
+/// outside the shock.
+void AddOccurrenceStrengthsInto(const Shock& shock,
+                                std::span<const double> strengths,
+                                std::span<double> epsilon);
 
 }  // namespace dspot
 

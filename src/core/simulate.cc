@@ -5,6 +5,33 @@
 
 namespace dspot {
 
+void SimulateSivInto(const SivDynamics& dynamics,
+                     std::span<const double> epsilon,
+                     std::span<const double> eta, std::span<double> out) {
+  const double n = std::max(dynamics.population, 1e-9);
+  double i = std::clamp(dynamics.i0, 0.0, n);
+  double s = n - i;
+  double v = 0.0;
+  const double delta = std::clamp(dynamics.delta, 0.0, 1.0);
+  const double gamma = std::clamp(dynamics.gamma, 0.0, 1.0);
+
+  const size_t n_ticks = out.size();
+  for (size_t t = 0; t < n_ticks; ++t) {
+    out[t] = i;
+
+    const double eps = t < epsilon.size() ? epsilon[t] : 1.0;
+    const double eta_t = t < eta.size() ? eta[t] : 0.0;
+    const double raw_infect = dynamics.beta * (s / n) * eps * i * (1.0 + eta_t);
+    const double infect = std::clamp(raw_infect, 0.0, s);
+    const double recover = delta * i;
+    const double wane = gamma * v;
+
+    s += wane - infect;
+    i += infect - recover;
+    v += recover - wane;
+  }
+}
+
 SivTrajectory SimulateSivFull(const SivInputs& inputs, size_t n_ticks) {
   SivTrajectory traj;
   traj.susceptible = Series(n_ticks);
@@ -40,67 +67,82 @@ SivTrajectory SimulateSivFull(const SivInputs& inputs, size_t n_ticks) {
 }
 
 Series SimulateSiv(const SivInputs& inputs, size_t n_ticks) {
-  return SimulateSivFull(inputs, n_ticks).infective;
+  Series out(n_ticks);
+  const SivDynamics dynamics{inputs.population, inputs.beta, inputs.delta,
+                             inputs.gamma, inputs.i0};
+  SimulateSivInto(dynamics, inputs.epsilon, inputs.eta, out.mutable_values());
+  return out;
 }
 
 std::vector<double> BuildEta(double growth_rate, size_t growth_start,
                              size_t n_ticks) {
-  std::vector<double> eta(n_ticks, 0.0);
-  if (growth_start == kNpos || growth_rate == 0.0) {
-    return eta;
-  }
-  for (size_t t = growth_start; t < n_ticks; ++t) {
-    eta[t] = growth_rate;
-  }
+  std::vector<double> eta;
+  BuildEtaInto(growth_rate, growth_start, n_ticks, &eta);
   return eta;
 }
 
 Series SimulateGlobal(const ModelParamSet& params, size_t keyword,
                       size_t n_ticks) {
+  Series out(n_ticks);
+  ScheduleCache cache;
+  SimulateGlobalInto(params, keyword, &cache, out.mutable_values());
+  return out;
+}
+
+void SimulateGlobalInto(const ModelParamSet& params, size_t keyword,
+                        ScheduleCache* cache, std::span<double> out) {
   const KeywordGlobalParams& g = params.global[keyword];
-  SivInputs inputs;
-  inputs.population = g.population;
-  inputs.beta = g.beta;
-  inputs.delta = g.delta;
-  inputs.gamma = g.gamma;
-  inputs.i0 = g.i0;
-  inputs.epsilon = BuildGlobalEpsilon(params.shocks, keyword, n_ticks);
-  inputs.eta = g.has_growth()
-                   ? BuildEta(g.growth_rate, g.growth_start, n_ticks)
-                   : std::vector<double>();
-  return SimulateSiv(inputs, n_ticks);
+  const size_t n_ticks = out.size();
+  const SivDynamics dynamics{g.population, g.beta, g.delta, g.gamma, g.i0};
+  const std::span<const double> epsilon =
+      cache->GlobalEpsilon(params.shocks, keyword, n_ticks);
+  const std::span<const double> eta =
+      g.has_growth() ? cache->Eta(g.growth_rate, g.growth_start, n_ticks)
+                     : std::span<const double>();
+  SimulateSivInto(dynamics, epsilon, eta, out);
 }
 
 Series SimulateLocal(const ModelParamSet& params, size_t keyword,
                      size_t location, size_t n_ticks) {
+  Series out(n_ticks);
+  ScheduleCache cache;
+  SimulateLocalInto(params, keyword, location, &cache, out.mutable_values());
+  return out;
+}
+
+void SimulateLocalInto(const ModelParamSet& params, size_t keyword,
+                       size_t location, ScheduleCache* cache,
+                       std::span<double> out) {
   const KeywordGlobalParams& g = params.global[keyword];
-  SivInputs inputs;
-  inputs.beta = g.beta;
-  inputs.delta = g.delta;
-  inputs.gamma = g.gamma;
-  inputs.epsilon = BuildLocalEpsilon(params.shocks, keyword, location,
-                                     n_ticks);
+  const size_t n_ticks = out.size();
+  SivDynamics dynamics;
+  dynamics.beta = g.beta;
+  dynamics.delta = g.delta;
+  dynamics.gamma = g.gamma;
+  const std::span<const double> epsilon =
+      cache->LocalEpsilon(params.shocks, keyword, location, n_ticks);
+  std::span<const double> eta;
   if (params.has_local()) {
     const double local_pop = params.base_local(keyword, location);
-    inputs.population = local_pop;
-    inputs.i0 = g.i0 * local_pop / std::max(g.population, 1e-9);
+    dynamics.population = local_pop;
+    dynamics.i0 = g.i0 * local_pop / std::max(g.population, 1e-9);
     const double local_growth =
         params.growth_local.empty() ? 0.0
                                     : params.growth_local(keyword, location);
-    inputs.eta = g.has_growth()
-                     ? BuildEta(local_growth, g.growth_start, n_ticks)
-                     : std::vector<double>();
+    if (g.has_growth()) {
+      eta = cache->Eta(local_growth, g.growth_start, n_ticks);
+    }
   } else {
     // LocalFit has not run yet: assume an even population share.
     const double share =
         1.0 / static_cast<double>(std::max<size_t>(params.num_locations, 1));
-    inputs.population = g.population * share;
-    inputs.i0 = g.i0 * share;
-    inputs.eta = g.has_growth()
-                     ? BuildEta(g.growth_rate, g.growth_start, n_ticks)
-                     : std::vector<double>();
+    dynamics.population = g.population * share;
+    dynamics.i0 = g.i0 * share;
+    if (g.has_growth()) {
+      eta = cache->Eta(g.growth_rate, g.growth_start, n_ticks);
+    }
   }
-  return SimulateSiv(inputs, n_ticks);
+  SimulateSivInto(dynamics, epsilon, eta, out);
 }
 
 }  // namespace dspot

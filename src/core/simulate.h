@@ -2,9 +2,11 @@
 #define DSPOT_CORE_SIMULATE_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/params.h"
+#include "core/schedule_cache.h"
 #include "timeseries/series.h"
 
 namespace dspot {
@@ -37,6 +39,25 @@ struct SivTrajectory {
   Series vigilant;
 };
 
+/// The scalar part of SivInputs, used by the buffer-writing kernel below
+/// (schedules come in as spans, so callers can feed cached vectors without
+/// copying them into a SivInputs).
+struct SivDynamics {
+  double population = 1.0;
+  double beta = 0.1;
+  double delta = 0.1;
+  double gamma = 0.05;
+  double i0 = 1.0;
+};
+
+/// Runs the recurrence for out.size() steps and writes I(t) into `out`.
+/// `epsilon` / `eta` may be shorter than the horizon (missing ticks use
+/// eps = 1 / eta = 0, so an empty span means "no shocks" / "no growth").
+/// Allocation-free; this is the hot kernel every residual evaluation hits.
+void SimulateSivInto(const SivDynamics& dynamics,
+                     std::span<const double> epsilon,
+                     std::span<const double> eta, std::span<double> out);
+
 /// Runs the recurrence for `n_ticks` steps and returns I(t) (the modeled
 /// activity volume).
 Series SimulateSiv(const SivInputs& inputs, size_t n_ticks);
@@ -45,6 +66,9 @@ Series SimulateSiv(const SivInputs& inputs, size_t n_ticks);
 SivTrajectory SimulateSivFull(const SivInputs& inputs, size_t n_ticks);
 
 /// Builds the step function eta(t) = growth_rate * 1[t >= growth_start].
+/// Returns an EMPTY vector when growth is disabled (growth_start == kNpos
+/// or growth_rate == 0); the simulator's `t < eta.size()` guard treats the
+/// missing ticks as eta = 0.
 std::vector<double> BuildEta(double growth_rate, size_t growth_start,
                              size_t n_ticks);
 
@@ -53,11 +77,22 @@ std::vector<double> BuildEta(double growth_rate, size_t growth_start,
 Series SimulateGlobal(const ModelParamSet& params, size_t keyword,
                       size_t n_ticks);
 
+/// SimulateGlobal into caller-owned storage (out.size() is the horizon):
+/// schedules come from `*cache` and are rebuilt only when the shock set or
+/// growth parameters changed. Allocation-free once the cache is warm.
+void SimulateGlobalInto(const ModelParamSet& params, size_t keyword,
+                        ScheduleCache* cache, std::span<double> out);
+
 /// Simulates the local-level sequence of (keyword, location). Requires
 /// `params.has_local()`; falls back to a population share of 1/l of the
 /// global dynamics when local matrices are absent.
 Series SimulateLocal(const ModelParamSet& params, size_t keyword,
                      size_t location, size_t n_ticks);
+
+/// SimulateLocal into caller-owned storage, schedules served by `*cache`.
+void SimulateLocalInto(const ModelParamSet& params, size_t keyword,
+                       size_t location, ScheduleCache* cache,
+                       std::span<double> out);
 
 }  // namespace dspot
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
+#include <vector>
 
 #include "optimize/levenberg_marquardt.h"
 #include "timeseries/metrics.h"
@@ -11,16 +13,30 @@ namespace dspot {
 
 namespace {
 
-/// Shared residual builder: model I(t) minus data, skipping missing ticks.
-template <typename Simulate>
-Status ResidualsFor(const Series& data, const Simulate& simulate,
-                    std::vector<double>* out) {
-  const Series est = simulate();
-  out->clear();
-  out->reserve(data.size());
-  for (size_t t = 0; t < data.size(); ++t) {
-    if (!data.IsObserved(t)) continue;
-    out->push_back(est[t] - data[t]);
+/// Shared per-fit scratch: the LM workspace, the simulation buffer, and
+/// the observed-tick index list the residual loop walks.
+struct EpidemicScratch {
+  LmWorkspace lm;
+  std::vector<double> estimate;
+  std::vector<size_t> observed;
+
+  void Prepare(const Series& data) {
+    estimate.resize(data.size());
+    observed.clear();
+    for (size_t t = 0; t < data.size(); ++t) {
+      if (data.IsObserved(t)) observed.push_back(t);
+    }
+  }
+};
+
+/// Shared residual builder: model I(t) minus data over observed ticks.
+template <typename SimulateInto>
+Status ResidualsFor(const Series& data, const SimulateInto& simulate_into,
+                    EpidemicScratch* scratch, std::span<double> r) {
+  simulate_into(std::span<double>(scratch->estimate));
+  for (size_t k = 0; k < scratch->observed.size(); ++k) {
+    const size_t t = scratch->observed[k];
+    r[k] = scratch->estimate[t] - data[t];
   }
   return Status::Ok();
 }
@@ -40,26 +56,29 @@ const Start kStarts[] = {
 
 }  // namespace
 
-Series SimulateSi(const SiParams& params, size_t n_ticks) {
-  Series out(n_ticks);
+void SimulateSiInto(const SiParams& params, std::span<double> out) {
   const double n = std::max(params.population, 1e-9);
   double s = std::max(n - params.i0, 0.0);
   double i = std::min(params.i0, n);
-  for (size_t t = 0; t < n_ticks; ++t) {
+  for (size_t t = 0; t < out.size(); ++t) {
     out[t] = i;
     const double flow = std::min(params.beta * (s / n) * i, s);
     s -= flow;
     i += flow;
   }
+}
+
+Series SimulateSi(const SiParams& params, size_t n_ticks) {
+  Series out(n_ticks);
+  SimulateSiInto(params, out.mutable_values());
   return out;
 }
 
-Series SimulateSir(const SirParams& params, size_t n_ticks) {
-  Series out(n_ticks);
+void SimulateSirInto(const SirParams& params, std::span<double> out) {
   const double n = std::max(params.population, 1e-9);
   double s = std::max(n - params.i0, 0.0);
   double i = std::min(params.i0, n);
-  for (size_t t = 0; t < n_ticks; ++t) {
+  for (size_t t = 0; t < out.size(); ++t) {
     out[t] = i;
     const double infect = std::min(params.beta * (s / n) * i, s);
     const double recover = std::min(params.delta, 1.0) * i;
@@ -67,16 +86,20 @@ Series SimulateSir(const SirParams& params, size_t n_ticks) {
     i += infect - recover;
     i = std::max(i, 0.0);
   }
+}
+
+Series SimulateSir(const SirParams& params, size_t n_ticks) {
+  Series out(n_ticks);
+  SimulateSirInto(params, out.mutable_values());
   return out;
 }
 
-Series SimulateSirs(const SirsParams& params, size_t n_ticks) {
-  Series out(n_ticks);
+void SimulateSirsInto(const SirsParams& params, std::span<double> out) {
   const double n = std::max(params.population, 1e-9);
   double s = std::max(n - params.i0, 0.0);
   double i = std::min(params.i0, n);
   double v = 0.0;
-  for (size_t t = 0; t < n_ticks; ++t) {
+  for (size_t t = 0; t < out.size(); ++t) {
     out[t] = i;
     const double infect = std::min(params.beta * (s / n) * i, s);
     const double recover = std::min(params.delta, 1.0) * i;
@@ -88,6 +111,11 @@ Series SimulateSirs(const SirsParams& params, size_t n_ticks) {
     i = std::max(i, 0.0);
     v = std::max(v, 0.0);
   }
+}
+
+Series SimulateSirs(const SirsParams& params, size_t n_ticks) {
+  Series out(n_ticks);
+  SimulateSirsInto(params, out.mutable_values());
   return out;
 }
 
@@ -95,14 +123,16 @@ StatusOr<SiFit> FitSi(const Series& data) {
   if (data.observed_count() < kMinObserved) {
     return Status::InvalidArgument("FitSi: too few observations");
   }
-  const size_t n_ticks = data.size();
   const double peak = std::max(data.MaxValue(), 1.0);
 
-  auto residual_fn = [&](const std::vector<double>& p,
-                         std::vector<double>* r) -> Status {
+  EpidemicScratch scratch;
+  scratch.Prepare(data);
+  auto residual_fn = [&](std::span<const double> p,
+                         std::span<double> r) -> Status {
     SiParams params{p[0], p[1], p[2]};
     return ResidualsFor(
-        data, [&] { return SimulateSi(params, n_ticks); }, r);
+        data, [&](std::span<double> out) { SimulateSiInto(params, out); },
+        &scratch, r);
   };
   Bounds bounds;
   bounds.lower = {peak * 1.05, 1e-6, 1e-6};
@@ -112,7 +142,8 @@ StatusOr<SiFit> FitSi(const Series& data) {
   double best_cost = std::numeric_limits<double>::infinity();
   for (const Start& start : kStarts) {
     std::vector<double> init = {peak * 2.0, start.beta, 1.0};
-    auto fit_or = LevenbergMarquardt(residual_fn, init, bounds);
+    auto fit_or = LevenbergMarquardt(residual_fn, scratch.observed.size(),
+                                     init, bounds, LmOptions(), &scratch.lm);
     if (!fit_or.ok()) continue;
     if (fit_or->final_cost < best_cost) {
       best_cost = fit_or->final_cost;
@@ -123,7 +154,9 @@ StatusOr<SiFit> FitSi(const Series& data) {
   if (!std::isfinite(best_cost)) {
     return Status::NumericalError("FitSi: all starts failed");
   }
-  best.info.rmse = Rmse(data, SimulateSi(best.params, n_ticks));
+  SimulateSiInto(best.params, scratch.estimate);
+  best.info.rmse = Rmse(std::span<const double>(data.values()),
+                        std::span<const double>(scratch.estimate));
   return best;
 }
 
@@ -131,14 +164,16 @@ StatusOr<SirFit> FitSir(const Series& data) {
   if (data.observed_count() < kMinObserved) {
     return Status::InvalidArgument("FitSir: too few observations");
   }
-  const size_t n_ticks = data.size();
   const double peak = std::max(data.MaxValue(), 1.0);
 
-  auto residual_fn = [&](const std::vector<double>& p,
-                         std::vector<double>* r) -> Status {
+  EpidemicScratch scratch;
+  scratch.Prepare(data);
+  auto residual_fn = [&](std::span<const double> p,
+                         std::span<double> r) -> Status {
     SirParams params{p[0], p[1], p[2], p[3]};
     return ResidualsFor(
-        data, [&] { return SimulateSir(params, n_ticks); }, r);
+        data, [&](std::span<double> out) { SimulateSirInto(params, out); },
+        &scratch, r);
   };
   Bounds bounds;
   bounds.lower = {peak * 1.05, 1e-6, 1e-6, 1e-6};
@@ -148,7 +183,8 @@ StatusOr<SirFit> FitSir(const Series& data) {
   double best_cost = std::numeric_limits<double>::infinity();
   for (const Start& start : kStarts) {
     std::vector<double> init = {peak * 2.0, start.beta, start.delta, 1.0};
-    auto fit_or = LevenbergMarquardt(residual_fn, init, bounds);
+    auto fit_or = LevenbergMarquardt(residual_fn, scratch.observed.size(),
+                                     init, bounds, LmOptions(), &scratch.lm);
     if (!fit_or.ok()) continue;
     if (fit_or->final_cost < best_cost) {
       best_cost = fit_or->final_cost;
@@ -160,7 +196,9 @@ StatusOr<SirFit> FitSir(const Series& data) {
   if (!std::isfinite(best_cost)) {
     return Status::NumericalError("FitSir: all starts failed");
   }
-  best.info.rmse = Rmse(data, SimulateSir(best.params, n_ticks));
+  SimulateSirInto(best.params, scratch.estimate);
+  best.info.rmse = Rmse(std::span<const double>(data.values()),
+                        std::span<const double>(scratch.estimate));
   return best;
 }
 
@@ -168,14 +206,16 @@ StatusOr<SirsFit> FitSirs(const Series& data) {
   if (data.observed_count() < kMinObserved) {
     return Status::InvalidArgument("FitSirs: too few observations");
   }
-  const size_t n_ticks = data.size();
   const double peak = std::max(data.MaxValue(), 1.0);
 
-  auto residual_fn = [&](const std::vector<double>& p,
-                         std::vector<double>* r) -> Status {
+  EpidemicScratch scratch;
+  scratch.Prepare(data);
+  auto residual_fn = [&](std::span<const double> p,
+                         std::span<double> r) -> Status {
     SirsParams params{p[0], p[1], p[2], p[3], p[4]};
     return ResidualsFor(
-        data, [&] { return SimulateSirs(params, n_ticks); }, r);
+        data, [&](std::span<double> out) { SimulateSirsInto(params, out); },
+        &scratch, r);
   };
   Bounds bounds;
   bounds.lower = {peak * 1.05, 1e-6, 1e-6, 1e-6, 1e-6};
@@ -186,7 +226,8 @@ StatusOr<SirsFit> FitSirs(const Series& data) {
   for (const Start& start : kStarts) {
     std::vector<double> init = {peak * 2.0, start.beta, start.delta,
                                 start.gamma, 1.0};
-    auto fit_or = LevenbergMarquardt(residual_fn, init, bounds);
+    auto fit_or = LevenbergMarquardt(residual_fn, scratch.observed.size(),
+                                     init, bounds, LmOptions(), &scratch.lm);
     if (!fit_or.ok()) continue;
     if (fit_or->final_cost < best_cost) {
       best_cost = fit_or->final_cost;
@@ -198,7 +239,9 @@ StatusOr<SirsFit> FitSirs(const Series& data) {
   if (!std::isfinite(best_cost)) {
     return Status::NumericalError("FitSirs: all starts failed");
   }
-  best.info.rmse = Rmse(data, SimulateSirs(best.params, n_ticks));
+  SimulateSirsInto(best.params, scratch.estimate);
+  best.info.rmse = Rmse(std::span<const double>(data.values()),
+                        std::span<const double>(scratch.estimate));
   return best;
 }
 

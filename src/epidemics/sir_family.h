@@ -2,6 +2,7 @@
 #define DSPOT_EPIDEMICS_SIR_FAMILY_H_
 
 #include <cstddef>
+#include <span>
 
 #include "common/statusor.h"
 #include "timeseries/series.h"
@@ -44,6 +45,14 @@ struct SirsParams {
 Series SimulateSi(const SiParams& params, size_t n_ticks);
 Series SimulateSir(const SirParams& params, size_t n_ticks);
 Series SimulateSirs(const SirsParams& params, size_t n_ticks);
+
+/// In-place forms writing I(t) into caller-owned storage (the horizon is
+/// `out.size()`); the Series overloads delegate here, so both flavors run
+/// the same floating-point recurrence. These keep the LM residual loops of
+/// the fitters allocation-free.
+void SimulateSiInto(const SiParams& params, std::span<double> out);
+void SimulateSirInto(const SirParams& params, std::span<double> out);
+void SimulateSirsInto(const SirsParams& params, std::span<double> out);
 
 /// Diagnostics common to the epidemic fits.
 struct EpidemicFitInfo {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "optimize/levenberg_marquardt.h"
@@ -11,8 +12,8 @@
 
 namespace dspot {
 
-Series SimulateSkips(const SkipsParams& params, size_t n_ticks) {
-  Series out(n_ticks);
+void SimulateSkipsInto(const SkipsParams& params, std::span<double> out) {
+  const size_t n_ticks = out.size();
   const double n = std::max(params.population, 1e-9);
   double s = std::max(n - params.i0, 0.0);
   double i = std::min(params.i0, n);
@@ -36,6 +37,11 @@ Series SimulateSkips(const SkipsParams& params, size_t n_ticks) {
     i = std::max(i, 0.0);
     v = std::max(v, 0.0);
   }
+}
+
+Series SimulateSkips(const SkipsParams& params, size_t n_ticks) {
+  Series out(n_ticks);
+  SimulateSkipsInto(params, out.mutable_values());
   return out;
 }
 
@@ -57,11 +63,20 @@ StatusOr<SkipsFit> FitSkips(const Series& data) {
     candidates.push_back(std::max<size_t>(n_ticks / 2, 2));
   }
 
+  // One scratch across all (period, start) solves: observed-tick indices,
+  // the simulation buffer, and the LM workspace.
+  std::vector<size_t> observed;
+  for (size_t t = 0; t < n_ticks; ++t) {
+    if (data.IsObserved(t)) observed.push_back(t);
+  }
+  std::vector<double> estimate(n_ticks);
+  LmWorkspace lm_workspace;
+
   SkipsFit best;
   double best_cost = std::numeric_limits<double>::infinity();
   for (size_t period : candidates) {
-    auto residual_fn = [&](const std::vector<double>& p,
-                           std::vector<double>* r) -> Status {
+    auto residual_fn = [&](std::span<const double> p,
+                           std::span<double> r) -> Status {
       SkipsParams params;
       params.population = p[0];
       params.beta0 = p[1];
@@ -71,11 +86,10 @@ StatusOr<SkipsFit> FitSkips(const Series& data) {
       params.phase = p[5];
       params.i0 = p[6];
       params.period = static_cast<double>(period);
-      const Series est = SimulateSkips(params, n_ticks);
-      r->clear();
-      for (size_t t = 0; t < n_ticks; ++t) {
-        if (!data.IsObserved(t)) continue;
-        r->push_back(est[t] - data[t]);
+      SimulateSkipsInto(params, estimate);
+      for (size_t k = 0; k < observed.size(); ++k) {
+        const size_t t = observed[k];
+        r[k] = estimate[t] - data[t];
       }
       return Status::Ok();
     };
@@ -87,7 +101,8 @@ StatusOr<SkipsFit> FitSkips(const Series& data) {
         {peak * 4.0, 0.8, 0.6, 0.4, 0.6, 1.5, 1.0},
     };
     for (const auto& init : starts) {
-      auto fit_or = LevenbergMarquardt(residual_fn, init, bounds);
+      auto fit_or = LevenbergMarquardt(residual_fn, observed.size(), init,
+                                       bounds, LmOptions(), &lm_workspace);
       if (!fit_or.ok()) continue;
       if (fit_or->final_cost < best_cost) {
         best_cost = fit_or->final_cost;
@@ -101,7 +116,9 @@ StatusOr<SkipsFit> FitSkips(const Series& data) {
   if (!std::isfinite(best_cost)) {
     return Status::NumericalError("FitSkips: all starts failed");
   }
-  best.rmse = Rmse(data, SimulateSkips(best.params, n_ticks));
+  SimulateSkipsInto(best.params, estimate);
+  best.rmse = Rmse(std::span<const double>(data.values()),
+                   std::span<const double>(estimate));
   return best;
 }
 

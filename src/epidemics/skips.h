@@ -2,6 +2,7 @@
 #define DSPOT_EPIDEMICS_SKIPS_H_
 
 #include <cstddef>
+#include <span>
 
 #include "common/statusor.h"
 #include "timeseries/series.h"
@@ -29,6 +30,10 @@ struct SkipsParams {
 
 /// Simulates the forced SIRS for `n_ticks` steps; returns I(t).
 Series SimulateSkips(const SkipsParams& params, size_t n_ticks);
+
+/// In-place form over a horizon of `out.size()` ticks; the Series overload
+/// delegates here. Keeps the FitSkips residual loop allocation-free.
+void SimulateSkipsInto(const SkipsParams& params, std::span<double> out);
 
 struct SkipsFit {
   SkipsParams params;

@@ -91,30 +91,50 @@ Matrix& Matrix::Scale(double s) {
   return *this;
 }
 
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 Matrix Matrix::Gram() const {
-  Matrix out(cols_, cols_);
+  Matrix out;
+  GramInto(&out);
+  return out;
+}
+
+void Matrix::GramInto(Matrix* out) const {
+  out->Resize(cols_, cols_);
+  std::fill(out->data_.begin(), out->data_.end(), 0.0);
   for (size_t r = 0; r < rows_; ++r) {
     const double* row = &data_[r * cols_];
     for (size_t i = 0; i < cols_; ++i) {
       const double a = row[i];
       if (a == 0.0) continue;
       for (size_t j = i; j < cols_; ++j) {
-        out(i, j) += a * row[j];
+        (*out)(i, j) += a * row[j];
       }
     }
   }
   for (size_t i = 0; i < cols_; ++i) {
     for (size_t j = 0; j < i; ++j) {
-      out(i, j) = out(j, i);
+      (*out)(i, j) = (*out)(j, i);
     }
   }
-  return out;
 }
 
 std::vector<double> Matrix::TransposedTimes(
     const std::vector<double>& v) const {
-  assert(v.size() == rows_);
   std::vector<double> out(cols_, 0.0);
+  TransposedTimesInto(v, out);
+  return out;
+}
+
+void Matrix::TransposedTimesInto(std::span<const double> v,
+                                 std::span<double> out) const {
+  assert(v.size() == rows_);
+  assert(out.size() == cols_);
+  std::fill(out.begin(), out.end(), 0.0);
   for (size_t r = 0; r < rows_; ++r) {
     const double s = v[r];
     if (s == 0.0) continue;
@@ -123,7 +143,6 @@ std::vector<double> Matrix::TransposedTimes(
       out[c] += row[c] * s;
     }
   }
-  return out;
 }
 
 void Matrix::AddToDiagonal(double value) {

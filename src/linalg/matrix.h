@@ -3,6 +3,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -65,11 +66,24 @@ class Matrix {
   /// Scales every element by `s` in place and returns *this.
   Matrix& Scale(double s);
 
+  /// Reshapes to rows x cols, reusing the existing storage when it is big
+  /// enough (no allocation once warm). Contents are unspecified afterwards;
+  /// callers are expected to overwrite every entry.
+  void Resize(size_t rows, size_t cols);
+
   /// A^T * A (used to form normal equations without materializing A^T).
   Matrix Gram() const;
 
+  /// Gram() into caller-owned storage: `out` is resized to cols x cols and
+  /// fully overwritten. Allocation-free once `out` has warmed up.
+  void GramInto(Matrix* out) const;
+
   /// A^T * v, with v.size() == rows().
   std::vector<double> TransposedTimes(const std::vector<double>& v) const;
+
+  /// TransposedTimes into caller-owned storage; out.size() == cols().
+  void TransposedTimesInto(std::span<const double> v,
+                           std::span<double> out) const;
 
   /// Adds `value` to every diagonal entry (Levenberg damping).
   void AddToDiagonal(double value);

@@ -77,16 +77,29 @@ StatusOr<std::vector<double>> CholeskySolve(const Matrix& a,
 StatusOr<std::vector<double>> RegularizedLdltSolve(const Matrix& a,
                                                    const std::vector<double>& b,
                                                    double min_pivot) {
+  LdltWorkspace ws;
+  std::vector<double> x(a.rows());
+  DSPOT_RETURN_IF_ERROR(RegularizedLdltSolveInto(a, b, x, &ws, min_pivot));
+  return x;
+}
+
+Status RegularizedLdltSolveInto(const Matrix& a, std::span<const double> b,
+                                std::span<double> x, LdltWorkspace* ws,
+                                double min_pivot) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("RegularizedLdltSolve: not square");
   }
-  if (a.rows() != b.size()) {
+  if (a.rows() != b.size() || a.rows() != x.size()) {
     return Status::InvalidArgument("RegularizedLdltSolve: size mismatch");
   }
   const size_t n = a.rows();
-  // A = L D L^T with unit lower-triangular L and diagonal D.
-  Matrix l = Matrix::Identity(n);
-  std::vector<double> d(n, 0.0);
+  // A = L D L^T with unit lower-triangular L and diagonal D. Only the
+  // strictly-lower entries of L are ever read, and every one of them is
+  // rewritten below, so the workspace matrix needs no reset between calls.
+  Matrix& l = ws->l;
+  l.Resize(n, n);
+  std::vector<double>& d = ws->d;
+  d.resize(n);
   for (size_t j = 0; j < n; ++j) {
     double dj = a(j, j);
     for (size_t k = 0; k < j; ++k) {
@@ -108,7 +121,8 @@ StatusOr<std::vector<double>> RegularizedLdltSolve(const Matrix& a,
     }
   }
   // Solve L z = b, D w = z, L^T x = w.
-  std::vector<double> z(n);
+  std::vector<double>& z = ws->z;
+  z.resize(n);
   for (size_t i = 0; i < n; ++i) {
     double sum = b[i];
     for (size_t j = 0; j < i; ++j) {
@@ -119,7 +133,6 @@ StatusOr<std::vector<double>> RegularizedLdltSolve(const Matrix& a,
   for (size_t i = 0; i < n; ++i) {
     z[i] /= d[i];
   }
-  std::vector<double> x(n);
   for (size_t ii = n; ii-- > 0;) {
     double sum = z[ii];
     for (size_t j = ii + 1; j < n; ++j) {
@@ -127,7 +140,7 @@ StatusOr<std::vector<double>> RegularizedLdltSolve(const Matrix& a,
     }
     x[ii] = sum;
   }
-  return x;
+  return Status::Ok();
 }
 
 StatusOr<std::vector<double>> QrLeastSquares(const Matrix& a,

@@ -1,11 +1,12 @@
 #include "linalg/vector_ops.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 namespace dspot {
 
-double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+double Dot(std::span<const double> a, std::span<const double> b) {
   assert(a.size() == b.size());
   double sum = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {
@@ -14,14 +15,26 @@ double Dot(const std::vector<double>& a, const std::vector<double>& b) {
   return sum;
 }
 
-double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  return Dot(std::span<const double>(a), std::span<const double>(b));
+}
 
-double NormInf(const std::vector<double>& v) {
+double Norm2(std::span<const double> v) { return std::sqrt(Dot(v, v)); }
+
+double Norm2(const std::vector<double>& v) {
+  return Norm2(std::span<const double>(v));
+}
+
+double NormInf(std::span<const double> v) {
   double best = 0.0;
   for (double x : v) {
     best = std::max(best, std::fabs(x));
   }
   return best;
+}
+
+double NormInf(const std::vector<double>& v) {
+  return NormInf(std::span<const double>(v));
 }
 
 std::vector<double> Add(const std::vector<double>& a,
@@ -59,6 +72,10 @@ void Axpy(double s, const std::vector<double>& b, std::vector<double>* a) {
   }
 }
 
-double SumSquares(const std::vector<double>& v) { return Dot(v, v); }
+double SumSquares(std::span<const double> v) { return Dot(v, v); }
+
+double SumSquares(const std::vector<double>& v) {
+  return SumSquares(std::span<const double>(v));
+}
 
 }  // namespace dspot

@@ -2,20 +2,26 @@
 #define DSPOT_LINALG_VECTOR_OPS_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace dspot {
 
 /// Free-function helpers over std::vector<double>, used by the optimizers.
-/// All binary operations assert equal sizes.
+/// All binary operations assert equal sizes. The span overloads are the
+/// primitives; the vector overloads delegate to them, so both flavors run
+/// the exact same floating-point loop.
 
 /// Dot product.
+double Dot(std::span<const double> a, std::span<const double> b);
 double Dot(const std::vector<double>& a, const std::vector<double>& b);
 
 /// Euclidean norm.
+double Norm2(std::span<const double> v);
 double Norm2(const std::vector<double>& v);
 
 /// Infinity norm (max |v_i|).
+double NormInf(std::span<const double> v);
 double NormInf(const std::vector<double>& v);
 
 /// a + b.
@@ -33,6 +39,7 @@ std::vector<double> Scaled(const std::vector<double>& v, double s);
 void Axpy(double s, const std::vector<double>& b, std::vector<double>* a);
 
 /// Sum of squares of v.
+double SumSquares(std::span<const double> v);
 double SumSquares(const std::vector<double>& v);
 
 }  // namespace dspot

@@ -65,18 +65,55 @@ double GaussianCodingCost(const std::vector<double>& residuals,
 
 double GaussianCodingCost(const Series& actual, const Series& estimate,
                           double sigma_floor) {
+  return GaussianCodingCost(std::span<const double>(actual.values()),
+                            std::span<const double>(estimate.values()),
+                            sigma_floor);
+}
+
+double GaussianCodingCost(std::span<const double> actual,
+                          std::span<const double> estimate,
+                          double sigma_floor) {
+  // Two passes over the residual stream r_t = actual[t] - estimate[t],
+  // recomputed in place: the same values in the same order as the
+  // materialize-then-code path, so the result is bit-identical.
   const size_t n = std::min(actual.size(), estimate.size());
-  std::vector<double> residuals;
-  residuals.reserve(n);
+  double sum = 0.0;
+  size_t count = 0;
   for (size_t t = 0; t < n; ++t) {
     if (IsMissing(actual[t]) || IsMissing(estimate[t])) continue;
-    residuals.push_back(actual[t] - estimate[t]);
+    const double r = actual[t] - estimate[t];
+    if (IsMissing(r)) continue;
+    sum += r;
+    ++count;
   }
-  return GaussianCodingCost(residuals, sigma_floor);
+  if (count == 0) {
+    return 0.0;
+  }
+  const double mu = sum / static_cast<double>(count);
+  double ss = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    if (IsMissing(actual[t]) || IsMissing(estimate[t])) continue;
+    const double r = actual[t] - estimate[t];
+    if (IsMissing(r)) continue;
+    ss += Square(r - mu);
+  }
+  const double sigma2 =
+      std::max(ss / static_cast<double>(count), Square(sigma_floor));
+  const double nn = static_cast<double>(count);
+  const double kInvTwoLn2 = 0.7213475204444817;  // 1 / (2 ln 2)
+  return 0.5 * nn * (kLog2TwoPi + SafeLog2(sigma2)) +
+         kInvTwoLn2 * ss / sigma2;
 }
 
 double PoissonCodingCost(const Series& actual, const Series& estimate,
                          double mean_floor) {
+  return PoissonCodingCost(std::span<const double>(actual.values()),
+                           std::span<const double>(estimate.values()),
+                           mean_floor);
+}
+
+double PoissonCodingCost(std::span<const double> actual,
+                         std::span<const double> estimate, double mean_floor) {
   const size_t n = std::min(actual.size(), estimate.size());
   constexpr double kInvLn2 = 1.4426950408889634;
   double bits = 0.0;
@@ -98,6 +135,12 @@ double PoissonCodingCost(const Series& actual, const Series& estimate,
 
 double CodingCost(const Series& actual, const Series& estimate,
                   CodingModel model) {
+  return CodingCost(std::span<const double>(actual.values()),
+                    std::span<const double>(estimate.values()), model);
+}
+
+double CodingCost(std::span<const double> actual,
+                  std::span<const double> estimate, CodingModel model) {
   switch (model) {
     case CodingModel::kGaussian:
       return GaussianCodingCost(actual, estimate);

@@ -2,6 +2,7 @@
 #define DSPOT_MDL_MDL_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "timeseries/series.h"
@@ -34,6 +35,13 @@ double GaussianCodingCost(const std::vector<double>& residuals,
 double GaussianCodingCost(const Series& actual, const Series& estimate,
                           double sigma_floor = 1e-6);
 
+/// Span form of the (actual, estimate) overload: computes the residual
+/// stream in place without materializing it, running the exact same
+/// floating-point sequence as the Series overload (which delegates here).
+double GaussianCodingCost(std::span<const double> actual,
+                          std::span<const double> estimate,
+                          double sigma_floor = 1e-6);
+
 /// Poisson data-coding cost: activity volumes are counts, so an
 /// alternative to the Gaussian code is -log2 Poisson(round(actual) |
 /// mean = estimate) summed over observed positions. Variance scales with
@@ -41,6 +49,9 @@ double GaussianCodingCost(const Series& actual, const Series& estimate,
 /// (heteroscedastic, unlike the Gaussian code). `mean_floor` keeps the
 /// code finite where the model predicts ~0.
 double PoissonCodingCost(const Series& actual, const Series& estimate,
+                         double mean_floor = 0.05);
+double PoissonCodingCost(std::span<const double> actual,
+                         std::span<const double> estimate,
                          double mean_floor = 0.05);
 
 /// Which data-coding model Cost_C uses.
@@ -52,6 +63,8 @@ enum class CodingModel {
 /// Dispatches on `model`.
 double CodingCost(const Series& actual, const Series& estimate,
                   CodingModel model);
+double CodingCost(std::span<const double> actual,
+                  std::span<const double> estimate, CodingModel model);
 
 }  // namespace dspot
 

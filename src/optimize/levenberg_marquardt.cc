@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
-#include "linalg/matrix.h"
-#include "linalg/solvers.h"
 #include "linalg/vector_ops.h"
 #include "parallel/parallel_for.h"
 
@@ -12,49 +11,70 @@ namespace dspot {
 
 namespace {
 
-/// Computes the forward-difference Jacobian of `fn` at `p`. `r0` is the
-/// residual vector already evaluated at `p`. Steps are clamped so probe
-/// points stay inside `bounds` (by stepping backwards when at the upper
-/// bound). Columns are evaluated in parallel once the parameter count
-/// reaches `options.parallel_jacobian_min_params` (and
+/// Computes the forward-difference Jacobian of `fn` at `p` into `ws->jac`.
+/// `r0` is the residual vector already evaluated at `p`. Steps are clamped
+/// so probe points stay inside `bounds` (by stepping backwards when at the
+/// upper bound). The serial path reuses the workspace probe buffers and is
+/// allocation-free once warm. Columns are evaluated in parallel once the
+/// parameter count reaches `options.parallel_jacobian_min_params` (and
 /// `options.num_threads != 1`); each task owns one probe vector and one
 /// scratch residual buffer reused across its whole block of columns, so
 /// concurrent probes do not churn allocations. Column j writes only
 /// column j of the Jacobian, so the result is bit-identical at any
 /// thread count.
-StatusOr<Matrix> NumericJacobian(const ResidualFn& fn,
-                                 const std::vector<double>& p,
-                                 const std::vector<double>& r0,
-                                 const Bounds& bounds,
-                                 const LmOptions& options) {
+Status NumericJacobianInto(const ResidualIntoFn& fn,
+                           const std::vector<double>& p,
+                           const std::vector<double>& r0, const Bounds& bounds,
+                           const LmOptions& options, LmWorkspace* ws) {
   const size_t np = p.size();
   const size_t m = r0.size();
-  Matrix jac(m, np);
-  std::vector<Status> statuses(np, Status::Ok());
-  // One invocation per contiguous column block; scratch lives across the
-  // block. On error the rest of the block is skipped — the first failing
-  // column (lowest index, see below) decides the returned status, exactly
-  // like the serial early return did.
-  auto eval_columns = [&](size_t begin, size_t end) {
-    std::vector<double> probe = p;
-    std::vector<double> r1;
-    r1.reserve(m);
-    for (size_t j = begin; j < end; ++j) {
+  Matrix& jac = ws->jac;
+  jac.Resize(m, np);
+  const size_t threads = EffectiveNumThreads(options.num_threads);
+  if (threads <= 1 || np < options.parallel_jacobian_min_params) {
+    // Serial hot path: no per-call status array, the first failing column
+    // returns directly (same column order as the parallel tie-break).
+    std::vector<double>& probe = ws->probe;
+    probe = p;
+    std::vector<double>& r1 = ws->probe_r;
+    r1.resize(m);
+    for (size_t j = 0; j < np; ++j) {
       double h = options.jacobian_step * std::max(1.0, std::fabs(p[j]));
       // Step backwards if a forward step would leave the box.
       if (!bounds.empty() && p[j] + h > bounds.upper[j]) {
         h = -h;
       }
       probe[j] = p[j] + h;
-      Status s = fn(probe, &r1);
+      Status s = fn(probe, r1);
+      probe[j] = p[j];
+      if (!s.ok()) {
+        return s;
+      }
+      const double inv_h = 1.0 / h;
+      for (size_t i = 0; i < m; ++i) {
+        jac(i, j) = (r1[i] - r0[i]) * inv_h;
+      }
+    }
+    return Status::Ok();
+  }
+  std::vector<Status> statuses(np, Status::Ok());
+  // One invocation per contiguous column block; scratch lives across the
+  // block. On error the rest of the block is skipped — the first failing
+  // column (lowest index, see below) decides the returned status, exactly
+  // like the serial early return does.
+  auto eval_columns = [&](size_t begin, size_t end) {
+    std::vector<double> probe = p;
+    std::vector<double> r1(m);
+    for (size_t j = begin; j < end; ++j) {
+      double h = options.jacobian_step * std::max(1.0, std::fabs(p[j]));
+      if (!bounds.empty() && p[j] + h > bounds.upper[j]) {
+        h = -h;
+      }
+      probe[j] = p[j] + h;
+      Status s = fn(probe, r1);
       probe[j] = p[j];
       if (!s.ok()) {
         statuses[j] = std::move(s);
-        return;
-      }
-      if (r1.size() != m) {
-        statuses[j] =
-            Status::Internal("residual size changed between LM evaluations");
         return;
       }
       const double inv_h = 1.0 / h;
@@ -63,34 +83,34 @@ StatusOr<Matrix> NumericJacobian(const ResidualFn& fn,
       }
     }
   };
-  const size_t threads = EffectiveNumThreads(options.num_threads);
-  if (threads <= 1 || np < options.parallel_jacobian_min_params) {
-    eval_columns(0, np);
-  } else {
-    ParallelOptions popts;
-    popts.num_threads = options.num_threads;
-    // One block per runner: scratch allocations stay O(threads).
-    popts.grain = (np + threads - 1) / threads;
-    ParallelForBlocks(np, popts, eval_columns);
-  }
+  ParallelOptions popts;
+  popts.num_threads = options.num_threads;
+  // One block per runner: scratch allocations stay O(threads).
+  popts.grain = (np + threads - 1) / threads;
+  ParallelForBlocks(np, popts, eval_columns);
   for (size_t j = 0; j < np; ++j) {
     if (!statuses[j].ok()) {
       return statuses[j];
     }
   }
-  return jac;
+  return Status::Ok();
 }
 
-double HalfSumSquares(const std::vector<double>& r) {
+double HalfSumSquares(std::span<const double> r) {
   return 0.5 * SumSquares(r);
 }
 
 }  // namespace
 
-StatusOr<LmResult> LevenbergMarquardt(const ResidualFn& residual_fn,
+StatusOr<LmResult> LevenbergMarquardt(const ResidualIntoFn& residual_fn,
+                                      size_t num_residuals,
                                       const std::vector<double>& initial,
                                       const Bounds& bounds,
-                                      const LmOptions& options) {
+                                      const LmOptions& options,
+                                      LmWorkspace* workspace) {
+  if (workspace == nullptr) {
+    return Status::InvalidArgument("LevenbergMarquardt: null workspace");
+  }
   if (initial.empty()) {
     return Status::InvalidArgument("LevenbergMarquardt: empty parameters");
   }
@@ -99,15 +119,21 @@ StatusOr<LmResult> LevenbergMarquardt(const ResidualFn& residual_fn,
     return Status::InvalidArgument(
         "LevenbergMarquardt: bounds size does not match parameters");
   }
-
-  std::vector<double> p = initial;
-  bounds.Clamp(&p);
-
-  std::vector<double> r;
-  DSPOT_RETURN_IF_ERROR(residual_fn(p, &r));
-  if (r.empty()) {
+  if (num_residuals == 0) {
     return Status::InvalidArgument("LevenbergMarquardt: empty residuals");
   }
+
+  LmWorkspace& ws = *workspace;
+  const size_t np = initial.size();
+  const size_t m = num_residuals;
+
+  std::vector<double>& p = ws.p;
+  p = initial;
+  bounds.Clamp(std::span<double>(p));
+
+  std::vector<double>& r = ws.r;
+  r.resize(m);
+  DSPOT_RETURN_IF_ERROR(residual_fn(p, r));
   double cost = HalfSumSquares(r);
   if (!std::isfinite(cost)) {
     return Status::NumericalError(
@@ -119,40 +145,58 @@ StatusOr<LmResult> LevenbergMarquardt(const ResidualFn& residual_fn,
   double lambda = options.initial_lambda;
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    DSPOT_ASSIGN_OR_RETURN(
-        Matrix jac, NumericJacobian(residual_fn, p, r, bounds, options));
+    DSPOT_RETURN_IF_ERROR(
+        NumericJacobianInto(residual_fn, p, r, bounds, options, &ws));
     // Normal equations: (J^T J + lambda I) step = -J^T r.
-    Matrix jtj = jac.Gram();
-    std::vector<double> jtr = jac.TransposedTimes(r);
-    if (NormInf(jtr) < options.gradient_tolerance) {
+    ws.jac.GramInto(&ws.jtj);
+    ws.jtr.resize(np);
+    ws.jac.TransposedTimesInto(r, ws.jtr);
+    if (NormInf(std::span<const double>(ws.jtr)) <
+        options.gradient_tolerance) {
       result.converged = true;
       break;
     }
 
     bool accepted = false;
     while (lambda <= options.max_lambda) {
-      Matrix damped = jtj;
-      damped.AddToDiagonal(lambda);
-      auto step_or = RegularizedLdltSolve(damped, Scaled(jtr, -1.0));
-      if (!step_or.ok()) {
+      // Copy-assignment reuses the destination's storage once warm.
+      ws.damped = ws.jtj;
+      ws.damped.AddToDiagonal(lambda);
+      ws.neg_jtr.resize(np);
+      for (size_t i = 0; i < np; ++i) {
+        ws.neg_jtr[i] = ws.jtr[i] * -1.0;
+      }
+      ws.step.resize(np);
+      Status solve =
+          RegularizedLdltSolveInto(ws.damped, ws.neg_jtr, ws.step, &ws.ldlt);
+      if (!solve.ok()) {
         lambda *= options.lambda_up;
         continue;
       }
-      std::vector<double> candidate = Add(p, step_or.value());
-      bounds.Clamp(&candidate);
-      const std::vector<double> actual_step = Sub(candidate, p);
+      std::vector<double>& candidate = ws.candidate;
+      candidate.resize(np);
+      for (size_t i = 0; i < np; ++i) {
+        candidate[i] = p[i] + ws.step[i];
+      }
+      bounds.Clamp(std::span<double>(candidate));
+      std::vector<double>& actual_step = ws.actual_step;
+      actual_step.resize(np);
+      for (size_t i = 0; i < np; ++i) {
+        actual_step[i] = candidate[i] - p[i];
+      }
 
-      std::vector<double> r_new;
-      Status s = residual_fn(candidate, &r_new);
+      std::vector<double>& r_new = ws.r_new;
+      r_new.resize(m);
+      Status s = residual_fn(candidate, r_new);
       if (!s.ok()) {
         return s;
       }
       const double cost_new = HalfSumSquares(r_new);
       if (std::isfinite(cost_new) && cost_new < cost) {
         const double rel_decrease = (cost - cost_new) / std::max(cost, 1e-30);
-        const double step_norm = NormInf(actual_step);
-        p = std::move(candidate);
-        r = std::move(r_new);
+        const double step_norm = NormInf(std::span<const double>(actual_step));
+        std::swap(p, candidate);
+        std::swap(r, r_new);
         cost = cost_new;
         lambda = std::max(lambda * options.lambda_down, 1e-12);
         accepted = true;
@@ -172,9 +216,50 @@ StatusOr<LmResult> LevenbergMarquardt(const ResidualFn& residual_fn,
     }
   }
 
-  result.params = std::move(p);
+  result.params = p;
   result.final_cost = cost;
   return result;
+}
+
+StatusOr<LmResult> LevenbergMarquardt(const ResidualFn& residual_fn,
+                                      const std::vector<double>& initial,
+                                      const Bounds& bounds,
+                                      const LmOptions& options) {
+  if (initial.empty()) {
+    return Status::InvalidArgument("LevenbergMarquardt: empty parameters");
+  }
+  if (!bounds.empty() && (bounds.lower.size() != initial.size() ||
+                          bounds.upper.size() != initial.size())) {
+    return Status::InvalidArgument(
+        "LevenbergMarquardt: bounds size does not match parameters");
+  }
+  // Probe once at the clamped initial point to learn the residual count m
+  // (residual functions are deterministic per contract, so the workspace
+  // core's own initial evaluation reproduces this result bit-for-bit).
+  std::vector<double> p0 = initial;
+  bounds.Clamp(&p0);
+  std::vector<double> r0;
+  DSPOT_RETURN_IF_ERROR(residual_fn(p0, &r0));
+  if (r0.empty()) {
+    return Status::InvalidArgument("LevenbergMarquardt: empty residuals");
+  }
+  const size_t m = r0.size();
+  // Per-call local buffers keep the wrapper safe under the parallel
+  // Jacobian, which may invoke it concurrently.
+  ResidualIntoFn into = [&residual_fn](std::span<const double> params,
+                                       std::span<double> out) -> Status {
+    std::vector<double> p(params.begin(), params.end());
+    std::vector<double> r;
+    r.reserve(out.size());
+    DSPOT_RETURN_IF_ERROR(residual_fn(p, &r));
+    if (r.size() != out.size()) {
+      return Status::Internal("residual size changed between LM evaluations");
+    }
+    std::copy(r.begin(), r.end(), out.begin());
+    return Status::Ok();
+  };
+  LmWorkspace ws;
+  return LevenbergMarquardt(into, m, initial, bounds, options, &ws);
 }
 
 }  // namespace dspot

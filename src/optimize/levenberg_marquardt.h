@@ -1,10 +1,13 @@
 #ifndef DSPOT_OPTIMIZE_LEVENBERG_MARQUARDT_H_
 #define DSPOT_OPTIMIZE_LEVENBERG_MARQUARDT_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "common/status.h"
 #include "common/statusor.h"
+#include "linalg/matrix.h"
+#include "linalg/solvers.h"
 #include "optimize/objective.h"
 
 namespace dspot {
@@ -53,6 +56,29 @@ struct LmResult {
   bool converged = false;
 };
 
+/// Scratch storage for the workspace-based LevenbergMarquardt overload.
+/// One workspace serves any sequence of solves (sizes may vary between
+/// solves); buffers retain capacity, so repeated solves of same-shaped
+/// problems — and every iteration within one solve — allocate nothing.
+/// Not thread-safe: concurrent solves need one workspace per worker.
+struct LmWorkspace {
+  std::vector<double> p;
+  std::vector<double> r;
+  std::vector<double> r_new;
+  std::vector<double> candidate;
+  std::vector<double> actual_step;
+  std::vector<double> jtr;
+  std::vector<double> neg_jtr;
+  std::vector<double> step;
+  /// Serial numeric-Jacobian scratch (parallel blocks own their scratch).
+  std::vector<double> probe;
+  std::vector<double> probe_r;
+  Matrix jac;
+  Matrix jtj;
+  Matrix damped;
+  LdltWorkspace ldlt;
+};
+
 /// Minimizes 0.5 * ||r(p)||^2 with the Levenberg-Marquardt algorithm
 /// (Levenberg 1944, as cited by the paper), using a forward-difference
 /// Jacobian and box constraints enforced by clamped steps. Steps that do
@@ -64,6 +90,18 @@ StatusOr<LmResult> LevenbergMarquardt(const ResidualFn& residual_fn,
                                       const std::vector<double>& initial,
                                       const Bounds& bounds = Bounds(),
                                       const LmOptions& options = LmOptions());
+
+/// Workspace-based core: the residual function writes into a caller-sized
+/// buffer of `num_residuals` entries and all solver scratch lives in
+/// `*workspace`, so iterations allocate nothing once the workspace is warm.
+/// Runs the exact same floating-point sequence as the allocating overload
+/// (which is now an adapter over this one), so results are bit-identical.
+StatusOr<LmResult> LevenbergMarquardt(const ResidualIntoFn& residual_fn,
+                                      size_t num_residuals,
+                                      const std::vector<double>& initial,
+                                      const Bounds& bounds,
+                                      const LmOptions& options,
+                                      LmWorkspace* workspace);
 
 }  // namespace dspot
 

@@ -7,12 +7,16 @@ namespace dspot {
 
 void Bounds::Clamp(std::vector<double>* p) const {
   assert(p != nullptr);
+  Clamp(std::span<double>(*p));
+}
+
+void Bounds::Clamp(std::span<double> p) const {
   if (empty()) {
     return;
   }
-  assert(lower.size() == p->size() && upper.size() == p->size());
-  for (size_t i = 0; i < p->size(); ++i) {
-    (*p)[i] = std::clamp((*p)[i], lower[i], upper[i]);
+  assert(lower.size() == p.size() && upper.size() == p.size());
+  for (size_t i = 0; i < p.size(); ++i) {
+    p[i] = std::clamp(p[i], lower[i], upper[i]);
   }
 }
 

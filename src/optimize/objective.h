@@ -2,6 +2,7 @@
 #define DSPOT_OPTIMIZE_OBJECTIVE_H_
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -15,6 +16,15 @@ namespace dspot {
 using ResidualFn =
     std::function<Status(const std::vector<double>& params,
                          std::vector<double>* residuals)>;
+
+/// Buffer-writing flavor of ResidualFn: writes r(p) into `residuals`, whose
+/// size is fixed up front by the caller (m is passed to the solver, not
+/// discovered from the callee). Implementations must fill every slot and
+/// must not allocate on the steady-state path — this is the hot signature
+/// the workspace-based Levenberg-Marquardt drives O(n·p) times per
+/// iteration.
+using ResidualIntoFn = std::function<Status(std::span<const double> params,
+                                            std::span<double> residuals)>;
 
 /// A scalar objective f(p): R^np -> R, as consumed by Nelder-Mead. Lower is
 /// better. Implementations should return +inf (not an error) for infeasible
@@ -31,6 +41,7 @@ struct Bounds {
 
   /// Clamps `p` element-wise into the box (no-op if unconstrained).
   void Clamp(std::vector<double>* p) const;
+  void Clamp(std::span<double> p) const;
 
   /// True iff `p` lies within the box.
   bool Contains(const std::vector<double>& p) const;

@@ -55,6 +55,12 @@ Status ActivityTensor::SetLocalSequence(size_t i, size_t j, const Series& s) {
 
 Series ActivityTensor::GlobalSequence(size_t i) const {
   Series out(n_);
+  GlobalSequenceInto(i, out.mutable_values());
+  return out;
+}
+
+void ActivityTensor::GlobalSequenceInto(size_t i, std::span<double> out) const {
+  assert(out.size() == n_);
   for (size_t t = 0; t < n_; ++t) {
     double sum = 0.0;
     bool any = false;
@@ -67,7 +73,6 @@ Series ActivityTensor::GlobalSequence(size_t i) const {
     }
     out[t] = any ? sum : kMissingValue;
   }
-  return out;
 }
 
 std::vector<Series> ActivityTensor::GlobalSequences() const {

@@ -1,7 +1,9 @@
 #ifndef DSPOT_TENSOR_ACTIVITY_TENSOR_H_
 #define DSPOT_TENSOR_ACTIVITY_TENSOR_H_
 
+#include <cassert>
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,13 @@ class ActivityTensor {
   /// Copy of the local sequence x_ij.
   Series LocalSequence(size_t i, size_t j) const;
 
+  /// Zero-copy view of the local sequence x_ij (contiguous in storage).
+  /// Invalidated by destruction of the tensor; never by reads.
+  std::span<const double> LocalSequenceView(size_t i, size_t j) const {
+    assert(i < d_ && j < l_);
+    return std::span<const double>(data_.data() + Index(i, j, 0), n_);
+  }
+
   /// Overwrites the local sequence x_ij (must have length n).
   Status SetLocalSequence(size_t i, size_t j, const Series& s);
 
@@ -58,6 +67,10 @@ class ActivityTensor {
   /// skipping missing entries (a tick is missing only if missing in every
   /// location).
   Series GlobalSequence(size_t i) const;
+
+  /// GlobalSequence into caller-owned storage (out.size() == n). Same
+  /// floating-point sequence as GlobalSequence, allocation-free.
+  void GlobalSequenceInto(size_t i, std::span<double> out) const;
 
   /// All d global sequences.
   std::vector<Series> GlobalSequences() const;

@@ -24,6 +24,11 @@ double RmseImpl(size_t n, const Get& get_pair) {
 }  // namespace
 
 double Rmse(const Series& actual, const Series& estimate) {
+  return Rmse(std::span<const double>(actual.values()),
+              std::span<const double>(estimate.values()));
+}
+
+double Rmse(std::span<const double> actual, std::span<const double> estimate) {
   const size_t n = std::min(actual.size(), estimate.size());
   return RmseImpl(n, [&](size_t t) {
     const double a = actual[t];
@@ -35,7 +40,7 @@ double Rmse(const Series& actual, const Series& estimate) {
 
 double Rmse(const std::vector<double>& actual,
             const std::vector<double>& estimate) {
-  return Rmse(Series(actual), Series(estimate));
+  return Rmse(std::span<const double>(actual), std::span<const double>(estimate));
 }
 
 double Mae(const Series& actual, const Series& estimate) {

@@ -1,6 +1,7 @@
 #ifndef DSPOT_TIMESERIES_METRICS_H_
 #define DSPOT_TIMESERIES_METRICS_H_
 
+#include <span>
 #include <vector>
 
 #include "timeseries/series.h"
@@ -24,7 +25,9 @@ double NormalizedRmse(const Series& actual, const Series& estimate);
 /// Coefficient of determination R^2 (can be negative for bad fits).
 double RSquared(const Series& actual, const Series& estimate);
 
-/// Vector forms used internally.
+/// Span / vector forms used internally. Same floating-point sequence as
+/// the Series overload, so results are bit-identical.
+double Rmse(std::span<const double> actual, std::span<const double> estimate);
 double Rmse(const std::vector<double>& actual,
             const std::vector<double>& estimate);
 

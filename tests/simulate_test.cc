@@ -98,12 +98,10 @@ TEST(BuildEta, StepFunction) {
 }
 
 TEST(BuildEta, DisabledCases) {
-  auto none = BuildEta(0.3, kNpos, 10);
-  auto zero = BuildEta(0.0, 5, 10);
-  for (size_t t = 0; t < 10; ++t) {
-    EXPECT_DOUBLE_EQ(none[t], 0.0);
-    EXPECT_DOUBLE_EQ(zero[t], 0.0);
-  }
+  // Disabled growth yields an EMPTY schedule (not n zeros): the simulator's
+  // `t < eta.size()` guard treats the missing ticks as eta = 0.
+  EXPECT_TRUE(BuildEta(0.3, kNpos, 10).empty());
+  EXPECT_TRUE(BuildEta(0.0, 5, 10).empty());
 }
 
 ModelParamSet TwoKeywordParams() {
