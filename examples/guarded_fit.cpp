@@ -1,0 +1,94 @@
+// Guarded fit: run Δ-SPOT under a wall-clock budget and a cancellation
+// token, and inspect the FitHealth report that explains how the fit ended.
+//
+// Three scenarios on the same synthetic tensor:
+//   1. unguarded    — the baseline: fit to convergence
+//   2. time budget  — a deadline far too small for a full fit; the call
+//                     still returns OK, with the best partial model and
+//                     health.termination == DeadlineExceeded
+//   3. cancellation — a token cancelled from another thread; the call
+//                     aborts with Status::Cancelled and no result
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/guarded_fit
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/dspot.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "guard/guard.h"
+
+int main() {
+  using namespace dspot;  // NOLINT: example brevity
+
+  GeneratorConfig config = GoogleTrendsConfig();
+  config.num_locations = 6;
+  auto generated = GenerateTensor(TrendingKeywordSuite(), config);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  const ActivityTensor& tensor = generated->tensor;
+  std::printf("Tensor: %zu keywords x %zu locations x %zu ticks\n\n",
+              tensor.num_keywords(), tensor.num_locations(),
+              tensor.num_ticks());
+
+  // 1. Unguarded baseline.
+  {
+    DspotOptions options;
+    auto fit = FitDspot(tensor, options);
+    if (!fit.ok()) {
+      std::fprintf(stderr, "fit failed: %s\n", fit.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("[unguarded]   %s\n", fit->health.ToString().c_str());
+  }
+
+  // 2. A deadline far smaller than the full fit needs. The result is the
+  // best model reachable within the budget — usable for a preview, a
+  // dashboard refresh, or a warm start for a later full fit.
+  {
+    DspotOptions options;
+    options.time_budget_ms = 50.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto fit = FitDspot(tensor, options);
+    const double elapsed = ElapsedMs(t0);
+    if (!fit.ok()) {
+      std::fprintf(stderr, "fit failed: %s\n", fit.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("[50ms budget] %s (returned after %.0f ms)\n",
+                fit->health.ToString().c_str(), elapsed);
+    if (fit->health.interrupted()) {
+      std::printf("              partial model: %zu keyword(s), "
+                  "%zu shock(s) found so far\n",
+                  fit->params.global.size(), fit->params.shocks.size());
+    }
+  }
+
+  // 3. Cancellation from another thread: unlike a deadline, this aborts.
+  {
+    DspotOptions options;
+    options.cancel = CancellationToken::Cancellable();
+    std::thread canceller([token = options.cancel] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      token.Cancel();
+    });
+    auto fit = FitDspot(tensor, options);
+    canceller.join();
+    if (fit.ok()) {
+      // Raced to completion before the token fired — possible on a very
+      // fast machine, and perfectly fine.
+      std::printf("[cancelled]   fit finished before the token fired\n");
+    } else {
+      std::printf("[cancelled]   status: %s\n",
+                  fit.status().ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -19,6 +19,12 @@ enum class StatusCode {
   kIoError,
   kUnimplemented,
   kInternal,
+  /// A time budget (Deadline) ran out before the operation finished. The
+  /// operation may have produced a usable partial result; see the guard
+  /// library's FitHealth contract.
+  kDeadlineExceeded,
+  /// A CancellationToken was triggered; the operation stopped cooperatively.
+  kCancelled,
 };
 
 /// Lightweight result-of-an-operation value. A `Status` is either OK or
@@ -67,6 +73,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -24,19 +24,45 @@ std::vector<std::string> DspotResult::DescribeShocks(size_t keyword) const {
   return out;
 }
 
+bool DspotResult::AllKeywordsOk() const {
+  for (const Status& status : keyword_status) {
+    if (!status.ok()) return false;
+  }
+  return true;
+}
+
 StatusOr<DspotResult> FitDspot(const ActivityTensor& tensor,
                                const DspotOptions& options) {
   // num_threads is the pipeline-wide knob: it overrides whatever the
   // sub-option structs carry so callers configure one field, not three.
+  // The guard works the same way: one deadline/token pair, built here,
+  // shared by every stage (a per-stage budget would let a slow GLOBALFIT
+  // starve LOCALFIT without the total ever looking over budget).
+  GuardContext guard;
+  guard.deadline = options.time_budget_ms > 0.0
+                       ? Deadline::AfterMillis(options.time_budget_ms)
+                       : Deadline::Infinite();
+  guard.cancel = options.cancel;
+
   GlobalFitOptions global_options = options.global;
   global_options.num_threads = options.num_threads;
+  global_options.guard = guard;
+  global_options.on_keyword_error = options.on_keyword_error;
   LocalFitOptions local_options = options.local;
   local_options.num_threads = options.num_threads;
+  local_options.guard = guard;
 
   DspotResult result;
-  DSPOT_ASSIGN_OR_RETURN(result.params, GlobalFit(tensor, global_options));
+  FitHealth global_health;
+  DSPOT_ASSIGN_OR_RETURN(
+      result.params, GlobalFit(tensor, global_options, &result.keyword_status,
+                               &global_health));
+  result.health.Merge(global_health);
   if (options.fit_local && tensor.num_locations() > 1) {
-    DSPOT_RETURN_IF_ERROR(LocalFit(tensor, &result.params, local_options));
+    FitHealth local_health;
+    DSPOT_RETURN_IF_ERROR(
+        LocalFit(tensor, &result.params, local_options, &local_health));
+    result.health.Merge(local_health);
   }
   const size_t d = tensor.num_keywords();
   result.global_estimates.resize(d);

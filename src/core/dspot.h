@@ -24,6 +24,21 @@ struct DspotOptions {
   LocalFitOptions local;
   /// Skip LOCALFIT (e.g. for single-location tensors or global-only use).
   bool fit_local = true;
+  /// Wall-clock budget for the whole pipeline, milliseconds; 0 = none.
+  /// FitDspot builds one Deadline from this and threads it through
+  /// GLOBALFIT, LOCALFIT, and every solver they run. When the budget runs
+  /// out the fit returns OK with the best partial model found so far and
+  /// result.health.termination == kDeadlineExceeded, within a small
+  /// multiple of the budget (checks sit at solver-iteration granularity).
+  double time_budget_ms = 0.0;
+  /// Cooperative cancellation for the whole pipeline. Unlike a deadline,
+  /// cancellation is an abort: FitDspot returns Status::Cancelled and no
+  /// partial result. Inert by default.
+  CancellationToken cancel;
+  /// What to do when one keyword's GLOBALFIT fails (see
+  /// KeywordErrorPolicy): fail the whole fit (default) or keep the
+  /// keywords that fit and report the rest via result.keyword_status.
+  KeywordErrorPolicy on_keyword_error = KeywordErrorPolicy::kFail;
   /// Worker threads for the whole pipeline: keywords fit concurrently in
   /// GLOBALFIT, locations concurrently in LOCALFIT, and Jacobian columns
   /// concurrently in high-dimensional LM solves. 0 = hardware
@@ -45,6 +60,17 @@ struct DspotResult {
   std::vector<double> global_rmse;
   /// Eq. (2) total code length of the final model.
   double total_cost_bits = 0.0;
+  /// One Status per keyword: OK for fitted keywords, the fit error for
+  /// keywords skipped under KeywordErrorPolicy::kSkipAndReport.
+  std::vector<Status> keyword_status;
+  /// Aggregated pipeline health: rounds, LM divergence restarts, wall
+  /// time, and the most severe termination across all stages.
+  /// health.termination == kDeadlineExceeded marks a partial fit produced
+  /// under an exhausted time budget.
+  FitHealth health;
+
+  /// True iff every keyword fit cleanly (keyword_status has no errors).
+  bool AllKeywordsOk() const;
 
   /// Fitted local sequence for (keyword, location).
   Series LocalEstimate(size_t keyword, size_t location) const;

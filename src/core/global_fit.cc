@@ -1,6 +1,7 @@
 #include "core/global_fit.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -8,6 +9,7 @@
 
 #include "core/cost.h"
 #include "core/simulate.h"
+#include "guard/fault_injector.h"
 #include "optimize/levenberg_marquardt.h"
 #include "optimize/line_search.h"
 #include "parallel/parallel_for.h"
@@ -27,6 +29,12 @@ struct FitState {
   KeywordGlobalParams params;
   std::vector<Shock> shocks;
   CodingModel coding = CodingModel::kGaussian;
+  /// Guard threaded into every LM solve below; inactive by default.
+  GuardContext guard;
+  /// Aggregated health for the whole alternation. Probe copies share the
+  /// pointer on purpose: restarts spent on rejected candidates are still
+  /// work the fit performed.
+  FitHealth* health = nullptr;
 };
 
 /// Per-keyword scratch threaded through every helper below: the schedule
@@ -82,7 +90,10 @@ double StateRmse(const FitState& state, FitScratch* scratch) {
 
 /// LM fit of the continuous base parameters {N, beta, delta, gamma, i0}
 /// with shocks and growth held fixed. Multi-start on the first round.
-void FitBaseParams(FitState* state, bool multi_start, FitScratch* scratch) {
+/// Numerical failures of individual starts are recoverable (the next
+/// start may succeed) and are skipped; anything else — cancellation,
+/// injected internal faults — aborts the fit and propagates.
+Status FitBaseParams(FitState* state, bool multi_start, FitScratch* scratch) {
   const double peak = state->peak;
   // Shocks and growth are held fixed here, so both schedules can be
   // materialized once for the whole solve instead of per residual call;
@@ -132,12 +143,24 @@ void FitBaseParams(FitState* state, bool multi_start, FitScratch* scratch) {
     starts = {{state->params.population, state->params.beta,
                state->params.delta, state->params.gamma, state->params.i0}};
   }
+  LmOptions lm_options;
+  lm_options.guard = state->guard;
   double best_cost = std::numeric_limits<double>::infinity();
   KeywordGlobalParams best = state->params;
   for (const auto& init : starts) {
     auto fit_or = LevenbergMarquardt(residual_fn, observed.size(), init,
-                                     bounds, LmOptions(), &scratch->lm);
-    if (!fit_or.ok()) continue;
+                                     bounds, lm_options, &scratch->lm);
+    if (!fit_or.ok()) {
+      const StatusCode code = fit_or.status().code();
+      if (code == StatusCode::kNumericalError ||
+          code == StatusCode::kInvalidArgument) {
+        continue;  // recoverable per-start failure; try the next start
+      }
+      return fit_or.status();
+    }
+    if (state->health) {
+      state->health->restarts += fit_or->health.restarts;
+    }
     if (fit_or->final_cost < best_cost) {
       best_cost = fit_or->final_cost;
       best.population = fit_or->params[0];
@@ -152,6 +175,7 @@ void FitBaseParams(FitState* state, bool multi_start, FitScratch* scratch) {
   if (std::isfinite(best_cost)) {
     state->params = best;
   }
+  return Status::Ok();
 }
 
 /// Growth-effect search: grid over the onset t_eta, 1-d search over eta_0.
@@ -302,8 +326,8 @@ Shock RefineShockPlacement(const FitState& state, const Shock& candidate,
 /// remaining trains), so a strict per-addition MDL gate deadlocks; the
 /// strict gate is instead applied by the backward pruning pass after the
 /// joint refit. Returns true if a shock was added.
-bool TryAddShock(FitState* state, const GlobalFitOptions& options,
-                 double* current_cost, FitScratch* scratch) {
+StatusOr<bool> TryAddShock(FitState* state, const GlobalFitOptions& options,
+                           double* current_cost, FitScratch* scratch) {
   const std::span<const double> estimate = SimulateStateInto(*state, scratch);
   Series residual(state->n);
   for (size_t t = 0; t < state->n; ++t) {
@@ -358,10 +382,12 @@ bool TryAddShock(FitState* state, const GlobalFitOptions& options,
       for (const KeywordGlobalParams& seed : seeds) {
         FitState trial = probe;
         trial.params = seed;
-        FitBaseParams(&trial, /*multi_start=*/false, scratch);
+        DSPOT_RETURN_IF_ERROR(
+            FitBaseParams(&trial, /*multi_start=*/false, scratch));
         FitShockStrengths(&trial, trial.shocks.size() - 1,
                           options.max_shock_strength, scratch);
-        FitBaseParams(&trial, /*multi_start=*/false, scratch);
+        DSPOT_RETURN_IF_ERROR(
+            FitBaseParams(&trial, /*multi_start=*/false, scratch));
         const double trial_rmse = StateRmse(trial, scratch);
         if (trial_rmse < best_joint_rmse) {
           best_joint_rmse = trial_rmse;
@@ -398,10 +424,33 @@ bool TryAddShock(FitState* state, const GlobalFitOptions& options,
 }
 
 /// The alternation loop shared by FitGlobalSequence (cold start) and
-/// RefitGlobalSequence (warm start from a previous fit).
-GlobalSequenceFit RunAlternation(FitState state,
-                                 const GlobalFitOptions& options,
-                                 FitScratch* scratch) {
+/// RefitGlobalSequence (warm start from a previous fit). On deadline
+/// expiry the strict-MDL best-so-far snapshot is returned with
+/// health.termination == kDeadlineExceeded; cancellation propagates as
+/// Status::Cancelled.
+StatusOr<GlobalSequenceFit> RunAlternation(FitState state,
+                                           const GlobalFitOptions& options,
+                                           FitScratch* scratch) {
+  const auto start_time = std::chrono::steady_clock::now();
+  FitHealth health;
+  state.health = &health;
+  state.guard = options.guard;
+
+  // Guard checkpoint shared by the loops below: records the first non-OK
+  // status and reports interruption, so nested loops can unwind through
+  // plain breaks. Disarmed guards cost one relaxed atomic load.
+  Status guard_status = Status::Ok();
+  auto interrupted = [&]() -> bool {
+    if (!guard_status.ok()) return true;
+    if (!(options.guard.active() || FaultInjector::Instance().armed())) {
+      return false;
+    }
+    Status check = options.guard.Check("GlobalFit alternation");
+    if (check.ok()) return false;
+    guard_status = std::move(check);
+    return true;
+  };
+
   double cost = StateCostBits(state, scratch);
 
   // `best_state` tracks the strict-MDL optimum (what we return); the round
@@ -411,12 +460,15 @@ GlobalSequenceFit RunAlternation(FitState state,
   FitState best_state = state;
   double best_cost = cost;
   double prev_rmse = StateRmse(state, scratch);
+  bool converged = false;
 
   for (int round = 0; round < options.max_outer_rounds; ++round) {
+    if (interrupted()) break;
     // Base refit against the current shock set. Multi-start once shocks
     // exist: the no-shock optimum (which absorbs spikes into the base
     // dynamics) is a poor basin for the shocked model.
-    FitBaseParams(&state, /*multi_start=*/!state.shocks.empty(), scratch);
+    DSPOT_RETURN_IF_ERROR(
+        FitBaseParams(&state, /*multi_start=*/!state.shocks.empty(), scratch));
     if (options.verbose) {
       std::fprintf(stderr, "[dspot] round %d after base: cost=%.1f rmse=%.3f\n",
                    round, StateCostBits(state, scratch),
@@ -430,9 +482,13 @@ GlobalSequenceFit RunAlternation(FitState state,
       }
       cost = StateCostBits(state, scratch);
       while (state.shocks.size() < options.max_shocks_per_keyword &&
-             TryAddShock(&state, options, &cost, scratch)) {
+             !interrupted()) {
+        DSPOT_ASSIGN_OR_RETURN(
+            bool added, TryAddShock(&state, options, &cost, scratch));
+        if (!added) break;
       }
     }
+    if (interrupted()) break;
     if (options.allow_shocks) {
       // Backward pass: drop shocks whose description cost is no longer
       // justified (mirrors the paper's re-initialization of s_i without
@@ -477,7 +533,7 @@ GlobalSequenceFit RunAlternation(FitState state,
     // the strict MDL gate rejects the (real) growth term; evaluated here,
     // the spikes are explained, the junk is pruned, and a level shift
     // shows up cleanly in the coding-cost balance.
-    if (options.allow_growth) {
+    if (options.allow_growth && !interrupted()) {
       FitGrowth(&state, options, scratch);
       if (options.verbose) {
         std::fprintf(stderr,
@@ -494,6 +550,7 @@ GlobalSequenceFit RunAlternation(FitState state,
                    "shocks=%zu\n",
                    round, cost, best_cost, rmse, state.shocks.size());
     }
+    ++health.iterations;
     bool progressed = false;
     if (cost < best_cost * (1.0 - options.min_cost_decrease) ||
         cost < best_cost - 1.0) {
@@ -506,8 +563,14 @@ GlobalSequenceFit RunAlternation(FitState state,
     }
     prev_rmse = rmse;
     if (!progressed) {
+      converged = true;
       break;
     }
+  }
+
+  if (!guard_status.ok() &&
+      guard_status.code() == StatusCode::kCancelled) {
+    return guard_status;
   }
 
   if (options.return_final_state) {
@@ -520,6 +583,12 @@ GlobalSequenceFit RunAlternation(FitState state,
   fit.estimate = SimulateStateSeries(best_state, scratch);
   fit.cost_bits = best_cost;
   fit.rmse = Rmse(best_state.data, fit.estimate);
+  health.wall_time_ms = ElapsedMs(start_time);
+  health.termination = !guard_status.ok()
+                           ? FitTermination::kDeadlineExceeded
+                           : (converged ? FitTermination::kConverged
+                                        : FitTermination::kMaxIterations);
+  fit.health = health;
   return fit;
 }
 
@@ -542,9 +611,10 @@ StatusOr<GlobalSequenceFit> FitGlobalSequence(const Series& data,
   state.coding = options.coding_model;
   state.params.population = state.peak * 2.0;
   state.params.i0 = 1.0;
+  state.guard = options.guard;
 
   FitScratch scratch;
-  FitBaseParams(&state, /*multi_start=*/true, &scratch);
+  DSPOT_RETURN_IF_ERROR(FitBaseParams(&state, /*multi_start=*/true, &scratch));
   return RunAlternation(std::move(state), options, &scratch);
 }
 
@@ -566,6 +636,7 @@ StatusOr<GlobalSequenceFit> RefitGlobalSequence(
   state.n = data.size();
   state.peak = std::max(data.MaxValue(), 1.0);
   state.coding = options.coding_model;
+  state.guard = options.guard;
   state.params = previous.params;
   state.shocks = previous.shocks;
   // Extend cyclic shocks over the newly observed range: fresh occurrences
@@ -582,7 +653,9 @@ StatusOr<GlobalSequenceFit> RefitGlobalSequence(
 }
 
 StatusOr<ModelParamSet> GlobalFit(const ActivityTensor& tensor,
-                                  const GlobalFitOptions& options) {
+                                  const GlobalFitOptions& options,
+                                  std::vector<Status>* keyword_status,
+                                  FitHealth* health) {
   if (tensor.empty()) {
     return Status::InvalidArgument("GlobalFit: empty tensor");
   }
@@ -591,25 +664,52 @@ StatusOr<ModelParamSet> GlobalFit(const ActivityTensor& tensor,
   params.num_locations = tensor.num_locations();
   params.num_ticks = tensor.num_ticks();
   // Keywords are independent (Algorithm 2 runs per keyword), so fit them
-  // concurrently. ParallelMap lands each fit in its keyword's slot and
-  // reports the lowest failing keyword's error, so both the result and
-  // the error path match the serial loop bit for bit.
+  // concurrently. ParallelTryMap lands each fit in its keyword's slot —
+  // result and error paths both match the serial loop bit for bit — and
+  // keeps every per-keyword outcome, so kSkipAndReport can use the
+  // successful fits while surfacing the failed keywords.
   ParallelOptions popts;
   popts.num_threads = options.num_threads;
-  DSPOT_ASSIGN_OR_RETURN(
-      std::vector<GlobalSequenceFit> fits,
-      ParallelMap<GlobalSequenceFit>(
+  popts.cancel = options.guard.cancel;
+  std::vector<StatusOr<GlobalSequenceFit>> fits =
+      ParallelTryMap<GlobalSequenceFit>(
           params.num_keywords, popts, [&](size_t i) {
             return FitGlobalSequence(tensor.GlobalSequence(i), i,
                                      params.num_keywords, options);
-          }));
+          });
+  if (keyword_status) {
+    keyword_status->clear();
+    keyword_status->reserve(params.num_keywords);
+    for (const StatusOr<GlobalSequenceFit>& fit : fits) {
+      keyword_status->push_back(fit.status());
+    }
+  }
+  // Cancellation is caller-initiated and fails the whole fit regardless
+  // of the keyword-error policy.
+  if (options.guard.cancel.cancelled()) {
+    return Status::Cancelled("GlobalFit: cancelled");
+  }
   // Deterministic assembly: keyword order, exactly like the serial loop.
+  // Under kFail the first (lowest-index) error propagates; under
+  // kSkipAndReport failed keywords keep default parameters and no shocks.
+  FitHealth merged;
   params.global.reserve(params.num_keywords);
-  for (GlobalSequenceFit& fit : fits) {
-    params.global.push_back(fit.params);
-    for (Shock& shock : fit.shocks) {
+  for (StatusOr<GlobalSequenceFit>& fit : fits) {
+    if (!fit.ok()) {
+      if (options.on_keyword_error == KeywordErrorPolicy::kFail) {
+        return fit.status();
+      }
+      params.global.push_back(KeywordGlobalParams());
+      continue;
+    }
+    merged.Merge(fit->health);
+    params.global.push_back(fit->params);
+    for (Shock& shock : fit->shocks) {
       params.shocks.push_back(std::move(shock));
     }
+  }
+  if (health) {
+    *health = merged;
   }
   return params;
 }

@@ -7,11 +7,24 @@
 #include "common/statusor.h"
 #include "core/params.h"
 #include "core/shock_detection.h"
+#include "guard/guard.h"
 #include "mdl/mdl.h"
 #include "tensor/activity_tensor.h"
 #include "timeseries/series.h"
 
 namespace dspot {
+
+/// What GlobalFit does with a keyword whose fit returns an error.
+enum class KeywordErrorPolicy {
+  /// Propagate the error of the lowest failing keyword (the default, and
+  /// the historical behavior): one bad keyword fails the whole fit.
+  kFail = 0,
+  /// Keep going: failed keywords get default parameters and no shocks,
+  /// their Status is recorded in the per-keyword report, and the overall
+  /// fit succeeds with the keywords that did fit. Cancellation still
+  /// fails the whole fit (it is caller-initiated, not data-driven).
+  kSkipAndReport,
+};
 
 /// GLOBALFIT (Algorithm 2): per keyword, alternates Levenberg-Marquardt
 /// fitting of the base (B_G) and growth (R_G) parameters with greedy,
@@ -61,6 +74,15 @@ struct GlobalFitOptions {
   /// is bit-identical at any thread count. FitDspot plumbs
   /// DspotOptions::num_threads through this field.
   size_t num_threads = 1;
+  /// Deadline/cancellation pair, checked at alternation-round and
+  /// shock-addition boundaries (and inside every LM solve). On deadline
+  /// expiry the fit returns OK with its best-so-far model and
+  /// health.termination == kDeadlineExceeded; on cancellation it returns
+  /// Status::Cancelled. Inactive by default, in which case the checks are
+  /// a single relaxed atomic load.
+  GuardContext guard;
+  /// Error policy for GlobalFit's per-keyword loop (see KeywordErrorPolicy).
+  KeywordErrorPolicy on_keyword_error = KeywordErrorPolicy::kFail;
 };
 
 /// Result of fitting one global sequence.
@@ -70,6 +92,9 @@ struct GlobalSequenceFit {
   Series estimate;            ///< fitted I(t) over the training range
   double cost_bits = 0.0;     ///< per-keyword MDL total
   double rmse = 0.0;
+  /// Rounds run, LM divergence restarts taken, wall time, and why the
+  /// alternation stopped (kDeadlineExceeded marks a partial fit).
+  FitHealth health;
 };
 
 /// Fits Model 1 to a single global sequence x-bar_i. `keyword` tags the
@@ -91,9 +116,19 @@ StatusOr<GlobalSequenceFit> RefitGlobalSequence(
 
 /// Runs GLOBALFIT over every keyword of the tensor and assembles the
 /// global half of the parameter set (B_G, R_G, S at the global level).
+///
+/// When `keyword_status` is non-null it receives one Status per keyword
+/// (OK for fitted keywords). When `health` is non-null it receives the
+/// merged FitHealth of every keyword fit. Under
+/// `options.on_keyword_error == kSkipAndReport`, per-keyword errors do
+/// not fail the call: failed keywords keep default parameters and are
+/// reported through `keyword_status` instead. Cancellation always fails
+/// the call with Status::Cancelled.
 StatusOr<ModelParamSet> GlobalFit(
     const ActivityTensor& tensor,
-    const GlobalFitOptions& options = GlobalFitOptions());
+    const GlobalFitOptions& options = GlobalFitOptions(),
+    std::vector<Status>* keyword_status = nullptr,
+    FitHealth* health = nullptr);
 
 }  // namespace dspot
 

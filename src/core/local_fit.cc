@@ -1,6 +1,8 @@
 #include "core/local_fit.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <span>
@@ -8,6 +10,7 @@
 
 #include "core/cost.h"
 #include "core/simulate.h"
+#include "guard/fault_injector.h"
 #include "mdl/mdl.h"
 #include "optimize/line_search.h"
 #include "parallel/parallel_for.h"
@@ -154,7 +157,8 @@ double FitOneLocal(LocalState* state, size_t d, size_t l,
 }  // namespace
 
 Status LocalFit(const ActivityTensor& tensor, ModelParamSet* params,
-                const LocalFitOptions& options) {
+                const LocalFitOptions& options, FitHealth* health) {
+  const auto start_time = std::chrono::steady_clock::now();
   if (params == nullptr) {
     return Status::InvalidArgument("LocalFit: null params");
   }
@@ -183,9 +187,19 @@ Status LocalFit(const ActivityTensor& tensor, ModelParamSet* params,
   double previous_total = std::numeric_limits<double>::infinity();
   ParallelOptions popts;
   popts.num_threads = options.num_threads;
-  for (int round = 0; round < options.max_rounds; ++round) {
+  popts.cancel = options.guard.cancel;
+  // Set by any location task whose guard check fails; read between
+  // keywords/rounds to stop launching new work. Relaxed is enough — the
+  // flag only gates progress, it carries no data.
+  std::atomic<bool> interrupted{false};
+  bool converged = false;
+  int rounds_done = 0;
+  for (int round = 0; round < options.max_rounds && !interrupted.load(
+                          std::memory_order_relaxed);
+       ++round) {
     double total = 0.0;
     for (size_t i = 0; i < d; ++i) {
+      if (interrupted.load(std::memory_order_relaxed)) break;
       const std::vector<size_t> shock_indices = params->ShockIndicesFor(i);
       const Series global_seq = tensor.GlobalSequence(i);
       const double global_volume = std::max(global_seq.SumValue(), 1e-9);
@@ -231,7 +245,20 @@ Status LocalFit(const ActivityTensor& tensor, ModelParamSet* params,
           }
         }
 
-        costs[j] = FitOneLocal(&state, d, l, options, &scratch);
+        // Guard checkpoint: an expired deadline (or fired token) skips
+        // the refinement but still writes the state back, so first-round
+        // locations keep their sane volume-share initialization instead
+        // of zeroed matrix slots.
+        bool fit_this_location = true;
+        if (options.guard.active() || FaultInjector::Instance().armed()) {
+          if (!options.guard.Check("LocalFit location").ok()) {
+            interrupted.store(true, std::memory_order_relaxed);
+            fit_this_location = false;
+          }
+        }
+        if (fit_this_location) {
+          costs[j] = FitOneLocal(&state, d, l, options, &scratch);
+        }
 
         // Write back (disjoint per location: column j only).
         params->base_local(i, j) = state.population;
@@ -247,10 +274,25 @@ Status LocalFit(const ActivityTensor& tensor, ModelParamSet* params,
         total += costs[j];
       }
     }
+    if (interrupted.load(std::memory_order_relaxed)) break;
+    ++rounds_done;
     if (total >= previous_total * (1.0 - options.min_cost_decrease)) {
+      converged = true;
       break;
     }
     previous_total = total;
+  }
+  if (options.guard.cancel.cancelled()) {
+    return Status::Cancelled("LocalFit: cancelled");
+  }
+  if (health) {
+    health->iterations = rounds_done;
+    health->restarts = 0;
+    health->wall_time_ms = ElapsedMs(start_time);
+    health->termination = interrupted.load(std::memory_order_relaxed)
+                              ? FitTermination::kDeadlineExceeded
+                              : (converged ? FitTermination::kConverged
+                                           : FitTermination::kMaxIterations);
   }
   return Status::Ok();
 }

@@ -3,6 +3,7 @@
 
 #include "common/status.h"
 #include "core/params.h"
+#include "guard/guard.h"
 #include "tensor/activity_tensor.h"
 
 namespace dspot {
@@ -31,13 +32,22 @@ struct LocalFitOptions {
   /// is bit-identical at any thread count. FitDspot plumbs
   /// DspotOptions::num_threads through this field.
   size_t num_threads = 1;
+  /// Deadline/cancellation pair, checked before every per-location fit.
+  /// On deadline expiry the remaining locations keep their warm-start
+  /// values (volume-share initialization on the first round) and the call
+  /// returns OK with health.termination == kDeadlineExceeded; on
+  /// cancellation it returns Status::Cancelled. Inactive by default.
+  GuardContext guard;
 };
 
 /// Fills `params->base_local`, `params->growth_local` and every shock's
 /// `local_strengths` from the tensor. `params` must contain the global fit
-/// for the same tensor (dimensions are checked).
+/// for the same tensor (dimensions are checked). When `health` is
+/// non-null it receives sweep count, wall time, and the termination
+/// reason (kDeadlineExceeded marks a partially refined local model).
 Status LocalFit(const ActivityTensor& tensor, ModelParamSet* params,
-                const LocalFitOptions& options = LocalFitOptions());
+                const LocalFitOptions& options = LocalFitOptions(),
+                FitHealth* health = nullptr);
 
 }  // namespace dspot
 

@@ -1,0 +1,141 @@
+#include "guard/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/random.h"
+
+namespace dspot {
+
+namespace {
+
+/// Decorrelates the draw streams of distinct sites: two sites armed with
+/// the same seed must not fire on the same draw indices.
+constexpr uint64_t kSiteSalt[] = {
+    0x9e3779b97f4a7c15ULL,  // kNanAtResidual
+    0xbf58476d1ce4e5b9ULL,  // kSolverFailure
+    0x94d049bb133111ebULL,  // kAllocation
+    0xd6e8feb86659fd93ULL,  // kDeadlineExpiry
+};
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kNanAtResidual:
+      return "NanAtResidual";
+    case FaultSite::kSolverFailure:
+      return "SolverFailure";
+    case FaultSite::kAllocation:
+      return "Allocation";
+    case FaultSite::kDeadlineExpiry:
+      return "DeadlineExpiry";
+    case FaultSite::kNumSites:
+      break;
+  }
+  return "Unknown";
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(uint64_t seed, double rate) {
+  for (size_t s = 0; s < kNumSites; ++s) {
+    ArmSite(static_cast<FaultSite>(s), seed, rate);
+  }
+}
+
+void FaultInjector::ArmSite(FaultSite site, uint64_t seed, double rate) {
+  SiteState& state = sites_[static_cast<size_t>(site)];
+  state.draws.store(0, std::memory_order_relaxed);
+  state.fired.store(0, std::memory_order_relaxed);
+  state.exact.store(kNoExact, std::memory_order_relaxed);
+  state.seed.store(seed, std::memory_order_relaxed);
+  // rate in [0, 1] -> 64-bit fixed-point threshold; rate >= 1 always fires.
+  const double clamped = std::clamp(rate, 0.0, 1.0);
+  const uint64_t threshold =
+      clamped >= 1.0 ? ~uint64_t{0}
+                     : static_cast<uint64_t>(std::ldexp(clamped, 64));
+  state.threshold.store(threshold, std::memory_order_relaxed);
+  state.armed.store(true, std::memory_order_relaxed);
+  RefreshAnyArmed();
+}
+
+void FaultInjector::ArmExact(FaultSite site, uint64_t nth) {
+  SiteState& state = sites_[static_cast<size_t>(site)];
+  state.draws.store(0, std::memory_order_relaxed);
+  state.fired.store(0, std::memory_order_relaxed);
+  state.threshold.store(0, std::memory_order_relaxed);
+  state.exact.store(nth, std::memory_order_relaxed);
+  state.armed.store(true, std::memory_order_relaxed);
+  RefreshAnyArmed();
+}
+
+void FaultInjector::Disarm() {
+  for (SiteState& state : sites_) {
+    state.armed.store(false, std::memory_order_relaxed);
+    state.draws.store(0, std::memory_order_relaxed);
+    state.fired.store(0, std::memory_order_relaxed);
+    state.exact.store(kNoExact, std::memory_order_relaxed);
+    state.threshold.store(0, std::memory_order_relaxed);
+  }
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::RefreshAnyArmed() {
+  bool any = false;
+  for (const SiteState& state : sites_) {
+    any = any || state.armed.load(std::memory_order_relaxed);
+  }
+  any_armed_.store(any, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFire(FaultSite site) {
+  SiteState& state = sites_[static_cast<size_t>(site)];
+  if (!state.armed.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  const uint64_t n = state.draws.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t exact = state.exact.load(std::memory_order_relaxed);
+  bool fire;
+  if (exact != kNoExact) {
+    fire = n == exact;
+  } else {
+    const uint64_t seed = state.seed.load(std::memory_order_relaxed);
+    const uint64_t salt = kSiteSalt[static_cast<size_t>(site)];
+    const uint64_t draw = SplitMix64(seed ^ (salt + n));
+    fire = draw < state.threshold.load(std::memory_order_relaxed);
+  }
+  if (fire) {
+    state.fired.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fire;
+}
+
+uint64_t FaultInjector::draws(FaultSite site) const {
+  return sites_[static_cast<size_t>(site)].draws.load(
+      std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::fired(FaultSite site) const {
+  return sites_[static_cast<size_t>(site)].fired.load(
+      std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::SeedFromEnv(uint64_t fallback) {
+  const char* raw = std::getenv("DSPOT_FAULT_SEED");
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw) {
+    return fallback;
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+}  // namespace dspot

@@ -1,0 +1,130 @@
+#ifndef DSPOT_GUARD_FAULT_INJECTOR_H_
+#define DSPOT_GUARD_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dspot {
+
+/// Places in the fit pipeline where the FaultInjector can force a failure.
+/// Each site is a single, named call point (or small family of call points)
+/// whose error-handling path would otherwise only be reachable with a
+/// genuinely hostile input.
+enum class FaultSite {
+  /// The Levenberg-Marquardt cost evaluation: the computed cost is replaced
+  /// with a quiet NaN, exercising the divergence-recovery path.
+  kNanAtResidual = 0,
+  /// The damped normal-equation solve inside LM: the LDLT solve is treated
+  /// as failed, exercising the lambda-escalation and give-up paths.
+  kSolverFailure,
+  /// Workspace/slot acquisition at solver and pipeline entry points: the
+  /// call fails with an Internal status, exercising per-keyword error
+  /// reporting and the kSkipAndReport batch policy.
+  kAllocation,
+  /// GuardContext::Check: the deadline is reported as expired even though
+  /// wall time remains, exercising every deadline unwind path without
+  /// depending on timing.
+  kDeadlineExpiry,
+  kNumSites,
+};
+
+/// Canonical name of a fault site (e.g. "NanAtResidual").
+const char* FaultSiteName(FaultSite site);
+
+/// Deterministic, seed-driven fault injection.
+///
+/// A process-wide singleton consulted at a handful of fixed sites in the
+/// fit pipeline. Disarmed (the default) it costs one relaxed atomic load
+/// per probe. Armed, each probe of a site increments that site's draw
+/// counter n and fires iff
+///
+///   SplitMix64(seed ^ (site_salt + n)) < rate * 2^64
+///
+/// so the sequence of fired draws is a pure function of (seed, rate, site,
+/// n) — rerunning a serial fit with the same seed injects the same faults
+/// at the same points. Under multi-threaded fits, which *call* observes a
+/// given draw index depends on scheduling, but the set of firing indices
+/// does not; tests therefore assert clean-failure invariants (no crash,
+/// no hang, no non-finite output) rather than specific fault placements
+/// when threads > 1.
+///
+/// ArmExact() instead fires exactly one specific upcoming draw of a site,
+/// which is what the targeted unit tests use.
+///
+/// THREAD SAFETY: ShouldFire is safe to call concurrently. Arm/Disarm must
+/// not race with in-flight fits — arm, run, disarm (tests do exactly this).
+class FaultInjector {
+ public:
+  /// The process-wide injector.
+  static FaultInjector& Instance();
+
+  /// Arms every site with the given seed and per-draw firing rate in
+  /// [0, 1]. Resets all counters.
+  void Arm(uint64_t seed, double rate);
+
+  /// Arms a single site (others keep their state). Resets its counters.
+  void ArmSite(FaultSite site, uint64_t seed, double rate);
+
+  /// One-shot: the `nth` upcoming draw (0-based, counted from this call)
+  /// of `site` fires; all other draws of the site do not. Resets the
+  /// site's counters.
+  void ArmExact(FaultSite site, uint64_t nth);
+
+  /// Disarms every site and resets all counters. Probes return to the
+  /// single-atomic-load fast path.
+  void Disarm();
+
+  /// True iff any site is armed (the fast-path gate).
+  bool armed() const { return any_armed_.load(std::memory_order_relaxed); }
+
+  /// Draws one injection decision for `site`. Always false when disarmed.
+  bool ShouldFire(FaultSite site);
+
+  /// Number of decisions drawn / faults fired at `site` since it was last
+  /// (re-)armed. Test observability.
+  uint64_t draws(FaultSite site) const;
+  uint64_t fired(FaultSite site) const;
+
+  /// Reads the DSPOT_FAULT_SEED environment variable (decimal), returning
+  /// `fallback` when unset or unparseable. CI sweeps set this to vary
+  /// which draws fire across runs; the injector itself is only ever armed
+  /// explicitly, so binaries that never call Arm are unaffected.
+  static uint64_t SeedFromEnv(uint64_t fallback = 0);
+
+ private:
+  FaultInjector() = default;
+
+  static constexpr uint64_t kNoExact = ~uint64_t{0};
+  static constexpr size_t kNumSites = static_cast<size_t>(FaultSite::kNumSites);
+
+  struct SiteState {
+    std::atomic<bool> armed{false};
+    std::atomic<uint64_t> draws{0};
+    std::atomic<uint64_t> fired{0};
+    /// kNoExact = probabilistic mode; otherwise the single firing draw.
+    std::atomic<uint64_t> exact{kNoExact};
+    /// Firing threshold in 64-bit fixed point (probabilistic mode).
+    std::atomic<uint64_t> threshold{0};
+    std::atomic<uint64_t> seed{0};
+  };
+
+  void RefreshAnyArmed();
+
+  SiteState sites_[kNumSites];
+  std::atomic<bool> any_armed_{false};
+};
+
+/// Hot-path probe: one relaxed atomic load when the injector is disarmed.
+inline bool MaybeInjectFault(FaultSite site) {
+  FaultInjector& injector = FaultInjector::Instance();
+  if (!injector.armed()) {
+    return false;
+  }
+  return injector.ShouldFire(site);
+}
+
+}  // namespace dspot
+
+#endif  // DSPOT_GUARD_FAULT_INJECTOR_H_

@@ -1,0 +1,102 @@
+#include "guard/guard.h"
+
+#include <cstdio>
+#include <limits>
+
+#include "guard/fault_injector.h"
+
+namespace dspot {
+
+Deadline Deadline::AfterMillis(double budget_ms) {
+  Deadline d;
+  d.armed_ = true;
+  d.when_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(budget_ms));
+  return d;
+}
+
+Deadline Deadline::At(std::chrono::steady_clock::time_point when) {
+  Deadline d;
+  d.armed_ = true;
+  d.when_ = when;
+  return d;
+}
+
+bool Deadline::expired() const {
+  return armed_ && std::chrono::steady_clock::now() >= when_;
+}
+
+double Deadline::remaining_ms() const {
+  if (!armed_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::chrono::duration<double, std::milli>(
+             when_ - std::chrono::steady_clock::now())
+      .count();
+}
+
+CancellationToken CancellationToken::Cancellable() {
+  CancellationToken token;
+  token.flag_ = std::make_shared<std::atomic<bool>>(false);
+  return token;
+}
+
+void CancellationToken::Cancel() const {
+  if (flag_ != nullptr) {
+    flag_->store(true, std::memory_order_release);
+  }
+}
+
+Status GuardContext::Check(const char* where) const {
+  if (cancel.cancelled()) {
+    return Status::Cancelled(std::string(where) + ": cancellation requested");
+  }
+  if (deadline.expired() || MaybeInjectFault(FaultSite::kDeadlineExpiry)) {
+    return Status::DeadlineExceeded(std::string(where) +
+                                    ": time budget exhausted");
+  }
+  return Status::Ok();
+}
+
+const char* FitTerminationName(FitTermination termination) {
+  switch (termination) {
+    case FitTermination::kConverged:
+      return "Converged";
+    case FitTermination::kMaxIterations:
+      return "MaxIterations";
+    case FitTermination::kStalled:
+      return "Stalled";
+    case FitTermination::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case FitTermination::kCancelled:
+      return "Cancelled";
+  }
+  return "Unknown";
+}
+
+void FitHealth::Merge(const FitHealth& other) {
+  iterations += other.iterations;
+  restarts += other.restarts;
+  wall_time_ms += other.wall_time_ms;
+  // The enum is declared in increasing severity order.
+  if (static_cast<int>(other.termination) > static_cast<int>(termination)) {
+    termination = other.termination;
+  }
+}
+
+std::string FitHealth::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s in %d it (%d restarts, %.1f ms)",
+                FitTerminationName(termination), iterations, restarts,
+                wall_time_ms);
+  return buf;
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace dspot

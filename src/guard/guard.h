@@ -1,0 +1,148 @@
+#ifndef DSPOT_GUARD_GUARD_H_
+#define DSPOT_GUARD_GUARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace dspot {
+
+/// A monotonic-clock time budget. Default-constructed deadlines are
+/// infinite (never expire), so embedding one in an options struct costs
+/// nothing until a caller arms it. Copies share the same expiry instant;
+/// the class is trivially thread-safe (immutable after construction).
+///
+/// Deadlines use std::chrono::steady_clock, so wall-clock adjustments
+/// (NTP, suspend) cannot spuriously expire a fit.
+class Deadline {
+ public:
+  /// Infinite: never expires.
+  Deadline() = default;
+
+  /// A deadline `budget_ms` milliseconds from now. Non-positive budgets
+  /// are already expired (useful for "try, but do not iterate" callers).
+  static Deadline AfterMillis(double budget_ms);
+
+  /// A deadline at an explicit steady_clock instant.
+  static Deadline At(std::chrono::steady_clock::time_point when);
+
+  /// The never-expiring deadline (same as default construction).
+  static Deadline Infinite() { return Deadline(); }
+
+  /// True iff this deadline can ever expire.
+  bool armed() const { return armed_; }
+
+  /// True iff the budget has run out. Always false when infinite.
+  bool expired() const;
+
+  /// Milliseconds until expiry: negative once expired, +infinity when
+  /// infinite.
+  double remaining_ms() const;
+
+ private:
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point when_{};
+};
+
+/// A cooperative cancel flag shared across threads. Default-constructed
+/// tokens are inert (never cancelled, Cancel() is a no-op); Cancellable()
+/// creates an armed token. Copies share the underlying flag, so a token
+/// handed to a fit running on a worker thread can be cancelled from any
+/// other thread.
+class CancellationToken {
+ public:
+  /// Inert: cancelled() is always false.
+  CancellationToken() = default;
+
+  /// An armed token whose copies share one flag.
+  static CancellationToken Cancellable();
+
+  /// Requests cancellation. Safe from any thread; no-op on inert tokens.
+  void Cancel() const;
+
+  /// True iff Cancel() was called on this token or any copy of it.
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+  /// True iff this token was created Cancellable (and can thus ever fire).
+  bool armed() const { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// The deadline/cancellation pair threaded through the fit pipeline.
+/// Every cooperative checkpoint (LM outer iterations, Nelder-Mead
+/// iterations, GLOBALFIT rounds, per-location LOCALFIT tasks, ParallelFor
+/// block claims) calls Check() and unwinds on a non-OK result. A
+/// default-constructed context is inactive and Check() short-circuits to
+/// OK, so unguarded fits pay (nearly) nothing.
+struct GuardContext {
+  Deadline deadline;
+  CancellationToken cancel;
+
+  /// True iff either member can ever fire (fast-path gate).
+  bool active() const { return deadline.armed() || cancel.armed(); }
+
+  /// kCancelled beats kDeadlineExceeded when both fired (cancellation is
+  /// the stronger, caller-initiated signal). `where` names the checkpoint
+  /// in the error message. The kDeadlineExpiry fault-injection site is
+  /// consulted here, so deadline unwind paths are testable without timing.
+  Status Check(const char* where) const;
+};
+
+/// How a guarded fit stopped.
+enum class FitTermination {
+  /// A convergence criterion fired (or the fit ran to completion).
+  kConverged = 0,
+  /// The iteration/round cap was reached without convergence.
+  kMaxIterations,
+  /// The solver stalled (no acceptable step) and kept its best iterate.
+  kStalled,
+  /// The time budget expired; the result is the best partial fit.
+  kDeadlineExceeded,
+  /// The cancellation token fired.
+  kCancelled,
+};
+
+/// Canonical name of a termination reason (e.g. "DeadlineExceeded").
+const char* FitTerminationName(FitTermination termination);
+
+/// Health report attached to guarded fit results: how hard the solver
+/// worked and why it stopped. Aggregatable: Merge() combines per-stage
+/// reports into a pipeline-level one.
+struct FitHealth {
+  /// Accepted solver iterations (or outer rounds, for pipeline stages).
+  int iterations = 0;
+  /// Divergence-recovery restarts taken (see LmOptions::max_restarts).
+  int restarts = 0;
+  /// Wall time spent in the fit, milliseconds.
+  double wall_time_ms = 0.0;
+  FitTermination termination = FitTermination::kConverged;
+
+  /// True iff the fit was cut short by a guard (deadline or cancel).
+  bool interrupted() const {
+    return termination == FitTermination::kDeadlineExceeded ||
+           termination == FitTermination::kCancelled;
+  }
+
+  /// Folds `other` into this report: counters add, wall time adds, and
+  /// the most severe termination wins (kCancelled > kDeadlineExceeded >
+  /// kStalled > kMaxIterations > kConverged).
+  void Merge(const FitHealth& other);
+
+  /// "converged in 12 it (0 restarts, 3.2 ms)" — for logs and the CLI.
+  std::string ToString() const;
+};
+
+/// Stopwatch helper: milliseconds elapsed since `start`.
+double ElapsedMs(std::chrono::steady_clock::time_point start);
+
+}  // namespace dspot
+
+#endif  // DSPOT_GUARD_GUARD_H_

@@ -1,9 +1,13 @@
 #include "optimize/levenberg_marquardt.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
 #include <span>
 
+#include "common/random.h"
+#include "guard/fault_injector.h"
 #include "linalg/vector_ops.h"
 #include "parallel/parallel_for.h"
 
@@ -100,6 +104,32 @@ double HalfSumSquares(std::span<const double> r) {
   return 0.5 * SumSquares(r);
 }
 
+/// A cost this size means the model left its meaningful regime: healthy
+/// Δ-SPOT residuals are bounded by the box constraints at ~1e23, so 1e100
+/// only triggers on genuine blow-ups — treating it as divergence (instead
+/// of climbing the lambda ladder) cannot change a healthy fit.
+constexpr double kExplodingCost = 1e100;
+
+bool IsDivergentCost(double cost) {
+  return !std::isfinite(cost) || cost > kExplodingCost;
+}
+
+/// Deterministic restart start point: the rewind anchor perturbed by a
+/// seed-derived relative jitter, clamped back into the box. Attempt k
+/// draws from Random(restart_seed).Child(k), so the sequence of starts is
+/// a pure function of the options.
+void JitterFromAnchor(std::span<const double> anchor, const Bounds& bounds,
+                      const LmOptions& options, int attempt,
+                      std::span<double> p) {
+  Random rng = Random(options.restart_seed).Child(
+      static_cast<uint64_t>(attempt));
+  for (size_t j = 0; j < anchor.size(); ++j) {
+    const double scale = std::max(1.0, std::fabs(anchor[j]));
+    p[j] = anchor[j] + options.restart_jitter * scale * rng.Uniform(-1.0, 1.0);
+  }
+  bounds.Clamp(p);
+}
+
 }  // namespace
 
 StatusOr<LmResult> LevenbergMarquardt(const ResidualIntoFn& residual_fn,
@@ -122,7 +152,12 @@ StatusOr<LmResult> LevenbergMarquardt(const ResidualIntoFn& residual_fn,
   if (num_residuals == 0) {
     return Status::InvalidArgument("LevenbergMarquardt: empty residuals");
   }
+  if (MaybeInjectFault(FaultSite::kAllocation)) {
+    return Status::Internal(
+        "LevenbergMarquardt: injected workspace allocation failure");
+  }
 
+  const auto start_time = std::chrono::steady_clock::now();
   LmWorkspace& ws = *workspace;
   const size_t np = initial.size();
   const size_t m = num_residuals;
@@ -133,92 +168,202 @@ StatusOr<LmResult> LevenbergMarquardt(const ResidualIntoFn& residual_fn,
 
   std::vector<double>& r = ws.r;
   r.resize(m);
-  DSPOT_RETURN_IF_ERROR(residual_fn(p, r));
-  double cost = HalfSumSquares(r);
-  if (!std::isfinite(cost)) {
-    return Status::NumericalError(
-        "LevenbergMarquardt: non-finite cost at the initial point");
-  }
 
   LmResult result;
-  result.initial_cost = cost;
-  double lambda = options.initial_lambda;
+  // Best-so-far across restarts: within one attempt p improves
+  // monotonically, but a restart jitters away from it, so the returned
+  // iterate is tracked explicitly.
+  std::vector<double>& best_p = ws.best_p;
+  double best_cost = std::numeric_limits<double>::infinity();
+  bool have_best = false;
+  bool have_initial_cost = false;
+  const int max_restarts = std::max(options.max_restarts, 0);
+  // Outer iterations (one Jacobian each) are budgeted across all
+  // attempts, so divergence recovery never multiplies the worst case.
+  int outer_iters = 0;
+  int attempt = 0;
+  bool stopped_by_guard = false;
 
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
-    DSPOT_RETURN_IF_ERROR(
-        NumericJacobianInto(residual_fn, p, r, bounds, options, &ws));
-    // Normal equations: (J^T J + lambda I) step = -J^T r.
-    ws.jac.GramInto(&ws.jtj);
-    ws.jtr.resize(np);
-    ws.jac.TransposedTimesInto(r, ws.jtr);
-    if (NormInf(std::span<const double>(ws.jtr)) <
-        options.gradient_tolerance) {
-      result.converged = true;
-      break;
+  auto finish = [&](FitTermination termination) -> LmResult {
+    if (have_best) {
+      result.params = best_p;
+      result.final_cost = best_cost;
+    } else {
+      result.params = p;
+      result.final_cost = std::numeric_limits<double>::quiet_NaN();
+    }
+    result.health.iterations = result.iterations;
+    result.health.termination = termination;
+    result.health.wall_time_ms = ElapsedMs(start_time);
+    return result;
+  };
+
+  for (;;) {
+    DSPOT_RETURN_IF_ERROR(residual_fn(p, r));
+    double cost = HalfSumSquares(r);
+    if (MaybeInjectFault(FaultSite::kNanAtResidual)) {
+      cost = std::numeric_limits<double>::quiet_NaN();
+    }
+    if (IsDivergentCost(cost)) {
+      // Hostile start: rewind to the best-so-far iterate (or the clamped
+      // initial when none exists yet) and retry from a jittered copy.
+      if (attempt >= max_restarts) {
+        if (have_best) {
+          return finish(FitTermination::kStalled);
+        }
+        return Status::NumericalError(
+            "LevenbergMarquardt: non-finite cost at the initial point");
+      }
+      ++result.health.restarts;
+      if (have_best) {
+        JitterFromAnchor(best_p, bounds, options, attempt, p);
+      } else {
+        std::vector<double>& anchor = ws.candidate;
+        anchor = initial;
+        bounds.Clamp(std::span<double>(anchor));
+        JitterFromAnchor(anchor, bounds, options, attempt, p);
+      }
+      ++attempt;
+      continue;
+    }
+    if (!have_initial_cost) {
+      result.initial_cost = cost;
+      have_initial_cost = true;
+    }
+    if (!have_best || cost < best_cost) {
+      best_p = p;
+      best_cost = cost;
+      have_best = true;
     }
 
-    bool accepted = false;
-    while (lambda <= options.max_lambda) {
-      // Copy-assignment reuses the destination's storage once warm.
-      ws.damped = ws.jtj;
-      ws.damped.AddToDiagonal(lambda);
-      ws.neg_jtr.resize(np);
-      for (size_t i = 0; i < np; ++i) {
-        ws.neg_jtr[i] = ws.jtr[i] * -1.0;
-      }
-      ws.step.resize(np);
-      Status solve =
-          RegularizedLdltSolveInto(ws.damped, ws.neg_jtr, ws.step, &ws.ldlt);
-      if (!solve.ok()) {
-        lambda *= options.lambda_up;
-        continue;
-      }
-      std::vector<double>& candidate = ws.candidate;
-      candidate.resize(np);
-      for (size_t i = 0; i < np; ++i) {
-        candidate[i] = p[i] + ws.step[i];
-      }
-      bounds.Clamp(std::span<double>(candidate));
-      std::vector<double>& actual_step = ws.actual_step;
-      actual_step.resize(np);
-      for (size_t i = 0; i < np; ++i) {
-        actual_step[i] = candidate[i] - p[i];
-      }
-
-      std::vector<double>& r_new = ws.r_new;
-      r_new.resize(m);
-      Status s = residual_fn(candidate, r_new);
-      if (!s.ok()) {
-        return s;
-      }
-      const double cost_new = HalfSumSquares(r_new);
-      if (std::isfinite(cost_new) && cost_new < cost) {
-        const double rel_decrease = (cost - cost_new) / std::max(cost, 1e-30);
-        const double step_norm = NormInf(std::span<const double>(actual_step));
-        std::swap(p, candidate);
-        std::swap(r, r_new);
-        cost = cost_new;
-        lambda = std::max(lambda * options.lambda_down, 1e-12);
-        accepted = true;
-        ++result.iterations;
-        if (rel_decrease < options.cost_tolerance ||
-            step_norm < options.step_tolerance) {
-          result.converged = true;
+    double lambda = options.initial_lambda;
+    bool diverged = false;
+    bool stalled = false;
+    while (outer_iters < options.max_iterations) {
+      if (options.guard.active() || FaultInjector::Instance().armed()) {
+        Status guard_status = options.guard.Check("LevenbergMarquardt");
+        if (!guard_status.ok()) {
+          if (guard_status.code() == StatusCode::kCancelled) {
+            return guard_status;
+          }
+          stopped_by_guard = true;
+          break;
         }
+      }
+      ++outer_iters;
+      DSPOT_RETURN_IF_ERROR(
+          NumericJacobianInto(residual_fn, p, r, bounds, options, &ws));
+      // Normal equations: (J^T J + lambda I) step = -J^T r.
+      ws.jac.GramInto(&ws.jtj);
+      ws.jtr.resize(np);
+      ws.jac.TransposedTimesInto(r, ws.jtr);
+      if (NormInf(std::span<const double>(ws.jtr)) <
+          options.gradient_tolerance) {
+        result.converged = true;
         break;
       }
-      lambda *= options.lambda_up;
-    }
-    if (!accepted || result.converged) {
-      // Either lambda blew past its cap (stuck) or we converged.
-      result.converged = result.converged || !accepted;
-      break;
-    }
-  }
 
-  result.params = p;
-  result.final_cost = cost;
-  return result;
+      bool accepted = false;
+      while (lambda <= options.max_lambda) {
+        // Copy-assignment reuses the destination's storage once warm.
+        ws.damped = ws.jtj;
+        ws.damped.AddToDiagonal(lambda);
+        ws.neg_jtr.resize(np);
+        for (size_t i = 0; i < np; ++i) {
+          ws.neg_jtr[i] = ws.jtr[i] * -1.0;
+        }
+        ws.step.resize(np);
+        Status solve =
+            RegularizedLdltSolveInto(ws.damped, ws.neg_jtr, ws.step, &ws.ldlt);
+        if (MaybeInjectFault(FaultSite::kSolverFailure)) {
+          solve = Status::NumericalError(
+              "LevenbergMarquardt: injected normal-equation solve failure");
+        }
+        if (!solve.ok()) {
+          lambda *= options.lambda_up;
+          continue;
+        }
+        std::vector<double>& candidate = ws.candidate;
+        candidate.resize(np);
+        for (size_t i = 0; i < np; ++i) {
+          candidate[i] = p[i] + ws.step[i];
+        }
+        bounds.Clamp(std::span<double>(candidate));
+        std::vector<double>& actual_step = ws.actual_step;
+        actual_step.resize(np);
+        for (size_t i = 0; i < np; ++i) {
+          actual_step[i] = candidate[i] - p[i];
+        }
+
+        std::vector<double>& r_new = ws.r_new;
+        r_new.resize(m);
+        Status s = residual_fn(candidate, r_new);
+        if (!s.ok()) {
+          return s;
+        }
+        double cost_new = HalfSumSquares(r_new);
+        if (MaybeInjectFault(FaultSite::kNanAtResidual)) {
+          cost_new = std::numeric_limits<double>::quiet_NaN();
+        }
+        if (IsDivergentCost(cost_new)) {
+          // A NaN/exploding trial can never satisfy the acceptance test:
+          // bail out of the lambda ladder immediately instead of burning
+          // it to max_lambda, and let divergence recovery take over.
+          diverged = true;
+          break;
+        }
+        if (cost_new < cost) {
+          const double rel_decrease =
+              (cost - cost_new) / std::max(cost, 1e-30);
+          const double step_norm =
+              NormInf(std::span<const double>(actual_step));
+          std::swap(p, candidate);
+          std::swap(r, r_new);
+          cost = cost_new;
+          if (cost < best_cost) {
+            best_p = p;
+            best_cost = cost;
+          }
+          lambda = std::max(lambda * options.lambda_down, 1e-12);
+          accepted = true;
+          ++result.iterations;
+          if (rel_decrease < options.cost_tolerance ||
+              step_norm < options.step_tolerance) {
+            result.converged = true;
+          }
+          break;
+        }
+        lambda *= options.lambda_up;
+      }
+      if (diverged) {
+        break;
+      }
+      if (!accepted || result.converged) {
+        // Either lambda blew past its cap (stuck) or we converged.
+        stalled = !accepted;
+        result.converged = result.converged || !accepted;
+        break;
+      }
+    }
+
+    if (stopped_by_guard) {
+      return finish(FitTermination::kDeadlineExceeded);
+    }
+    if (diverged && attempt < max_restarts &&
+        outer_iters < options.max_iterations) {
+      ++result.health.restarts;
+      JitterFromAnchor(best_p, bounds, options, attempt, p);
+      ++attempt;
+      continue;
+    }
+    if (diverged || stalled) {
+      return finish(FitTermination::kStalled);
+    }
+    if (result.converged) {
+      return finish(FitTermination::kConverged);
+    }
+    return finish(FitTermination::kMaxIterations);
+  }
 }
 
 StatusOr<LmResult> LevenbergMarquardt(const ResidualFn& residual_fn,

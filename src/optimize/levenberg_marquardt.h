@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "common/statusor.h"
+#include "guard/guard.h"
 #include "linalg/matrix.h"
 #include "linalg/solvers.h"
 #include "optimize/objective.h"
@@ -43,6 +44,25 @@ struct LmOptions {
   /// work (the Δ-SPOT base fit has 5 parameters and stays serial —
   /// parallelism comes from the keyword/location layers above it).
   size_t parallel_jacobian_min_params = 8;
+  /// Divergence recovery: when the cost turns non-finite (or blows past
+  /// 1e100) — at the initial point or on a trial step — the solver rewinds
+  /// to its best-so-far iterate and retries from a deterministically
+  /// jittered start, up to this many times. 0 disables recovery (a
+  /// non-finite initial cost is then an immediate NumericalError, the
+  /// pre-guard behavior). Restarts share the max_iterations budget, so
+  /// recovery never multiplies the worst-case work.
+  int max_restarts = 2;
+  /// Relative magnitude of the restart jitter around the rewind anchor.
+  double restart_jitter = 0.05;
+  /// Seed for the restart jitter; attempt k draws from
+  /// Random(restart_seed).Child(k), so recovery is a pure function of the
+  /// options — bit-identical across runs and thread counts.
+  uint64_t restart_seed = 0x5eedfa17ULL;
+  /// Deadline/cancellation pair, checked once per outer iteration. On
+  /// deadline expiry the solver returns OK with its best-so-far iterate
+  /// and health.termination == kDeadlineExceeded; on cancellation it
+  /// returns Status::Cancelled. Inactive by default.
+  GuardContext guard;
 };
 
 /// Diagnostics returned alongside the solution.
@@ -54,6 +74,9 @@ struct LmResult {
   int iterations = 0;
   /// True if a convergence criterion (rather than the iteration cap) fired.
   bool converged = false;
+  /// Restarts taken, wall time, and why the solve stopped (kConverged /
+  /// kStalled / kMaxIterations / kDeadlineExceeded).
+  FitHealth health;
 };
 
 /// Scratch storage for the workspace-based LevenbergMarquardt overload.
@@ -73,6 +96,8 @@ struct LmWorkspace {
   /// Serial numeric-Jacobian scratch (parallel blocks own their scratch).
   std::vector<double> probe;
   std::vector<double> probe_r;
+  /// Best-so-far iterate across divergence-recovery restarts.
+  std::vector<double> best_p;
   Matrix jac;
   Matrix jtj;
   Matrix damped;

@@ -1,9 +1,12 @@
 #include "optimize/nelder_mead.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
+
+#include "guard/fault_injector.h"
 
 namespace dspot {
 
@@ -19,6 +22,7 @@ StatusOr<NelderMeadResult> NelderMead(const ScalarFn& fn,
     return Status::InvalidArgument("NelderMead: bounds size mismatch");
   }
 
+  const auto start_time = std::chrono::steady_clock::now();
   NelderMeadResult result;
   auto eval = [&](std::vector<double>* p) -> double {
     bounds.Clamp(p);
@@ -49,6 +53,16 @@ StatusOr<NelderMeadResult> NelderMead(const ScalarFn& fn,
   std::iota(order.begin(), order.end(), 0);
 
   while (result.evaluations < options.max_evaluations) {
+    if (options.guard.active() || FaultInjector::Instance().armed()) {
+      Status guard_status = options.guard.Check("NelderMead");
+      if (!guard_status.ok()) {
+        if (guard_status.code() == StatusCode::kCancelled) {
+          return guard_status;
+        }
+        result.health.termination = FitTermination::kDeadlineExceeded;
+        break;
+      }
+    }
     std::sort(order.begin(), order.end(),
               [&](size_t a, size_t b) { return values[a] < values[b]; });
     const size_t best = order[0];
@@ -137,6 +151,13 @@ StatusOr<NelderMeadResult> NelderMead(const ScalarFn& fn,
       [&](size_t a, size_t b) { return values[a] < values[b]; });
   result.params = simplex[best];
   result.final_value = values[best];
+  result.health.iterations = result.evaluations;
+  if (result.health.termination != FitTermination::kDeadlineExceeded) {
+    result.health.termination = result.converged
+                                    ? FitTermination::kConverged
+                                    : FitTermination::kMaxIterations;
+  }
+  result.health.wall_time_ms = ElapsedMs(start_time);
   return result;
 }
 

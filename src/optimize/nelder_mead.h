@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "guard/guard.h"
 #include "optimize/objective.h"
 
 namespace dspot {
@@ -23,6 +24,11 @@ struct NelderMeadOptions {
   double expansion = 2.0;
   double contraction = 0.5;
   double shrink = 0.5;
+  /// Deadline/cancellation pair, checked once per simplex iteration. On
+  /// deadline expiry the search returns OK with its best vertex and
+  /// health.termination == kDeadlineExceeded; on cancellation it returns
+  /// Status::Cancelled. Inactive by default.
+  GuardContext guard;
 };
 
 /// Result of a Nelder-Mead minimization.
@@ -31,6 +37,8 @@ struct NelderMeadResult {
   double final_value = 0.0;
   int evaluations = 0;
   bool converged = false;
+  /// Wall time and why the search stopped.
+  FitHealth health;
 };
 
 /// Minimizes a scalar function with the Nelder-Mead downhill-simplex method.

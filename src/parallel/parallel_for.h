@@ -22,6 +22,11 @@ struct ParallelOptions {
   /// scheduling overhead and larger per-task scratch reuse; a loop whose
   /// whole range fits in one grain runs inline.
   size_t grain = 1;
+  /// Cooperative cancellation: once the token fires, runners stop
+  /// claiming blocks (already-running block invocations finish) and the
+  /// loop returns early, leaving unclaimed indices unprocessed. Inert by
+  /// default. Long-running `fn` bodies should poll the same token.
+  CancellationToken cancel;
 };
 
 /// Runs `fn(begin, end)` over a partition of [0, n) into contiguous
@@ -47,6 +52,9 @@ void ParallelForBlocks(size_t n, const ParallelOptions& options,
   }
   const size_t threads = EffectiveNumThreads(options.num_threads);
   const size_t grain = std::max<size_t>(options.grain, 1);
+  if (options.cancel.cancelled()) {
+    return;
+  }
   if (threads <= 1 || n <= grain) {
     fn(0, n);
     return;
@@ -61,10 +69,16 @@ void ParallelForBlocks(size_t n, const ParallelOptions& options,
 
   ThreadPool& pool = ThreadPool::Shared(threads);
   std::atomic<size_t> next_block{0};
-  TaskGroup group(&pool);
+  // Cancellation-aware group: runners not yet started are dropped at
+  // dequeue time, and started runners re-check the token before each
+  // block claim, so a cancelled loop drains within one block.
+  TaskGroup group(&pool, options.cancel);
   for (size_t r = 0; r < runners; ++r) {
-    group.Run([&next_block, &fn, n, blocks, block_size] {
+    group.Run([&next_block, &fn, &options, n, blocks, block_size] {
       for (;;) {
+        if (options.cancel.cancelled()) {
+          return;
+        }
         const size_t b = next_block.fetch_add(1, std::memory_order_relaxed);
         if (b >= blocks) {
           return;
@@ -118,6 +132,26 @@ StatusOr<std::vector<T>> ParallelMap(size_t n, const ParallelOptions& options,
     values.push_back(std::move(*slot));
   }
   return values;
+}
+
+/// Like ParallelMap, but keeps *every* per-index outcome instead of
+/// collapsing to the first error: slot i holds fn(i)'s StatusOr verbatim,
+/// so callers can implement skip-and-report policies (use the successful
+/// fits, surface the failed indices) without losing partial work. Indices
+/// skipped by a cancelled token (see ParallelOptions::cancel) come back as
+/// Status::Cancelled in their slots. Same determinism contract as
+/// ParallelMap: slot contents are bit-identical at any thread count.
+template <typename T, typename Fn>
+std::vector<StatusOr<T>> ParallelTryMap(size_t n,
+                                        const ParallelOptions& options,
+                                        const Fn& fn) {
+  std::vector<StatusOr<T>> slots;
+  slots.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    slots.emplace_back(Status::Cancelled("ParallelTryMap: index not run"));
+  }
+  ParallelFor(n, options, [&slots, &fn](size_t i) { slots[i] = fn(i); });
+  return slots;
 }
 
 }  // namespace dspot

@@ -169,6 +169,9 @@ TaskGroup::~TaskGroup() { WaitNoThrow(); }
 
 void TaskGroup::Run(std::function<void()> fn) {
   if (pool_ == nullptr) {
+    if (cancel_.cancelled()) {
+      return;  // pending work is dropped once the token fires
+    }
     std::exception_ptr error;
     try {
       fn();
@@ -187,10 +190,15 @@ void TaskGroup::Run(std::function<void()> fn) {
   }
   pool_->Submit([this, fn = std::move(fn)] {
     std::exception_ptr error;
-    try {
-      fn();
-    } catch (...) {
-      error = std::current_exception();
+    // Checked at dequeue time: tasks that were still queued when the
+    // token fired never start, so cancellation drains the backlog
+    // immediately instead of running it.
+    if (!cancel_.cancelled()) {
+      try {
+        fn();
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
     std::lock_guard<std::mutex> lk(mu_);
     if (error && !first_error_) first_error_ = error;

@@ -12,6 +12,8 @@
 #include <mutex>
 #include <thread>
 
+#include "guard/guard.h"
+
 namespace dspot {
 
 /// Number of worker threads implied by `num_threads == 0` (the hardware
@@ -118,6 +120,15 @@ class TaskGroup {
  public:
   explicit TaskGroup(ThreadPool* pool = nullptr) : pool_(pool) {}
 
+  /// Cancellation-aware group: once `cancel` fires, tasks that have not
+  /// yet *started* are dropped at dequeue time (they still count as
+  /// finished for Wait()), so a cancelled fan-out drains in the time it
+  /// takes the in-flight tasks to notice the token — not the time it
+  /// would take to run the whole backlog. In-flight tasks are expected to
+  /// poll the same token cooperatively.
+  TaskGroup(ThreadPool* pool, CancellationToken cancel)
+      : pool_(pool), cancel_(std::move(cancel)) {}
+
   /// Waits for stragglers, but swallows their exceptions — call Wait()
   /// explicitly on every success path.
   ~TaskGroup();
@@ -137,6 +148,7 @@ class TaskGroup {
   void WaitNoThrow();
 
   ThreadPool* pool_;
+  CancellationToken cancel_;  // inert unless the two-arg ctor was used
   std::mutex mu_;
   std::condition_variable cv_;
   size_t pending_ = 0;              // guarded by mu_

@@ -1,0 +1,26 @@
+#ifndef DSPOT_TENSOR_CSV_OPTIONS_H_
+#define DSPOT_TENSOR_CSV_OPTIONS_H_
+
+#include <cstddef>
+
+namespace dspot {
+
+/// Error policy shared by the CSV readers (tensor_io.h, event_log.h).
+///
+/// Strict mode (the default) fails the whole load on the first malformed
+/// row with Status::InvalidArgument carrying "<path>:<line>: column <c>"
+/// context, so a bad export is caught at the door instead of surfacing as
+/// a mysterious fit result. Lenient mode (`skip_bad_rows`) drops
+/// malformed rows, counts them, and loads the rest — for large organic
+/// logs where a handful of mangled lines should not discard the dataset.
+struct CsvReadOptions {
+  /// Skip malformed rows instead of failing the load.
+  bool skip_bad_rows = false;
+  /// When non-null, receives the number of rows skipped. Always written
+  /// (0 in strict mode or when nothing was skipped).
+  size_t* skipped_rows = nullptr;
+};
+
+}  // namespace dspot
+
+#endif  // DSPOT_TENSOR_CSV_OPTIONS_H_

@@ -77,8 +77,30 @@ StatusOr<ActivityTensor> AggregateEvents(
   return aggregator.Build();
 }
 
+namespace {
+
+/// True iff `end` points at nothing but trailing whitespace (a field like
+/// "12abc" is rejected, not coerced to 12).
+bool FullyConsumed(const char* end) {
+  while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+  return *end == '\0';
+}
+
+/// "<path>:<line>: column <column>: <what>"; columns are 1-based.
+Status RowError(const std::string& path, size_t line_no, size_t column,
+                const std::string& what) {
+  return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                 ": column " + std::to_string(column) + ": " +
+                                 what);
+}
+
+}  // namespace
+
 StatusOr<ActivityTensor> LoadAndAggregateEventsCsv(
-    const std::string& path, const AggregationConfig& config) {
+    const std::string& path, const AggregationConfig& config,
+    const CsvReadOptions& read_options) {
+  size_t skipped = 0;
+  if (read_options.skipped_rows) *read_options.skipped_rows = 0;
   std::ifstream is(path);
   if (!is) {
     return Status::IoError("cannot open for reading: " + path);
@@ -92,6 +114,9 @@ StatusOr<ActivityTensor> LoadAndAggregateEventsCsv(
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty()) continue;
+    // One shot per row: record the first defect, then either fail with it
+    // (strict) or skip the row and count it (lenient).
+    Status row_status = Status::Ok();
     std::istringstream fields(line);
     EventRecord record;
     std::string timestamp;
@@ -99,24 +124,40 @@ StatusOr<ActivityTensor> LoadAndAggregateEventsCsv(
     if (!std::getline(fields, record.keyword, ',') ||
         !std::getline(fields, record.location, ',') ||
         !std::getline(fields, timestamp, ',')) {
-      return Status::IoError("line " + std::to_string(line_no) +
-                             ": expected keyword,location,timestamp[,count]");
+      row_status = RowError(path, line_no, 1,
+                            "expected keyword,location,timestamp[,count]");
     }
-    char* end = nullptr;
-    record.timestamp = std::strtoll(timestamp.c_str(), &end, 10);
-    if (end == timestamp.c_str()) {
-      return Status::IoError("line " + std::to_string(line_no) +
-                             ": unparseable timestamp '" + timestamp + "'");
-    }
-    if (std::getline(fields, count, ',')) {
-      record.count = std::strtod(count.c_str(), &end);
-      if (end == count.c_str()) {
-        return Status::IoError("line " + std::to_string(line_no) +
-                               ": unparseable count '" + count + "'");
+    if (row_status.ok()) {
+      char* end = nullptr;
+      record.timestamp = std::strtoll(timestamp.c_str(), &end, 10);
+      if (end == timestamp.c_str() || !FullyConsumed(end)) {
+        row_status = RowError(path, line_no, 3,
+                              "unparseable timestamp '" + timestamp + "'");
+      } else if (std::getline(fields, count, ',')) {
+        record.count = std::strtod(count.c_str(), &end);
+        if (end == count.c_str() || !FullyConsumed(end)) {
+          row_status =
+              RowError(path, line_no, 4, "unparseable count '" + count + "'");
+        }
       }
     }
-    DSPOT_RETURN_IF_ERROR(aggregator.Add(record));
+    if (row_status.ok()) {
+      // The aggregator's own rejections (pre-origin timestamps, empty
+      // labels) are data defects too, and get the same row context.
+      Status add_status = aggregator.Add(record);
+      if (!add_status.ok()) {
+        row_status = RowError(path, line_no, 1, add_status.message());
+      }
+    }
+    if (!row_status.ok()) {
+      if (read_options.skip_bad_rows) {
+        ++skipped;
+        continue;
+      }
+      return row_status;
+    }
   }
+  if (read_options.skipped_rows) *read_options.skipped_rows = skipped;
   return aggregator.Build();
 }
 

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "tensor/activity_tensor.h"
+#include "tensor/csv_options.h"
 
 namespace dspot {
 
@@ -87,10 +88,15 @@ class EventAggregator {
 };
 
 /// Reads a raw event log from CSV ("keyword,location,timestamp[,count]"
-/// with header) and aggregates it.
+/// with header) and aggregates it. Malformed rows — missing fields,
+/// non-numeric timestamp/count, trailing garbage, or records the
+/// aggregator rejects (pre-origin timestamps, empty labels) — are
+/// InvalidArgument errors with "<path>:<line>: column <c>" context, or
+/// skipped and counted under `read_options.skip_bad_rows`.
 StatusOr<ActivityTensor> LoadAndAggregateEventsCsv(
     const std::string& path,
-    const AggregationConfig& config = AggregationConfig());
+    const AggregationConfig& config = AggregationConfig(),
+    const CsvReadOptions& read_options = CsvReadOptions());
 
 }  // namespace dspot
 

@@ -28,14 +28,22 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
   return out;
 }
 
+/// True iff `end` points at nothing but trailing whitespace: a field like
+/// "1.5abc" must be rejected, not silently coerced to 1.5.
+bool FullyConsumed(const char* end) {
+  while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+  return *end == '\0';
+}
+
 StatusOr<double> ParseValue(const std::string& field) {
   if (field.empty() || field == "NaN" || field == "nan") {
     return kMissingValue;
   }
   char* end = nullptr;
   const double v = std::strtod(field.c_str(), &end);
-  if (end == field.c_str()) {
-    return Status::IoError("unparseable numeric field: '" + field + "'");
+  if (end == field.c_str() || !FullyConsumed(end)) {
+    return Status::InvalidArgument("unparseable numeric field '" + field +
+                                   "'");
   }
   return v;
 }
@@ -43,10 +51,19 @@ StatusOr<double> ParseValue(const std::string& field) {
 StatusOr<size_t> ParseIndex(const std::string& field) {
   char* end = nullptr;
   const long long v = std::strtoll(field.c_str(), &end, 10);
-  if (end == field.c_str() || v < 0) {
-    return Status::IoError("unparseable index field: '" + field + "'");
+  if (end == field.c_str() || !FullyConsumed(end) || v < 0) {
+    return Status::InvalidArgument("unparseable index field '" + field + "'");
   }
   return static_cast<size_t>(v);
+}
+
+/// "<path>:<line>: column <column>: <what>" — enough context to fix the
+/// offending row with a text editor. Columns are 1-based.
+Status RowError(const std::string& path, size_t line_no, size_t column,
+                const std::string& what) {
+  return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                 ": column " + std::to_string(column) + ": " +
+                                 what);
 }
 
 }  // namespace
@@ -74,7 +91,10 @@ Status SaveTensorCsv(const ActivityTensor& tensor, const std::string& path) {
 }
 
 StatusOr<ActivityTensor> LoadTensorCsv(const std::string& path,
-                                       bool fill_absent_with_zero) {
+                                       bool fill_absent_with_zero,
+                                       const CsvReadOptions& read_options) {
+  size_t skipped = 0;
+  if (read_options.skipped_rows) *read_options.skipped_rows = 0;
   std::ifstream is(path);
   if (!is) {
     return Status::IoError("cannot open for reading: " + path);
@@ -102,11 +122,36 @@ StatusOr<ActivityTensor> LoadTensorCsv(const std::string& path,
     if (line.empty()) continue;
     const std::vector<std::string> fields = SplitCsvLine(line);
     if (fields.size() != 4) {
-      return Status::IoError("line " + std::to_string(line_no) +
-                             ": expected 4 fields, got " +
-                             std::to_string(fields.size()));
+      if (read_options.skip_bad_rows) {
+        ++skipped;
+        continue;
+      }
+      return RowError(path, line_no, fields.size() < 4 ? fields.size() + 1 : 5,
+                      "expected 4 fields, got " +
+                          std::to_string(fields.size()));
     }
+    // Parse the numeric fields *before* interning labels, so a malformed
+    // (skipped) row cannot leak a phantom keyword or location into the
+    // tensor's label sets.
     Record rec;
+    StatusOr<size_t> tick_or = ParseIndex(fields[2]);
+    if (!tick_or.ok()) {
+      if (read_options.skip_bad_rows) {
+        ++skipped;
+        continue;
+      }
+      return RowError(path, line_no, 3, tick_or.status().message());
+    }
+    rec.tick = tick_or.value();
+    StatusOr<double> value_or = ParseValue(fields[3]);
+    if (!value_or.ok()) {
+      if (read_options.skip_bad_rows) {
+        ++skipped;
+        continue;
+      }
+      return RowError(path, line_no, 4, value_or.status().message());
+    }
+    rec.value = value_or.value();
     auto [kit, kinserted] =
         keyword_index.emplace(fields[0], keywords.size());
     if (kinserted) keywords.push_back(fields[0]);
@@ -115,11 +160,10 @@ StatusOr<ActivityTensor> LoadTensorCsv(const std::string& path,
         location_index.emplace(fields[1], locations.size());
     if (linserted) locations.push_back(fields[1]);
     rec.location = lit->second;
-    DSPOT_ASSIGN_OR_RETURN(rec.tick, ParseIndex(fields[2]));
-    DSPOT_ASSIGN_OR_RETURN(rec.value, ParseValue(fields[3]));
     max_tick = std::max(max_tick, rec.tick);
     records.push_back(rec);
   }
+  if (read_options.skipped_rows) *read_options.skipped_rows = skipped;
   if (records.empty()) {
     return Status::IoError("no data rows in " + path);
   }
@@ -166,7 +210,10 @@ Status SaveSeriesCsv(const Series& series, const std::string& path) {
   return Status::Ok();
 }
 
-StatusOr<Series> LoadSeriesCsv(const std::string& path) {
+StatusOr<Series> LoadSeriesCsv(const std::string& path,
+                               const CsvReadOptions& read_options) {
+  size_t skipped = 0;
+  if (read_options.skipped_rows) *read_options.skipped_rows = 0;
   std::ifstream is(path);
   if (!is) {
     return Status::IoError("cannot open for reading: " + path);
@@ -183,14 +230,34 @@ StatusOr<Series> LoadSeriesCsv(const std::string& path) {
     if (line.empty()) continue;
     const std::vector<std::string> fields = SplitCsvLine(line);
     if (fields.size() != 2) {
-      return Status::IoError("line " + std::to_string(line_no) +
-                             ": expected 2 fields");
+      if (read_options.skip_bad_rows) {
+        ++skipped;
+        continue;
+      }
+      return RowError(path, line_no, fields.size() < 2 ? fields.size() + 1 : 3,
+                      "expected 2 fields, got " +
+                          std::to_string(fields.size()));
     }
-    DSPOT_ASSIGN_OR_RETURN(size_t tick, ParseIndex(fields[0]));
-    DSPOT_ASSIGN_OR_RETURN(double value, ParseValue(fields[1]));
-    max_tick = std::max(max_tick, tick);
-    rows.emplace_back(tick, value);
+    StatusOr<size_t> tick_or = ParseIndex(fields[0]);
+    if (!tick_or.ok()) {
+      if (read_options.skip_bad_rows) {
+        ++skipped;
+        continue;
+      }
+      return RowError(path, line_no, 1, tick_or.status().message());
+    }
+    StatusOr<double> value_or = ParseValue(fields[1]);
+    if (!value_or.ok()) {
+      if (read_options.skip_bad_rows) {
+        ++skipped;
+        continue;
+      }
+      return RowError(path, line_no, 2, value_or.status().message());
+    }
+    max_tick = std::max(max_tick, tick_or.value());
+    rows.emplace_back(tick_or.value(), value_or.value());
   }
+  if (read_options.skipped_rows) *read_options.skipped_rows = skipped;
   if (rows.empty()) {
     return Status::IoError("no data rows in " + path);
   }

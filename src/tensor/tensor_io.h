@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "tensor/activity_tensor.h"
+#include "tensor/csv_options.h"
 #include "timeseries/series.h"
 
 namespace dspot {
@@ -29,14 +30,24 @@ Status SaveTensorCsv(const ActivityTensor& tensor, const std::string& path);
 /// file: keywords/locations in first-appearance order, ticks 0..max.
 /// If `fill_absent_with_zero` is true, cells not present in the file are 0;
 /// otherwise they are missing (NaN).
-StatusOr<ActivityTensor> LoadTensorCsv(const std::string& path,
-                                       bool fill_absent_with_zero = true);
+///
+/// Malformed rows (wrong field count, non-numeric tick/value, trailing
+/// garbage after a number) are InvalidArgument errors with
+/// "<path>:<line>: column <c>" context, or skipped and counted under
+/// `read_options.skip_bad_rows`. Unreadable/empty files stay IoError.
+StatusOr<ActivityTensor> LoadTensorCsv(
+    const std::string& path, bool fill_absent_with_zero = true,
+    const CsvReadOptions& read_options = CsvReadOptions());
 
 /// Writes a single series, one "tick,value" row per line (header included).
 Status SaveSeriesCsv(const Series& series, const std::string& path);
 
-/// Loads a single series saved by `SaveSeriesCsv`.
-StatusOr<Series> LoadSeriesCsv(const std::string& path);
+/// Loads a single series saved by `SaveSeriesCsv`. Same error contract as
+/// LoadTensorCsv: malformed rows are InvalidArgument with file/line/column
+/// context, or skipped under `read_options.skip_bad_rows`.
+StatusOr<Series> LoadSeriesCsv(
+    const std::string& path,
+    const CsvReadOptions& read_options = CsvReadOptions());
 
 }  // namespace dspot
 

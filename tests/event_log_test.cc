@@ -100,8 +100,32 @@ TEST(EventLog, CsvRejectsGarbage) {
     os << "keyword,location,timestamp\n";
     os << "ebola,US,notanumber\n";
   }
-  EXPECT_EQ(LoadAndAggregateEventsCsv(path).status().code(),
-            StatusCode::kIoError);
+  const Status status = LoadAndAggregateEventsCsv(path).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find(path + ":2"), std::string::npos)
+      << status.message();
+}
+
+TEST(EventLog, CsvSkipBadRowsAggregatesTheRest) {
+  const std::string path = ::testing::TempDir() + "/events_lenient.csv";
+  {
+    std::ofstream os(path);
+    os << "keyword,location,timestamp\n";
+    os << "ebola,US,0\n";
+    os << "ebola,US,12abc\n";  // trailing garbage
+    os << "ebola,US\n";        // missing timestamp
+    os << "ebola,US,1\n";
+  }
+  CsvReadOptions read_options;
+  read_options.skip_bad_rows = true;
+  size_t skipped = 0;
+  read_options.skipped_rows = &skipped;
+  auto tensor =
+      LoadAndAggregateEventsCsv(path, AggregationConfig(), read_options);
+  ASSERT_TRUE(tensor.ok()) << tensor.status().ToString();
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_DOUBLE_EQ(tensor->at(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(tensor->at(0, 0, 1), 1.0);
 }
 
 TEST(Normalization, SeriesRoundTrip) {

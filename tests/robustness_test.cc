@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 
 #include "baselines/ar.h"
@@ -14,6 +15,8 @@
 #include "datagen/catalog.h"
 #include "datagen/generator.h"
 #include "epidemics/sir_family.h"
+#include "guard/fault_injector.h"
+#include "guard/guard.h"
 #include "timeseries/metrics.h"
 
 namespace dspot {
@@ -169,6 +172,181 @@ TEST(Robustness, FitDspotSingleOnShortButValidSeries) {
   ASSERT_TRUE(data.ok());
   auto fit = FitDspotSingle(*data);
   ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Guards and fault injection across the full pipeline
+
+/// A 2-keyword, 3-location tensor small enough that the fault-injection
+/// matrix below stays cheap.
+ActivityTensor SmallTensor() {
+  GeneratorConfig config = GoogleTrendsConfig(7);
+  config.n_ticks = 104;
+  config.num_locations = 3;
+  config.num_outlier_locations = 0;
+  auto generated = GenerateTensor({GrammyScenario(), EbolaScenario()}, config);
+  EXPECT_TRUE(generated.ok()) << generated.status().ToString();
+  return generated->tensor;
+}
+
+/// Bit-identical model comparison (not merely "close"): the pipeline
+/// promises the same floating-point sequence at any thread count and under
+/// an armed-but-silent fault injector.
+void ExpectSameModel(const DspotResult& a, const DspotResult& b) {
+  ASSERT_EQ(a.params.global.size(), b.params.global.size());
+  for (size_t i = 0; i < a.params.global.size(); ++i) {
+    const KeywordGlobalParams& ga = a.params.global[i];
+    const KeywordGlobalParams& gb = b.params.global[i];
+    EXPECT_EQ(ga.population, gb.population) << "keyword " << i;
+    EXPECT_EQ(ga.beta, gb.beta) << "keyword " << i;
+    EXPECT_EQ(ga.delta, gb.delta) << "keyword " << i;
+    EXPECT_EQ(ga.gamma, gb.gamma) << "keyword " << i;
+    EXPECT_EQ(ga.i0, gb.i0) << "keyword " << i;
+    EXPECT_EQ(ga.growth_rate, gb.growth_rate) << "keyword " << i;
+    EXPECT_EQ(ga.growth_start, gb.growth_start) << "keyword " << i;
+  }
+  ASSERT_EQ(a.params.shocks.size(), b.params.shocks.size());
+  for (size_t i = 0; i < a.params.shocks.size(); ++i) {
+    EXPECT_EQ(a.params.shocks[i].ToString(), b.params.shocks[i].ToString());
+  }
+  EXPECT_EQ(a.params.base_local.data(), b.params.base_local.data());
+  EXPECT_EQ(a.params.growth_local.data(), b.params.growth_local.data());
+  EXPECT_EQ(a.global_rmse, b.global_rmse);
+  EXPECT_EQ(a.total_cost_bits, b.total_cost_bits);
+}
+
+TEST(Robustness, GuardsInactiveFitDspotBitIdenticalAcrossThreads) {
+  const ActivityTensor tensor = SmallTensor();
+  DspotOptions serial;
+  serial.num_threads = 1;
+  DspotOptions wide;
+  wide.num_threads = 8;
+  auto a = FitDspot(tensor, serial);
+  auto b = FitDspot(tensor, wide);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_TRUE(a->AllKeywordsOk());
+  EXPECT_FALSE(a->health.interrupted());
+  ExpectSameModel(*a, *b);
+}
+
+TEST(Robustness, ArmedButSilentInjectorIsBitIdentical) {
+  const ActivityTensor tensor = SmallTensor();
+  DspotOptions options;
+  options.num_threads = 1;
+  auto baseline = FitDspot(tensor, options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  // rate 0: every guard/fault probe runs (the armed gate is open) but no
+  // fault ever fires — the extra checks must not perturb the numerics.
+  FaultInjector::Instance().Arm(/*seed=*/11, /*rate=*/0.0);
+  auto probed = FitDspot(tensor, options);
+  FaultInjector::Instance().Disarm();
+  ASSERT_TRUE(probed.ok()) << probed.status().ToString();
+  ExpectSameModel(*baseline, *probed);
+}
+
+TEST(Robustness, TimeBudgetReturnsPartialFitAsOk) {
+  // Big enough that a full serial fit takes far longer than the budget.
+  GeneratorConfig config = GoogleTrendsConfig(2);
+  config.n_ticks = 260;
+  config.num_locations = 4;
+  auto generated = GenerateTensor(TrendingKeywordSuite(), config);
+  ASSERT_TRUE(generated.ok());
+  DspotOptions options;
+  options.num_threads = 1;
+  options.time_budget_ms = 50.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto fit = FitDspot(generated->tensor, options);
+  const double elapsed = ElapsedMs(t0);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_EQ(fit->health.termination, FitTermination::kDeadlineExceeded);
+  EXPECT_TRUE(fit->health.interrupted());
+  // Checks sit at solver-iteration granularity, so allow generous
+  // scheduler/sanitizer slack over the nominal 2x budget.
+  EXPECT_LT(elapsed, 1000.0);
+  // The partial model is structurally complete and usable.
+  EXPECT_EQ(fit->params.global.size(), generated->tensor.num_keywords());
+  for (const Series& estimate : fit->global_estimates) {
+    for (size_t t = 0; t < estimate.size(); ++t) {
+      EXPECT_TRUE(std::isfinite(estimate[t]));
+    }
+  }
+}
+
+TEST(Robustness, PreCancelledTokenAbortsFitDspot) {
+  const ActivityTensor tensor = SmallTensor();
+  DspotOptions options;
+  options.cancel = CancellationToken::Cancellable();
+  options.cancel.Cancel();
+  auto fit = FitDspot(tensor, options);
+  ASSERT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kCancelled);
+}
+
+TEST(Robustness, SkipAndReportKeepsGoodKeywords) {
+  // Keyword 0 is healthy; keyword 1 has too few observations to fit.
+  ActivityTensor tensor(2, 1, 96);
+  for (size_t t = 0; t < 96; ++t) {
+    tensor.at(0, 0, t) = 20.0 + 5.0 * std::sin(static_cast<double>(t) / 9.0);
+    tensor.at(1, 0, t) = kMissingValue;
+  }
+  for (size_t t = 0; t < 10; ++t) tensor.at(1, 0, t * 9) = 5.0;
+
+  DspotOptions fail_options;  // default policy: one bad keyword sinks all
+  EXPECT_FALSE(FitDspot(tensor, fail_options).ok());
+
+  DspotOptions skip_options;
+  skip_options.on_keyword_error = KeywordErrorPolicy::kSkipAndReport;
+  auto fit = FitDspot(tensor, skip_options);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_FALSE(fit->AllKeywordsOk());
+  ASSERT_EQ(fit->keyword_status.size(), 2u);
+  EXPECT_TRUE(fit->keyword_status[0].ok());
+  EXPECT_EQ(fit->keyword_status[1].code(), StatusCode::kInvalidArgument);
+  // The healthy keyword's fit is real, not a placeholder.
+  ASSERT_EQ(fit->global_estimates.size(), 2u);
+  EXPECT_LT(fit->global_rmse[0], 10.0);
+  for (size_t t = 0; t < fit->global_estimates[0].size(); ++t) {
+    EXPECT_TRUE(std::isfinite(fit->global_estimates[0][t]));
+  }
+}
+
+TEST(Robustness, FaultInjectionMatrixFailsCleanly) {
+  const ActivityTensor tensor = SmallTensor();
+  const FaultSite sites[] = {FaultSite::kNanAtResidual,
+                             FaultSite::kSolverFailure,
+                             FaultSite::kAllocation,
+                             FaultSite::kDeadlineExpiry};
+  for (FaultSite site : sites) {
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      SCOPED_TRACE(std::string(FaultSiteName(site)) + " x " +
+                   std::to_string(threads) + " threads");
+      // The CI sweep varies DSPOT_FAULT_SEED to shift which draws fire;
+      // locally the fallback keeps the run reproducible.
+      FaultInjector::Instance().ArmSite(
+          site,
+          FaultInjector::SeedFromEnv(0xD590 + static_cast<uint64_t>(site)),
+          /*rate=*/0.02);
+      DspotOptions options;
+      options.num_threads = threads;
+      options.on_keyword_error = KeywordErrorPolicy::kSkipAndReport;
+      auto fit = FitDspot(tensor, options);
+      FaultInjector::Instance().Disarm();
+      if (fit.ok()) {
+        // A fit that survives injection must be fully finite.
+        for (const Series& estimate : fit->global_estimates) {
+          for (size_t t = 0; t < estimate.size(); ++t) {
+            ASSERT_TRUE(std::isfinite(estimate[t]));
+          }
+        }
+        EXPECT_TRUE(std::isfinite(fit->total_cost_bits));
+      } else {
+        // Failing is acceptable — but only with a clean, descriptive
+        // Status, never a crash, hang, or poisoned output.
+        EXPECT_FALSE(fit.status().message().empty());
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -136,7 +136,11 @@ TEST(TensorIo, LoadRejectsMalformedRow) {
   os << "keyword,location,tick,value\n";
   os << "a,US,0\n";  // 3 fields
   os.close();
-  EXPECT_EQ(LoadTensorCsv(path).status().code(), StatusCode::kIoError);
+  const Status status = LoadTensorCsv(path).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The message pinpoints the defect: file, line, and column.
+  EXPECT_NE(status.message().find(path + ":2"), std::string::npos)
+      << status.message();
 }
 
 TEST(TensorIo, LoadRejectsBadNumber) {
@@ -145,7 +149,43 @@ TEST(TensorIo, LoadRejectsBadNumber) {
   os << "keyword,location,tick,value\n";
   os << "a,US,zero,1.0\n";
   os.close();
-  EXPECT_EQ(LoadTensorCsv(path).status().code(), StatusCode::kIoError);
+  const Status status = LoadTensorCsv(path).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("column 3"), std::string::npos)
+      << status.message();
+}
+
+TEST(TensorIo, LoadRejectsTrailingGarbageAfterNumber) {
+  const std::string path = TempPath("tensor_trailing.csv");
+  std::ofstream os(path);
+  os << "keyword,location,tick,value\n";
+  os << "a,US,0,1.5abc\n";  // must not be coerced to 1.5
+  os.close();
+  EXPECT_EQ(LoadTensorCsv(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TensorIo, SkipBadRowsLoadsTheRestAndCounts) {
+  const std::string path = TempPath("tensor_lenient.csv");
+  std::ofstream os(path);
+  os << "keyword,location,tick,value\n";
+  os << "a,US,0,1.0\n";
+  os << "phantom,US,zero,2.0\n";  // bad tick; must not intern "phantom"
+  os << "a,US,1\n";               // wrong field count
+  os << "a,US,2,3.0\n";
+  os.close();
+  CsvReadOptions read_options;
+  read_options.skip_bad_rows = true;
+  size_t skipped = 0;
+  read_options.skipped_rows = &skipped;
+  auto loaded = LoadTensorCsv(path, /*fill_absent_with_zero=*/true,
+                              read_options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_EQ(loaded->num_keywords(), 1u);  // "phantom" never leaked in
+  EXPECT_EQ(loaded->num_ticks(), 3u);
+  EXPECT_DOUBLE_EQ(loaded->at(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(loaded->at(0, 0, 2), 3.0);
 }
 
 TEST(TensorIo, LoadRejectsEmptyFile) {
@@ -171,7 +211,25 @@ TEST(TensorIo, SeriesLoadRejectsGarbage) {
   std::ofstream os(path);
   os << "tick,value\n0,1.0,extra\n";
   os.close();
-  EXPECT_EQ(LoadSeriesCsv(path).status().code(), StatusCode::kIoError);
+  EXPECT_EQ(LoadSeriesCsv(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TensorIo, SeriesSkipBadRowsLoadsTheRest) {
+  const std::string path = TempPath("series_lenient.csv");
+  std::ofstream os(path);
+  os << "tick,value\n0,1.0\nbroken\n2,3.0\n";
+  os.close();
+  CsvReadOptions read_options;
+  read_options.skip_bad_rows = true;
+  size_t skipped = 0;
+  read_options.skipped_rows = &skipped;
+  auto loaded = LoadSeriesCsv(path, read_options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(skipped, 1u);
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_DOUBLE_EQ((*loaded)[0], 1.0);
+  EXPECT_DOUBLE_EQ((*loaded)[2], 3.0);
 }
 
 }  // namespace

@@ -9,11 +9,18 @@
 //             [--forecast H]              SaveSeriesCsv / "tick,value")
 //             [--forecast-output F]
 //             [--threads T]               0 = hardware concurrency
+//             [--time-budget-ms MS]       deadline; partial fit on expiry
+//             [--skip-bad-rows]           tolerate malformed CSV rows
 //   fit-tensor --input F                  fit a full tensor (long-form CSV)
 //             [--outliers-for KEYWORD]
 //             [--threads T]
+//             [--time-budget-ms MS]       deadline; partial fit on expiry
+//             [--skip-bad-keywords]       fit what fits, report the rest
+//             [--skip-bad-rows]           tolerate malformed CSV rows
 //
-// Exit code 0 on success, 1 on any error (message on stderr).
+// Exit code 0 on success, 1 on any error (message on stderr). A fit cut
+// short by --time-budget-ms still exits 0: the partial model is usable
+// and the health line says "DeadlineExceeded".
 
 #include <cstdio>
 #include <cstdlib>
@@ -151,22 +158,43 @@ int CmdGenerate(const Flags& flags) {
   return 0;
 }
 
+/// Prints the pipeline FitHealth (and, when interrupted, a reminder that
+/// the model is partial) after a fit.
+void PrintHealth(const FitHealth& health) {
+  std::printf("fit health: %s\n", health.ToString().c_str());
+  if (health.interrupted()) {
+    std::printf("note: the time budget ran out; this is the best partial "
+                "model found in time\n");
+  }
+}
+
 int CmdFit(const Flags& flags) {
   const std::string input = flags.GetString("--series");
   if (input.empty()) {
     std::fprintf(stderr,
                  "usage: dspot_cli fit --series FILE [--forecast H] "
-                 "[--forecast-output FILE] [--threads T]\n");
+                 "[--forecast-output FILE] [--threads T] "
+                 "[--time-budget-ms MS] [--skip-bad-rows]\n");
     return 1;
   }
-  auto series = LoadSeriesCsv(input);
+  CsvReadOptions read_options;
+  read_options.skip_bad_rows = flags.Has("--skip-bad-rows");
+  size_t skipped_rows = 0;
+  read_options.skipped_rows = &skipped_rows;
+  auto series = LoadSeriesCsv(input, read_options);
   if (!series.ok()) {
     std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
     return 1;
   }
+  if (skipped_rows > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed row(s) in %s\n",
+                 skipped_rows, input.c_str());
+  }
   DspotOptions options;
   // 0 = hardware concurrency; the fit is bit-identical at any setting.
   options.num_threads = static_cast<size_t>(flags.GetInt("--threads", 0));
+  options.time_budget_ms =
+      static_cast<double>(flags.GetInt("--time-budget-ms", 0));
   auto fit = FitDspotSingle(*series, options);
   if (!fit.ok()) {
     std::fprintf(stderr, "%s\n", fit.status().ToString().c_str());
@@ -175,6 +203,7 @@ int CmdFit(const Flags& flags) {
   std::printf("%s", RenderReport(fit->params).c_str());
   std::printf("\nfit RMSE %.3f over %zu ticks; MDL total %.0f bits\n",
               fit->global_rmse[0], series->size(), fit->total_cost_bits);
+  PrintHealth(fit->health);
 
   const long horizon = flags.GetInt("--forecast", 0);
   if (horizon > 0) {
@@ -206,17 +235,33 @@ int CmdFitTensor(const Flags& flags) {
   if (input.empty()) {
     std::fprintf(stderr,
                  "usage: dspot_cli fit-tensor --input FILE "
-                 "[--outliers-for KEYWORD] [--threads T]\n");
+                 "[--outliers-for KEYWORD] [--threads T] "
+                 "[--time-budget-ms MS] [--skip-bad-keywords] "
+                 "[--skip-bad-rows]\n");
     return 1;
   }
-  auto tensor = LoadTensorCsv(input);
+  CsvReadOptions read_options;
+  read_options.skip_bad_rows = flags.Has("--skip-bad-rows");
+  size_t skipped_rows = 0;
+  read_options.skipped_rows = &skipped_rows;
+  auto tensor =
+      LoadTensorCsv(input, /*fill_absent_with_zero=*/true, read_options);
   if (!tensor.ok()) {
     std::fprintf(stderr, "%s\n", tensor.status().ToString().c_str());
     return 1;
   }
+  if (skipped_rows > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed row(s) in %s\n",
+                 skipped_rows, input.c_str());
+  }
   DspotOptions options;
   // 0 = hardware concurrency; the fit is bit-identical at any setting.
   options.num_threads = static_cast<size_t>(flags.GetInt("--threads", 0));
+  options.time_budget_ms =
+      static_cast<double>(flags.GetInt("--time-budget-ms", 0));
+  if (flags.Has("--skip-bad-keywords")) {
+    options.on_keyword_error = KeywordErrorPolicy::kSkipAndReport;
+  }
   auto result = FitDspot(*tensor, options);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -225,9 +270,17 @@ int CmdFitTensor(const Flags& flags) {
   std::printf("%s", RenderReport(result->params, tensor->keywords()).c_str());
   std::printf("\nper-keyword fit RMSE:\n");
   for (size_t i = 0; i < tensor->num_keywords(); ++i) {
-    std::printf("  %-20s %.3f\n", tensor->keywords()[i].c_str(),
-                result->global_rmse[i]);
+    const bool failed = i < result->keyword_status.size() &&
+                        !result->keyword_status[i].ok();
+    if (failed) {
+      std::printf("  %-20s SKIPPED (%s)\n", tensor->keywords()[i].c_str(),
+                  result->keyword_status[i].ToString().c_str());
+    } else {
+      std::printf("  %-20s %.3f\n", tensor->keywords()[i].c_str(),
+                  result->global_rmse[i]);
+    }
   }
+  PrintHealth(result->health);
 
   const std::string outlier_kw = flags.GetString("--outliers-for");
   if (!outlier_kw.empty()) {
@@ -258,16 +311,24 @@ int CmdAggregate(const Flags& flags) {
   if (input.empty() || output.empty()) {
     std::fprintf(stderr,
                  "usage: dspot_cli aggregate --events FILE --output FILE "
-                 "[--resolution N] [--origin T]\n");
+                 "[--resolution N] [--origin T] [--skip-bad-rows]\n");
     return 1;
   }
   AggregationConfig config;
   config.ticks_resolution = flags.GetInt("--resolution", 1);
   config.origin = flags.GetInt("--origin", 0);
-  auto tensor = LoadAndAggregateEventsCsv(input, config);
+  CsvReadOptions read_options;
+  read_options.skip_bad_rows = flags.Has("--skip-bad-rows");
+  size_t skipped_rows = 0;
+  read_options.skipped_rows = &skipped_rows;
+  auto tensor = LoadAndAggregateEventsCsv(input, config, read_options);
   if (!tensor.ok()) {
     std::fprintf(stderr, "%s\n", tensor.status().ToString().c_str());
     return 1;
+  }
+  if (skipped_rows > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed row(s) in %s\n",
+                 skipped_rows, input.c_str());
   }
   if (Status s = SaveTensorCsv(*tensor, output); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
