@@ -13,9 +13,27 @@
 #include "core/dspot.h"
 #include "datagen/catalog.h"
 #include "datagen/generator.h"
+#include "obs/metrics.h"
 
 namespace dspot {
 namespace {
+
+/// When the process runs with DSPOT_OBS set, each sweep is followed by a
+/// per-stage wall-clock attribution built from the span histograms, so
+/// the scaling curves can be decomposed (is the extra time in the base
+/// LM fits, the shock search, or LOCALFIT?). Without DSPOT_OBS this is a
+/// no-op and the sweeps measure the unobserved fit.
+void PrintStageAttribution() {
+  if (!ObsEnabled()) return;
+  const ObsSnapshot snap = ObsRegistry::Instance().Snapshot();
+  std::printf("    %-28s %10s %12s\n", "stage", "spans", "total ms");
+  for (const MetricSnapshot& m : snap.metrics) {
+    if (m.kind != MetricKind::kHistogram || m.count == 0) continue;
+    std::printf("    %-28s %10llu %12.1f\n", m.name.c_str(),
+                static_cast<unsigned long long>(m.count), m.sum);
+  }
+  ObsRegistry::Instance().Reset();
+}
 
 double FitSeconds(size_t d, size_t l, size_t n, uint64_t seed,
                   size_t num_threads = 1) {
@@ -73,6 +91,7 @@ void Sweep(const char* label, const std::vector<std::array<size_t, 3>>& dims) {
     std::sort(secs.begin(), secs.end());
     std::printf("%8zu %8zu %8zu %12.3f\n", d, l, n, secs[1]);
   }
+  PrintStageAttribution();
 }
 
 // Thread sweep on a fixed tensor: the fit is bit-identical at any thread
@@ -94,6 +113,7 @@ void ThreadSweep(size_t d, size_t l, size_t n) {
     std::printf("%8zu %12.3f %9.2fx\n", threads, secs[1],
                 serial_secs / secs[1]);
   }
+  PrintStageAttribution();
 }
 
 }  // namespace

@@ -9,9 +9,11 @@
 #include "core/simulate.h"
 #include "datagen/catalog.h"
 #include "datagen/generator.h"
+#include "guard/fault_injector.h"
 #include "linalg/matrix.h"
 #include "linalg/solvers.h"
 #include "mdl/mdl.h"
+#include "obs/metrics.h"
 #include "optimize/levenberg_marquardt.h"
 #include "optimize/line_search.h"
 #include "timeseries/peaks.h"
@@ -299,6 +301,60 @@ void BM_GoldenSection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GoldenSection);
+
+// --- dspot_obs probe cost ---------------------------------------------
+//
+// The observability contract is "disarmed probes are free": one relaxed
+// atomic load, the same budget the FaultInjector probe pays. These four
+// benchmarks pin that claim — the disarmed counter and span should match
+// BM_FaultInjectorProbeDisarmed within noise, and the armed variants show
+// what turning DSPOT_OBS=1 actually costs per probe.
+
+void BM_FaultInjectorProbeDisarmed(benchmark::State& state) {
+  FaultInjector::Instance().Disarm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FaultInjector::Instance().armed());
+  }
+}
+BENCHMARK(BM_FaultInjectorProbeDisarmed);
+
+void BM_ObsCounterDisarmed(benchmark::State& state) {
+  ObsRegistry::Instance().Disable();
+  for (auto _ : state) {
+    DSPOT_COUNT("bench.disarmed.counter", 1);
+  }
+}
+BENCHMARK(BM_ObsCounterDisarmed);
+
+void BM_ObsSpanDisarmed(benchmark::State& state) {
+  ObsRegistry::Instance().Disable();
+  for (auto _ : state) {
+    DSPOT_SPAN("bench.disarmed.span");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ObsSpanDisarmed);
+
+void BM_ObsCounterArmed(benchmark::State& state) {
+  ObsRegistry::Instance().Enable(ObsOptions{});
+  for (auto _ : state) {
+    DSPOT_COUNT("bench.armed.counter", 1);
+  }
+  ObsRegistry::Instance().Disable();
+  ObsRegistry::Instance().Reset();
+}
+BENCHMARK(BM_ObsCounterArmed);
+
+void BM_ObsSpanArmed(benchmark::State& state) {
+  ObsRegistry::Instance().Enable(ObsOptions{});  // metrics only, no trace
+  for (auto _ : state) {
+    DSPOT_SPAN("bench.armed.span");
+    benchmark::ClobberMemory();
+  }
+  ObsRegistry::Instance().Disable();
+  ObsRegistry::Instance().Reset();
+}
+BENCHMARK(BM_ObsSpanArmed);
 
 }  // namespace
 }  // namespace dspot

@@ -1,0 +1,63 @@
+#include "common/parse_util.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace dspot {
+
+namespace {
+
+std::string Quoted(std::string_view text) {
+  return "'" + std::string(text) + "'";
+}
+
+}  // namespace
+
+StatusOr<int64_t> ParseInt64Text(std::string_view text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("expected an integer, got empty text");
+  }
+  // from_chars accepts a leading '-' but not '+'; tolerate the explicit
+  // plus sign since "+5" is unambiguous.
+  std::string_view body = text;
+  if (body.front() == '+') {
+    body.remove_prefix(1);
+    if (body.empty() || body.front() == '-') {
+      return Status::InvalidArgument("not an integer: " + Quoted(text));
+    }
+  }
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument("integer out of range: " + Quoted(text));
+  }
+  if (ec != std::errc() || ptr != body.data() + body.size()) {
+    return Status::InvalidArgument("not an integer: " + Quoted(text));
+  }
+  return value;
+}
+
+StatusOr<double> ParseDoubleText(std::string_view text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("expected a number, got empty text");
+  }
+  // strtod instead of from_chars<double>: full-consumption checking works
+  // the same way and avoids relying on library support for the
+  // floating-point overloads. The copy guarantees NUL termination.
+  const std::string buffer(text);
+  const char* begin = buffer.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end != begin + buffer.size() || end == begin) {
+    return Status::InvalidArgument("not a number: " + Quoted(text));
+  }
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("number out of range: " + Quoted(text));
+  }
+  return value;
+}
+
+}  // namespace dspot

@@ -1,0 +1,28 @@
+// Strict text-to-number parsing for user-facing inputs (CLI flags,
+// config fields). Unlike atol/atof these reject empty strings, trailing
+// garbage ("12x", "3.5" as an int) and out-of-range magnitudes instead of
+// silently returning 0 or a truncated value.
+#ifndef DSPOT_COMMON_PARSE_UTIL_H_
+#define DSPOT_COMMON_PARSE_UTIL_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/statusor.h"
+
+namespace dspot {
+
+/// Parses the ENTIRE text as a base-10 signed integer (optional leading
+/// '-'/'+', no whitespace). Returns InvalidArgument on empty input, any
+/// non-digit remainder, or overflow of int64.
+StatusOr<int64_t> ParseInt64Text(std::string_view text);
+
+/// Parses the ENTIRE text as a floating-point literal (decimal or
+/// scientific notation). Returns InvalidArgument on empty input, trailing
+/// garbage, or a non-finite result ("inf"/"nan" are rejected: no flag in
+/// this codebase means anything sensible at infinity).
+StatusOr<double> ParseDoubleText(std::string_view text);
+
+}  // namespace dspot
+
+#endif  // DSPOT_COMMON_PARSE_UTIL_H_

@@ -5,6 +5,7 @@
 
 #include "core/cost.h"
 #include "core/simulate.h"
+#include "obs/metrics.h"
 #include "parallel/parallel_for.h"
 #include "timeseries/metrics.h"
 
@@ -33,6 +34,8 @@ bool DspotResult::AllKeywordsOk() const {
 
 StatusOr<DspotResult> FitDspot(const ActivityTensor& tensor,
                                const DspotOptions& options) {
+  DSPOT_SPAN("fit_dspot");
+  DSPOT_COUNT("fit_dspot.calls", 1);
   // num_threads is the pipeline-wide knob: it overrides whatever the
   // sub-option structs carry so callers configure one field, not three.
   // The guard works the same way: one deadline/token pair, built here,
@@ -53,17 +56,22 @@ StatusOr<DspotResult> FitDspot(const ActivityTensor& tensor,
   local_options.guard = guard;
 
   DspotResult result;
-  FitHealth global_health;
-  DSPOT_ASSIGN_OR_RETURN(
-      result.params, GlobalFit(tensor, global_options, &result.keyword_status,
-                               &global_health));
-  result.health.Merge(global_health);
+  {
+    DSPOT_SPAN("fit_dspot.global_fit");
+    FitHealth global_health;
+    DSPOT_ASSIGN_OR_RETURN(
+        result.params, GlobalFit(tensor, global_options,
+                                 &result.keyword_status, &global_health));
+    result.health.Merge(global_health);
+  }
   if (options.fit_local && tensor.num_locations() > 1) {
+    DSPOT_SPAN("fit_dspot.local_fit");
     FitHealth local_health;
     DSPOT_RETURN_IF_ERROR(
         LocalFit(tensor, &result.params, local_options, &local_health));
     result.health.Merge(local_health);
   }
+  DSPOT_SPAN("fit_dspot.estimate");
   const size_t d = tensor.num_keywords();
   result.global_estimates.resize(d);
   result.global_rmse.resize(d);
@@ -83,6 +91,7 @@ StatusOr<DspotResult> FitDspot(const ActivityTensor& tensor,
   CostWorkspace cost_workspace;
   result.total_cost_bits = TotalCostBits(tensor, result.params,
                                          &cost_workspace);
+  DSPOT_GAUGE_SET("fit_dspot.total_cost_bits", result.total_cost_bits);
   return result;
 }
 

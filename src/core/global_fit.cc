@@ -10,6 +10,7 @@
 #include "core/cost.h"
 #include "core/simulate.h"
 #include "guard/fault_injector.h"
+#include "obs/metrics.h"
 #include "optimize/levenberg_marquardt.h"
 #include "optimize/line_search.h"
 #include "parallel/parallel_for.h"
@@ -94,6 +95,7 @@ double StateRmse(const FitState& state, FitScratch* scratch) {
 /// start may succeed) and are skipped; anything else — cancellation,
 /// injected internal faults — aborts the fit and propagates.
 Status FitBaseParams(FitState* state, bool multi_start, FitScratch* scratch) {
+  DSPOT_SPAN("global_fit.base_lm");
   const double peak = state->peak;
   // Shocks and growth are held fixed here, so both schedules can be
   // materialized once for the whole solve instead of per residual call;
@@ -186,6 +188,7 @@ Status FitBaseParams(FitState* state, bool multi_start, FitScratch* scratch) {
 /// the model without it codes cheaper.
 void FitGrowth(FitState* state, const GlobalFitOptions& options,
                FitScratch* scratch) {
+  DSPOT_SPAN("global_fit.growth_search");
   const double base_cost = StateCostBits(*state, scratch);
 
   FitState probe = *state;
@@ -336,6 +339,7 @@ StatusOr<bool> TryAddShock(FitState* state, const GlobalFitOptions& options,
   }
   const std::vector<Shock> candidates =
       ProposeShockCandidates(residual, state->keyword, options.detection);
+  DSPOT_COUNT("global_fit.shock_candidates", candidates.size());
   if (candidates.empty()) {
     return false;
   }
@@ -417,6 +421,7 @@ StatusOr<bool> TryAddShock(FitState* state, const GlobalFitOptions& options,
     }
   }
   if (improved) {
+    DSPOT_COUNT("global_fit.shocks_added", 1);
     *state = std::move(best_state);
     *current_cost = best_cost;
   }
@@ -431,6 +436,7 @@ StatusOr<bool> TryAddShock(FitState* state, const GlobalFitOptions& options,
 StatusOr<GlobalSequenceFit> RunAlternation(FitState state,
                                            const GlobalFitOptions& options,
                                            FitScratch* scratch) {
+  DSPOT_SPAN("global_fit.sequence");
   const auto start_time = std::chrono::steady_clock::now();
   FitHealth health;
   state.health = &health;
@@ -464,6 +470,9 @@ StatusOr<GlobalSequenceFit> RunAlternation(FitState state,
 
   for (int round = 0; round < options.max_outer_rounds; ++round) {
     if (interrupted()) break;
+    DSPOT_SPAN("global_fit.round");
+    DSPOT_COUNT("global_fit.rounds", 1);
+    const double round_start_cost = cost;
     // Base refit against the current shock set. Multi-start once shocks
     // exist: the no-shock optimum (which absorbs spikes into the base
     // dynamics) is a poor basin for the shocked model.
@@ -499,6 +508,7 @@ StatusOr<GlobalSequenceFit> RunAlternation(FitState state,
         without.shocks.erase(without.shocks.begin() + k);
         const double cost_without = StateCostBits(without, scratch);
         if (cost_without <= cost + options.prune_slack_bits) {
+          DSPOT_COUNT("global_fit.shocks_pruned", 1);
           state = std::move(without);
           cost = cost_without;
         } else {
@@ -551,6 +561,7 @@ StatusOr<GlobalSequenceFit> RunAlternation(FitState state,
                    round, cost, best_cost, rmse, state.shocks.size());
     }
     ++health.iterations;
+    DSPOT_OBSERVE("global_fit.round.cost_bits_delta", cost - round_start_cost);
     bool progressed = false;
     if (cost < best_cost * (1.0 - options.min_cost_decrease) ||
         cost < best_cost - 1.0) {

@@ -12,6 +12,7 @@
 #include "core/simulate.h"
 #include "guard/fault_injector.h"
 #include "mdl/mdl.h"
+#include "obs/metrics.h"
 #include "optimize/line_search.h"
 #include "parallel/parallel_for.h"
 #include "timeseries/metrics.h"
@@ -158,6 +159,7 @@ double FitOneLocal(LocalState* state, size_t d, size_t l,
 
 Status LocalFit(const ActivityTensor& tensor, ModelParamSet* params,
                 const LocalFitOptions& options, FitHealth* health) {
+  DSPOT_SPAN("local_fit");
   const auto start_time = std::chrono::steady_clock::now();
   if (params == nullptr) {
     return Status::InvalidArgument("LocalFit: null params");
@@ -197,6 +199,8 @@ Status LocalFit(const ActivityTensor& tensor, ModelParamSet* params,
   for (int round = 0; round < options.max_rounds && !interrupted.load(
                           std::memory_order_relaxed);
        ++round) {
+    DSPOT_SPAN("local_fit.round");
+    DSPOT_COUNT("local_fit.rounds", 1);
     double total = 0.0;
     for (size_t i = 0; i < d; ++i) {
       if (interrupted.load(std::memory_order_relaxed)) break;
@@ -257,6 +261,8 @@ Status LocalFit(const ActivityTensor& tensor, ModelParamSet* params,
           }
         }
         if (fit_this_location) {
+          DSPOT_SPAN("local_fit.location");
+          DSPOT_COUNT("local_fit.locations", 1);
           costs[j] = FitOneLocal(&state, d, l, options, &scratch);
         }
 

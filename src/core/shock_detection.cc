@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <set>
 
+#include "obs/metrics.h"
 #include "timeseries/stats.h"
 
 namespace dspot {
@@ -27,6 +28,7 @@ size_t MedianOf(std::vector<size_t> v) {
 std::vector<Shock> ProposeShockCandidates(
     const Series& residual, size_t keyword,
     const ShockDetectionOptions& options) {
+  DSPOT_SPAN("shock_detection.propose");
   const size_t n = residual.size();
   const std::vector<Burst> bursts = FindBursts(residual, options.burst_options);
   if (bursts.empty()) {
@@ -46,6 +48,7 @@ std::vector<Shock> ProposeShockCandidates(
     candidates.push_back(std::move(shock));
   }
   if (!options.allow_cyclic || bursts.size() < options.min_aligned_bursts) {
+    DSPOT_COUNT("shock_detection.candidates", candidates.size());
     return candidates;
   }
 
@@ -82,8 +85,12 @@ std::vector<Shock> ProposeShockCandidates(
   };
   std::vector<PeriodScore> scored;
   for (size_t period : periods) {
+    // A period below 2 is not a cycle: period 0 would divide by zero in
+    // CycleDrift and period 1 aligns every burst with every other, so a
+    // degenerate min_period cannot be allowed to reach the scorer.
+    if (period < 2) continue;
     // Dense combs are not events (see max_occurrences doc).
-    if (period > 0 && (n / period) + 1 > options.max_occurrences) {
+    if ((n / period) + 1 > options.max_occurrences) {
       continue;
     }
     std::vector<size_t> aligned_starts;
@@ -122,6 +129,7 @@ std::vector<Shock> ProposeShockCandidates(
     shock.global_strengths.assign(shock.NumOccurrences(n), 0.0);
     candidates.push_back(std::move(shock));
   }
+  DSPOT_COUNT("shock_detection.candidates", candidates.size());
   return candidates;
 }
 

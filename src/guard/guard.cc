@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "guard/fault_injector.h"
+#include "obs/metrics.h"
 
 namespace dspot {
 
@@ -50,9 +51,11 @@ void CancellationToken::Cancel() const {
 
 Status GuardContext::Check(const char* where) const {
   if (cancel.cancelled()) {
+    DSPOT_COUNT("guard.cancel_hits", 1);
     return Status::Cancelled(std::string(where) + ": cancellation requested");
   }
   if (deadline.expired() || MaybeInjectFault(FaultSite::kDeadlineExpiry)) {
+    DSPOT_COUNT("guard.deadline_hits", 1);
     return Status::DeadlineExceeded(std::string(where) +
                                     ": time budget exhausted");
   }

@@ -38,21 +38,30 @@ double GaussianCodingCost(const std::vector<double>& residuals,
   double sum = 0.0;
   size_t count = 0;
   for (double r : residuals) {
-    if (IsMissing(r)) continue;
+    // Non-finite residuals (missing markers, but also +-inf blow-ups from a
+    // diverged simulation) would poison mu/ss and return NaN bits, which a
+    // `<` MDL comparison silently accepts; skip them like missing ticks.
+    if (!std::isfinite(r)) continue;
     sum += r;
     ++count;
   }
-  if (count == 0) {
+  if (count <= 1) {
+    // Zero or one residual cannot support a variance estimate; with the
+    // default floor a single residual codes at ~-18.6 bits, a negative
+    // "cost" that biases model selection toward nearly-unobserved windows.
     return 0.0;
   }
   const double mu = sum / static_cast<double>(count);
   double ss = 0.0;
   for (double r : residuals) {
-    if (IsMissing(r)) continue;
+    if (!std::isfinite(r)) continue;
     ss += Square(r - mu);
   }
-  const double sigma2 =
-      std::max(ss / static_cast<double>(count), Square(sigma_floor));
+  // The 1e-300 term keeps sigma2 positive when sigma_floor == 0 and the
+  // residuals are exactly constant (ss == 0), where ss / sigma2 would
+  // otherwise evaluate 0/0 = NaN.
+  const double sigma2 = std::max(
+      {ss / static_cast<double>(count), Square(sigma_floor), 1e-300});
   // Sum over residuals of -log2 N(r | mu, sigma^2) =
   // 0.5*count*log2(2*pi*sigma^2) + (ss / sigma^2) / (2 ln 2). With the ML
   // sigma^2 the second term reduces to count / (2 ln 2); the general form
@@ -82,11 +91,12 @@ double GaussianCodingCost(std::span<const double> actual,
   for (size_t t = 0; t < n; ++t) {
     if (IsMissing(actual[t]) || IsMissing(estimate[t])) continue;
     const double r = actual[t] - estimate[t];
-    if (IsMissing(r)) continue;
+    if (!std::isfinite(r)) continue;
     sum += r;
     ++count;
   }
-  if (count == 0) {
+  if (count <= 1) {
+    // Same degenerate-support rule as the residual-vector overload above.
     return 0.0;
   }
   const double mu = sum / static_cast<double>(count);
@@ -94,11 +104,11 @@ double GaussianCodingCost(std::span<const double> actual,
   for (size_t t = 0; t < n; ++t) {
     if (IsMissing(actual[t]) || IsMissing(estimate[t])) continue;
     const double r = actual[t] - estimate[t];
-    if (IsMissing(r)) continue;
+    if (!std::isfinite(r)) continue;
     ss += Square(r - mu);
   }
-  const double sigma2 =
-      std::max(ss / static_cast<double>(count), Square(sigma_floor));
+  const double sigma2 = std::max(
+      {ss / static_cast<double>(count), Square(sigma_floor), 1e-300});
   const double nn = static_cast<double>(count);
   const double kInvTwoLn2 = 0.7213475204444817;  // 1 / (2 ln 2)
   return 0.5 * nn * (kLog2TwoPi + SafeLog2(sigma2)) +

@@ -1,0 +1,169 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace dspot {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no NaN/Infinity literals; degenerate stats export as 0.
+double JsonSafe(double v) { return std::isfinite(v) ? v : 0.0; }
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string RenderMetricsTable(const ObsSnapshot& snapshot) {
+  std::string out;
+  out += "metric                                    kind       count"
+         "        total         mean          min          max\n";
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        AppendF(&out, "%-40s  counter  %8llu\n", m.name.c_str(),
+                static_cast<unsigned long long>(m.count));
+        break;
+      case MetricKind::kGauge:
+        AppendF(&out, "%-40s  gauge           -  %12.3f\n", m.name.c_str(),
+                m.value);
+        break;
+      case MetricKind::kHistogram: {
+        const double mean =
+            m.count > 0 ? m.sum / static_cast<double>(m.count) : 0.0;
+        AppendF(&out,
+                "%-40s  histo    %8llu  %12.3f %12.3f %12.3f %12.3f\n",
+                m.name.c_str(), static_cast<unsigned long long>(m.count),
+                m.sum, mean, m.min, m.max);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsToJson(const ObsSnapshot& snapshot) {
+  std::string counters, gauges, histograms;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    const std::string name = JsonEscape(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        if (!counters.empty()) counters += ",";
+        AppendF(&counters, "{\"name\":\"%s\",\"value\":%llu}", name.c_str(),
+                static_cast<unsigned long long>(m.count));
+        break;
+      case MetricKind::kGauge:
+        if (!gauges.empty()) gauges += ",";
+        AppendF(&gauges, "{\"name\":\"%s\",\"value\":%.17g}", name.c_str(),
+                JsonSafe(m.value));
+        break;
+      case MetricKind::kHistogram: {
+        if (!histograms.empty()) histograms += ",";
+        AppendF(&histograms,
+                "{\"name\":\"%s\",\"count\":%llu,\"sum\":%.17g,"
+                "\"min\":%.17g,\"max\":%.17g,\"buckets\":[",
+                name.c_str(), static_cast<unsigned long long>(m.count),
+                JsonSafe(m.sum), JsonSafe(m.min), JsonSafe(m.max));
+        for (size_t b = 0; b < m.buckets.size(); ++b) {
+          AppendF(&histograms, "%s%llu", b == 0 ? "" : ",",
+                  static_cast<unsigned long long>(m.buckets[b]));
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\":[" + counters + "],\"gauges\":[" + gauges +
+         "],\"histograms\":[" + histograms + "]}";
+}
+
+std::string TraceEventsToJson(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ",";
+    first = false;
+    AppendF(&out,
+            "{\"name\":\"%s\",\"cat\":\"dspot\",\"ph\":\"X\",\"pid\":1,"
+            "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+            JsonEscape(event.name != nullptr ? event.name : "").c_str(),
+            event.tid, JsonSafe(event.ts_us), JsonSafe(event.dur_us));
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+Status WriteStringToFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteMetricsJson(const std::string& path) {
+  return WriteStringToFile(
+      path, MetricsToJson(ObsRegistry::Instance().Snapshot()) + "\n");
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  return WriteStringToFile(
+      path, TraceEventsToJson(ObsRegistry::Instance().TraceEvents()) + "\n");
+}
+
+}  // namespace dspot

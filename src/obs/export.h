@@ -1,0 +1,39 @@
+#ifndef DSPOT_OBS_EXPORT_H_
+#define DSPOT_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace dspot {
+
+/// Exporters for the dspot_obs registry. All three read a consistent
+/// snapshot; none of them mutate metric state, so a fit can be exported
+/// repeatedly (e.g. once per streaming refit round).
+
+/// Human-readable summary: one aligned row per metric, counters first,
+/// histograms with count/total/mean/min/max columns. Ends with '\n'.
+std::string RenderMetricsTable(const ObsSnapshot& snapshot);
+
+/// JSON object {"counters": [...], "gauges": [...], "histograms": [...]}
+/// with shard-merged values. Names are JSON-escaped; non-finite doubles
+/// are emitted as 0 (JSON has no NaN/Infinity).
+std::string MetricsToJson(const ObsSnapshot& snapshot);
+
+/// Chrome trace-event JSON ({"traceEvents": [...]}) for the given events,
+/// loadable in chrome://tracing and Perfetto. Timestamps/durations are
+/// microseconds relative to the registry's arming instant; tid is the
+/// recording thread's obs shard slot.
+std::string TraceEventsToJson(const std::vector<TraceEvent>& events);
+
+/// Snapshot the registry and write MetricsToJson to `path`.
+Status WriteMetricsJson(const std::string& path);
+
+/// Write the registry's buffered trace events to `path` as Chrome trace
+/// JSON. Valid (empty) even when tracing was never armed.
+Status WriteChromeTrace(const std::string& path);
+
+}  // namespace dspot
+
+#endif  // DSPOT_OBS_EXPORT_H_

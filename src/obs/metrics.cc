@@ -1,0 +1,284 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace dspot {
+
+namespace {
+
+std::atomic<size_t> g_next_slot{0};
+
+/// Relaxed add for atomic<double> via CAS (fetch_add on floating-point
+/// atomics is C++20 but spotty across standard libraries; the loop is
+/// uncontended in the single-writer-per-shard common case).
+void AtomicAdd(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + v,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v < cur && !target->compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v > cur && !target->compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Bucket i covers [2^(i-7), 2^(i-6)); values at or below 2^-7 land in
+/// bucket 0 and values at or above 2^(kObsHistogramBuckets-7) in the last.
+size_t BucketIndex(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) {
+    return 0;
+  }
+  const int b = std::ilogb(v) + 7;
+  if (b < 0) return 0;
+  return std::min(static_cast<size_t>(b), kObsHistogramBuckets - 1);
+}
+
+}  // namespace
+
+size_t ObsThreadSlot() {
+  thread_local const size_t slot =
+      g_next_slot.fetch_add(1, std::memory_order_relaxed) % kObsShards;
+  return slot;
+}
+
+uint64_t Counter::Total() const {
+  uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Record(double v) {
+  Shard& shard = shards_[ObsThreadSlot()];
+  const uint64_t prev = shard.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&shard.sum, v);
+  if (prev == 0) {
+    // First observation seeds min/max; concurrent same-shard writers fall
+    // through to the CAS races below, which keep both bounds correct.
+    double zero = 0.0;
+    shard.min.compare_exchange_strong(zero, v, std::memory_order_relaxed);
+    zero = 0.0;
+    shard.max.compare_exchange_strong(zero, v, std::memory_order_relaxed);
+  }
+  AtomicMin(&shard.min, v);
+  AtomicMax(&shard.max, v);
+  shard.buckets[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+const MetricSnapshot* ObsSnapshot::Find(std::string_view name) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+uint64_t ObsSnapshot::CounterValue(std::string_view name) const {
+  const MetricSnapshot* m = Find(name);
+  return (m != nullptr && m->kind == MetricKind::kCounter) ? m->count : 0;
+}
+
+uint64_t ObsSnapshot::HistogramCount(std::string_view name) const {
+  const MetricSnapshot* m = Find(name);
+  return (m != nullptr && m->kind == MetricKind::kHistogram) ? m->count : 0;
+}
+
+ObsRegistry& ObsRegistry::Instance() {
+  // Leaked on purpose: worker threads may record during static teardown.
+  static ObsRegistry* instance = new ObsRegistry();
+  return *instance;
+}
+
+ObsRegistry::ObsRegistry() {
+  // Environment opt-in, so existing binaries (ctest golden runs, CI) can
+  // arm the whole pipeline without code changes: DSPOT_OBS=1 arms
+  // metrics, DSPOT_OBS=trace arms metrics + trace buffering.
+  const char* env = std::getenv("DSPOT_OBS");
+  if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+    ObsOptions options;
+    options.trace = std::strcmp(env, "trace") == 0;
+    Enable(options);
+  }
+}
+
+Counter& ObsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& ObsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& ObsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::unique_ptr<Histogram>(
+                                             new Histogram(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+void ObsRegistry::Enable(const ObsOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_base_ = std::chrono::steady_clock::now();
+  obs_internal::g_obs_trace.store(options.trace, std::memory_order_relaxed);
+  obs_internal::g_obs_enabled.store(true, std::memory_order_relaxed);
+}
+
+void ObsRegistry::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs_internal::g_obs_enabled.store(false, std::memory_order_relaxed);
+  obs_internal::g_obs_trace.store(false, std::memory_order_relaxed);
+}
+
+void ObsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    for (Counter::Cell& cell : counter->cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->value_.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [name, histogram] : histograms_) {
+    for (Histogram::Shard& shard : histogram->shards_) {
+      shard.count.store(0, std::memory_order_relaxed);
+      shard.sum.store(0.0, std::memory_order_relaxed);
+      shard.min.store(0.0, std::memory_order_relaxed);
+      shard.max.store(0.0, std::memory_order_relaxed);
+      for (std::atomic<uint64_t>& bucket : shard.buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+  for (TraceShard& shard : trace_shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    shard.events.clear();
+  }
+  trace_base_ = std::chrono::steady_clock::now();
+}
+
+ObsSnapshot ObsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ObsSnapshot snapshot;
+  snapshot.metrics.reserve(counters_.size() + gauges_.size() +
+                           histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricKind::kCounter;
+    m.count = counter->Total();
+    snapshot.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricKind::kGauge;
+    m.value = gauge->Value();
+    snapshot.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricKind::kHistogram;
+    bool first = true;
+    for (const Histogram::Shard& shard : histogram->shards_) {
+      const uint64_t count = shard.count.load(std::memory_order_relaxed);
+      if (count == 0) continue;
+      m.count += count;
+      m.sum += shard.sum.load(std::memory_order_relaxed);
+      const double lo = shard.min.load(std::memory_order_relaxed);
+      const double hi = shard.max.load(std::memory_order_relaxed);
+      m.min = first ? lo : std::min(m.min, lo);
+      m.max = first ? hi : std::max(m.max, hi);
+      first = false;
+      for (size_t b = 0; b < kObsHistogramBuckets; ++b) {
+        m.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    snapshot.metrics.push_back(std::move(m));
+  }
+  return snapshot;
+}
+
+std::vector<TraceEvent> ObsRegistry::TraceEvents() const {
+  std::vector<TraceEvent> events;
+  for (TraceShard& shard : trace_shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    events.insert(events.end(), shard.events.begin(), shard.events.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return std::strcmp(a.name, b.name) < 0;
+            });
+  return events;
+}
+
+void ObsRegistry::AppendTraceEvent(
+    const char* name, std::chrono::steady_clock::time_point start,
+    std::chrono::steady_clock::time_point end) {
+  if (!trace_enabled()) {
+    return;
+  }
+  std::chrono::steady_clock::time_point base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    base = trace_base_;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.tid = static_cast<uint32_t>(ObsThreadSlot());
+  event.ts_us =
+      std::chrono::duration<double, std::micro>(start - base).count();
+  event.dur_us = std::chrono::duration<double, std::micro>(end - start).count();
+  TraceShard& shard = trace_shards_[ObsThreadSlot()];
+  std::lock_guard<std::mutex> shard_lock(shard.mu);
+  shard.events.push_back(event);
+}
+
+ObsSpan::~ObsSpan() {
+  if (histogram_ == nullptr) {
+    return;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  histogram_->Record(
+      std::chrono::duration<double, std::milli>(end - start_).count());
+  ObsRegistry::Instance().AppendTraceEvent(name_, start_, end);
+}
+
+}  // namespace dspot

@@ -1,0 +1,311 @@
+#ifndef DSPOT_OBS_METRICS_H_
+#define DSPOT_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dspot {
+
+/// dspot_obs — the observability layer threaded through the fit pipeline.
+///
+/// Three metric kinds, all process-wide and registered by name:
+///
+///  * Counter   — monotonically increasing event count (LM iterations,
+///                shocks added, locations fitted). Sharded per thread;
+///                totals are a pure function of the work performed, so
+///                they are identical at any thread count (the fit itself
+///                is bit-identical by the parallel runtime's contract).
+///  * Gauge     — a last-write-wins scalar (final cost bits).
+///  * Histogram — count/sum/min/max plus log2 buckets of observed values;
+///                stage spans record wall-time milliseconds here, so the
+///                count is deterministic but the time statistics are not.
+///
+/// Collection sites go through the DSPOT_SPAN / DSPOT_COUNT /
+/// DSPOT_GAUGE_SET macros, which are compiled in unconditionally but
+/// disarmed by default: the disarmed cost is one relaxed atomic load and
+/// a predictable branch, the same budget as a FaultInjector probe, and
+/// the disarmed path performs no allocation (metric registration itself
+/// is deferred until the first *armed* pass over a site).
+///
+/// Observation never feeds back into the fit: enabling it cannot change
+/// any fitted output, at any thread count (tests/obs_test.cc holds the
+/// pipeline to that bit-identity).
+///
+/// THREAD SAFETY: recording through handles or macros is safe from any
+/// thread. Enable/Disable/Reset must not race with in-flight fits — arm,
+/// run, export, disarm (the CLI and tests do exactly this).
+
+namespace obs_internal {
+/// The process-wide arming flag, inline so every probe compiles to a
+/// relaxed load of one well-known atomic.
+inline std::atomic<bool> g_obs_enabled{false};
+/// Whether armed spans additionally append Chrome trace events.
+inline std::atomic<bool> g_obs_trace{false};
+}  // namespace obs_internal
+
+/// Fast-path gate: true iff the registry is armed.
+inline bool ObsEnabled() {
+  return obs_internal::g_obs_enabled.load(std::memory_order_relaxed);
+}
+
+/// Number of per-thread metric shards. Threads map onto shards by a
+/// monotonically assigned slot modulo this count, so any concurrency level
+/// is safe; with at most kObsShards recording threads each shard is
+/// single-writer and increments never contend.
+inline constexpr size_t kObsShards = 64;
+
+/// log2 duration buckets per histogram; bucket i covers values in
+/// [2^(i-7), 2^(i-6)) milliseconds, clamped at both ends.
+inline constexpr size_t kObsHistogramBuckets = 20;
+
+/// The recording thread's shard slot (assigned on first use).
+size_t ObsThreadSlot();
+
+/// A named monotonic counter. Add() is wait-free: one relaxed fetch_add on
+/// the calling thread's shard cell.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    cells_[ObsThreadSlot()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sums the shards in slot order (deterministic merge).
+  uint64_t Total() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class ObsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  std::string name_;
+  std::array<Cell, kObsShards> cells_;
+};
+
+/// A named last-write-wins scalar.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class ObsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// A named histogram of doubles (span durations in milliseconds, cost-bit
+/// deltas, ...). Per-shard count/sum/min/max plus log2 buckets; Record()
+/// touches only the calling thread's shard.
+class Histogram {
+ public:
+  void Record(double v);
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class ObsRegistry;
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+    std::array<std::atomic<uint64_t>, kObsHistogramBuckets> buckets{};
+  };
+  std::string name_;
+  std::array<Shard, kObsShards> shards_;
+};
+
+/// One completed span, in Chrome trace-event terms: a complete ("ph":"X")
+/// event on thread `tid` starting `ts_us` microseconds after the registry
+/// was armed and lasting `dur_us` microseconds.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint32_t tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of one metric (see ObsRegistry::Snapshot).
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  /// Counter total, or histogram observation count.
+  uint64_t count = 0;
+  /// Gauge value.
+  double value = 0.0;
+  /// Histogram statistics (milliseconds for span-backed histograms).
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<uint64_t, kObsHistogramBuckets> buckets{};
+};
+
+/// Deterministically ordered (by kind, then name) copy of every metric.
+struct ObsSnapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  /// First metric with the given name, or nullptr.
+  const MetricSnapshot* Find(std::string_view name) const;
+  /// Counter total by name (0 when absent).
+  uint64_t CounterValue(std::string_view name) const;
+  /// Histogram observation count by name (0 when absent).
+  uint64_t HistogramCount(std::string_view name) const;
+};
+
+/// Arming options for ObsRegistry::Enable.
+struct ObsOptions {
+  /// Also buffer Chrome trace events for every armed span. Off by default:
+  /// tracing appends to per-shard vectors, which allocates while armed.
+  bool trace = false;
+};
+
+/// The process-wide metric/trace registry.
+class ObsRegistry {
+ public:
+  static ObsRegistry& Instance();
+
+  /// Registers (or finds) a metric. Handles stay valid for the process
+  /// lifetime; metrics are never unregistered, and Reset() zeroes values
+  /// without invalidating handles.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Arms collection (and, optionally, tracing). Also rebases the trace
+  /// clock: subsequent trace events are timestamped relative to this call.
+  void Enable(const ObsOptions& options = {});
+
+  /// Disarms collection; recorded values and trace events are kept for
+  /// export until Reset().
+  void Disable();
+
+  bool enabled() const { return ObsEnabled(); }
+  bool trace_enabled() const {
+    return obs_internal::g_obs_trace.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes every metric and clears the trace buffers. Arming state is
+  /// unchanged.
+  void Reset();
+
+  /// Deterministically ordered copy of every registered metric: counters,
+  /// then gauges, then histograms, each sorted by name, with shard values
+  /// merged in slot order.
+  ObsSnapshot Snapshot() const;
+
+  /// All buffered trace events, sorted by (ts, tid, name) so the export is
+  /// reproducible for a fixed set of events.
+  std::vector<TraceEvent> TraceEvents() const;
+
+  /// Appends one complete span event (no-op unless tracing is armed).
+  void AppendTraceEvent(const char* name,
+                        std::chrono::steady_clock::time_point start,
+                        std::chrono::steady_clock::time_point end);
+
+ private:
+  ObsRegistry();
+
+  mutable std::mutex mu_;  // registration maps + enable state
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+
+  struct TraceShard {
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+  mutable std::array<TraceShard, kObsShards> trace_shards_;
+  std::chrono::steady_clock::time_point trace_base_{};
+};
+
+/// RAII stage span. Default-constructed spans are inert; Start() arms one
+/// against a histogram (the DSPOT_SPAN macro calls it only when the
+/// registry is armed). On destruction an armed span records its wall time
+/// into the histogram and, when tracing, appends a trace event.
+class ObsSpan {
+ public:
+  ObsSpan() = default;
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  void Start(Histogram& histogram, const char* name) {
+    histogram_ = &histogram;
+    name_ = name;
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ObsSpan();
+
+ private:
+  Histogram* histogram_ = nullptr;
+  const char* name_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+#define DSPOT_OBS_CONCAT_INNER(a, b) a##b
+#define DSPOT_OBS_CONCAT(a, b) DSPOT_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope under `name` (a string literal). Disarmed:
+/// one relaxed load, no allocation, no clock read. Armed: registers the
+/// histogram once, then two clock reads plus one shard record per pass.
+#define DSPOT_SPAN(name)                                                      \
+  ::dspot::ObsSpan DSPOT_OBS_CONCAT(dspot_obs_span_, __LINE__);               \
+  if (::dspot::ObsEnabled()) {                                                \
+    static ::dspot::Histogram& DSPOT_OBS_CONCAT(dspot_obs_hist_, __LINE__) =  \
+        ::dspot::ObsRegistry::Instance().GetHistogram(name);                  \
+    DSPOT_OBS_CONCAT(dspot_obs_span_, __LINE__)                               \
+        .Start(DSPOT_OBS_CONCAT(dspot_obs_hist_, __LINE__), name);            \
+  }                                                                           \
+  static_assert(true, "")
+
+/// Adds `n` to the counter `name` (a string literal) when armed.
+#define DSPOT_COUNT(name, n)                                                  \
+  do {                                                                        \
+    if (::dspot::ObsEnabled()) {                                              \
+      static ::dspot::Counter& dspot_obs_counter =                            \
+          ::dspot::ObsRegistry::Instance().GetCounter(name);                  \
+      dspot_obs_counter.Add(n);                                               \
+    }                                                                         \
+  } while (0)
+
+/// Sets the gauge `name` (a string literal) when armed.
+#define DSPOT_GAUGE_SET(name, v)                                              \
+  do {                                                                        \
+    if (::dspot::ObsEnabled()) {                                              \
+      static ::dspot::Gauge& dspot_obs_gauge =                                \
+          ::dspot::ObsRegistry::Instance().GetGauge(name);                    \
+      dspot_obs_gauge.Set(v);                                                 \
+    }                                                                         \
+  } while (0)
+
+/// Records `v` into the histogram `name` (a string literal) when armed.
+#define DSPOT_OBSERVE(name, v)                                                \
+  do {                                                                        \
+    if (::dspot::ObsEnabled()) {                                              \
+      static ::dspot::Histogram& dspot_obs_hist =                             \
+          ::dspot::ObsRegistry::Instance().GetHistogram(name);                \
+      dspot_obs_hist.Record(v);                                               \
+    }                                                                         \
+  } while (0)
+
+}  // namespace dspot
+
+#endif  // DSPOT_OBS_METRICS_H_

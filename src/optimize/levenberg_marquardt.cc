@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "guard/fault_injector.h"
 #include "linalg/vector_ops.h"
+#include "obs/metrics.h"
 #include "parallel/parallel_for.h"
 
 namespace dspot {
@@ -30,6 +31,7 @@ Status NumericJacobianInto(const ResidualIntoFn& fn,
                            const std::vector<double>& p,
                            const std::vector<double>& r0, const Bounds& bounds,
                            const LmOptions& options, LmWorkspace* ws) {
+  DSPOT_SPAN("lm.jacobian");
   const size_t np = p.size();
   const size_t m = r0.size();
   Matrix& jac = ws->jac;
@@ -157,6 +159,8 @@ StatusOr<LmResult> LevenbergMarquardt(const ResidualIntoFn& residual_fn,
         "LevenbergMarquardt: injected workspace allocation failure");
   }
 
+  DSPOT_SPAN("lm.solve");
+  DSPOT_COUNT("lm.solves", 1);
   const auto start_time = std::chrono::steady_clock::now();
   LmWorkspace& ws = *workspace;
   const size_t np = initial.size();
@@ -185,6 +189,7 @@ StatusOr<LmResult> LevenbergMarquardt(const ResidualIntoFn& residual_fn,
   bool stopped_by_guard = false;
 
   auto finish = [&](FitTermination termination) -> LmResult {
+    DSPOT_COUNT("lm.iterations", static_cast<uint64_t>(result.iterations));
     if (have_best) {
       result.params = best_p;
       result.final_cost = best_cost;
@@ -205,6 +210,7 @@ StatusOr<LmResult> LevenbergMarquardt(const ResidualIntoFn& residual_fn,
       cost = std::numeric_limits<double>::quiet_NaN();
     }
     if (IsDivergentCost(cost)) {
+      DSPOT_COUNT("lm.divergence_events", 1);
       // Hostile start: rewind to the best-so-far iterate (or the clamped
       // initial when none exists yet) and retry from a jittered copy.
       if (attempt >= max_restarts) {
@@ -215,6 +221,7 @@ StatusOr<LmResult> LevenbergMarquardt(const ResidualIntoFn& residual_fn,
             "LevenbergMarquardt: non-finite cost at the initial point");
       }
       ++result.health.restarts;
+      DSPOT_COUNT("lm.restarts", 1);
       if (have_best) {
         JitterFromAnchor(best_p, bounds, options, attempt, p);
       } else {
@@ -306,6 +313,7 @@ StatusOr<LmResult> LevenbergMarquardt(const ResidualIntoFn& residual_fn,
           cost_new = std::numeric_limits<double>::quiet_NaN();
         }
         if (IsDivergentCost(cost_new)) {
+          DSPOT_COUNT("lm.divergence_events", 1);
           // A NaN/exploding trial can never satisfy the acceptance test:
           // bail out of the lambda ladder immediately instead of burning
           // it to max_lambda, and let divergence recovery take over.
@@ -352,6 +360,7 @@ StatusOr<LmResult> LevenbergMarquardt(const ResidualIntoFn& residual_fn,
     if (diverged && attempt < max_restarts &&
         outer_iters < options.max_iterations) {
       ++result.health.restarts;
+      DSPOT_COUNT("lm.restarts", 1);
       JitterFromAnchor(best_p, bounds, options, attempt, p);
       ++attempt;
       continue;

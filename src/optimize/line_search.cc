@@ -6,6 +6,20 @@
 
 namespace dspot {
 
+namespace {
+
+/// Shrink-toward-x1 decision for the golden-section bracket. For finite
+/// costs this is exactly `f1 <= f2`; a NaN probe must lose to a finite one
+/// (NaN compares false under both <= and >, so the plain comparison would
+/// silently keep a NaN incumbent whenever it lands in f2).
+bool PreferFirstProbe(double f1, double f2) {
+  if (std::isnan(f2)) return true;
+  if (std::isnan(f1)) return false;
+  return f1 <= f2;
+}
+
+}  // namespace
+
 double GoldenSectionMinimize(const Scalar1dFn& fn, double lo, double hi,
                              double tolerance, int max_iterations) {
   if (hi < lo) {
@@ -13,12 +27,20 @@ double GoldenSectionMinimize(const Scalar1dFn& fn, double lo, double hi,
   }
   constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
   double a = lo, b = hi;
+  if (!((b - a) > tolerance)) {
+    // The bracket is already collapsed (or its width is NaN): there is
+    // nothing to section, so return the better endpoint instead of an
+    // interior probe of a degenerate interval.
+    const double fa = fn(a);
+    const double fb = fn(b);
+    return fb < fa ? b : a;
+  }
   double x1 = b - kInvPhi * (b - a);
   double x2 = a + kInvPhi * (b - a);
   double f1 = fn(x1);
   double f2 = fn(x2);
   for (int i = 0; i < max_iterations && (b - a) > tolerance; ++i) {
-    if (f1 <= f2) {
+    if (PreferFirstProbe(f1, f2)) {
       b = x2;
       x2 = x1;
       f2 = f1;
@@ -32,7 +54,7 @@ double GoldenSectionMinimize(const Scalar1dFn& fn, double lo, double hi,
       f2 = fn(x2);
     }
   }
-  return (f1 <= f2) ? x1 : x2;
+  return PreferFirstProbe(f1, f2) ? x1 : x2;
 }
 
 double GridMinimize(const Scalar1dFn& fn, double lo, double hi, size_t steps) {
@@ -68,6 +90,11 @@ double GuardedMinimize(const Scalar1dFn& fn, double lo, double hi,
   const double candidate =
       GridThenGoldenMinimize(fn, lo, hi, grid_steps, tolerance);
   const double f_candidate = fn(candidate);
+  if (std::isnan(f_current)) {
+    // A NaN incumbent loses any `<` comparison, so the plain guard below
+    // would keep it forever; accept any non-NaN candidate instead.
+    return std::isnan(f_candidate) ? current : candidate;
+  }
   return f_candidate < f_current ? candidate : current;
 }
 

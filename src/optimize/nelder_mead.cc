@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "guard/fault_injector.h"
+#include "obs/metrics.h"
 
 namespace dspot {
 
@@ -22,6 +23,8 @@ StatusOr<NelderMeadResult> NelderMead(const ScalarFn& fn,
     return Status::InvalidArgument("NelderMead: bounds size mismatch");
   }
 
+  DSPOT_SPAN("nelder_mead.solve");
+  DSPOT_COUNT("nelder_mead.solves", 1);
   const auto start_time = std::chrono::steady_clock::now();
   NelderMeadResult result;
   auto eval = [&](std::vector<double>* p) -> double {
@@ -158,6 +161,8 @@ StatusOr<NelderMeadResult> NelderMead(const ScalarFn& fn,
                                     : FitTermination::kMaxIterations;
   }
   result.health.wall_time_ms = ElapsedMs(start_time);
+  DSPOT_COUNT("nelder_mead.evaluations",
+              static_cast<uint64_t>(result.evaluations));
   return result;
 }
 

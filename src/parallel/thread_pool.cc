@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace dspot {
 
 namespace {
@@ -131,7 +133,11 @@ bool ThreadPool::RunOneTask() {
   if (!PopTask(self, &task)) {
     return false;
   }
-  task();
+  {
+    DSPOT_SPAN("pool.task");
+    DSPOT_COUNT("pool.tasks_executed", 1);
+    task();
+  }
   return true;
 }
 
@@ -140,7 +146,11 @@ void ThreadPool::WorkerLoop(size_t index) {
   for (;;) {
     std::function<void()> task;
     if (PopTask(index, &task)) {
-      task();
+      {
+        DSPOT_SPAN("pool.task");
+        DSPOT_COUNT("pool.tasks_executed", 1);
+        task();
+      }
       task = nullptr;  // release captures before sleeping
       continue;
     }

@@ -13,11 +13,19 @@ std::vector<double> Autocorrelation(const Series& s, size_t max_lag) {
     return acf;
   }
   const double mu = filled.MeanValue();
+  if (!std::isfinite(mu)) {
+    // Non-finite samples (inf spikes survive interpolation, which only
+    // patches NaN) make every lag NaN; an all-zero ACF says "no structure"
+    // instead of poisoning period detection downstream.
+    return acf;
+  }
   double denom = 0.0;
   for (size_t t = 0; t < n; ++t) {
     denom += Square(filled[t] - mu);
   }
-  if (denom <= 0.0) {
+  // `!(denom > 0)` rather than `denom <= 0`: a NaN/inf denominator must
+  // take this early-out too, not fall through to NaN ratios.
+  if (!(denom > 0.0) || !std::isfinite(denom)) {
     return acf;
   }
   for (size_t lag = 0; lag <= max_lag && lag < n; ++lag) {
@@ -38,6 +46,9 @@ std::vector<double> PeriodogramByPeriod(const Series& s, size_t max_period) {
     return power;
   }
   const double mu = filled.MeanValue();
+  if (!std::isfinite(mu)) {
+    return power;
+  }
   constexpr double kTwoPi = 6.283185307179586;
   for (size_t period = 2; period <= max_period && period <= n; ++period) {
     const double omega = kTwoPi / static_cast<double>(period);
@@ -68,8 +79,8 @@ std::vector<size_t> CandidatePeriods(const Series& s, size_t max_period,
   };
   std::vector<Peak> peaks;
   for (size_t lag = 2; lag + 1 < acf.size(); ++lag) {
-    if (acf[lag] >= min_acf && acf[lag] >= acf[lag - 1] &&
-        acf[lag] >= acf[lag + 1]) {
+    if (std::isfinite(acf[lag]) && acf[lag] >= min_acf &&
+        acf[lag] >= acf[lag - 1] && acf[lag] >= acf[lag + 1]) {
       peaks.push_back({lag, acf[lag]});
     }
   }
@@ -104,7 +115,7 @@ std::vector<double> ZScores(const Series& s) {
   std::vector<double> out(s.size(), kMissingValue);
   const double mu = s.MeanValue();
   const double sd = StdDev(s.values());
-  if (sd <= 0.0) {
+  if (!(sd > 0.0) || !std::isfinite(sd) || !std::isfinite(mu)) {
     for (size_t t = 0; t < s.size(); ++t) {
       if (s.IsObserved(t)) out[t] = 0.0;
     }

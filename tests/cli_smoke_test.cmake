@@ -1,0 +1,94 @@
+# CLI smoke test, run via `cmake -P` from a ctest entry. Exercises the
+# strict numeric-flag parsing (rejections must fail with a usage error,
+# not mis-parse to zero) and the observability exports (--metrics-json /
+# --trace-out must produce valid-looking JSON with the core fit spans).
+#
+# Expects:
+#   -DDSPOT_CLI=<path to the dspot_cli binary>
+#   -DWORK_DIR=<scratch directory>
+
+if(NOT DEFINED DSPOT_CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "cli_smoke_test.cmake needs -DDSPOT_CLI and -DWORK_DIR")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(tensor_csv "${WORK_DIR}/smoke_tensor.csv")
+set(metrics_json "${WORK_DIR}/smoke_metrics.json")
+set(trace_json "${WORK_DIR}/smoke_trace.json")
+
+function(expect_success)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "expected success, got rc=${rc}:\n${out}\n${err}")
+  endif()
+endfunction()
+
+# A rejected invocation must exit non-zero AND say why on stderr; an
+# accidental exit-1 from a different failure (e.g. a file error) would
+# make this test pass vacuously without the expected_error check.
+function(expect_usage_error expected_error)
+  set(cmd ${ARGN})
+  execute_process(COMMAND ${cmd}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "expected failure for: ${cmd}\n${out}")
+  endif()
+  if(NOT err MATCHES "${expected_error}")
+    message(FATAL_ERROR
+            "expected stderr matching '${expected_error}' for: ${cmd}\n"
+            "got:\n${err}")
+  endif()
+endfunction()
+
+# --- Numeric flag rejections -------------------------------------------------
+expect_usage_error("--threads: 0 must be"
+                   "${DSPOT_CLI}" fit --series nofile.csv --threads=0)
+expect_usage_error("--threads: 0 must be"
+                   "${DSPOT_CLI}" fit-tensor --input nofile.csv --threads 0)
+expect_usage_error("--time-budget-ms: -5 must be"
+                   "${DSPOT_CLI}" fit --series nofile.csv --time-budget-ms -5)
+expect_usage_error("--threads: not an integer: '2x'"
+                   "${DSPOT_CLI}" fit --series nofile.csv --threads 2x)
+expect_usage_error("--ticks: not an integer"
+                   "${DSPOT_CLI}" generate --scenario harry_potter
+                   --output "${tensor_csv}" --ticks 12.5)
+expect_usage_error("--resolution: 0 must be"
+                   "${DSPOT_CLI}" aggregate --events nofile.csv
+                   --output out.csv --resolution 0)
+
+# --- Generate + observed fit -------------------------------------------------
+expect_success("${DSPOT_CLI}" generate --scenario harry_potter
+               --output "${tensor_csv}" --ticks 120 --locations 3)
+expect_success("${DSPOT_CLI}" fit-tensor --input "${tensor_csv}" --threads 2
+               --metrics-json "${metrics_json}" --trace-out "${trace_json}")
+
+foreach(artifact "${metrics_json}" "${trace_json}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "missing obs artifact: ${artifact}")
+  endif()
+endforeach()
+
+# Structural spot checks: the metrics snapshot names the fit counters and
+# the Chrome trace carries the three headline span families.
+file(READ "${metrics_json}" metrics_body)
+foreach(needle "\"counters\"" "\"histograms\"" "fit_dspot.calls"
+        "global_fit.rounds" "lm.solves")
+  if(NOT metrics_body MATCHES "${needle}")
+    message(FATAL_ERROR "metrics json lacks ${needle}:\n${metrics_body}")
+  endif()
+endforeach()
+
+file(READ "${trace_json}" trace_body)
+foreach(needle "traceEvents" "global_fit.round" "local_fit.location"
+        "lm.solve")
+  if(NOT trace_body MATCHES "${needle}")
+    message(FATAL_ERROR "chrome trace lacks ${needle}")
+  endif()
+endforeach()
+
+message(STATUS "cli smoke test passed")

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/random.h"
 #include "mdl/mdl.h"
@@ -74,6 +75,46 @@ TEST(Mdl, SeriesOverloadMatchesVectorForm) {
   for (size_t t = 0; t < 4; ++t) residuals.push_back(actual[t] - estimate[t]);
   EXPECT_NEAR(GaussianCodingCost(actual, estimate),
               GaussianCodingCost(residuals), 1e-9);
+}
+
+TEST(Mdl, SingleResidualCostsZero) {
+  // One residual cannot support a variance estimate. The pre-fix code
+  // returned ~-18.6 bits (0.5 * log2(2*pi*1e-12) with the default floor),
+  // a negative cost that made one-observation windows look like the best
+  // possible model.
+  const double cost = GaussianCodingCost(std::vector<double>{3.5});
+  EXPECT_DOUBLE_EQ(cost, 0.0);
+  // Same rule when every residual but one is missing.
+  EXPECT_DOUBLE_EQ(GaussianCodingCost(std::vector<double>{
+                       kMissingValue, -2.0, kMissingValue}),
+                   0.0);
+}
+
+TEST(Mdl, SingleObservedPairCostsZero) {
+  Series actual(std::vector<double>{kMissingValue, 4.0, kMissingValue});
+  Series estimate(std::vector<double>{1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(GaussianCodingCost(actual, estimate), 0.0);
+}
+
+TEST(Mdl, InfiniteResidualsAreSkipped) {
+  // +-inf residuals (e.g. from a diverged simulation) are not "missing" by
+  // the NaN convention, but they must not poison the cost into NaN.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> clean = {1.0, -1.0, 0.5, -0.5};
+  std::vector<double> dirty = {1.0, inf, -1.0, 0.5, -inf, -0.5};
+  EXPECT_NEAR(GaussianCodingCost(clean), GaussianCodingCost(dirty), 1e-9);
+
+  Series actual(std::vector<double>{1.0, inf, 2.0, 3.0});
+  Series estimate(std::vector<double>{0.5, 0.0, 1.5, 2.5});
+  EXPECT_TRUE(std::isfinite(GaussianCodingCost(actual, estimate)));
+}
+
+TEST(Mdl, ZeroSigmaFloorConstantResidualsFinite) {
+  // sigma_floor == 0 with exactly constant residuals used to evaluate
+  // ss / sigma2 = 0 / 0 = NaN.
+  std::vector<double> constant(16, 2.0);
+  const double cost = GaussianCodingCost(constant, /*sigma_floor=*/0.0);
+  EXPECT_TRUE(std::isfinite(cost));
 }
 
 TEST(Mdl, SigmaFloorPreventsDegenerateCodes) {

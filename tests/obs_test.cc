@@ -1,0 +1,393 @@
+// Tests for src/obs: the metrics registry, spans, exporters, and — most
+// importantly — the two contracts the observability layer must uphold:
+//
+//  * disarmed probes are free: an operator-new counting hook proves a
+//    disarmed DSPOT_COUNT/DSPOT_SPAN site allocates nothing (and the
+//    armed steady state allocates nothing once registered);
+//  * observation never feeds back into the fit: results are bit-identical
+//    with observation on vs off, and armed metric counts are identical at
+//    1 and 8 threads because the fits themselves are.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/dspot.h"
+#include "datagen/catalog.h"
+#include "datagen/generator.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+// --- Global operator-new counting hook --------------------------------
+//
+// Same malloc-based replacement pattern as workspace_test.cc: counts
+// every scalar/array heap allocation while enabled. The counter is
+// process-wide, so counted regions run serially.
+
+namespace {
+std::atomic<bool> g_count_allocations{false};
+std::atomic<std::size_t> g_allocation_count{0};
+}  // namespace
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
+
+namespace dspot {
+namespace {
+
+/// RAII window that zeroes the counter on entry and reads it on exit.
+class AllocationCounter {
+ public:
+  AllocationCounter() {
+    g_allocation_count.store(0, std::memory_order_relaxed);
+    g_count_allocations.store(true, std::memory_order_relaxed);
+  }
+  ~AllocationCounter() {
+    g_count_allocations.store(false, std::memory_order_relaxed);
+  }
+  std::size_t count() const {
+    return g_allocation_count.load(std::memory_order_relaxed);
+  }
+};
+
+/// Known-clean registry state for a test body. The registry is a process
+/// singleton, so every test starts by disabling and resetting it (the CI
+/// obs job sets DSPOT_OBS=1, which would otherwise leak into the
+/// disarmed-probe tests).
+void ResetObs() {
+  ObsRegistry::Instance().Disable();
+  ObsRegistry::Instance().Reset();
+}
+
+TEST(ObsRegistry, CounterAggregatesAcrossShards) {
+  ResetObs();
+  Counter& c = ObsRegistry::Instance().GetCounter("test.counter");
+  EXPECT_EQ(c.Total(), 0u);
+  c.Add(3);
+  c.Add(4);
+  EXPECT_EQ(c.Total(), 7u);
+  ObsRegistry::Instance().Reset();
+  EXPECT_EQ(c.Total(), 0u);
+}
+
+TEST(ObsRegistry, HistogramStats) {
+  ResetObs();
+  Histogram& h = ObsRegistry::Instance().GetHistogram("test.hist");
+  h.Record(1.0);
+  h.Record(3.0);
+  h.Record(2.0);
+  const ObsSnapshot snap = ObsRegistry::Instance().Snapshot();
+  const MetricSnapshot* m = snap.Find("test.hist");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 3u);
+  EXPECT_DOUBLE_EQ(m->sum, 6.0);
+  EXPECT_DOUBLE_EQ(m->min, 1.0);
+  EXPECT_DOUBLE_EQ(m->max, 3.0);
+}
+
+TEST(ObsRegistry, SnapshotIsNameOrderedWithinKind) {
+  ResetObs();
+  ObsRegistry::Instance().GetCounter("test.z");
+  ObsRegistry::Instance().GetCounter("test.a");
+  const ObsSnapshot snap = ObsRegistry::Instance().Snapshot();
+  size_t ia = 0, iz = 0;
+  for (size_t i = 0; i < snap.metrics.size(); ++i) {
+    if (snap.metrics[i].name == "test.a") ia = i;
+    if (snap.metrics[i].name == "test.z") iz = i;
+  }
+  EXPECT_LT(ia, iz);
+}
+
+TEST(ObsMacros, DisarmedMacrosRecordNothing) {
+  ResetObs();
+  for (int i = 0; i < 10; ++i) {
+    DSPOT_COUNT("test.disarmed.counter", 1);
+    DSPOT_OBSERVE("test.disarmed.hist", 1.0);
+    DSPOT_GAUGE_SET("test.disarmed.gauge", 5.0);
+    DSPOT_SPAN("test.disarmed.span");
+  }
+  const ObsSnapshot snap = ObsRegistry::Instance().Snapshot();
+  // The disarmed macros never even register their metrics.
+  EXPECT_EQ(snap.Find("test.disarmed.counter"), nullptr);
+  EXPECT_EQ(snap.Find("test.disarmed.hist"), nullptr);
+  EXPECT_EQ(snap.Find("test.disarmed.gauge"), nullptr);
+  EXPECT_EQ(snap.Find("test.disarmed.span"), nullptr);
+}
+
+TEST(ObsMacros, ArmedMacrosRecord) {
+  ResetObs();
+  ObsRegistry::Instance().Enable(ObsOptions{});
+  for (int i = 0; i < 3; ++i) {
+    DSPOT_COUNT("test.armed.counter", 2);
+    DSPOT_OBSERVE("test.armed.hist", 1.5);
+    DSPOT_GAUGE_SET("test.armed.gauge", 7.0);
+    DSPOT_SPAN("test.armed.span");
+  }
+  const ObsSnapshot snap = ObsRegistry::Instance().Snapshot();
+  EXPECT_EQ(snap.CounterValue("test.armed.counter"), 6u);
+  EXPECT_EQ(snap.HistogramCount("test.armed.hist"), 3u);
+  const MetricSnapshot* gauge = snap.Find("test.armed.gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->value, 7.0);
+  EXPECT_EQ(snap.HistogramCount("test.armed.span"), 3u);
+  ResetObs();
+}
+
+TEST(ObsOverhead, DisarmedProbesDoNotAllocate) {
+  ResetObs();
+  // Warm-up pass: nothing should register disarmed, but run the sites
+  // once anyway so any lazy runtime setup (TLS, static guards) is paid
+  // before the counting window opens.
+  for (int i = 0; i < 4; ++i) {
+    DSPOT_COUNT("test.noalloc.counter", 1);
+    DSPOT_OBSERVE("test.noalloc.hist", 2.0);
+    DSPOT_SPAN("test.noalloc.span");
+  }
+  AllocationCounter alloc;
+  for (int i = 0; i < 1000; ++i) {
+    DSPOT_COUNT("test.noalloc.counter", 1);
+    DSPOT_OBSERVE("test.noalloc.hist", 2.0);
+    DSPOT_SPAN("test.noalloc.span");
+  }
+  EXPECT_EQ(alloc.count(), 0u);
+}
+
+TEST(ObsOverhead, ArmedSteadyStateDoesNotAllocate) {
+  ResetObs();
+  ObsRegistry::Instance().Enable(ObsOptions{});  // metrics only, no trace
+  // First pass registers the metrics (allocates); steady state must not.
+  for (int i = 0; i < 4; ++i) {
+    DSPOT_COUNT("test.steady.counter", 1);
+    DSPOT_OBSERVE("test.steady.hist", 2.0);
+    DSPOT_SPAN("test.steady.span");
+  }
+  AllocationCounter alloc;
+  for (int i = 0; i < 1000; ++i) {
+    DSPOT_COUNT("test.steady.counter", 1);
+    DSPOT_OBSERVE("test.steady.hist", 2.0);
+    DSPOT_SPAN("test.steady.span");
+  }
+  EXPECT_EQ(alloc.count(), 0u);
+  ResetObs();
+}
+
+// --- Fit bit-identity and determinism ----------------------------------
+
+/// Small two-keyword tensor exercising global fit, local fit, shocks.
+ActivityTensor TestTensor() {
+  GeneratorConfig config = GoogleTrendsConfig(5);
+  config.n_ticks = 150;
+  config.num_locations = 3;
+  config.num_outlier_locations = 1;
+  auto generated = GenerateTensor({GrammyScenario()}, config);
+  EXPECT_TRUE(generated.ok());
+  return generated->tensor;
+}
+
+/// Flattens every number a fit produces, so two results can be compared
+/// for exact (bit-level, via ==) equality.
+std::vector<double> Flatten(const DspotResult& r) {
+  std::vector<double> out;
+  out.push_back(r.total_cost_bits);
+  out.insert(out.end(), r.global_rmse.begin(), r.global_rmse.end());
+  for (const KeywordGlobalParams& g : r.params.global) {
+    out.push_back(g.population);
+    out.push_back(g.beta);
+    out.push_back(g.delta);
+    out.push_back(g.gamma);
+    out.push_back(g.i0);
+    out.push_back(g.growth_rate);
+    out.push_back(static_cast<double>(g.growth_start));
+  }
+  for (const Shock& s : r.params.shocks) {
+    out.push_back(static_cast<double>(s.keyword));
+    out.push_back(static_cast<double>(s.period));
+    out.push_back(static_cast<double>(s.start));
+    out.push_back(static_cast<double>(s.width));
+    out.push_back(s.base_strength);
+    out.insert(out.end(), s.global_strengths.begin(),
+               s.global_strengths.end());
+    for (size_t m = 0; m < s.local_strengths.rows(); ++m) {
+      for (size_t j = 0; j < s.local_strengths.cols(); ++j) {
+        out.push_back(s.local_strengths(m, j));
+      }
+    }
+  }
+  for (size_t i = 0; i < r.params.base_local.rows(); ++i) {
+    for (size_t j = 0; j < r.params.base_local.cols(); ++j) {
+      out.push_back(r.params.base_local(i, j));
+      out.push_back(r.params.growth_local(i, j));
+    }
+  }
+  return out;
+}
+
+DspotResult FitAt(const ActivityTensor& tensor, size_t threads) {
+  DspotOptions options;
+  options.num_threads = threads;
+  auto result = FitDspot(tensor, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(*result);
+}
+
+TEST(ObsBitIdentity, FitUnchangedByObservation) {
+  const ActivityTensor tensor = TestTensor();
+
+  ResetObs();
+  const std::vector<double> off = Flatten(FitAt(tensor, 1));
+
+  ObsRegistry::Instance().Enable(ObsOptions{});
+  const std::vector<double> metrics_on = Flatten(FitAt(tensor, 1));
+
+  ObsOptions traced;
+  traced.trace = true;
+  ObsRegistry::Instance().Reset();
+  ObsRegistry::Instance().Enable(traced);
+  const std::vector<double> trace_on = Flatten(FitAt(tensor, 1));
+  ResetObs();
+
+  ASSERT_EQ(off.size(), metrics_on.size());
+  ASSERT_EQ(off.size(), trace_on.size());
+  for (size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i], metrics_on[i]) << "index " << i;
+    EXPECT_EQ(off[i], trace_on[i]) << "index " << i;
+  }
+}
+
+/// Timing-independent subset of the armed metrics: counter totals and
+/// histogram (span) counts for the fit-logic metrics. Durations, gauges
+/// set per-call, and the pool/guard metrics (task executions differ with
+/// scheduling) are excluded by construction.
+bool DeterministicAcrossThreadCounts(const std::string& name) {
+  return name.rfind("pool.", 0) != 0 && name.rfind("guard.", 0) != 0;
+}
+
+TEST(ObsDeterminism, MetricCountsIdenticalAt1And8Threads) {
+  const ActivityTensor tensor = TestTensor();
+
+  ResetObs();
+  ObsRegistry::Instance().Enable(ObsOptions{});
+  const std::vector<double> fit1 = Flatten(FitAt(tensor, 1));
+  const ObsSnapshot snap1 = ObsRegistry::Instance().Snapshot();
+
+  ObsRegistry::Instance().Reset();
+  const std::vector<double> fit8 = Flatten(FitAt(tensor, 8));
+  const ObsSnapshot snap8 = ObsRegistry::Instance().Snapshot();
+  ResetObs();
+
+  // The fits themselves are bit-identical across thread counts...
+  ASSERT_EQ(fit1.size(), fit8.size());
+  for (size_t i = 0; i < fit1.size(); ++i) {
+    EXPECT_EQ(fit1[i], fit8[i]) << "index " << i;
+  }
+  // ...so every deterministic metric must agree exactly.
+  size_t compared = 0;
+  for (const MetricSnapshot& m : snap1.metrics) {
+    if (!DeterministicAcrossThreadCounts(m.name)) continue;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        EXPECT_EQ(m.count, snap8.CounterValue(m.name)) << m.name;
+        ++compared;
+        break;
+      case MetricKind::kHistogram:
+        EXPECT_EQ(m.count, snap8.HistogramCount(m.name)) << m.name;
+        ++compared;
+        break;
+      case MetricKind::kGauge:
+        break;  // values like total_cost_bits are covered by fit equality
+    }
+  }
+  // The instrumented pipeline must actually have reported: spans from the
+  // global fit, the local fit, and the LM solver all fired.
+  EXPECT_GT(compared, 5u);
+  EXPECT_GT(snap1.CounterValue("fit_dspot.calls"), 0u);
+  EXPECT_GT(snap1.CounterValue("global_fit.rounds"), 0u);
+  EXPECT_GT(snap1.CounterValue("local_fit.locations"), 0u);
+  EXPECT_GT(snap1.CounterValue("lm.solves"), 0u);
+  EXPECT_GT(snap1.HistogramCount("lm.solve"), 0u);
+}
+
+// --- Exporters ----------------------------------------------------------
+
+TEST(ObsExport, TableAndJsonRenderArmedFit) {
+  const ActivityTensor tensor = TestTensor();
+  ResetObs();
+  ObsOptions traced;
+  traced.trace = true;
+  ObsRegistry::Instance().Enable(traced);
+  FitAt(tensor, 2);
+
+  const ObsSnapshot snap = ObsRegistry::Instance().Snapshot();
+  const std::string table = RenderMetricsTable(snap);
+  EXPECT_NE(table.find("fit_dspot.calls"), std::string::npos);
+  EXPECT_NE(table.find("lm.solve"), std::string::npos);
+
+  const std::string json = MetricsToJson(snap);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\":["), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":["), std::string::npos);
+  EXPECT_NE(json.find("\"global_fit.rounds\""), std::string::npos);
+  // JSON must never carry NaN/inf literals.
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+
+  const std::vector<TraceEvent> events =
+      ObsRegistry::Instance().TraceEvents();
+  ASSERT_FALSE(events.empty());
+  // Events come out sorted by start time.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+  }
+  const std::string trace = TraceEventsToJson(events);
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("global_fit.round"), std::string::npos);
+  EXPECT_NE(trace.find("local_fit.location"), std::string::npos);
+  EXPECT_NE(trace.find("lm.solve"), std::string::npos);
+  ResetObs();
+}
+
+TEST(ObsExport, WriteFilesRoundTrip) {
+  ResetObs();
+  ObsRegistry::Instance().Enable(ObsOptions{});
+  DSPOT_COUNT("test.export.counter", 3);
+  const std::string dir = ::testing::TempDir();
+  const std::string metrics_path = dir + "/obs_test_metrics.json";
+  ASSERT_TRUE(WriteMetricsJson(metrics_path).ok());
+  std::FILE* f = std::fopen(metrics_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buffer[4096] = {};
+  const size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, f);
+  std::fclose(f);
+  const std::string body(buffer, n);
+  EXPECT_NE(body.find("test.export.counter"), std::string::npos);
+  // Unwritable path surfaces as IoError, not a crash.
+  EXPECT_FALSE(WriteMetricsJson("/nonexistent-dir/x/y.json").ok());
+  ResetObs();
+}
+
+}  // namespace
+}  // namespace dspot

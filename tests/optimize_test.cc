@@ -234,5 +234,70 @@ TEST(LineSearch, GuardedMinimizeImprovesUnimodal) {
   EXPECT_NEAR(result, 4.0, 1e-3);
 }
 
+TEST(LineSearch, GoldenSectionCollapsedBracketReturnsBestEndpoint) {
+  // Bracket narrower than the tolerance at entry: nothing to section, the
+  // better endpoint must come back (pre-fix, an interior probe of the
+  // degenerate interval did).
+  auto fn = [](double x) { return x; };  // decreasing preference for lo
+  const double x = GoldenSectionMinimize(fn, 1.0, 1.0 + 1e-8, /*tol=*/1e-4);
+  EXPECT_DOUBLE_EQ(x, 1.0);
+  // Same with the endpoints reversed and the minimum at the upper end.
+  auto neg = [](double v) { return -v; };
+  const double y = GoldenSectionMinimize(neg, 2.0 + 1e-8, 2.0, /*tol=*/1e-4);
+  EXPECT_DOUBLE_EQ(y, 2.0 + 1e-8);
+}
+
+TEST(LineSearch, GoldenSectionEqualEndpointCosts) {
+  // Perfectly flat objective: any point in the bracket is optimal, but the
+  // result must be a finite in-bracket point, never NaN.
+  auto fn = [](double) { return 3.0; };
+  const double x = GoldenSectionMinimize(fn, -1.0, 1.0, 1e-6);
+  EXPECT_TRUE(std::isfinite(x));
+  EXPECT_GE(x, -1.0);
+  EXPECT_LE(x, 1.0);
+}
+
+TEST(LineSearch, GoldenSectionNanRegionsLoseToFinite) {
+  // The objective is NaN on the right half; the section step must never
+  // adopt a NaN probe as the incumbent. Minimum of the finite part is at 2.
+  auto fn = [](double x) {
+    if (x > 5.0) return std::numeric_limits<double>::quiet_NaN();
+    return (x - 2.0) * (x - 2.0);
+  };
+  const double x = GoldenSectionMinimize(fn, 0.0, 10.0, 1e-8);
+  EXPECT_TRUE(std::isfinite(fn(x))) << x;
+  EXPECT_NEAR(x, 2.0, 1e-2);
+}
+
+TEST(LineSearch, GuardedMinimizeEscapesNanIncumbent) {
+  // A NaN incumbent loses every `<` comparison; pre-fix GuardedMinimize
+  // therefore returned it unchanged. It must take any finite candidate.
+  auto fn = [](double x) {
+    if (x > 8.0) return std::numeric_limits<double>::quiet_NaN();
+    return (x - 3.0) * (x - 3.0);
+  };
+  const double result = GuardedMinimize(fn, 0.0, 8.0, /*current=*/9.0);
+  EXPECT_TRUE(std::isfinite(fn(result)));
+  EXPECT_NEAR(result, 3.0, 1e-2);
+}
+
+TEST(LineSearch, GoldenSectionPropertyNeverAboveEndpoints) {
+  // Property sweep: for unimodal quadratics with random vertex and random
+  // (possibly tiny) brackets, the returned point is inside the bracket and
+  // codes no worse than both endpoints.
+  Random rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double vertex = rng.Uniform(-5.0, 5.0);
+    const double lo = rng.Uniform(-6.0, 6.0);
+    const double width = rng.Uniform(0.0, trial % 4 == 0 ? 1e-6 : 4.0);
+    const double hi = lo + width;
+    auto fn = [vertex](double x) { return (x - vertex) * (x - vertex); };
+    const double x = GoldenSectionMinimize(fn, lo, hi, 1e-5);
+    EXPECT_GE(x, lo - 1e-12);
+    EXPECT_LE(x, hi + 1e-12);
+    EXPECT_LE(fn(x), std::max(fn(lo), fn(hi)) + 1e-12);
+  }
+}
+
 }  // namespace
 }  // namespace dspot

@@ -100,6 +100,23 @@ TEST(ShockDetection, CandidateCountBounded) {
   EXPECT_LE(candidates.size(), 3u);
 }
 
+TEST(ShockDetection, DegenerateMinPeriodDoesNotCrash) {
+  // min_period 0 used to let period-0/1 hypotheses through to the cycle
+  // scorer, where CycleDrift computed `gap % 0` (undefined behavior) or
+  // aligned every burst with every other. The scorer must skip them and
+  // still return well-formed candidates.
+  Series r = ResidualWithBursts(120, {10, 11, 12, 40, 41, 70, 71}, 1, 80.0);
+  ShockDetectionOptions options;
+  options.min_period = 0;
+  auto candidates = ProposeShockCandidates(r, 0, options);
+  ASSERT_FALSE(candidates.empty());
+  for (const Shock& c : candidates) {
+    if (c.IsCyclic()) {
+      EXPECT_GE(c.period, 2u);
+    }
+  }
+}
+
 TEST(ShockDetection, StrengthsProposedAsZero) {
   Series r = ResidualWithBursts(260, {6, 58, 110});
   for (const Shock& c : ProposeShockCandidates(r, 0)) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/random.h"
 #include "timeseries/metrics.h"
@@ -161,6 +162,61 @@ TEST(Stats, CandidatePeriodsEmptyForNoise) {
   // White noise may admit weak spurious peaks; require none above 0.5.
   auto candidates = CandidatePeriods(s, 32, /*min_acf=*/0.5);
   EXPECT_TRUE(candidates.empty());
+}
+
+TEST(Stats, AutocorrelationInfiniteSampleIsZero) {
+  // An inf sample survives interpolation (which only patches NaN) and used
+  // to make the mean, the denominator, and hence every ACF entry NaN.
+  Series s(50);
+  for (size_t t = 0; t < s.size(); ++t) s[t] = static_cast<double>(t % 7);
+  s[20] = std::numeric_limits<double>::infinity();
+  auto acf = Autocorrelation(s, 10);
+  for (double v : acf) {
+    EXPECT_TRUE(std::isfinite(v)) << v;
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(Stats, PeriodogramInfiniteSampleIsZero) {
+  Series s(64);
+  for (size_t t = 0; t < s.size(); ++t) s[t] = static_cast<double>(t % 5);
+  s[10] = -std::numeric_limits<double>::infinity();
+  auto power = PeriodogramByPeriod(s, 20);
+  for (double v : power) {
+    EXPECT_TRUE(std::isfinite(v)) << v;
+  }
+}
+
+TEST(Stats, CandidatePeriodsDegenerateSeries) {
+  // Constant series: no structure, no candidates, no NaN peaks.
+  EXPECT_TRUE(CandidatePeriods(Series(std::vector<double>(40, 5.0)), 20)
+                  .empty());
+  // All-missing series interpolates to zeros: same.
+  Series missing(30);
+  for (size_t t = 0; t < missing.size(); ++t) missing[t] = kMissingValue;
+  EXPECT_TRUE(CandidatePeriods(missing, 15).empty());
+  // Shorter than two periods: max_period clamps below 2 and returns empty
+  // rather than out-of-range lags.
+  Series three(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_TRUE(CandidatePeriods(three, 50).empty());
+  // Inf contamination: the ACF is all zero, so no candidate can surface.
+  Series inf_series(40);
+  for (size_t t = 0; t < inf_series.size(); ++t) {
+    inf_series[t] = static_cast<double>(t % 8);
+  }
+  inf_series[5] = std::numeric_limits<double>::infinity();
+  for (size_t p : CandidatePeriods(inf_series, 20)) {
+    EXPECT_LE(p, 20u);
+  }
+}
+
+TEST(Stats, ZScoresInfiniteSampleDegradesToZeros) {
+  Series s(std::vector<double>{1.0, 2.0,
+                               std::numeric_limits<double>::infinity()});
+  auto z = ZScores(s);
+  for (double v : z) {
+    EXPECT_TRUE(std::isfinite(v)) << v;
+  }
 }
 
 TEST(Stats, ZScoresStandardize) {

@@ -8,15 +8,23 @@
 //   fit       --series F                  fit one sequence (CSV from
 //             [--forecast H]              SaveSeriesCsv / "tick,value")
 //             [--forecast-output F]
-//             [--threads T]               0 = hardware concurrency
+//             [--threads T]               T >= 1; default: hardware conc.
 //             [--time-budget-ms MS]       deadline; partial fit on expiry
 //             [--skip-bad-rows]           tolerate malformed CSV rows
+//             [--metrics-json F]          write an obs metrics snapshot
+//             [--trace-out F]             write a Chrome trace-event file
 //   fit-tensor --input F                  fit a full tensor (long-form CSV)
 //             [--outliers-for KEYWORD]
-//             [--threads T]
+//             [--threads T]               T >= 1; default: hardware conc.
 //             [--time-budget-ms MS]       deadline; partial fit on expiry
 //             [--skip-bad-keywords]       fit what fits, report the rest
 //             [--skip-bad-rows]           tolerate malformed CSV rows
+//             [--metrics-json F]          write an obs metrics snapshot
+//             [--trace-out F]             write a Chrome trace-event file
+//
+// Flags accept both "--key value" and "--key=value". Numeric flags are
+// parsed strictly: empty values, trailing garbage ("12x"), and
+// out-of-range magnitudes are usage errors, never silently zero.
 //
 // Exit code 0 on success, 1 on any error (message on stderr). A fit cut
 // short by --time-budget-ms still exits 0: the partial model is usable
@@ -24,15 +32,19 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/parse_util.h"
 #include "core/dspot.h"
 #include "core/outliers.h"
 #include "core/report.h"
 #include "datagen/catalog.h"
 #include "datagen/generator.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "tensor/event_log.h"
 #include "tensor/tensor_io.h"
 #include "timeseries/metrics.h"
@@ -40,12 +52,22 @@
 namespace dspot {
 namespace {
 
-/// Minimal flag parser: --key value pairs after the subcommand.
+/// Minimal flag parser: --key value and --key=value after the subcommand.
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
     for (int i = first; i < argc;) {
-      const std::string key = argv[i];
+      std::string key = argv[i];
+      // "--key=value" carries its value in the same token.
+      const size_t eq = key.find('=');
+      if (key.rfind("--", 0) == 0 && eq != std::string::npos) {
+        const std::string value = key.substr(eq + 1);
+        key = key.substr(0, eq);
+        present_.push_back(key);
+        values_[key] = value;
+        i += 1;
+        continue;
+      }
       present_.push_back(key);
       // "--key value" pairs consume two tokens; a flag followed by another
       // flag (or nothing) is boolean.
@@ -65,9 +87,8 @@ class Flags {
     return it == values_.end() ? fallback : it->second;
   }
 
-  long GetInt(const std::string& key, long fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  bool HasValue(const std::string& key) const {
+    return values_.find(key) != values_.end();
   }
 
   bool Has(const std::string& key) const {
@@ -80,6 +101,80 @@ class Flags {
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> present_;
+};
+
+/// Strict integer flag: absent -> fallback; present -> the whole value
+/// must parse as an integer in [min_value, max_value], else a usage error
+/// is printed and false returned. This replaces atol(), whose silent
+/// "garbage parses as 0" turned typos like --threads=1O into requests for
+/// zero threads.
+bool ParseIntFlag(const Flags& flags, const char* key, long fallback,
+                  long min_value, long max_value, long* out) {
+  *out = fallback;
+  if (!flags.Has(key)) {
+    return true;
+  }
+  if (!flags.HasValue(key)) {
+    std::fprintf(stderr, "flag %s requires an integer value\n", key);
+    return false;
+  }
+  auto parsed = ParseInt64Text(flags.GetString(key));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "flag %s: %s\n", key,
+                 parsed.status().message().c_str());
+    return false;
+  }
+  if (*parsed < min_value || *parsed > max_value) {
+    if (max_value == std::numeric_limits<long>::max()) {
+      std::fprintf(stderr, "flag %s: %lld must be >= %ld\n", key,
+                   static_cast<long long>(*parsed), min_value);
+    } else {
+      std::fprintf(stderr, "flag %s: %lld is out of range [%ld, %ld]\n", key,
+                   static_cast<long long>(*parsed), min_value, max_value);
+    }
+    return false;
+  }
+  *out = static_cast<long>(*parsed);
+  return true;
+}
+
+/// Shared handling of --metrics-json / --trace-out on the fit commands.
+/// Arms the observation layer before the fit when either flag is present
+/// (so the spans cover the whole pipeline), and writes the requested
+/// exports afterwards.
+struct ObsExportRequest {
+  std::string metrics_path;
+  std::string trace_path;
+
+  static ObsExportRequest FromFlags(const Flags& flags) {
+    ObsExportRequest request;
+    request.metrics_path = flags.GetString("--metrics-json");
+    request.trace_path = flags.GetString("--trace-out");
+    if (!request.metrics_path.empty() || !request.trace_path.empty()) {
+      ObsOptions options;
+      options.trace = !request.trace_path.empty();
+      ObsRegistry::Instance().Enable(options);
+    }
+    return request;
+  }
+
+  int Write() const {
+    if (!metrics_path.empty()) {
+      if (Status s = WriteMetricsJson(metrics_path); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      if (Status s = WriteChromeTrace(trace_path); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote Chrome trace to %s\n", trace_path.c_str());
+    }
+    return 0;
+  }
 };
 
 std::map<std::string, KeywordScenario> ScenarioCatalog() {
@@ -120,13 +215,19 @@ int CmdGenerate(const Flags& flags) {
                  name.c_str());
     return 1;
   }
-  GeneratorConfig config = GoogleTrendsConfig(
-      static_cast<uint64_t>(flags.GetInt("--seed", 42)));
-  config.n_ticks = static_cast<size_t>(flags.GetInt("--ticks", 575));
-  config.num_locations =
-      static_cast<size_t>(flags.GetInt("--locations", 20));
-  config.num_outlier_locations =
-      static_cast<size_t>(flags.GetInt("--outliers", 3));
+  long seed = 0, ticks = 0, locations = 0, outliers = 0;
+  const long kMaxLong = std::numeric_limits<long>::max();
+  if (!ParseIntFlag(flags, "--seed", 42, std::numeric_limits<long>::min(),
+                    kMaxLong, &seed) ||
+      !ParseIntFlag(flags, "--ticks", 575, 1, kMaxLong, &ticks) ||
+      !ParseIntFlag(flags, "--locations", 20, 1, kMaxLong, &locations) ||
+      !ParseIntFlag(flags, "--outliers", 3, 0, kMaxLong, &outliers)) {
+    return 1;
+  }
+  GeneratorConfig config = GoogleTrendsConfig(static_cast<uint64_t>(seed));
+  config.n_ticks = static_cast<size_t>(ticks);
+  config.num_locations = static_cast<size_t>(locations);
+  config.num_outlier_locations = static_cast<size_t>(outliers);
 
   if (flags.Has("--series")) {
     auto series = GenerateGlobalSequence(it->second, config);
@@ -173,8 +274,20 @@ int CmdFit(const Flags& flags) {
   if (input.empty()) {
     std::fprintf(stderr,
                  "usage: dspot_cli fit --series FILE [--forecast H] "
-                 "[--forecast-output FILE] [--threads T] "
-                 "[--time-budget-ms MS] [--skip-bad-rows]\n");
+                 "[--forecast-output FILE] [--threads T>=1] "
+                 "[--time-budget-ms MS>=0] [--skip-bad-rows] "
+                 "[--metrics-json FILE] [--trace-out FILE]\n");
+    return 1;
+  }
+  const long kMaxLong = std::numeric_limits<long>::max();
+  long threads = 0, time_budget_ms = 0, horizon = 0;
+  // --threads must be >= 1 when given: an explicit 0 is almost always a
+  // mangled value (atol("bad") was 0), and "auto" is spelled by omitting
+  // the flag. Leaving it out still selects hardware concurrency.
+  if (!ParseIntFlag(flags, "--threads", 0, 1, kMaxLong, &threads) ||
+      !ParseIntFlag(flags, "--time-budget-ms", 0, 0, kMaxLong,
+                    &time_budget_ms) ||
+      !ParseIntFlag(flags, "--forecast", 0, 0, kMaxLong, &horizon)) {
     return 1;
   }
   CsvReadOptions read_options;
@@ -192,9 +305,9 @@ int CmdFit(const Flags& flags) {
   }
   DspotOptions options;
   // 0 = hardware concurrency; the fit is bit-identical at any setting.
-  options.num_threads = static_cast<size_t>(flags.GetInt("--threads", 0));
-  options.time_budget_ms =
-      static_cast<double>(flags.GetInt("--time-budget-ms", 0));
+  options.num_threads = static_cast<size_t>(threads);
+  options.time_budget_ms = static_cast<double>(time_budget_ms);
+  const ObsExportRequest obs_export = ObsExportRequest::FromFlags(flags);
   auto fit = FitDspotSingle(*series, options);
   if (!fit.ok()) {
     std::fprintf(stderr, "%s\n", fit.status().ToString().c_str());
@@ -204,8 +317,10 @@ int CmdFit(const Flags& flags) {
   std::printf("\nfit RMSE %.3f over %zu ticks; MDL total %.0f bits\n",
               fit->global_rmse[0], series->size(), fit->total_cost_bits);
   PrintHealth(fit->health);
+  if (const int rc = obs_export.Write(); rc != 0) {
+    return rc;
+  }
 
-  const long horizon = flags.GetInt("--forecast", 0);
   if (horizon > 0) {
     auto forecast =
         ForecastGlobal(fit->params, 0, static_cast<size_t>(horizon));
@@ -235,9 +350,17 @@ int CmdFitTensor(const Flags& flags) {
   if (input.empty()) {
     std::fprintf(stderr,
                  "usage: dspot_cli fit-tensor --input FILE "
-                 "[--outliers-for KEYWORD] [--threads T] "
-                 "[--time-budget-ms MS] [--skip-bad-keywords] "
-                 "[--skip-bad-rows]\n");
+                 "[--outliers-for KEYWORD] [--threads T>=1] "
+                 "[--time-budget-ms MS>=0] [--skip-bad-keywords] "
+                 "[--skip-bad-rows] [--metrics-json FILE] "
+                 "[--trace-out FILE]\n");
+    return 1;
+  }
+  const long kMaxLong = std::numeric_limits<long>::max();
+  long threads = 0, time_budget_ms = 0;
+  if (!ParseIntFlag(flags, "--threads", 0, 1, kMaxLong, &threads) ||
+      !ParseIntFlag(flags, "--time-budget-ms", 0, 0, kMaxLong,
+                    &time_budget_ms)) {
     return 1;
   }
   CsvReadOptions read_options;
@@ -256,12 +379,12 @@ int CmdFitTensor(const Flags& flags) {
   }
   DspotOptions options;
   // 0 = hardware concurrency; the fit is bit-identical at any setting.
-  options.num_threads = static_cast<size_t>(flags.GetInt("--threads", 0));
-  options.time_budget_ms =
-      static_cast<double>(flags.GetInt("--time-budget-ms", 0));
+  options.num_threads = static_cast<size_t>(threads);
+  options.time_budget_ms = static_cast<double>(time_budget_ms);
   if (flags.Has("--skip-bad-keywords")) {
     options.on_keyword_error = KeywordErrorPolicy::kSkipAndReport;
   }
+  const ObsExportRequest obs_export = ObsExportRequest::FromFlags(flags);
   auto result = FitDspot(*tensor, options);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -281,6 +404,9 @@ int CmdFitTensor(const Flags& flags) {
     }
   }
   PrintHealth(result->health);
+  if (const int rc = obs_export.Write(); rc != 0) {
+    return rc;
+  }
 
   const std::string outlier_kw = flags.GetString("--outliers-for");
   if (!outlier_kw.empty()) {
@@ -314,9 +440,16 @@ int CmdAggregate(const Flags& flags) {
                  "[--resolution N] [--origin T] [--skip-bad-rows]\n");
     return 1;
   }
+  long resolution = 0, origin = 0;
+  if (!ParseIntFlag(flags, "--resolution", 1, 1,
+                    std::numeric_limits<long>::max(), &resolution) ||
+      !ParseIntFlag(flags, "--origin", 0, std::numeric_limits<long>::min(),
+                    std::numeric_limits<long>::max(), &origin)) {
+    return 1;
+  }
   AggregationConfig config;
-  config.ticks_resolution = flags.GetInt("--resolution", 1);
-  config.origin = flags.GetInt("--origin", 0);
+  config.ticks_resolution = resolution;
+  config.origin = origin;
   CsvReadOptions read_options;
   read_options.skip_bad_rows = flags.Has("--skip-bad-rows");
   size_t skipped_rows = 0;
