@@ -25,6 +25,10 @@ enum class StatusCode {
   kDeadlineExceeded,
   /// A CancellationToken was triggered; the operation stopped cooperatively.
   kCancelled,
+  /// Stored data (e.g. a model snapshot) is unrecoverably corrupt: checksum
+  /// mismatch, truncation inside a declared payload, or an impossible value
+  /// for the stated format version.
+  kDataLoss,
 };
 
 /// Lightweight result-of-an-operation value. A `Status` is either OK or
@@ -79,6 +83,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -48,6 +48,13 @@ struct DspotOptions {
   /// land in pre-assigned slots and reductions stay in index order — so
   /// this trades only wall-clock, never output.
   size_t num_threads = 0;
+  /// Optional warm start from a previously fitted (e.g. snapshot-loaded)
+  /// model: GLOBALFIT seeds each keyword from the previous parameters and
+  /// shock schedule instead of running the cold multi-start MDL search,
+  /// and converges in measurably fewer solver iterations on similar data.
+  /// The pointee must outlive the fit. Null (default) = cold fit,
+  /// bit-identical to builds without warm-start support.
+  const ModelParamSet* warm_start = nullptr;
 };
 
 /// The result of fitting Δ-SPOT on an activity tensor.

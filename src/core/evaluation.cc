@@ -37,6 +37,11 @@ ForecastQuality EvaluateForecast(const Series& actual, const Series& forecast,
   for (size_t b = 0; b < buckets; ++b) {
     if (counts[b] > 0) {
       q.error_by_horizon[b] /= static_cast<double>(counts[b]);
+    } else {
+      // A bucket with no scored pairs (all ticks missing in either series)
+      // has no error — reporting 0.0 would be indistinguishable from a
+      // perfect forecast, so it is marked missing instead.
+      q.error_by_horizon[b] = kMissingValue;
     }
   }
   return q;

@@ -31,13 +31,19 @@ struct ForecastQuality {
   double mae = 0.0;
   /// |error| averaged within consecutive horizon buckets of
   /// `horizon_bucket` ticks each — shows how accuracy degrades with
-  /// distance from the training range.
+  /// distance from the training range. A bucket in which no tick pair was
+  /// scored (every tick missing in `actual` or `forecast`) holds
+  /// kMissingValue, not 0.0. The last bucket may cover fewer than
+  /// `horizon_bucket` ticks; it averages over only the ticks it contains.
   std::vector<double> error_by_horizon;
   size_t horizon_bucket = 0;
 };
 
-/// Scores `forecast` against the held-out `actual` (same length or
-/// shorter); buckets of `horizon_bucket` ticks for the degradation curve.
+/// Scores `forecast` against the held-out `actual`. Only the overlapping
+/// prefix min(actual.size(), forecast.size()) is scored: a forecast longer
+/// than the held-out data is truncated, never extrapolated against.
+/// `horizon_bucket` sets the bucket width for the degradation curve; 0 is
+/// clamped to 1 (the stored `q.horizon_bucket` reflects the clamp).
 ForecastQuality EvaluateForecast(const Series& actual, const Series& forecast,
                                  size_t horizon_bucket = 26);
 

@@ -1,13 +1,49 @@
 #include "core/forecast.h"
 
+#include <string>
+
 #include "core/simulate.h"
 
 namespace dspot {
+
+namespace {
+
+// Rejects local matrices whose shape disagrees with the declared
+// dimensions. `params.base_local(keyword, location)` on a mis-shaped
+// matrix (e.g. from a hand-built or corrupted parameter set) is an
+// out-of-bounds read in Release builds, so shapes are checked up front.
+Status ValidateLocalShape(const ModelParamSet& params, const char* fn) {
+  const size_t d = params.global.size();
+  const size_t l = params.num_locations;
+  if (params.base_local.rows() != d || params.base_local.cols() != l) {
+    return Status::FailedPrecondition(
+        std::string(fn) + ": base_local shape (" +
+        std::to_string(params.base_local.rows()) + "x" +
+        std::to_string(params.base_local.cols()) +
+        ") does not match declared dimensions (" + std::to_string(d) + "x" +
+        std::to_string(l) + ")");
+  }
+  if (!params.growth_local.empty() &&
+      (params.growth_local.rows() != d || params.growth_local.cols() != l)) {
+    return Status::FailedPrecondition(
+        std::string(fn) + ": growth_local shape (" +
+        std::to_string(params.growth_local.rows()) + "x" +
+        std::to_string(params.growth_local.cols()) +
+        ") does not match declared dimensions (" + std::to_string(d) + "x" +
+        std::to_string(l) + ")");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 StatusOr<Series> ForecastGlobal(const ModelParamSet& params, size_t keyword,
                                 size_t horizon) {
   if (keyword >= params.global.size()) {
     return Status::OutOfRange("ForecastGlobal: keyword index out of range");
+  }
+  if (horizon == 0) {
+    return Series();  // nothing past the training range was asked for
   }
   const size_t total = params.num_ticks + horizon;
   const Series full = SimulateGlobal(params, keyword, total);
@@ -25,6 +61,10 @@ StatusOr<Series> ForecastLocal(const ModelParamSet& params, size_t keyword,
   if (!params.has_local()) {
     return Status::FailedPrecondition(
         "ForecastLocal: LocalFit has not populated local parameters");
+  }
+  DSPOT_RETURN_IF_ERROR(ValidateLocalShape(params, "ForecastLocal"));
+  if (horizon == 0) {
+    return Series();
   }
   const size_t total = params.num_ticks + horizon;
   const Series full = SimulateLocal(params, keyword, location, total);

@@ -18,10 +18,15 @@ namespace dspot {
 
 /// Forecasts the global sequence of `keyword` for `horizon` ticks past the
 /// training range; returns exactly those `horizon` future values.
+/// `horizon == 0` returns an empty series (OK). A training range shorter
+/// than a shock's fitted period is fine: occurrences past the fitted
+/// strengths fall back to the event's base strength.
 StatusOr<Series> ForecastGlobal(const ModelParamSet& params, size_t keyword,
                                 size_t horizon);
 
-/// Same, for one (keyword, location) pair. Requires a LocalFit'd set.
+/// Same, for one (keyword, location) pair. Requires a LocalFit'd set whose
+/// local matrices match the declared dimensions (FailedPrecondition
+/// otherwise — never an out-of-bounds read on a corrupt set).
 StatusOr<Series> ForecastLocal(const ModelParamSet& params, size_t keyword,
                                size_t location, size_t horizon);
 

@@ -679,12 +679,38 @@ StatusOr<ModelParamSet> GlobalFit(const ActivityTensor& tensor,
   // result and error paths both match the serial loop bit for bit — and
   // keeps every per-keyword outcome, so kSkipAndReport can use the
   // successful fits while surfacing the failed keywords.
+  if (options.warm_start != nullptr &&
+      tensor.num_ticks() < options.warm_start->num_ticks) {
+    return Status::InvalidArgument(
+        "GlobalFit: tensor spans " + std::to_string(tensor.num_ticks()) +
+        " ticks but the warm-start model was fit on " +
+        std::to_string(options.warm_start->num_ticks) +
+        " — warm starts only extend, never shrink");
+  }
   ParallelOptions popts;
   popts.num_threads = options.num_threads;
   popts.cancel = options.guard.cancel;
   std::vector<StatusOr<GlobalSequenceFit>> fits =
       ParallelTryMap<GlobalSequenceFit>(
           params.num_keywords, popts, [&](size_t i) {
+            // Keywords covered by the warm-start model skip the cold
+            // multi-start search and refit from the previous parameters;
+            // keywords beyond it (e.g. added since the snapshot) fall
+            // back to a cold fit.
+            const ModelParamSet* warm = options.warm_start;
+            if (warm != nullptr && i < warm->global.size()) {
+              DSPOT_COUNT("global_fit.warm_starts", 1);
+              GlobalSequenceFit previous;
+              previous.params = warm->global[i];
+              for (const Shock& shock : warm->shocks) {
+                if (shock.keyword == i) previous.shocks.push_back(shock);
+              }
+              previous.estimate = Series(warm->num_ticks);
+              return RefitGlobalSequence(tensor.GlobalSequence(i), i,
+                                         params.num_keywords, previous,
+                                         options);
+            }
+            DSPOT_COUNT("global_fit.cold_starts", 1);
             return FitGlobalSequence(tensor.GlobalSequence(i), i,
                                      params.num_keywords, options);
           });

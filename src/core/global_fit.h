@@ -83,6 +83,14 @@ struct GlobalFitOptions {
   GuardContext guard;
   /// Error policy for GlobalFit's per-keyword loop (see KeywordErrorPolicy).
   KeywordErrorPolicy on_keyword_error = KeywordErrorPolicy::kFail;
+  /// Optional warm start. When non-null, keywords present in this set are
+  /// fit via RefitGlobalSequence seeded from its parameters and shocks —
+  /// skipping the cold multi-start/MDL grid search — and keywords beyond
+  /// it fall back to a cold fit. The pointee must outlive the call; the
+  /// tensor must span at least `warm_start->num_ticks` ticks. Null (the
+  /// default) leaves the cold path bit-identical to builds without this
+  /// field. Typically loaded from a ModelSnapshot (src/snapshot).
+  const ModelParamSet* warm_start = nullptr;
 };
 
 /// Result of fitting one global sequence.

@@ -1,19 +1,34 @@
 #include "tensor/normalization.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace dspot {
 
+namespace {
+
+// Scale factor mapping an observed maximum `mx` to `target_max`, or 1.0
+// (identity) whenever the quotient would not be a usable scale: mx missing
+// or non-positive (all-missing / all-zero / negative-only series), mx
+// infinite (factor would be 0 and inf * 0 poisons values with NaN), or mx
+// so small that target_max / mx overflows to infinity (subnormal maxima).
+double SafeFactor(double mx, double target_max) {
+  if (IsMissing(mx) || !(mx > 0.0)) return 1.0;
+  const double f = target_max / mx;
+  if (!std::isfinite(f) || f <= 0.0) return 1.0;
+  return f;
+}
+
+}  // namespace
+
 Series NormalizeToMax(const Series& s, ScaleInfo* info, double target_max) {
   ScaleInfo local;
-  const double mx = s.MaxValue();
-  if (!IsMissing(mx) && mx > 0.0) {
-    local.factor = target_max / mx;
-  }
+  local.factor = SafeFactor(s.MaxValue(), target_max);
   if (info != nullptr) {
     *info = local;
   }
   Series out = s;
+  if (local.factor == 1.0) return out;
   for (double& v : out.mutable_values()) {
     if (!IsMissing(v)) v *= local.factor;
   }
@@ -22,9 +37,14 @@ Series NormalizeToMax(const Series& s, ScaleInfo* info, double target_max) {
 
 Series Denormalize(const Series& s, const ScaleInfo& info) {
   Series out = s;
-  const double inv = info.Valid() ? 1.0 / info.factor : 1.0;
+  // Invalid or identity scale: return the series untouched. Dividing by
+  // `factor` (rather than multiplying by a pre-rounded 1 / factor) keeps
+  // Denormalize(NormalizeToMax(s)) exact to within one rounding per value.
+  if (!info.Valid() || !std::isfinite(info.factor) || info.factor == 1.0) {
+    return out;
+  }
   for (double& v : out.mutable_values()) {
-    if (!IsMissing(v)) v *= inv;
+    if (!IsMissing(v)) v /= info.factor;
   }
   return out;
 }
@@ -49,12 +69,11 @@ ActivityTensor NormalizeTensorPerKeyword(const ActivityTensor& tensor,
       }
     }
     ScaleInfo info;
-    if (mx > 0.0) {
-      info.factor = target_max / mx;
-    }
+    info.factor = SafeFactor(mx, target_max);
     if (infos != nullptr) {
       (*infos)[i] = info;
     }
+    if (info.factor == 1.0) continue;
     for (size_t j = 0; j < l; ++j) {
       for (size_t t = 0; t < n; ++t) {
         double& v = out.at(i, j, t);

@@ -20,8 +20,11 @@ struct ScaleInfo {
 
 /// Scales `s` so its observed maximum equals `target_max` (default 100,
 /// the Trends convention). Returns the scaled series and records the
-/// factor. A non-positive maximum leaves the series unchanged
-/// (factor = 1).
+/// factor. Degenerate maxima — missing (all-missing series), non-positive
+/// (all-zero / negative-only), infinite, or so small the factor would
+/// overflow — leave the series unchanged (factor = 1), so
+/// Denormalize(NormalizeToMax(s)) always round-trips without NaN
+/// poisoning or divide-by-zero.
 Series NormalizeToMax(const Series& s, ScaleInfo* info,
                       double target_max = 100.0);
 

@@ -1,6 +1,7 @@
 #include "tensor/tensor_io.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
@@ -11,6 +12,17 @@
 namespace dspot {
 
 namespace {
+
+/// Formats `v` with the fewest digits (15 or 17 significant) that parse
+/// back to exactly the same double, so CSV save -> load is value-exact.
+std::string FormatValue(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
 
 /// Splits a CSV line on commas. No quoting support: labels in this library
 /// are simple identifiers.
@@ -78,9 +90,11 @@ Status SaveTensorCsv(const ActivityTensor& tensor, const std::string& path) {
     for (size_t j = 0; j < tensor.num_locations(); ++j) {
       for (size_t t = 0; t < tensor.num_ticks(); ++t) {
         const double v = tensor.at(i, j, t);
-        if (IsMissing(v)) continue;
+        // Missing cells are written as explicit "NaN" rows: omitting them
+        // would let a loader fill them with zero and would shrink the tick
+        // dimension whenever the trailing ticks are all missing.
         os << tensor.keywords()[i] << ',' << tensor.locations()[j] << ',' << t
-           << ',' << v << '\n';
+           << ',' << (IsMissing(v) ? "NaN" : FormatValue(v)) << '\n';
       }
     }
   }
@@ -198,7 +212,7 @@ Status SaveSeriesCsv(const Series& series, const std::string& path) {
   for (size_t t = 0; t < series.size(); ++t) {
     os << t << ',';
     if (series.IsObserved(t)) {
-      os << series[t];
+      os << FormatValue(series[t]);
     } else {
       os << "NaN";
     }

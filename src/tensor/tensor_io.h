@@ -23,7 +23,11 @@ namespace dspot {
 /// entries absent from the file are missing in the loaded tensor only if
 /// `fill_absent_with_zero` is false.
 
-/// Writes `tensor` in long form. Missing entries are skipped.
+/// Writes `tensor` in long form. Missing entries are written as explicit
+/// "NaN" rows so a save -> load round-trip preserves both the tensor's
+/// dimensions (trailing all-missing ticks included) and exact missingness
+/// regardless of the loader's `fill_absent_with_zero` setting. Values are
+/// written with enough digits to round-trip the IEEE-754 double exactly.
 Status SaveTensorCsv(const ActivityTensor& tensor, const std::string& path);
 
 /// Loads a long-form CSV. Dimensions and label sets are inferred from the
@@ -40,6 +44,7 @@ StatusOr<ActivityTensor> LoadTensorCsv(
     const CsvReadOptions& read_options = CsvReadOptions());
 
 /// Writes a single series, one "tick,value" row per line (header included).
+/// Missing ticks are written as "NaN"; values round-trip exactly.
 Status SaveSeriesCsv(const Series& series, const std::string& path);
 
 /// Loads a single series saved by `SaveSeriesCsv`. Same error contract as

@@ -48,6 +48,50 @@ TEST(EvaluateForecast, SkipsMissing) {
   EXPECT_DOUBLE_EQ(q.rmse, 1.0);
 }
 
+TEST(EvaluateForecast, ZeroBucketClampsToOne) {
+  Series actual(std::vector<double>{0, 0, 0});
+  Series forecast(std::vector<double>{1, 2, 3});
+  ForecastQuality q = EvaluateForecast(actual, forecast, /*bucket=*/0);
+  EXPECT_EQ(q.horizon_bucket, 1u);
+  ASSERT_EQ(q.error_by_horizon.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.error_by_horizon[0], 1.0);
+  EXPECT_DOUBLE_EQ(q.error_by_horizon[2], 3.0);
+}
+
+TEST(EvaluateForecast, LongerForecastIsTruncated) {
+  // Only the overlapping prefix is scored; the forecast's tail past the
+  // held-out data contributes nothing.
+  Series actual(std::vector<double>{0, 0, 0, 0});
+  Series forecast(std::vector<double>{1, 1, 1, 1, 999, 999, 999, 999});
+  ForecastQuality q = EvaluateForecast(actual, forecast, /*bucket=*/2);
+  ASSERT_EQ(q.error_by_horizon.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.error_by_horizon[0], 1.0);
+  EXPECT_DOUBLE_EQ(q.error_by_horizon[1], 1.0);
+  EXPECT_DOUBLE_EQ(q.mae, 1.0);
+  EXPECT_DOUBLE_EQ(q.rmse, 1.0);
+}
+
+TEST(EvaluateForecast, PartialLastBucketAveragesItsOwnTicks) {
+  // 5 ticks with bucket=2: the last bucket holds a single tick and
+  // averages over it alone (not over a phantom full-width bucket).
+  Series actual(std::vector<double>{0, 0, 0, 0, 0});
+  Series forecast(std::vector<double>{1, 1, 2, 2, 7});
+  ForecastQuality q = EvaluateForecast(actual, forecast, /*bucket=*/2);
+  ASSERT_EQ(q.error_by_horizon.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.error_by_horizon[2], 7.0);
+}
+
+TEST(EvaluateForecast, EmptyBucketIsMissingNotZero) {
+  // Regression: a bucket whose every tick is missing used to report 0.0 —
+  // indistinguishable from a perfect forecast. It must be missing.
+  Series actual(std::vector<double>{0, 0, kMissingValue, kMissingValue});
+  Series forecast(std::vector<double>{1, 1, 5, 5});
+  ForecastQuality q = EvaluateForecast(actual, forecast, /*bucket=*/2);
+  ASSERT_EQ(q.error_by_horizon.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.error_by_horizon[0], 1.0);
+  EXPECT_TRUE(IsMissing(q.error_by_horizon[1]));
+}
+
 class TrainTestHarness : public ::testing::Test {
  protected:
   static Series MakeData(uint64_t seed = 33) {

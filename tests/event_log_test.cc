@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <string>
 
+#include "common/random.h"
 #include "tensor/event_log.h"
 #include "tensor/normalization.h"
 
@@ -153,6 +156,90 @@ TEST(Normalization, MissingEntriesPreserved) {
   Series normalized = NormalizeToMax(s, nullptr);
   EXPECT_TRUE(IsMissing(normalized[0]));
   EXPECT_DOUBLE_EQ(normalized[1], 100.0);
+}
+
+TEST(Normalization, AllMissingSeriesIsIdentity) {
+  Series s(std::vector<double>{kMissingValue, kMissingValue, kMissingValue});
+  ScaleInfo info;
+  Series normalized = NormalizeToMax(s, &info);
+  EXPECT_DOUBLE_EQ(info.factor, 1.0);
+  EXPECT_TRUE(info.Valid());
+  for (size_t t = 0; t < s.size(); ++t) {
+    EXPECT_TRUE(IsMissing(normalized[t]));
+  }
+  Series back = Denormalize(normalized, info);
+  for (size_t t = 0; t < s.size(); ++t) {
+    EXPECT_TRUE(IsMissing(back[t]));
+  }
+}
+
+TEST(Normalization, InfiniteMaxDoesNotPoisonValues) {
+  // Regression: target_max / inf == 0, and inf * 0 == NaN — the seed code
+  // zeroed finite values and turned the infinity itself into NaN.
+  Series s(std::vector<double>{5.0, std::numeric_limits<double>::infinity()});
+  ScaleInfo info;
+  Series normalized = NormalizeToMax(s, &info);
+  EXPECT_DOUBLE_EQ(info.factor, 1.0);
+  EXPECT_DOUBLE_EQ(normalized[0], 5.0);
+  EXPECT_TRUE(std::isinf(normalized[1]));
+  Series back = Denormalize(normalized, info);
+  EXPECT_DOUBLE_EQ(back[0], 5.0);
+}
+
+TEST(Normalization, SubnormalMaxDoesNotOverflowFactor) {
+  // Regression: target_max / 1e-310 overflows to inf, so every value
+  // became inf and Denormalize produced NaN.
+  Series s(std::vector<double>{1e-310, 5e-311});
+  ScaleInfo info;
+  Series normalized = NormalizeToMax(s, &info);
+  EXPECT_TRUE(std::isfinite(info.factor));
+  EXPECT_DOUBLE_EQ(info.factor, 1.0);
+  Series back = Denormalize(normalized, info);
+  for (size_t t = 0; t < s.size(); ++t) {
+    EXPECT_TRUE(std::isfinite(back[t]));
+    EXPECT_DOUBLE_EQ(back[t], s[t]);
+  }
+}
+
+TEST(Normalization, RoundTripPropertyOverRandomSeries) {
+  // Property: for any series (missing values included, degenerate scales
+  // included), Denormalize(NormalizeToMax(s)) returns each observed value
+  // to within 1 ulp-ish relative error, preserves missingness exactly, and
+  // the recorded ScaleInfo is always finite and valid.
+  Random rng(20260805);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(1, 40));
+    // Vary the magnitude regime across trials, hitting tiny and huge.
+    const double scale = std::pow(10.0, rng.Uniform(-12.0, 12.0));
+    Series s(n);
+    for (size_t t = 0; t < n; ++t) {
+      const double u = rng.Uniform();
+      if (u < 0.2) {
+        s[t] = kMissingValue;
+      } else if (u < 0.3) {
+        s[t] = 0.0;
+      } else {
+        s[t] = rng.Uniform(0.0, scale);
+      }
+    }
+    ScaleInfo info;
+    Series normalized = NormalizeToMax(s, &info);
+    ASSERT_TRUE(info.Valid());
+    ASSERT_TRUE(std::isfinite(info.factor));
+    Series back = Denormalize(normalized, info);
+    ASSERT_EQ(back.size(), s.size());
+    for (size_t t = 0; t < n; ++t) {
+      if (IsMissing(s[t])) {
+        EXPECT_TRUE(IsMissing(normalized[t])) << "trial " << trial;
+        EXPECT_TRUE(IsMissing(back[t])) << "trial " << trial;
+      } else {
+        ASSERT_TRUE(std::isfinite(back[t]))
+            << "trial " << trial << " t=" << t << " v=" << s[t];
+        EXPECT_NEAR(back[t], s[t], 4e-16 * std::fabs(s[t]) + 1e-300)
+            << "trial " << trial << " t=" << t;
+      }
+    }
+  }
 }
 
 TEST(Normalization, TensorPerKeywordSharedFactor) {

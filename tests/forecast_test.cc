@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/dspot.h"
 #include "core/forecast.h"
 #include "core/simulate.h"
@@ -96,6 +98,50 @@ TEST(Forecast, ErrorsOnBadIndices) {
 TEST(Forecast, LocalRequiresLocalFit) {
   ModelParamSet params = HandBuiltParams();
   EXPECT_EQ(ForecastLocal(params, 0, 0, 10).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Forecast, ZeroHorizonReturnsEmptyOk) {
+  ModelParamSet params = HandBuiltParams();
+  auto fc = ForecastGlobal(params, 0, 0);
+  ASSERT_TRUE(fc.ok()) << fc.status().ToString();
+  EXPECT_EQ(fc->size(), 0u);
+  params.num_locations = 1;
+  params.base_local = Matrix(1, 1, 50.0);
+  auto lc = ForecastLocal(params, 0, 0, 0);
+  ASSERT_TRUE(lc.ok()) << lc.status().ToString();
+  EXPECT_EQ(lc->size(), 0u);
+}
+
+TEST(Forecast, TrainingShorterThanFittedPeriodIsOk) {
+  // A shock whose period exceeds the training range has occurrences in
+  // the forecast window with no fitted strength; they must fall back to
+  // base_strength rather than read past global_strengths.
+  ModelParamSet params = HandBuiltParams();
+  params.num_ticks = 30;  // shorter than the shock period (50)
+  params.shocks[0].global_strengths = {8.0};  // only the first occurrence fit
+  auto fc = ForecastGlobal(params, 0, 100);
+  ASSERT_TRUE(fc.ok()) << fc.status().ToString();
+  ASSERT_EQ(fc->size(), 100u);
+  for (size_t h = 0; h < fc->size(); ++h) {
+    EXPECT_TRUE(std::isfinite((*fc)[h]));
+  }
+  // Occurrence at tick 70 (forecast offset 40) still fires.
+  EXPECT_GT((*fc)[43], (*fc)[30] * 1.5);
+}
+
+TEST(Forecast, LocalRejectsMisshapenLocalMatrices) {
+  // Regression: base_local(keyword, location) on a matrix whose shape
+  // disagrees with num_locations was an out-of-bounds read in Release
+  // builds (assert-only protection). Now a FailedPrecondition.
+  ModelParamSet params = HandBuiltParams();
+  params.num_locations = 3;
+  params.base_local = Matrix(1, 2, 50.0);  // 2 cols, 3 declared locations
+  EXPECT_EQ(ForecastLocal(params, 0, 2, 10).status().code(),
+            StatusCode::kFailedPrecondition);
+  params.base_local = Matrix(1, 3, 50.0);
+  params.growth_local = Matrix(2, 3);  // wrong row count
+  EXPECT_EQ(ForecastLocal(params, 0, 2, 10).status().code(),
             StatusCode::kFailedPrecondition);
 }
 

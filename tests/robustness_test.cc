@@ -6,6 +6,11 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
 
 #include "baselines/ar.h"
 #include "baselines/tbats.h"
@@ -17,6 +22,7 @@
 #include "epidemics/sir_family.h"
 #include "guard/fault_injector.h"
 #include "guard/guard.h"
+#include "snapshot/snapshot.h"
 #include "timeseries/metrics.h"
 
 namespace dspot {
@@ -346,6 +352,184 @@ TEST(Robustness, FaultInjectionMatrixFailsCleanly) {
         EXPECT_FALSE(fit.status().message().empty());
       }
     }
+  }
+}
+
+// --- Snapshot corruption: a hostile or damaged model file must produce a
+// clean, located error (InvalidArgument for not-a-snapshot / unsupported
+// version, DataLoss for corruption), and never a crash or a silently
+// wrong model. ---
+
+std::string SnapshotFuzzPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<uint8_t> ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteAllBytes(const std::string& path,
+                   const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// A tiny hand-built snapshot (no fitting) for corruption tests.
+ModelSnapshot TinySnapshot() {
+  ModelSnapshot snapshot;
+  ModelParamSet& params = snapshot.params;
+  params.num_keywords = 2;
+  params.num_locations = 1;
+  params.num_ticks = 64;
+  params.global.resize(2);
+  params.global[0].population = 120.0;
+  params.global[1].growth_start = kNpos;
+  Shock shock;
+  shock.keyword = 1;
+  shock.start = 17;
+  shock.width = 2;
+  shock.base_strength = 0.4;
+  params.shocks.push_back(shock);
+  snapshot.keywords = {"alpha", "beta"};
+  snapshot.locations = {"global"};
+  snapshot.global_rmse = {1.5, 2.5};
+  snapshot.total_cost_bits = 321.0;
+  return snapshot;
+}
+
+TEST(SnapshotRobustness, TruncatedBinaryIsCleanDataLoss) {
+  const std::string path = SnapshotFuzzPath("trunc.snap");
+  ASSERT_TRUE(SaveSnapshot(TinySnapshot(), path).ok());
+  const std::vector<uint8_t> bytes = ReadAllBytes(path);
+  ASSERT_GT(bytes.size(), 24u);
+  // Every strict prefix must fail cleanly — never crash, never return a
+  // partially decoded model.
+  for (size_t len : {bytes.size() - 1, bytes.size() - 5, bytes.size() / 2,
+                     size_t{21}, size_t{13}, size_t{9}}) {
+    WriteAllBytes(path, std::vector<uint8_t>(bytes.begin(),
+                                             bytes.begin() + len));
+    auto loaded = LoadSnapshot(path);
+    ASSERT_FALSE(loaded.ok()) << "prefix " << len;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+        << "prefix " << len << ": " << loaded.status().ToString();
+    // The error names the file, so an operator can find the bad artifact.
+    EXPECT_NE(loaded.status().message().find("trunc.snap"),
+              std::string::npos);
+  }
+}
+
+TEST(SnapshotRobustness, FlippedPayloadByteFailsChecksumWithOffset) {
+  const std::string path = SnapshotFuzzPath("flip.snap");
+  ASSERT_TRUE(SaveSnapshot(TinySnapshot(), path).ok());
+  std::vector<uint8_t> bytes = ReadAllBytes(path);
+  bytes[bytes.size() / 2] ^= 0x40;  // inside the payload
+  WriteAllBytes(path, bytes);
+  auto loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("offset"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(SnapshotRobustness, BadMagicIsInvalidArgumentNotDataLoss) {
+  const std::string path = SnapshotFuzzPath("magic.snap");
+  ASSERT_TRUE(SaveSnapshot(TinySnapshot(), path).ok());
+  std::vector<uint8_t> bytes = ReadAllBytes(path);
+  bytes[0] = 'X';
+  WriteAllBytes(path, bytes);
+  auto loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotRobustness, FutureBinaryVersionIsInvalidArgumentNamingBoth) {
+  const std::string path = SnapshotFuzzPath("future.snap");
+  ASSERT_TRUE(SaveSnapshot(TinySnapshot(), path).ok());
+  std::vector<uint8_t> bytes = ReadAllBytes(path);
+  // The u32 version sits right after the 8-byte magic (little-endian).
+  bytes[8] = 0x2A;
+  WriteAllBytes(path, bytes);
+  auto loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("42"), std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find(
+                std::to_string(kSnapshotVersion)),
+            std::string::npos);
+}
+
+TEST(SnapshotRobustness, JsonCorruptionIsCleanError) {
+  const std::string path = SnapshotFuzzPath("fuzz.json");
+  ASSERT_TRUE(
+      SaveSnapshot(TinySnapshot(), path, SnapshotFormat::kJson).ok());
+  const std::vector<uint8_t> pristine = ReadAllBytes(path);
+
+  // Truncations: parser errors, version gate, or checksum — all clean.
+  // (-2, not -1: the file ends "}\n", and losing only the newline still
+  // leaves a complete object.)
+  for (size_t len : {pristine.size() - 2, pristine.size() / 2, size_t{2}}) {
+    WriteAllBytes(path, std::vector<uint8_t>(pristine.begin(),
+                                             pristine.begin() + len));
+    auto loaded = LoadSnapshot(path);
+    ASSERT_FALSE(loaded.ok()) << "prefix " << len;
+    const StatusCode code = loaded.status().code();
+    EXPECT_TRUE(code == StatusCode::kDataLoss ||
+                code == StatusCode::kInvalidArgument)
+        << loaded.status().ToString();
+  }
+
+  // A tampered model value parses fine but fails the payload checksum.
+  std::string text(pristine.begin(), pristine.end());
+  const size_t pos = text.find("\"total_cost_bits\": 321");
+  ASSERT_NE(pos, std::string::npos) << text;
+  text.replace(pos, std::string("\"total_cost_bits\": 321").size(),
+               "\"total_cost_bits\": 322");
+  WriteAllBytes(path, std::vector<uint8_t>(text.begin(), text.end()));
+  auto tampered = LoadSnapshot(path);
+  ASSERT_FALSE(tampered.ok());
+  EXPECT_EQ(tampered.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(tampered.status().message().find("checksum"), std::string::npos)
+      << tampered.status().ToString();
+}
+
+TEST(SnapshotRobustness, RandomByteFlipsNeverCrash) {
+  const std::string bin_path = SnapshotFuzzPath("fuzzbin.snap");
+  const std::string json_path = SnapshotFuzzPath("fuzzjson.json");
+  ASSERT_TRUE(SaveSnapshot(TinySnapshot(), bin_path).ok());
+  ASSERT_TRUE(
+      SaveSnapshot(TinySnapshot(), json_path, SnapshotFormat::kJson).ok());
+  const std::vector<uint8_t> bin = ReadAllBytes(bin_path);
+  const std::vector<uint8_t> json = ReadAllBytes(json_path);
+  Random rng(20260805);
+  for (int trial = 0; trial < 400; ++trial) {
+    const bool use_json = trial % 2 == 1;
+    std::vector<uint8_t> bytes = use_json ? json : bin;
+    // 1-3 random flips anywhere in the file.
+    const int flips = 1 + static_cast<int>(rng.UniformInt(0, 2));
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+      bytes[pos] ^= static_cast<uint8_t>(1u << rng.UniformInt(0, 7));
+    }
+    const std::string& path = use_json ? json_path : bin_path;
+    WriteAllBytes(path, bytes);
+    auto loaded = LoadSnapshot(path);
+    if (!loaded.ok()) {
+      // Any failure must be a located, descriptive error.
+      EXPECT_FALSE(loaded.status().message().empty());
+      const StatusCode code = loaded.status().code();
+      EXPECT_TRUE(code == StatusCode::kDataLoss ||
+                  code == StatusCode::kInvalidArgument)
+          << loaded.status().ToString();
+    }
+    // A successful load is possible only when the flips were semantically
+    // inert (JSON whitespace); either way, no crash and no partial model.
   }
 }
 

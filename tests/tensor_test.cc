@@ -110,7 +110,10 @@ TEST(TensorIo, SaveLoadRoundTrip) {
   }
 }
 
-TEST(TensorIo, MissingEntriesSkippedAndRefilled) {
+TEST(TensorIo, MissingEntriesSurviveRoundTrip) {
+  // Missing cells are written as explicit NaN rows, so they stay missing
+  // under BOTH loader modes: fill_absent_with_zero only affects cells that
+  // are genuinely absent from the file.
   ActivityTensor t(1, 1, 3);
   t.at(0, 0, 0) = 1.0;
   t.at(0, 0, 1) = kMissingValue;
@@ -119,10 +122,61 @@ TEST(TensorIo, MissingEntriesSkippedAndRefilled) {
   ASSERT_TRUE(SaveTensorCsv(t, path).ok());
   auto as_zero = LoadTensorCsv(path, /*fill_absent_with_zero=*/true);
   ASSERT_TRUE(as_zero.ok());
+  EXPECT_TRUE(IsMissing(as_zero->at(0, 0, 1)));
+  auto as_missing = LoadTensorCsv(path, /*fill_absent_with_zero=*/false);
+  ASSERT_TRUE(as_missing.ok());
+  EXPECT_TRUE(IsMissing(as_missing->at(0, 0, 1)));
+}
+
+TEST(TensorIo, AbsentCellsStillFollowFillPolicy) {
+  // A hand-written file with genuinely absent cells (no row at all) keeps
+  // the historical fill_absent_with_zero behavior.
+  const std::string path = TempPath("tensor_absent.csv");
+  {
+    std::ofstream os(path);
+    os << "keyword,location,tick,value\n";
+    os << "a,US,0,1.5\n";
+    os << "a,US,2,2.5\n";  // tick 1 absent
+  }
+  auto as_zero = LoadTensorCsv(path, /*fill_absent_with_zero=*/true);
+  ASSERT_TRUE(as_zero.ok());
   EXPECT_DOUBLE_EQ(as_zero->at(0, 0, 1), 0.0);
   auto as_missing = LoadTensorCsv(path, /*fill_absent_with_zero=*/false);
   ASSERT_TRUE(as_missing.ok());
   EXPECT_TRUE(IsMissing(as_missing->at(0, 0, 1)));
+}
+
+TEST(TensorIo, MissingRoundTripPreservesDimsAndExactValues) {
+  // Regression: the seed writer skipped missing cells, which (a) turned
+  // them into zeros under the default loader, (b) shrank the tick
+  // dimension when the trailing ticks were all missing, and (c) printed
+  // with 6 significant digits, losing value bits.
+  ActivityTensor t(1, 2, 4);
+  t.at(0, 0, 0) = 1.25;
+  t.at(0, 0, 1) = kMissingValue;
+  t.at(0, 0, 2) = 0.1;
+  t.at(0, 0, 3) = kMissingValue;
+  t.at(0, 1, 0) = 1.0 / 3.0;  // needs 17 significant digits
+  t.at(0, 1, 1) = 2.0;
+  t.at(0, 1, 2) = kMissingValue;
+  t.at(0, 1, 3) = kMissingValue;  // trailing tick all-missing
+  const std::string path = TempPath("tensor_missing_dims.csv");
+  ASSERT_TRUE(SaveTensorCsv(t, path).ok());
+  auto back = LoadTensorCsv(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_ticks(), 4u);
+  for (size_t j = 0; j < 2; ++j) {
+    for (size_t k = 0; k < 4; ++k) {
+      const double want = t.at(0, j, k);
+      const double got = back->at(0, j, k);
+      if (IsMissing(want)) {
+        EXPECT_TRUE(IsMissing(got)) << "cell (" << j << "," << k << ")";
+      } else {
+        // Bit-exact, not just approximately equal.
+        EXPECT_EQ(got, want) << "cell (" << j << "," << k << ")";
+      }
+    }
+  }
 }
 
 TEST(TensorIo, LoadRejectsMissingFile) {

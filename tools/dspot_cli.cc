@@ -8,6 +8,8 @@
 //   fit       --series F                  fit one sequence (CSV from
 //             [--forecast H]              SaveSeriesCsv / "tick,value")
 //             [--forecast-output F]
+//             [--save-model F]            write a model snapshot after the
+//             [--model-json]              fit (binary unless --model-json)
 //             [--threads T]               T >= 1; default: hardware conc.
 //             [--time-budget-ms MS]       deadline; partial fit on expiry
 //             [--skip-bad-rows]           tolerate malformed CSV rows
@@ -15,12 +17,30 @@
 //             [--trace-out F]             write a Chrome trace-event file
 //   fit-tensor --input F                  fit a full tensor (long-form CSV)
 //             [--outliers-for KEYWORD]
+//             [--save-model F]            write a model snapshot after the
+//             [--model-json]              fit (binary unless --model-json)
 //             [--threads T]               T >= 1; default: hardware conc.
 //             [--time-budget-ms MS]       deadline; partial fit on expiry
 //             [--skip-bad-keywords]       fit what fits, report the rest
 //             [--skip-bad-rows]           tolerate malformed CSV rows
 //             [--metrics-json F]          write an obs metrics snapshot
 //             [--trace-out F]             write a Chrome trace-event file
+//   refit     --model F                   refit a saved model on (new)
+//             --series F | --input F      data, warm-starting GLOBALFIT
+//             [--cold]                    from the snapshot; --cold forces
+//             [--save-model F]            the full multi-start MDL search
+//             [--model-json]              for comparison
+//             [--threads T] [--time-budget-ms MS] [--skip-bad-rows]
+//             [--metrics-json F] [--trace-out F]
+//   update    --model F --input F         absorb newly appended ticks into
+//             [--append F]                a saved model: --input spans the
+//             [--save-model F]            original range (plus any new
+//             [--model-json]              ticks); --append concatenates a
+//             [--threads T]               second tensor's ticks after it.
+//             [--time-budget-ms MS]       Shock re-detection runs only for
+//             [--skip-bad-rows]           keywords whose appended window
+//             [--metrics-json F]          bursts against the old model.
+//             [--trace-out F]
 //
 // Flags accept both "--key value" and "--key=value". Numeric flags are
 // parsed strictly: empty values, trailing garbage ("12x"), and
@@ -35,6 +55,7 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/parse_util.h"
@@ -45,6 +66,8 @@
 #include "datagen/generator.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/update.h"
 #include "tensor/event_log.h"
 #include "tensor/tensor_io.h"
 #include "timeseries/metrics.h"
@@ -176,6 +199,35 @@ struct ObsExportRequest {
     return 0;
   }
 };
+
+/// Shared handling of --save-model / --model-json on the fitting
+/// commands: writes `snapshot` to the requested path (binary unless
+/// --model-json), or does nothing when the flag is absent.
+int SaveModelIfRequested(const Flags& flags, const ModelSnapshot& snapshot) {
+  const std::string path = flags.GetString("--save-model");
+  if (path.empty()) {
+    return 0;
+  }
+  const bool json = flags.Has("--model-json");
+  const SnapshotFormat format =
+      json ? SnapshotFormat::kJson : SnapshotFormat::kBinary;
+  if (Status s = SaveSnapshot(snapshot, path, format); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s model snapshot to %s\n", json ? "JSON" : "binary",
+              path.c_str());
+  return 0;
+}
+
+/// Loads the snapshot named by --model, printing usage/errors on failure.
+StatusOr<ModelSnapshot> LoadModelFlag(const Flags& flags) {
+  const std::string path = flags.GetString("--model");
+  if (path.empty()) {
+    return Status::InvalidArgument("--model FILE is required");
+  }
+  return LoadSnapshot(path);
+}
 
 std::map<std::string, KeywordScenario> ScenarioCatalog() {
   std::map<std::string, KeywordScenario> catalog;
@@ -317,6 +369,16 @@ int CmdFit(const Flags& flags) {
   std::printf("\nfit RMSE %.3f over %zu ticks; MDL total %.0f bits\n",
               fit->global_rmse[0], series->size(), fit->total_cost_bits);
   PrintHealth(fit->health);
+  ModelSnapshot snapshot;
+  snapshot.params = fit->params;
+  snapshot.keywords = {"series"};
+  snapshot.locations = {"global"};
+  snapshot.global_rmse = fit->global_rmse;
+  snapshot.total_cost_bits = fit->total_cost_bits;
+  snapshot.health = fit->health;
+  if (const int rc = SaveModelIfRequested(flags, snapshot); rc != 0) {
+    return rc;
+  }
   if (const int rc = obs_export.Write(); rc != 0) {
     return rc;
   }
@@ -404,6 +466,11 @@ int CmdFitTensor(const Flags& flags) {
     }
   }
   PrintHealth(result->health);
+  if (const int rc =
+          SaveModelIfRequested(flags, MakeSnapshot(*result, *tensor));
+      rc != 0) {
+    return rc;
+  }
   if (const int rc = obs_export.Write(); rc != 0) {
     return rc;
   }
@@ -473,11 +540,235 @@ int CmdAggregate(const Flags& flags) {
   return 0;
 }
 
+int CmdRefit(const Flags& flags) {
+  const std::string series_path = flags.GetString("--series");
+  const std::string tensor_path = flags.GetString("--input");
+  if ((series_path.empty() == tensor_path.empty()) ||
+      !flags.HasValue("--model")) {
+    std::fprintf(stderr,
+                 "usage: dspot_cli refit --model FILE "
+                 "(--series FILE | --input FILE) [--cold] "
+                 "[--save-model FILE] [--model-json] [--threads T>=1] "
+                 "[--time-budget-ms MS>=0] [--skip-bad-rows] "
+                 "[--metrics-json FILE] [--trace-out FILE]\n");
+    return 1;
+  }
+  const long kMaxLong = std::numeric_limits<long>::max();
+  long threads = 0, time_budget_ms = 0;
+  if (!ParseIntFlag(flags, "--threads", 0, 1, kMaxLong, &threads) ||
+      !ParseIntFlag(flags, "--time-budget-ms", 0, 0, kMaxLong,
+                    &time_budget_ms)) {
+    return 1;
+  }
+  auto model = LoadModelFlag(flags);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  CsvReadOptions read_options;
+  read_options.skip_bad_rows = flags.Has("--skip-bad-rows");
+  size_t skipped_rows = 0;
+  read_options.skipped_rows = &skipped_rows;
+
+  DspotOptions options;
+  options.num_threads = static_cast<size_t>(threads);
+  options.time_budget_ms = static_cast<double>(time_budget_ms);
+  const bool cold = flags.Has("--cold");
+  if (!cold) {
+    options.warm_start = &model->params;
+  }
+  const ObsExportRequest obs_export = ObsExportRequest::FromFlags(flags);
+
+  StatusOr<DspotResult> fit = Status::Internal("unreachable");
+  std::vector<std::string> keywords;
+  std::vector<std::string> locations;
+  if (!series_path.empty()) {
+    auto series = LoadSeriesCsv(series_path, read_options);
+    if (!series.ok()) {
+      std::fprintf(stderr, "%s\n", series.status().ToString().c_str());
+      return 1;
+    }
+    keywords = {"series"};
+    locations = {"global"};
+    fit = FitDspotSingle(*series, options);
+  } else {
+    auto tensor = LoadTensorCsv(tensor_path, /*fill_absent_with_zero=*/true,
+                                read_options);
+    if (!tensor.ok()) {
+      std::fprintf(stderr, "%s\n", tensor.status().ToString().c_str());
+      return 1;
+    }
+    keywords = tensor->keywords();
+    locations = tensor->locations();
+    fit = FitDspot(*tensor, options);
+  }
+  if (skipped_rows > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed row(s)\n",
+                 skipped_rows);
+  }
+  if (!fit.ok()) {
+    std::fprintf(stderr, "%s\n", fit.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s refit from %s\n", cold ? "cold" : "warm",
+              flags.GetString("--model").c_str());
+  std::printf("%s", RenderReport(fit->params, keywords).c_str());
+  std::printf("\nrefit RMSE:\n");
+  for (size_t i = 0; i < fit->global_rmse.size(); ++i) {
+    std::printf("  %-20s %.3f\n",
+                (i < keywords.size() ? keywords[i] : "?").c_str(),
+                fit->global_rmse[i]);
+  }
+  std::printf("MDL total %.0f bits\n", fit->total_cost_bits);
+  PrintHealth(fit->health);
+  ModelSnapshot snapshot;
+  snapshot.params = fit->params;
+  snapshot.keywords = keywords;
+  snapshot.locations = locations;
+  snapshot.global_rmse = fit->global_rmse;
+  snapshot.total_cost_bits = fit->total_cost_bits;
+  snapshot.health = fit->health;
+  if (const int rc = SaveModelIfRequested(flags, snapshot); rc != 0) {
+    return rc;
+  }
+  return obs_export.Write();
+}
+
+/// Concatenates `extra`'s ticks after `base`'s (labels must match).
+StatusOr<ActivityTensor> ConcatTicks(const ActivityTensor& base,
+                                     const ActivityTensor& extra) {
+  if (base.num_keywords() != extra.num_keywords() ||
+      base.num_locations() != extra.num_locations()) {
+    return Status::InvalidArgument(
+        "--append tensor is " + std::to_string(extra.num_keywords()) + "x" +
+        std::to_string(extra.num_locations()) + " but --input is " +
+        std::to_string(base.num_keywords()) + "x" +
+        std::to_string(base.num_locations()));
+  }
+  for (size_t i = 0; i < base.num_keywords(); ++i) {
+    if (base.keywords()[i] != extra.keywords()[i]) {
+      return Status::InvalidArgument(
+          "--append keyword " + std::to_string(i) + " is '" +
+          extra.keywords()[i] + "' but --input has '" + base.keywords()[i] +
+          "'");
+    }
+  }
+  for (size_t j = 0; j < base.num_locations(); ++j) {
+    if (base.locations()[j] != extra.locations()[j]) {
+      return Status::InvalidArgument(
+          "--append location " + std::to_string(j) + " is '" +
+          extra.locations()[j] + "' but --input has '" + base.locations()[j] +
+          "'");
+    }
+  }
+  ActivityTensor out(base.num_keywords(), base.num_locations(),
+                     base.num_ticks() + extra.num_ticks());
+  for (size_t i = 0; i < base.num_keywords(); ++i) {
+    DSPOT_RETURN_IF_ERROR(out.SetKeywordName(i, base.keywords()[i]));
+  }
+  for (size_t j = 0; j < base.num_locations(); ++j) {
+    DSPOT_RETURN_IF_ERROR(out.SetLocationName(j, base.locations()[j]));
+  }
+  for (size_t i = 0; i < base.num_keywords(); ++i) {
+    for (size_t j = 0; j < base.num_locations(); ++j) {
+      for (size_t t = 0; t < base.num_ticks(); ++t) {
+        out.at(i, j, t) = base.at(i, j, t);
+      }
+      for (size_t t = 0; t < extra.num_ticks(); ++t) {
+        out.at(i, j, base.num_ticks() + t) = extra.at(i, j, t);
+      }
+    }
+  }
+  return out;
+}
+
+int CmdUpdate(const Flags& flags) {
+  const std::string input = flags.GetString("--input");
+  if (input.empty() || !flags.HasValue("--model")) {
+    std::fprintf(stderr,
+                 "usage: dspot_cli update --model FILE --input FILE "
+                 "[--append FILE] [--save-model FILE] [--model-json] "
+                 "[--threads T>=1] [--time-budget-ms MS>=0] "
+                 "[--skip-bad-rows] [--metrics-json FILE] "
+                 "[--trace-out FILE]\n");
+    return 1;
+  }
+  const long kMaxLong = std::numeric_limits<long>::max();
+  long threads = 0, time_budget_ms = 0;
+  if (!ParseIntFlag(flags, "--threads", 0, 1, kMaxLong, &threads) ||
+      !ParseIntFlag(flags, "--time-budget-ms", 0, 0, kMaxLong,
+                    &time_budget_ms)) {
+    return 1;
+  }
+  auto model = LoadModelFlag(flags);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  CsvReadOptions read_options;
+  read_options.skip_bad_rows = flags.Has("--skip-bad-rows");
+  size_t skipped_rows = 0;
+  read_options.skipped_rows = &skipped_rows;
+  auto tensor =
+      LoadTensorCsv(input, /*fill_absent_with_zero=*/true, read_options);
+  if (!tensor.ok()) {
+    std::fprintf(stderr, "%s\n", tensor.status().ToString().c_str());
+    return 1;
+  }
+  const std::string append_path = flags.GetString("--append");
+  if (!append_path.empty()) {
+    auto extra = LoadTensorCsv(append_path, /*fill_absent_with_zero=*/true,
+                               read_options);
+    if (!extra.ok()) {
+      std::fprintf(stderr, "%s\n", extra.status().ToString().c_str());
+      return 1;
+    }
+    auto combined = ConcatTicks(*tensor, *extra);
+    if (!combined.ok()) {
+      std::fprintf(stderr, "%s\n", combined.status().ToString().c_str());
+      return 1;
+    }
+    tensor = std::move(combined);
+  }
+  if (skipped_rows > 0) {
+    std::fprintf(stderr, "warning: skipped %zu malformed row(s)\n",
+                 skipped_rows);
+  }
+  UpdateOptions options;
+  options.fit.num_threads = static_cast<size_t>(threads);
+  options.fit.time_budget_ms = static_cast<double>(time_budget_ms);
+  const ObsExportRequest obs_export = ObsExportRequest::FromFlags(flags);
+  auto update = UpdateFit(*model, *tensor, options);
+  if (!update.ok()) {
+    std::fprintf(stderr, "%s\n", update.status().ToString().c_str());
+    return 1;
+  }
+  const DspotResult& result = update->result;
+  std::printf("absorbed %zu appended tick(s) into %s\n",
+              update->appended_ticks, flags.GetString("--model").c_str());
+  std::printf("%s", RenderReport(result.params, tensor->keywords()).c_str());
+  std::printf("\nper-keyword update:\n");
+  for (size_t i = 0; i < tensor->num_keywords(); ++i) {
+    std::printf("  %-20s RMSE %.3f  %s\n", tensor->keywords()[i].c_str(),
+                result.global_rmse[i],
+                update->redetected[i] ? "re-detected shocks"
+                                      : "kept cached schedule");
+  }
+  std::printf("MDL total %.0f bits\n", result.total_cost_bits);
+  PrintHealth(result.health);
+  if (const int rc =
+          SaveModelIfRequested(flags, MakeSnapshot(result, *tensor));
+      rc != 0) {
+    return rc;
+  }
+  return obs_export.Write();
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: dspot_cli "
-                 "<scenarios|generate|aggregate|fit|fit-tensor> [flags]\n");
+                 "usage: dspot_cli <scenarios|generate|aggregate|fit|"
+                 "fit-tensor|refit|update> [flags]\n");
     return 1;
   }
   const std::string command = argv[1];
@@ -487,6 +778,8 @@ int Main(int argc, char** argv) {
   if (command == "aggregate") return CmdAggregate(flags);
   if (command == "fit") return CmdFit(flags);
   if (command == "fit-tensor") return CmdFitTensor(flags);
+  if (command == "refit") return CmdRefit(flags);
+  if (command == "update") return CmdUpdate(flags);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 1;
 }
