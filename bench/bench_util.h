@@ -2,18 +2,116 @@
 #define DSPOT_BENCH_BENCH_UTIL_H_
 
 // Shared console-output helpers for the figure-reproduction benches:
-// ASCII sparklines (so each "figure" is eyeballable in a terminal) and
-// calendar rendering for the weekly GoogleTrends-style time axis.
+// ASCII sparklines (so each "figure" is eyeballable in a terminal),
+// calendar rendering for the weekly GoogleTrends-style time axis, and the
+// machine-readable BENCH_<name>.json emitter the CI perf trajectory
+// ingests.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/shock.h"
 #include "timeseries/series.h"
 
 namespace dspot {
 namespace bench {
+
+/// Machine-readable bench results: top-level scalar metrics plus an
+/// optional array of per-configuration rows, written as one JSON document
+/// ({"bench": ..., "metrics": {...}, "rows": [{...}, ...]}). Insertion
+/// order is preserved so diffs between runs line up; non-finite values
+/// are emitted as null (JSON has no NaN/inf).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Set(const std::string& key, double value) {
+    metrics_.emplace_back(key, Number(value));
+  }
+  void Set(const std::string& key, const std::string& value) {
+    metrics_.emplace_back(key, Quote(value));
+  }
+
+  /// Starts a new row; subsequent SetRow calls fill it.
+  void AddRow() { rows_.emplace_back(); }
+  void SetRow(const std::string& key, double value) {
+    rows_.back().emplace_back(key, Number(value));
+  }
+  void SetRow(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, Quote(value));
+  }
+
+  /// Writes the document; complains on stderr and returns false on I/O
+  /// failure (benches report but do not abort on a failed export).
+  bool WriteTo(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "bench json: cannot open %s\n", path.c_str());
+      return false;
+    }
+    os << "{\n  \"bench\": " << Quote(name_) << ",\n  \"metrics\": {";
+    WriteFields(os, metrics_, "    ");
+    os << "  }";
+    if (!rows_.empty()) {
+      os << ",\n  \"rows\": [\n";
+      for (size_t r = 0; r < rows_.size(); ++r) {
+        os << "    {";
+        WriteFields(os, rows_[r], "      ");
+        os << "    }" << (r + 1 < rows_.size() ? "," : "") << "\n";
+      }
+      os << "  ]";
+    }
+    os << "\n}\n";
+    os.flush();
+    if (!os) {
+      std::fprintf(stderr, "bench json: write failed: %s\n", path.c_str());
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  static std::string Number(double value) {
+    if (!std::isfinite(value)) {
+      return "null";
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    return buf;
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  static void WriteFields(std::ofstream& os, const Fields& fields,
+                          const char* indent) {
+    os << "\n";
+    for (size_t i = 0; i < fields.size(); ++i) {
+      os << indent << Quote(fields[i].first) << ": " << fields[i].second
+         << (i + 1 < fields.size() ? "," : "") << "\n";
+    }
+  }
+
+  std::string name_;
+  Fields metrics_;
+  std::vector<Fields> rows_;
+};
 
 /// Renders `s` as a one-line ASCII sparkline of `columns` buckets
 /// (max-pooled so narrow spikes stay visible).

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "core/dspot.h"
 #include "datagen/catalog.h"
 #include "datagen/generator.h"
@@ -75,7 +76,7 @@ ActivityTensor ExtendQuiet(const ActivityTensor& tensor, size_t appended) {
   return out;
 }
 
-void Row(size_t d, size_t l, size_t n) {
+void Row(size_t d, size_t l, size_t n, bench::BenchJson* json) {
   const ActivityTensor tensor = MakeTensor(d, l, n, /*seed=*/7);
   if (tensor.empty()) return;
 
@@ -143,6 +144,19 @@ void Row(size_t d, size_t l, size_t n) {
               warm.lm_iters, warm.cost_bits,
               warm.ms > 0 ? cold.ms / warm.ms : 0.0, update.ms,
               update.lm_iters);
+
+  json->AddRow();
+  json->SetRow("keywords", static_cast<double>(d));
+  json->SetRow("locations", static_cast<double>(l));
+  json->SetRow("ticks", static_cast<double>(n));
+  json->SetRow("cold_ms", cold.ms);
+  json->SetRow("cold_lm_iterations", cold.lm_iters);
+  json->SetRow("cold_cost_bits", cold.cost_bits);
+  json->SetRow("warm_ms", warm.ms);
+  json->SetRow("warm_lm_iterations", warm.lm_iters);
+  json->SetRow("warm_cost_bits", warm.cost_bits);
+  json->SetRow("update_ms", update.ms);
+  json->SetRow("update_lm_iterations", update.lm_iters);
 }
 
 }  // namespace
@@ -155,9 +169,18 @@ int main() {
               "l", "n", "cold ms", "lm it", "bits", "warm ms", "lm it",
               "bits", "speedup", "upd ms", "lm it");
   dspot::ObsRegistry::Instance().Enable(dspot::ObsOptions());
-  dspot::Row(1, 4, 104);
-  dspot::Row(2, 4, 208);
-  dspot::Row(4, 8, 208);
-  dspot::Row(8, 8, 208);
+  const auto t0 = std::chrono::steady_clock::now();
+  dspot::bench::BenchJson json("warm_start");
+  dspot::Row(1, 4, 104, &json);
+  dspot::Row(2, 4, 208, &json);
+  dspot::Row(4, 8, 208, &json);
+  dspot::Row(8, 8, 208, &json);
+  json.Set("wall_ms", std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+  json.Set("threads", 1.0);
+  if (json.WriteTo("BENCH_warm_start.json")) {
+    std::printf("\nwrote BENCH_warm_start.json\n");
+  }
   return 0;
 }

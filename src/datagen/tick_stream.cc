@@ -1,0 +1,81 @@
+#include "datagen/tick_stream.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/random.h"
+
+namespace dspot {
+
+namespace {
+
+/// Count of keyword `keyword` at tick `tick` — a pure function of
+/// (seed, keyword, tick), so emission order and consumer parallelism can
+/// never change the stream. A fresh child engine per record trades a few
+/// hundred nanoseconds for that order-independence; the alternative (one
+/// live engine per keyword) would pin ~2.5 KB of mt19937 state per keyword
+/// across a 100k-keyword sweep.
+double TickCount(const TickStreamConfig& config, uint32_t keyword,
+                 size_t tick) {
+  Random rng = Random(config.seed).Child(keyword).Child(tick);
+  double rate = config.base_rate;
+  const bool hot = keyword < config.hot_keywords;
+  if (hot && tick >= config.burst_start &&
+      tick < config.burst_start + config.burst_width) {
+    rate *= std::max(config.burst_strength, 1.0);
+  }
+  return static_cast<double>(rng.Poisson(rate));
+}
+
+}  // namespace
+
+std::string TickStreamKeywordName(uint32_t keyword) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "kw%06u", keyword);
+  return std::string(buf);
+}
+
+void ForEachStreamTick(const TickStreamConfig& config,
+                       const std::function<void(const TickRecord&)>& fn) {
+  const size_t max_ticks = std::max(config.num_ticks, config.quiet_ticks);
+  for (size_t t = 0; t < max_ticks; ++t) {
+    for (size_t i = 0; i < config.num_keywords; ++i) {
+      const bool hot = i < config.hot_keywords;
+      const size_t emitted = hot ? config.num_ticks : config.quiet_ticks;
+      if (t >= emitted) {
+        continue;
+      }
+      TickRecord record;
+      record.keyword = static_cast<uint32_t>(i);
+      record.timestamp =
+          config.origin + static_cast<int64_t>(t) * config.ticks_resolution;
+      record.count = TickCount(config, record.keyword, t);
+      fn(record);
+    }
+  }
+}
+
+std::vector<TickRecord> GenerateTickStream(const TickStreamConfig& config) {
+  std::vector<TickRecord> records;
+  ForEachStreamTick(config,
+                    [&records](const TickRecord& r) { records.push_back(r); });
+  return records;
+}
+
+bool WriteTickStreamCsv(const TickStreamConfig& config,
+                        const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  os << "keyword,location,timestamp,count\n";
+  ForEachStreamTick(config, [&os](const TickRecord& r) {
+    os << TickStreamKeywordName(r.keyword) << ",all," << r.timestamp << ','
+       << r.count << '\n';
+  });
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+}  // namespace dspot

@@ -40,6 +40,74 @@ double OldWindowSigma(std::span<const double> actual,
 
 }  // namespace
 
+StatusOr<ActivityTensor> ConcatTicks(const ActivityTensor& base,
+                                     const ActivityTensor& extra,
+                                     size_t extra_first_tick) {
+  if (base.num_keywords() != extra.num_keywords() ||
+      base.num_locations() != extra.num_locations()) {
+    return Status::InvalidArgument(
+        "ConcatTicks: append tensor is " +
+        std::to_string(extra.num_keywords()) + "x" +
+        std::to_string(extra.num_locations()) + " but the base tensor is " +
+        std::to_string(base.num_keywords()) + "x" +
+        std::to_string(base.num_locations()));
+  }
+  for (size_t i = 0; i < base.num_keywords(); ++i) {
+    if (base.keywords()[i] != extra.keywords()[i]) {
+      return Status::InvalidArgument(
+          "ConcatTicks: append keyword " + std::to_string(i) + " is '" +
+          extra.keywords()[i] + "' but the base tensor has '" +
+          base.keywords()[i] + "'");
+    }
+  }
+  for (size_t j = 0; j < base.num_locations(); ++j) {
+    if (base.locations()[j] != extra.locations()[j]) {
+      return Status::InvalidArgument(
+          "ConcatTicks: append location " + std::to_string(j) + " is '" +
+          extra.locations()[j] + "' but the base tensor has '" +
+          base.locations()[j] + "'");
+    }
+  }
+  // A declared placement must be exactly one past the base range: below it
+  // the append re-delivers ticks the base already holds, above it the
+  // stitched axis would invent unobserved ticks.
+  if (extra_first_tick != kNpos && extra_first_tick < base.num_ticks()) {
+    return Status::InvalidArgument(
+        "ConcatTicks: append tensor starts at tick " +
+        std::to_string(extra_first_tick) + " but the base tensor already " +
+        "covers ticks [0, " + std::to_string(base.num_ticks()) +
+        ") — duplicate or out-of-order ticks cannot be appended");
+  }
+  if (extra_first_tick != kNpos && extra_first_tick > base.num_ticks()) {
+    return Status::InvalidArgument(
+        "ConcatTicks: append tensor starts at tick " +
+        std::to_string(extra_first_tick) + " but the base tensor ends at tick " +
+        std::to_string(base.num_ticks()) +
+        " — the gap of " +
+        std::to_string(extra_first_tick - base.num_ticks()) +
+        " tick(s) has no observations");
+  }
+  ActivityTensor out(base.num_keywords(), base.num_locations(),
+                     base.num_ticks() + extra.num_ticks());
+  for (size_t i = 0; i < base.num_keywords(); ++i) {
+    DSPOT_RETURN_IF_ERROR(out.SetKeywordName(i, base.keywords()[i]));
+  }
+  for (size_t j = 0; j < base.num_locations(); ++j) {
+    DSPOT_RETURN_IF_ERROR(out.SetLocationName(j, base.locations()[j]));
+  }
+  for (size_t i = 0; i < base.num_keywords(); ++i) {
+    for (size_t j = 0; j < base.num_locations(); ++j) {
+      for (size_t t = 0; t < base.num_ticks(); ++t) {
+        out.at(i, j, t) = base.at(i, j, t);
+      }
+      for (size_t t = 0; t < extra.num_ticks(); ++t) {
+        out.at(i, j, base.num_ticks() + t) = extra.at(i, j, t);
+      }
+    }
+  }
+  return out;
+}
+
 StatusOr<UpdateResult> UpdateFit(const ModelSnapshot& model,
                                  const ActivityTensor& tensor,
                                  const UpdateOptions& options) {

@@ -54,6 +54,23 @@ StatusOr<UpdateResult> UpdateFit(const ModelSnapshot& model,
                                  const ActivityTensor& tensor,
                                  const UpdateOptions& options = {});
 
+/// Concatenates `extra`'s ticks directly after `base`'s. Keyword and
+/// location labels must match position for position (InvalidArgument
+/// names the first mismatch otherwise).
+///
+/// `extra_first_tick` declares where `extra`'s tick 0 belongs on `base`'s
+/// tick axis. The only valid placement is `base.num_ticks()` — exactly one
+/// past the existing range; anything smaller means `extra` re-delivers
+/// ticks `base` already holds (duplicate/out-of-order timestamps) and
+/// anything larger leaves an unobserved gap, both rejected with a located
+/// InvalidArgument instead of silently mis-stitching the time axis.
+/// Passing `kNpos` (the default) asserts the caller already normalized
+/// `extra` to start directly after `base` (the historical contract of
+/// relative-tick append files).
+StatusOr<ActivityTensor> ConcatTicks(const ActivityTensor& base,
+                                     const ActivityTensor& extra,
+                                     size_t extra_first_tick = kNpos);
+
 }  // namespace dspot
 
 #endif  // DSPOT_SNAPSHOT_UPDATE_H_

@@ -96,9 +96,9 @@ Status RowError(const std::string& path, size_t line_no, size_t column,
 
 }  // namespace
 
-StatusOr<ActivityTensor> LoadAndAggregateEventsCsv(
-    const std::string& path, const AggregationConfig& config,
-    const CsvReadOptions& read_options) {
+Status ForEachEventCsv(
+    const std::string& path, const CsvReadOptions& read_options,
+    const std::function<Status(const EventRecord&)>& fn) {
   size_t skipped = 0;
   if (read_options.skipped_rows) *read_options.skipped_rows = 0;
   std::ifstream is(path);
@@ -109,7 +109,6 @@ StatusOr<ActivityTensor> LoadAndAggregateEventsCsv(
   if (!std::getline(is, line)) {
     return Status::IoError("empty file: " + path);
   }
-  EventAggregator aggregator(config);
   size_t line_no = 1;
   while (std::getline(is, line)) {
     ++line_no;
@@ -142,11 +141,12 @@ StatusOr<ActivityTensor> LoadAndAggregateEventsCsv(
       }
     }
     if (row_status.ok()) {
-      // The aggregator's own rejections (pre-origin timestamps, empty
-      // labels) are data defects too, and get the same row context.
-      Status add_status = aggregator.Add(record);
-      if (!add_status.ok()) {
-        row_status = RowError(path, line_no, 1, add_status.message());
+      // The consumer's own rejections (pre-origin timestamps, empty
+      // labels, out-of-order arrivals) are data defects too, and get the
+      // same row context.
+      Status fn_status = fn(record);
+      if (!fn_status.ok()) {
+        row_status = RowError(path, line_no, 1, fn_status.message());
       }
     }
     if (!row_status.ok()) {
@@ -158,6 +158,16 @@ StatusOr<ActivityTensor> LoadAndAggregateEventsCsv(
     }
   }
   if (read_options.skipped_rows) *read_options.skipped_rows = skipped;
+  return Status::Ok();
+}
+
+StatusOr<ActivityTensor> LoadAndAggregateEventsCsv(
+    const std::string& path, const AggregationConfig& config,
+    const CsvReadOptions& read_options) {
+  EventAggregator aggregator(config);
+  DSPOT_RETURN_IF_ERROR(ForEachEventCsv(
+      path, read_options,
+      [&aggregator](const EventRecord& r) { return aggregator.Add(r); }));
   return aggregator.Build();
 }
 

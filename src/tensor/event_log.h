@@ -2,6 +2,7 @@
 #define DSPOT_TENSOR_EVENT_LOG_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,17 @@ class EventAggregator {
   size_t dropped_ = 0;
   size_t accepted_ = 0;
 };
+
+/// Streams a raw event log CSV ("keyword,location,timestamp[,count]" with
+/// header) row by row in file order, invoking `fn` per parsed record —
+/// the ingestion path for consumers that must see arrival order (e.g.
+/// `dspot_cli stream` replaying a log into a StreamEngine) instead of an
+/// aggregated tensor. A malformed row, or a record `fn` rejects, is an
+/// InvalidArgument error with "<path>:<line>: column <c>" context — or is
+/// skipped and counted under `read_options.skip_bad_rows`.
+Status ForEachEventCsv(
+    const std::string& path, const CsvReadOptions& read_options,
+    const std::function<Status(const EventRecord&)>& fn);
 
 /// Reads a raw event log from CSV ("keyword,location,timestamp[,count]"
 /// with header) and aggregates it. Malformed rows — missing fields,

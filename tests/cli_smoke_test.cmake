@@ -60,6 +60,10 @@ expect_usage_error("--ticks: not an integer"
 expect_usage_error("--resolution: 0 must be"
                    "${DSPOT_CLI}" aggregate --events nofile.csv
                    --output out.csv --resolution 0)
+expect_usage_error("--flush-every: 0 must be"
+                   "${DSPOT_CLI}" stream --events nofile.csv --flush-every 0)
+expect_usage_error("usage: dspot_cli stream"
+                   "${DSPOT_CLI}" stream)
 
 # --- Generate + observed fit -------------------------------------------------
 expect_success("${DSPOT_CLI}" generate --scenario harry_potter
@@ -90,5 +94,47 @@ foreach(needle "traceEvents" "global_fit.round" "local_fit.location"
     message(FATAL_ERROR "chrome trace lacks ${needle}")
   endif()
 endforeach()
+
+# --- Streaming replay --------------------------------------------------------
+# A small arrival-ordered event log: one keyword with a level + wiggle
+# series long enough for a cold fit (>= 32 ticks) plus follow-up ticks.
+set(events_csv "${WORK_DIR}/smoke_events.csv")
+set(stream_state "${WORK_DIR}/smoke_stream.state")
+set(events_body "keyword,location,timestamp,count\n")
+foreach(t RANGE 47)
+  math(EXPR wiggle "${t} % 5")
+  math(EXPR level "20 + ${wiggle}")
+  string(APPEND events_body "hp,all,${t},${level}\n")
+endforeach()
+file(WRITE "${events_csv}" "${events_body}")
+
+expect_success("${DSPOT_CLI}" stream --events "${events_csv}"
+               --flush-every 16 --horizon 8
+               --save-state "${stream_state}")
+if(NOT EXISTS "${stream_state}")
+  message(FATAL_ERROR "stream --save-state left no state file")
+endif()
+
+# Resuming from the saved state must serve the persisted forecast without
+# replaying or refitting anything.
+execute_process(COMMAND "${DSPOT_CLI}" stream --load-state "${stream_state}"
+                        --forecast hp
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE stream_out
+                ERROR_VARIABLE stream_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "stream --load-state failed:\n${stream_out}\n${stream_err}")
+endif()
+foreach(needle "resumed 1 keyword" "forecast hp"
+        "0 cold fit" "1 keyword\\(s\\) carry a fitted model")
+  if(NOT stream_out MATCHES "${needle}")
+    message(FATAL_ERROR "stream resume output lacks '${needle}':\n${stream_out}")
+  endif()
+endforeach()
+
+# An unknown forecast keyword is a hard error, not a silent no-op.
+expect_usage_error("keyword 'nope' not in the stream"
+                   "${DSPOT_CLI}" stream --load-state "${stream_state}"
+                   --forecast nope)
 
 message(STATUS "cli smoke test passed")

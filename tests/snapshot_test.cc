@@ -277,6 +277,76 @@ TEST(Snapshot, UpdateFitRejectsMismatchedTensors) {
   EXPECT_EQ(r3.status().code(), StatusCode::kInvalidArgument);
 }
 
+/// A tiny labeled tensor with at(i, j, t) = base + t, for concatenation
+/// checks where value provenance must be visible.
+ActivityTensor SmallTensor(size_t n_ticks, double base) {
+  ActivityTensor tensor(2, 2, n_ticks);
+  EXPECT_TRUE(tensor.SetKeywordName(0, "alpha").ok());
+  EXPECT_TRUE(tensor.SetKeywordName(1, "beta").ok());
+  EXPECT_TRUE(tensor.SetLocationName(0, "us").ok());
+  EXPECT_TRUE(tensor.SetLocationName(1, "jp").ok());
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      for (size_t t = 0; t < n_ticks; ++t) {
+        tensor.at(i, j, t) = base + static_cast<double>(t);
+      }
+    }
+  }
+  return tensor;
+}
+
+TEST(Snapshot, ConcatTicksAppendsDirectlyAfterTheBase) {
+  const ActivityTensor base = SmallTensor(10, 0.0);
+  const ActivityTensor extra = SmallTensor(4, 100.0);
+  // Both the explicit placement and the legacy relative-tick default.
+  for (const size_t placement : {size_t{10}, kNpos}) {
+    auto combined = ConcatTicks(base, extra, placement);
+    ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+    EXPECT_EQ(combined->num_ticks(), 14u);
+    EXPECT_EQ(combined->keywords()[0], "alpha");
+    EXPECT_EQ(combined->locations()[1], "jp");
+    EXPECT_DOUBLE_EQ(combined->at(1, 0, 9), 9.0);
+    EXPECT_DOUBLE_EQ(combined->at(1, 0, 10), 100.0);
+    EXPECT_DOUBLE_EQ(combined->at(0, 1, 13), 103.0);
+  }
+}
+
+TEST(Snapshot, ConcatTicksRejectsOverlappingPlacement) {
+  // Regression: an append whose ticks the base already covers used to be
+  // silently concatenated after the base, double-counting the overlap
+  // under shifted timestamps. It must be a located error instead.
+  const ActivityTensor base = SmallTensor(10, 0.0);
+  const ActivityTensor extra = SmallTensor(4, 100.0);
+  auto overlapped = ConcatTicks(base, extra, /*extra_first_tick=*/6);
+  ASSERT_FALSE(overlapped.ok());
+  EXPECT_EQ(overlapped.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(overlapped.status().message().find("already covers"),
+            std::string::npos)
+      << overlapped.status().ToString();
+  // A duplicate replay of the same range is the degenerate overlap.
+  EXPECT_FALSE(ConcatTicks(base, extra, 0).ok());
+}
+
+TEST(Snapshot, ConcatTicksRejectsGappedPlacement) {
+  const ActivityTensor base = SmallTensor(10, 0.0);
+  const ActivityTensor extra = SmallTensor(4, 100.0);
+  auto gapped = ConcatTicks(base, extra, /*extra_first_tick=*/13);
+  ASSERT_FALSE(gapped.ok());
+  EXPECT_EQ(gapped.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(gapped.status().message().find("gap"), std::string::npos)
+      << gapped.status().ToString();
+}
+
+TEST(Snapshot, ConcatTicksRejectsMismatchedLabels) {
+  const ActivityTensor base = SmallTensor(10, 0.0);
+  ActivityTensor renamed = SmallTensor(4, 100.0);
+  ASSERT_TRUE(renamed.SetKeywordName(1, "gamma").ok());
+  EXPECT_FALSE(ConcatTicks(base, renamed, 10).ok());
+
+  ActivityTensor wrong_shape(2, 3, 4);
+  EXPECT_FALSE(ConcatTicks(base, wrong_shape, 10).ok());
+}
+
 TEST(Snapshot, LoadReportsMissingFile) {
   auto loaded = LoadSnapshot(TempPath("does_not_exist.snap"));
   ASSERT_FALSE(loaded.ok());

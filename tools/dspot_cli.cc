@@ -41,6 +41,18 @@
 //             [--skip-bad-rows]           keywords whose appended window
 //             [--metrics-json F]          bursts against the old model.
 //             [--trace-out F]
+//   stream    --events F                  replay a raw event log (CSV
+//             [--resolution N] [--origin T]  "keyword,location,timestamp
+//             [--flush-every N]           [,count]") through the streaming
+//             [--ring N] [--horizon H]    engine: appends in arrival order,
+//             [--threads T]               flushes (triage + incremental
+//             [--flush-budget-ms MS]      refits) every N ticks of stream
+//             [--load-state F]            time, prints the final forecasts.
+//             [--save-state F]            --load/--save-state resume and
+//             [--forecast KEYWORD]        persist the engine across runs
+//             [--skip-bad-rows]           without refitting.
+//             [--metrics-json F]
+//             [--trace-out F]
 //
 // Flags accept both "--key value" and "--key=value". Numeric flags are
 // parsed strictly: empty values, trailing garbage ("12x"), and
@@ -54,6 +66,7 @@
 #include <cstdlib>
 #include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -68,6 +81,7 @@
 #include "obs/metrics.h"
 #include "snapshot/snapshot.h"
 #include "snapshot/update.h"
+#include "stream/stream_engine.h"
 #include "tensor/event_log.h"
 #include "tensor/tensor_io.h"
 #include "timeseries/metrics.h"
@@ -634,70 +648,25 @@ int CmdRefit(const Flags& flags) {
   return obs_export.Write();
 }
 
-/// Concatenates `extra`'s ticks after `base`'s (labels must match).
-StatusOr<ActivityTensor> ConcatTicks(const ActivityTensor& base,
-                                     const ActivityTensor& extra) {
-  if (base.num_keywords() != extra.num_keywords() ||
-      base.num_locations() != extra.num_locations()) {
-    return Status::InvalidArgument(
-        "--append tensor is " + std::to_string(extra.num_keywords()) + "x" +
-        std::to_string(extra.num_locations()) + " but --input is " +
-        std::to_string(base.num_keywords()) + "x" +
-        std::to_string(base.num_locations()));
-  }
-  for (size_t i = 0; i < base.num_keywords(); ++i) {
-    if (base.keywords()[i] != extra.keywords()[i]) {
-      return Status::InvalidArgument(
-          "--append keyword " + std::to_string(i) + " is '" +
-          extra.keywords()[i] + "' but --input has '" + base.keywords()[i] +
-          "'");
-    }
-  }
-  for (size_t j = 0; j < base.num_locations(); ++j) {
-    if (base.locations()[j] != extra.locations()[j]) {
-      return Status::InvalidArgument(
-          "--append location " + std::to_string(j) + " is '" +
-          extra.locations()[j] + "' but --input has '" + base.locations()[j] +
-          "'");
-    }
-  }
-  ActivityTensor out(base.num_keywords(), base.num_locations(),
-                     base.num_ticks() + extra.num_ticks());
-  for (size_t i = 0; i < base.num_keywords(); ++i) {
-    DSPOT_RETURN_IF_ERROR(out.SetKeywordName(i, base.keywords()[i]));
-  }
-  for (size_t j = 0; j < base.num_locations(); ++j) {
-    DSPOT_RETURN_IF_ERROR(out.SetLocationName(j, base.locations()[j]));
-  }
-  for (size_t i = 0; i < base.num_keywords(); ++i) {
-    for (size_t j = 0; j < base.num_locations(); ++j) {
-      for (size_t t = 0; t < base.num_ticks(); ++t) {
-        out.at(i, j, t) = base.at(i, j, t);
-      }
-      for (size_t t = 0; t < extra.num_ticks(); ++t) {
-        out.at(i, j, base.num_ticks() + t) = extra.at(i, j, t);
-      }
-    }
-  }
-  return out;
-}
-
 int CmdUpdate(const Flags& flags) {
   const std::string input = flags.GetString("--input");
   if (input.empty() || !flags.HasValue("--model")) {
     std::fprintf(stderr,
                  "usage: dspot_cli update --model FILE --input FILE "
-                 "[--append FILE] [--save-model FILE] [--model-json] "
+                 "[--append FILE] [--append-start TICK] "
+                 "[--save-model FILE] [--model-json] "
                  "[--threads T>=1] [--time-budget-ms MS>=0] "
                  "[--skip-bad-rows] [--metrics-json FILE] "
                  "[--trace-out FILE]\n");
     return 1;
   }
   const long kMaxLong = std::numeric_limits<long>::max();
-  long threads = 0, time_budget_ms = 0;
+  long threads = 0, time_budget_ms = 0, append_start = -1;
   if (!ParseIntFlag(flags, "--threads", 0, 1, kMaxLong, &threads) ||
       !ParseIntFlag(flags, "--time-budget-ms", 0, 0, kMaxLong,
-                    &time_budget_ms)) {
+                    &time_budget_ms) ||
+      !ParseIntFlag(flags, "--append-start", -1, 0, kMaxLong,
+                    &append_start)) {
     return 1;
   }
   auto model = LoadModelFlag(flags);
@@ -723,7 +692,14 @@ int CmdUpdate(const Flags& flags) {
       std::fprintf(stderr, "%s\n", extra.status().ToString().c_str());
       return 1;
     }
-    auto combined = ConcatTicks(*tensor, *extra);
+    // --append-start declares where the append file's tick 0 belongs on
+    // the base tensor's axis; ConcatTicks rejects overlaps and gaps.
+    // Without it the append is trusted to start directly after the base
+    // (the historical relative-tick contract).
+    auto combined =
+        ConcatTicks(*tensor, *extra,
+                    append_start < 0 ? kNpos
+                                     : static_cast<size_t>(append_start));
     if (!combined.ok()) {
       std::fprintf(stderr, "%s\n", combined.status().ToString().c_str());
       return 1;
@@ -764,11 +740,174 @@ int CmdUpdate(const Flags& flags) {
   return obs_export.Write();
 }
 
+int CmdStream(const Flags& flags) {
+  const std::string events = flags.GetString("--events");
+  const std::string load_path = flags.GetString("--load-state");
+  if (events.empty() && load_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: dspot_cli stream --events FILE [--resolution N>=1] "
+                 "[--origin T] [--flush-every N>=1] [--ring N>=16] "
+                 "[--horizon H>=1] [--threads T>=1] [--flush-budget-ms MS>=0] "
+                 "[--load-state FILE] [--save-state FILE] "
+                 "[--forecast KEYWORD] [--skip-bad-rows] "
+                 "[--metrics-json FILE] [--trace-out FILE]\n");
+    return 1;
+  }
+  const long kMaxLong = std::numeric_limits<long>::max();
+  long resolution = 0, origin = 0, flush_every = 0, ring = 0, horizon = 0;
+  long threads = 0, flush_budget_ms = 0;
+  if (!ParseIntFlag(flags, "--resolution", 1, 1, kMaxLong, &resolution) ||
+      !ParseIntFlag(flags, "--origin", 0, std::numeric_limits<long>::min(),
+                    kMaxLong, &origin) ||
+      !ParseIntFlag(flags, "--flush-every", 16, 1, kMaxLong, &flush_every) ||
+      !ParseIntFlag(flags, "--ring", 256, 16, kMaxLong, &ring) ||
+      !ParseIntFlag(flags, "--horizon", 16, 1, kMaxLong, &horizon) ||
+      !ParseIntFlag(flags, "--threads", 1, 1, kMaxLong, &threads) ||
+      !ParseIntFlag(flags, "--flush-budget-ms", 0, 0, kMaxLong,
+                    &flush_budget_ms)) {
+    return 1;
+  }
+  const ObsExportRequest obs_export = ObsExportRequest::FromFlags(flags);
+
+  StreamOptions options;
+  options.ticks_resolution = resolution;
+  options.origin = origin;
+  options.ring_capacity = static_cast<size_t>(ring);
+  options.forecast_horizon = static_cast<size_t>(horizon);
+  options.num_threads = static_cast<size_t>(threads);
+  options.flush_budget_ms = static_cast<double>(flush_budget_ms);
+
+  std::unique_ptr<StreamEngine> engine;
+  if (!load_path.empty()) {
+    // Semantic options (bucketing, ring size, thresholds) come from the
+    // state file; the flags above only set this run's runtime knobs.
+    auto loaded = StreamEngine::LoadState(load_path, options);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    engine = std::move(*loaded);
+    std::printf("resumed %zu keyword(s) from %s\n", engine->num_keywords(),
+                load_path.c_str());
+  } else {
+    engine = std::make_unique<StreamEngine>(options);
+  }
+
+  // stats.appends/rejected are lifetime counters and survive --load-state;
+  // report only this run's replay work, not the resumed history.
+  const StreamStats before = engine->stats();
+  size_t flushes = 0;
+  StreamFlushReport totals;
+  auto flush_now = [&]() -> Status {
+    auto report = engine->Flush();
+    if (!report.ok()) return report.status();
+    ++flushes;
+    totals.keywords_triaged += report->keywords_triaged;
+    totals.cold_fits += report->cold_fits;
+    totals.warm_refits += report->warm_refits;
+    totals.escalations += report->escalations;
+    totals.refit_errors += report->refit_errors;
+    totals.deadline_hit |= report->deadline_hit;
+    return Status::Ok();
+  };
+
+  if (!events.empty()) {
+    CsvReadOptions read_options;
+    read_options.skip_bad_rows = flags.Has("--skip-bad-rows");
+    size_t skipped_rows = 0;
+    read_options.skipped_rows = &skipped_rows;
+    const int64_t eng_resolution =
+        std::max<int64_t>(engine->options().ticks_resolution, 1);
+    const int64_t eng_origin = engine->options().origin;
+    int64_t last_flush_bucket = std::numeric_limits<int64_t>::min();
+    Status replay = ForEachEventCsv(
+        events, read_options, [&](const EventRecord& r) -> Status {
+          // Flush whenever stream time crosses a --flush-every boundary,
+          // like a periodic ingest batch.
+          const int64_t tick = (r.timestamp - eng_origin) / eng_resolution;
+          const int64_t bucket = tick / flush_every;
+          if (last_flush_bucket != std::numeric_limits<int64_t>::min() &&
+              bucket > last_flush_bucket) {
+            DSPOT_RETURN_IF_ERROR(flush_now());
+          }
+          last_flush_bucket = bucket;
+          return engine->Append(r.keyword, r.location, r.timestamp, r.count);
+        });
+    if (!replay.ok()) {
+      std::fprintf(stderr, "%s\n", replay.ToString().c_str());
+      return 1;
+    }
+    if (skipped_rows > 0) {
+      std::fprintf(stderr, "warning: skipped %zu bad row(s) in %s\n",
+                   skipped_rows, events.c_str());
+    }
+  }
+  if (Status s = flush_now(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const StreamStats stats = engine->stats();
+  std::printf("replayed %llu append(s) into %zu keyword(s), %llu rejected\n",
+              static_cast<unsigned long long>(stats.appends - before.appends),
+              stats.num_keywords,
+              static_cast<unsigned long long>(stats.rejected - before.rejected));
+  std::printf("%zu flush(es): %zu cold fit(s), %zu warm refit(s), "
+              "%zu escalation(s), %zu refit error(s)%s\n",
+              flushes, totals.cold_fits, totals.warm_refits,
+              totals.escalations, totals.refit_errors,
+              totals.deadline_hit ? " [deadline hit]" : "");
+  std::printf("buffers: %.1f KiB now, %.1f KiB peak\n",
+              static_cast<double>(stats.buffer_bytes) / 1024.0,
+              static_cast<double>(stats.peak_buffer_bytes) / 1024.0);
+
+  // Print the requested keyword's forecast, or (without --forecast) a
+  // sample of the first few fitted keywords'.
+  const std::string forecast_kw = flags.GetString("--forecast");
+  constexpr size_t kMaxPrinted = 8;
+  size_t fitted = 0, printed = 0;
+  for (size_t i = 0; i < engine->num_keywords(); ++i) {
+    if (!engine->HasFit(i)) continue;
+    ++fitted;
+    if (forecast_kw.empty() ? printed >= kMaxPrinted
+                            : engine->KeywordName(static_cast<uint32_t>(i)) !=
+                                  forecast_kw) {
+      continue;
+    }
+    auto forecast = engine->Forecast(i);
+    if (!forecast.ok()) continue;
+    ++printed;
+    std::printf("forecast %-16s from tick %lld:",
+                engine->KeywordName(static_cast<uint32_t>(i)).c_str(),
+                static_cast<long long>(forecast->start_tick));
+    for (const double v : forecast->values) {
+      std::printf(" %.1f", v);
+    }
+    std::printf("\n");
+  }
+  if (!forecast_kw.empty() && engine->KeywordIndex(forecast_kw) == kNpos) {
+    std::fprintf(stderr, "keyword '%s' not in the stream\n",
+                 forecast_kw.c_str());
+    return 1;
+  }
+  std::printf("%zu keyword(s) carry a fitted model\n", fitted);
+
+  const std::string save_path = flags.GetString("--save-state");
+  if (!save_path.empty()) {
+    if (Status s = engine->SaveState(save_path); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote engine state to %s\n", save_path.c_str());
+  }
+  return obs_export.Write();
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: dspot_cli <scenarios|generate|aggregate|fit|"
-                 "fit-tensor|refit|update> [flags]\n");
+                 "fit-tensor|refit|update|stream> [flags]\n");
     return 1;
   }
   const std::string command = argv[1];
@@ -780,6 +919,7 @@ int Main(int argc, char** argv) {
   if (command == "fit-tensor") return CmdFitTensor(flags);
   if (command == "refit") return CmdRefit(flags);
   if (command == "update") return CmdUpdate(flags);
+  if (command == "stream") return CmdStream(flags);
   std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
   return 1;
 }
