@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/dspot.h"
 #include "datagen/catalog.h"
 #include "datagen/generator.h"
@@ -78,7 +79,8 @@ double FitSeconds(size_t d, size_t l, size_t n, uint64_t seed,
   return std::chrono::duration<double>(end - start).count();
 }
 
-void Sweep(const char* label, const std::vector<std::array<size_t, 3>>& dims) {
+void Sweep(const char* label, const std::vector<std::array<size_t, 3>>& dims,
+           bench::BenchJson* json) {
   std::printf("--- Fig.10%s ---\n", label);
   std::printf("%8s %8s %8s %12s\n", "d", "l", "n", "median s");
   for (const auto& [d, l, n] : dims) {
@@ -90,6 +92,13 @@ void Sweep(const char* label, const std::vector<std::array<size_t, 3>>& dims) {
     }
     std::sort(secs.begin(), secs.end());
     std::printf("%8zu %8zu %8zu %12.3f\n", d, l, n, secs[1]);
+    json->AddRow();
+    json->SetRow("sweep", label);
+    json->SetRow("d", static_cast<double>(d));
+    json->SetRow("l", static_cast<double>(l));
+    json->SetRow("n", static_cast<double>(n));
+    json->SetRow("threads", 1.0);
+    json->SetRow("median_seconds", secs[1]);
   }
   PrintStageAttribution();
 }
@@ -98,7 +107,7 @@ void Sweep(const char* label, const std::vector<std::array<size_t, 3>>& dims) {
 // count (see src/parallel/), so this measures wall-clock only. Speedup is
 // relative to the num_threads=1 row; expect it to flatten once the thread
 // count passes the hardware concurrency of the machine.
-void ThreadSweep(size_t d, size_t l, size_t n) {
+void ThreadSweep(size_t d, size_t l, size_t n, bench::BenchJson* json) {
   std::printf("--- Fig.10(d) varying num_threads (d=%zu l=%zu n=%zu) ---\n", d,
               l, n);
   std::printf("%8s %12s %10s\n", "threads", "median s", "speedup");
@@ -112,6 +121,14 @@ void ThreadSweep(size_t d, size_t l, size_t n) {
     if (threads == 1) serial_secs = secs[1];
     std::printf("%8zu %12.3f %9.2fx\n", threads, secs[1],
                 serial_secs / secs[1]);
+    json->AddRow();
+    json->SetRow("sweep", "(d) varying num_threads");
+    json->SetRow("d", static_cast<double>(d));
+    json->SetRow("l", static_cast<double>(l));
+    json->SetRow("n", static_cast<double>(n));
+    json->SetRow("threads", static_cast<double>(threads));
+    json->SetRow("median_seconds", secs[1]);
+    json->SetRow("speedup", serial_secs / secs[1]);
   }
   PrintStageAttribution();
 }
@@ -121,12 +138,19 @@ void ThreadSweep(size_t d, size_t l, size_t n) {
 
 int main() {
   std::printf("Δ-SPOT scalability (Fig. 10): wall-clock vs tensor size\n\n");
+  dspot::bench::BenchJson json("fig10_scalability");
   dspot::Sweep("(a) varying keywords d",
-               {{{1, 8, 208}}, {{2, 8, 208}}, {{4, 8, 208}}, {{8, 8, 208}}});
+               {{{1, 8, 208}}, {{2, 8, 208}}, {{4, 8, 208}}, {{8, 8, 208}}},
+               &json);
   dspot::Sweep("(b) varying locations l",
-               {{{2, 8, 208}}, {{2, 16, 208}}, {{2, 32, 208}}, {{2, 64, 208}}});
+               {{{2, 8, 208}}, {{2, 16, 208}}, {{2, 32, 208}}, {{2, 64, 208}}},
+               &json);
   dspot::Sweep("(c) varying duration n",
-               {{{2, 8, 104}}, {{2, 8, 208}}, {{2, 8, 416}}, {{2, 8, 832}}});
-  dspot::ThreadSweep(/*d=*/8, /*l=*/16, /*n=*/208);
+               {{{2, 8, 104}}, {{2, 8, 208}}, {{2, 8, 416}}, {{2, 8, 832}}},
+               &json);
+  dspot::ThreadSweep(/*d=*/8, /*l=*/16, /*n=*/208, &json);
+  if (json.WriteTo("BENCH_fig10.json")) {
+    std::printf("\nwrote BENCH_fig10.json\n");
+  }
   return 0;
 }

@@ -15,11 +15,35 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "core/shock.h"
 #include "timeseries/series.h"
 
 namespace dspot {
 namespace bench {
+
+/// Peak resident set size of this process in bytes (0 where unavailable).
+/// getrusage reports ru_maxrss in KiB on Linux and bytes on macOS; the
+/// number is monotone over the process lifetime, so sampling it at export
+/// time captures the high-water mark of the whole bench run.
+inline double PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0.0;
+  }
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss);
+#else
+  return static_cast<double>(usage.ru_maxrss) * 1024.0;
+#endif
+#else
+  return 0.0;
+#endif
+}
 
 /// Machine-readable bench results: top-level scalar metrics plus an
 /// optional array of per-configuration rows, written as one JSON document
@@ -54,8 +78,13 @@ class BenchJson {
       std::fprintf(stderr, "bench json: cannot open %s\n", path.c_str());
       return false;
     }
+    // Every exported document carries the process peak RSS, sampled at
+    // export time, so the CI perf trajectory tracks memory alongside
+    // wall-clock without each bench opting in.
+    Fields metrics = metrics_;
+    metrics.emplace_back("peak_rss_bytes", Number(PeakRssBytes()));
     os << "{\n  \"bench\": " << Quote(name_) << ",\n  \"metrics\": {";
-    WriteFields(os, metrics_, "    ");
+    WriteFields(os, metrics, "    ");
     os << "  }";
     if (!rows_.empty()) {
       os << ",\n  \"rows\": [\n";

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/simulate.h"
+#include "kernels/siv_kernel.h"
 #include "mdl/mdl.h"
 
 namespace dspot {
@@ -136,11 +137,56 @@ double TotalCostBits(const ActivityTensor& tensor, const ModelParamSet& params,
       }
     }
   } else {
+    // Global branch, batched: one structure-of-arrays pass simulates all d
+    // keyword recurrences in lockstep (kernels::SimulateSivBatchInto runs
+    // SIMD lanes across keywords), replacing d serial SimulateGlobalInto
+    // calls. Every lane executes exactly the scalar recurrence, so the
+    // estimates — and hence the coding bits — are bit-identical to the
+    // unbatched loop.
     std::vector<double>& actual = workspace->global_actual;
     actual.resize(n);
+    workspace->batch_population.resize(d);
+    workspace->batch_beta.resize(d);
+    workspace->batch_delta.resize(d);
+    workspace->batch_gamma.resize(d);
+    workspace->batch_i0.resize(d);
+    workspace->batch_epsilon.assign(n * d, 1.0);
+    workspace->batch_eta.assign(n * d, 0.0);
+    workspace->batch_out.resize(n * d);
+    for (size_t i = 0; i < d; ++i) {
+      const KeywordGlobalParams& g = params.global[i];
+      workspace->batch_population[i] = g.population;
+      workspace->batch_beta[i] = g.beta;
+      workspace->batch_delta[i] = g.delta;
+      workspace->batch_gamma[i] = g.gamma;
+      workspace->batch_i0[i] = g.i0;
+      // Schedules may be shorter than the horizon (or empty); the packed
+      // defaults of eps = 1 / eta = 0 reproduce the scalar kernel's
+      // `t < size` guard.
+      const std::span<const double> eps =
+          workspace->schedules.GlobalEpsilon(params.shocks, i, n);
+      for (size_t t = 0; t < std::min(eps.size(), n); ++t) {
+        workspace->batch_epsilon[t * d + i] = eps[t];
+      }
+      if (g.has_growth()) {
+        const std::span<const double> eta =
+            workspace->schedules.Eta(g.growth_rate, g.growth_start, n);
+        for (size_t t = 0; t < std::min(eta.size(), n); ++t) {
+          workspace->batch_eta[t * d + i] = eta[t];
+        }
+      }
+    }
+    const kernels::SivBatchSoA batch{
+        workspace->batch_population.data(), workspace->batch_beta.data(),
+        workspace->batch_delta.data(),      workspace->batch_gamma.data(),
+        workspace->batch_i0.data(),         workspace->batch_epsilon.data(),
+        workspace->batch_eta.data()};
+    kernels::SimulateSivBatchInto(batch, d, n, workspace->batch_out.data());
     for (size_t i = 0; i < d; ++i) {
       tensor.GlobalSequenceInto(i, actual);
-      SimulateGlobalInto(params, i, &workspace->schedules, estimate);
+      for (size_t t = 0; t < n; ++t) {
+        estimate[t] = workspace->batch_out[t * d + i];
+      }
       bits += GaussianCodingCost(std::span<const double>(actual),
                                  std::span<const double>(estimate));
     }

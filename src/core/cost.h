@@ -76,6 +76,17 @@ struct CostWorkspace {
   ScheduleCache schedules;
   std::vector<double> estimate;
   std::vector<double> global_actual;
+  /// Structure-of-arrays blocks for the batched global-branch coding pass:
+  /// per-keyword parameter lanes plus [t * d + i]-packed schedules and
+  /// output (see kernels::SimulateSivBatchInto).
+  std::vector<double> batch_population;
+  std::vector<double> batch_beta;
+  std::vector<double> batch_delta;
+  std::vector<double> batch_gamma;
+  std::vector<double> batch_i0;
+  std::vector<double> batch_epsilon;
+  std::vector<double> batch_eta;
+  std::vector<double> batch_out;
 };
 
 /// The full Eq. (2) over a tensor and a complete parameter set (global

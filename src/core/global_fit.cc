@@ -10,6 +10,7 @@
 #include "core/cost.h"
 #include "core/simulate.h"
 #include "guard/fault_injector.h"
+#include "kernels/siv_kernel.h"
 #include "obs/metrics.h"
 #include "optimize/levenberg_marquardt.h"
 #include "optimize/line_search.h"
@@ -30,6 +31,9 @@ struct FitState {
   KeywordGlobalParams params;
   std::vector<Shock> shocks;
   CodingModel coding = CodingModel::kGaussian;
+  /// Mirrors GlobalFitOptions::use_numeric_jacobian into every
+  /// FitBaseParams solve (probe copies inherit it).
+  bool use_numeric_jacobian = false;
   /// Guard threaded into every LM solve below; inactive by default.
   GuardContext guard;
   /// Aggregated health for the whole alternation. Probe copies share the
@@ -133,6 +137,21 @@ Status FitBaseParams(FitState* state, bool multi_start, FitScratch* scratch) {
   bounds.lower = {peak * 1.05, 1e-4, 1e-4, 1e-4, 1e-6};
   bounds.upper = {peak * 300.0, 5.0, 1.0, 1.0, peak};
 
+  // Analytic Jacobian: dr_k/dp = dI(observed[k])/d{N,beta,delta,gamma,i0},
+  // from one forward-mode dual pass over the recurrence — replacing the
+  // five re-simulations per LM iteration of the numeric path (kept above
+  // as a cross-check behind use_numeric_jacobian).
+  JacobianIntoFn analytic_jacobian;
+  if (!state->use_numeric_jacobian) {
+    analytic_jacobian = [&, n = state->n](std::span<const double> p,
+                                          Matrix* jac) -> Status {
+      const kernels::SivParams sp{p[0], p[1], p[2], p[3], p[4]};
+      kernels::SivJacobianInto(sp, epsilon, eta, observed, n,
+                               jac->MutableData(), jac->cols());
+      return Status::Ok();
+    };
+  }
+
   std::vector<std::vector<double>> starts;
   if (multi_start) {
     starts = {
@@ -147,6 +166,7 @@ Status FitBaseParams(FitState* state, bool multi_start, FitScratch* scratch) {
   }
   LmOptions lm_options;
   lm_options.guard = state->guard;
+  lm_options.analytic_jacobian = analytic_jacobian;
   double best_cost = std::numeric_limits<double>::infinity();
   KeywordGlobalParams best = state->params;
   for (const auto& init : starts) {
@@ -622,6 +642,7 @@ StatusOr<GlobalSequenceFit> FitGlobalSequence(const Series& data,
   state.coding = options.coding_model;
   state.params.population = state.peak * 2.0;
   state.params.i0 = 1.0;
+  state.use_numeric_jacobian = options.use_numeric_jacobian;
   state.guard = options.guard;
 
   FitScratch scratch;
@@ -647,6 +668,7 @@ StatusOr<GlobalSequenceFit> RefitGlobalSequence(
   state.n = data.size();
   state.peak = std::max(data.MaxValue(), 1.0);
   state.coding = options.coding_model;
+  state.use_numeric_jacobian = options.use_numeric_jacobian;
   state.guard = options.guard;
   state.params = previous.params;
   state.shocks = previous.shocks;

@@ -3,33 +3,22 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/siv_kernel.h"
+
 namespace dspot {
 
 void SimulateSivInto(const SivDynamics& dynamics,
                      std::span<const double> epsilon,
                      std::span<const double> eta, std::span<double> out) {
-  const double n = std::max(dynamics.population, 1e-9);
-  double i = std::clamp(dynamics.i0, 0.0, n);
-  double s = n - i;
-  double v = 0.0;
-  const double delta = std::clamp(dynamics.delta, 0.0, 1.0);
-  const double gamma = std::clamp(dynamics.gamma, 0.0, 1.0);
-
-  const size_t n_ticks = out.size();
-  for (size_t t = 0; t < n_ticks; ++t) {
-    out[t] = i;
-
-    const double eps = t < epsilon.size() ? epsilon[t] : 1.0;
-    const double eta_t = t < eta.size() ? eta[t] : 0.0;
-    const double raw_infect = dynamics.beta * (s / n) * eps * i * (1.0 + eta_t);
-    const double infect = std::clamp(raw_infect, 0.0, s);
-    const double recover = delta * i;
-    const double wane = gamma * v;
-
-    s += wane - infect;
-    i += infect - recover;
-    v += recover - wane;
-  }
+  // Delegates to the kernel layer's templated recurrence (bit-identical to
+  // the historical in-place loop; the template's double instantiation IS
+  // that loop). The same template instantiated for kernels::Dual powers
+  // the analytic LM Jacobians, and kernels::SimulateSivBatchInto runs the
+  // SoA/SIMD form of this recurrence across many simulations at once.
+  const kernels::SivParams params{dynamics.population, dynamics.beta,
+                                  dynamics.delta, dynamics.gamma,
+                                  dynamics.i0};
+  kernels::SimulateSivScalarInto(params, epsilon, eta, out);
 }
 
 SivTrajectory SimulateSivFull(const SivInputs& inputs, size_t n_ticks) {

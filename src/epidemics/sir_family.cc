@@ -6,12 +6,76 @@
 #include <span>
 #include <vector>
 
+#include "kernels/dual.h"
+#include "linalg/matrix.h"
 #include "optimize/levenberg_marquardt.h"
 #include "timeseries/metrics.h"
 
 namespace dspot {
 
 namespace {
+
+using kernels::Dual;
+using kernels::TMax;
+using kernels::TMin;
+
+/// The three recurrences, templated over the scalar type so one definition
+/// serves both the plain double simulation and the forward-mode dual pass
+/// that yields the LM Jacobian. The double instantiations run EXACTLY the
+/// operation sequence of the historical scalar loops (TMin/TMax reproduce
+/// std::min/std::max operand selection — see kernels/dual.h), so the
+/// refactor is bit-identical on the value path.
+
+template <typename T>
+void SimulateSiT(const T& population, const T& beta, const T& i0,
+                 std::span<T> out) {
+  const T n = TMax(population, T(1e-9));
+  T s = TMax(n - i0, T(0.0));
+  T i = TMin(i0, n);
+  for (size_t t = 0; t < out.size(); ++t) {
+    out[t] = i;
+    const T flow = TMin(beta * (s / n) * i, s);
+    s -= flow;
+    i += flow;
+  }
+}
+
+template <typename T>
+void SimulateSirT(const T& population, const T& beta, const T& delta,
+                  const T& i0, std::span<T> out) {
+  const T n = TMax(population, T(1e-9));
+  T s = TMax(n - i0, T(0.0));
+  T i = TMin(i0, n);
+  for (size_t t = 0; t < out.size(); ++t) {
+    out[t] = i;
+    const T infect = TMin(beta * (s / n) * i, s);
+    const T recover = TMin(delta, T(1.0)) * i;
+    s -= infect;
+    i += infect - recover;
+    i = TMax(i, T(0.0));
+  }
+}
+
+template <typename T>
+void SimulateSirsT(const T& population, const T& beta, const T& delta,
+                   const T& gamma, const T& i0, std::span<T> out) {
+  const T n = TMax(population, T(1e-9));
+  T s = TMax(n - i0, T(0.0));
+  T i = TMin(i0, n);
+  T v = T(0.0);
+  for (size_t t = 0; t < out.size(); ++t) {
+    out[t] = i;
+    const T infect = TMin(beta * (s / n) * i, s);
+    const T recover = TMin(delta, T(1.0)) * i;
+    const T wane = TMin(gamma, T(1.0)) * v;
+    s += wane - infect;
+    i += infect - recover;
+    v += recover - wane;
+    s = TMax(s, T(0.0));
+    i = TMax(i, T(0.0));
+    v = TMax(v, T(0.0));
+  }
+}
 
 /// Shared per-fit scratch: the LM workspace, the simulation buffer, and
 /// the observed-tick index list the residual loop walks.
@@ -41,6 +105,17 @@ Status ResidualsFor(const Series& data, const SimulateInto& simulate_into,
   return Status::Ok();
 }
 
+/// Copies the derivative rows of a finished dual simulation into the LM
+/// Jacobian: row k holds dI(observed[k]) / d(param 0..NP-1).
+template <size_t NP>
+void DualRowsInto(const std::vector<Dual<NP>>& trajectory,
+                  const std::vector<size_t>& observed, Matrix* jac) {
+  for (size_t k = 0; k < observed.size(); ++k) {
+    const Dual<NP>& it = trajectory[observed[k]];
+    for (size_t c = 0; c < NP; ++c) (*jac)(k, c) = it.d[c];
+  }
+}
+
 constexpr int kMinObserved = 8;
 
 /// Initial guesses shared by the family: population scaled off the peak,
@@ -57,15 +132,7 @@ const Start kStarts[] = {
 }  // namespace
 
 void SimulateSiInto(const SiParams& params, std::span<double> out) {
-  const double n = std::max(params.population, 1e-9);
-  double s = std::max(n - params.i0, 0.0);
-  double i = std::min(params.i0, n);
-  for (size_t t = 0; t < out.size(); ++t) {
-    out[t] = i;
-    const double flow = std::min(params.beta * (s / n) * i, s);
-    s -= flow;
-    i += flow;
-  }
+  SimulateSiT<double>(params.population, params.beta, params.i0, out);
 }
 
 Series SimulateSi(const SiParams& params, size_t n_ticks) {
@@ -75,17 +142,8 @@ Series SimulateSi(const SiParams& params, size_t n_ticks) {
 }
 
 void SimulateSirInto(const SirParams& params, std::span<double> out) {
-  const double n = std::max(params.population, 1e-9);
-  double s = std::max(n - params.i0, 0.0);
-  double i = std::min(params.i0, n);
-  for (size_t t = 0; t < out.size(); ++t) {
-    out[t] = i;
-    const double infect = std::min(params.beta * (s / n) * i, s);
-    const double recover = std::min(params.delta, 1.0) * i;
-    s -= infect;
-    i += infect - recover;
-    i = std::max(i, 0.0);
-  }
+  SimulateSirT<double>(params.population, params.beta, params.delta, params.i0,
+                       out);
 }
 
 Series SimulateSir(const SirParams& params, size_t n_ticks) {
@@ -95,22 +153,8 @@ Series SimulateSir(const SirParams& params, size_t n_ticks) {
 }
 
 void SimulateSirsInto(const SirsParams& params, std::span<double> out) {
-  const double n = std::max(params.population, 1e-9);
-  double s = std::max(n - params.i0, 0.0);
-  double i = std::min(params.i0, n);
-  double v = 0.0;
-  for (size_t t = 0; t < out.size(); ++t) {
-    out[t] = i;
-    const double infect = std::min(params.beta * (s / n) * i, s);
-    const double recover = std::min(params.delta, 1.0) * i;
-    const double wane = std::min(params.gamma, 1.0) * v;
-    s += wane - infect;
-    i += infect - recover;
-    v += recover - wane;
-    s = std::max(s, 0.0);
-    i = std::max(i, 0.0);
-    v = std::max(v, 0.0);
-  }
+  SimulateSirsT<double>(params.population, params.beta, params.delta,
+                        params.gamma, params.i0, out);
 }
 
 Series SimulateSirs(const SirsParams& params, size_t n_ticks) {
@@ -119,7 +163,7 @@ Series SimulateSirs(const SirsParams& params, size_t n_ticks) {
   return out;
 }
 
-StatusOr<SiFit> FitSi(const Series& data) {
+StatusOr<SiFit> FitSi(const Series& data, const EpidemicFitOptions& options) {
   if (data.observed_count() < kMinObserved) {
     return Status::InvalidArgument("FitSi: too few observations");
   }
@@ -134,6 +178,19 @@ StatusOr<SiFit> FitSi(const Series& data) {
         data, [&](std::span<double> out) { SimulateSiInto(params, out); },
         &scratch, r);
   };
+  LmOptions lm_options;
+  std::vector<Dual<3>> dual_trajectory;
+  if (!options.use_numeric_jacobian) {
+    dual_trajectory.resize(data.size());
+    lm_options.analytic_jacobian = [&](std::span<const double> p,
+                                       Matrix* jac) -> Status {
+      using D = Dual<3>;
+      SimulateSiT<D>(D::Var(p[0], 0), D::Var(p[1], 1), D::Var(p[2], 2),
+                     std::span<D>(dual_trajectory));
+      DualRowsInto(dual_trajectory, scratch.observed, jac);
+      return Status::Ok();
+    };
+  }
   Bounds bounds;
   bounds.lower = {peak * 1.05, 1e-6, 1e-6};
   bounds.upper = {peak * 100.0, 5.0, peak};
@@ -143,7 +200,7 @@ StatusOr<SiFit> FitSi(const Series& data) {
   for (const Start& start : kStarts) {
     std::vector<double> init = {peak * 2.0, start.beta, 1.0};
     auto fit_or = LevenbergMarquardt(residual_fn, scratch.observed.size(),
-                                     init, bounds, LmOptions(), &scratch.lm);
+                                     init, bounds, lm_options, &scratch.lm);
     if (!fit_or.ok()) continue;
     if (fit_or->final_cost < best_cost) {
       best_cost = fit_or->final_cost;
@@ -160,7 +217,7 @@ StatusOr<SiFit> FitSi(const Series& data) {
   return best;
 }
 
-StatusOr<SirFit> FitSir(const Series& data) {
+StatusOr<SirFit> FitSir(const Series& data, const EpidemicFitOptions& options) {
   if (data.observed_count() < kMinObserved) {
     return Status::InvalidArgument("FitSir: too few observations");
   }
@@ -175,6 +232,19 @@ StatusOr<SirFit> FitSir(const Series& data) {
         data, [&](std::span<double> out) { SimulateSirInto(params, out); },
         &scratch, r);
   };
+  LmOptions lm_options;
+  std::vector<Dual<4>> dual_trajectory;
+  if (!options.use_numeric_jacobian) {
+    dual_trajectory.resize(data.size());
+    lm_options.analytic_jacobian = [&](std::span<const double> p,
+                                       Matrix* jac) -> Status {
+      using D = Dual<4>;
+      SimulateSirT<D>(D::Var(p[0], 0), D::Var(p[1], 1), D::Var(p[2], 2),
+                      D::Var(p[3], 3), std::span<D>(dual_trajectory));
+      DualRowsInto(dual_trajectory, scratch.observed, jac);
+      return Status::Ok();
+    };
+  }
   Bounds bounds;
   bounds.lower = {peak * 1.05, 1e-6, 1e-6, 1e-6};
   bounds.upper = {peak * 100.0, 5.0, 1.0, peak};
@@ -184,7 +254,7 @@ StatusOr<SirFit> FitSir(const Series& data) {
   for (const Start& start : kStarts) {
     std::vector<double> init = {peak * 2.0, start.beta, start.delta, 1.0};
     auto fit_or = LevenbergMarquardt(residual_fn, scratch.observed.size(),
-                                     init, bounds, LmOptions(), &scratch.lm);
+                                     init, bounds, lm_options, &scratch.lm);
     if (!fit_or.ok()) continue;
     if (fit_or->final_cost < best_cost) {
       best_cost = fit_or->final_cost;
@@ -202,7 +272,8 @@ StatusOr<SirFit> FitSir(const Series& data) {
   return best;
 }
 
-StatusOr<SirsFit> FitSirs(const Series& data) {
+StatusOr<SirsFit> FitSirs(const Series& data,
+                          const EpidemicFitOptions& options) {
   if (data.observed_count() < kMinObserved) {
     return Status::InvalidArgument("FitSirs: too few observations");
   }
@@ -217,6 +288,20 @@ StatusOr<SirsFit> FitSirs(const Series& data) {
         data, [&](std::span<double> out) { SimulateSirsInto(params, out); },
         &scratch, r);
   };
+  LmOptions lm_options;
+  std::vector<Dual<5>> dual_trajectory;
+  if (!options.use_numeric_jacobian) {
+    dual_trajectory.resize(data.size());
+    lm_options.analytic_jacobian = [&](std::span<const double> p,
+                                       Matrix* jac) -> Status {
+      using D = Dual<5>;
+      SimulateSirsT<D>(D::Var(p[0], 0), D::Var(p[1], 1), D::Var(p[2], 2),
+                       D::Var(p[3], 3), D::Var(p[4], 4),
+                       std::span<D>(dual_trajectory));
+      DualRowsInto(dual_trajectory, scratch.observed, jac);
+      return Status::Ok();
+    };
+  }
   Bounds bounds;
   bounds.lower = {peak * 1.05, 1e-6, 1e-6, 1e-6, 1e-6};
   bounds.upper = {peak * 100.0, 5.0, 1.0, 1.0, peak};
@@ -227,7 +312,7 @@ StatusOr<SirsFit> FitSirs(const Series& data) {
     std::vector<double> init = {peak * 2.0, start.beta, start.delta,
                                 start.gamma, 1.0};
     auto fit_or = LevenbergMarquardt(residual_fn, scratch.observed.size(),
-                                     init, bounds, LmOptions(), &scratch.lm);
+                                     init, bounds, lm_options, &scratch.lm);
     if (!fit_or.ok()) continue;
     if (fit_or->final_cost < best_cost) {
       best_cost = fit_or->final_cost;

@@ -1,0 +1,49 @@
+#include "kernels/calendar.h"
+
+namespace dspot {
+namespace kernels {
+
+CivilDay CivilFromDays(int64_t days_since_epoch) {
+  // Hinnant's civil_from_days over 400-year eras, with the sign branch of
+  // the era computation replaced by FloorDiv and the month/year fix-ups
+  // expressed as 0-1 arithmetic.
+  const int64_t z = days_since_epoch + 719468;  // shift epoch to 0000-03-01
+  const int64_t era = FloorDiv(z, 146097);
+  const int64_t doe = z - era * 146097;  // day-of-era, [0, 146096]
+  const int64_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const int64_t mp = (5 * doy + 2) / 153;  // March-based month, [0, 11]
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;              // [1, 31]
+  const int64_t m = mp + 3 - 12 * (mp >= 10);                  // [1, 12]
+  const int64_t y = yoe + era * 400 + (m <= 2);
+
+  CivilDay out;
+  out.year = y;
+  out.month = static_cast<int32_t>(m);
+  out.day = static_cast<int32_t>(d);
+  out.yday = static_cast<int32_t>(days_since_epoch - DaysFromCivil(y, 1, 1));
+  return out;
+}
+
+int64_t DaysFromCivil(int64_t year, int32_t month, int32_t day) {
+  const int64_t y = year - (month <= 2);
+  const int64_t era = FloorDiv(y, 400);
+  const int64_t yoe = y - era * 400;  // [0, 399]
+  const int64_t mp = month + 12 * (month <= 2) - 3;  // March-based, [0, 11]
+  const int64_t doy = (153 * mp + 2) / 5 + day - 1;  // [0, 365]
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + doe - 719468;
+}
+
+int64_t MonthIndexFromDays(int64_t days_since_epoch) {
+  const CivilDay civil = CivilFromDays(days_since_epoch);
+  return (civil.year - 1970) * 12 + (civil.month - 1);
+}
+
+int64_t YearFromDays(int64_t days_since_epoch) {
+  return CivilFromDays(days_since_epoch).year;
+}
+
+}  // namespace kernels
+}  // namespace dspot

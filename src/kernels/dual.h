@@ -1,0 +1,117 @@
+#ifndef DSPOT_KERNELS_DUAL_H_
+#define DSPOT_KERNELS_DUAL_H_
+
+#include <cstddef>
+
+namespace dspot {
+namespace kernels {
+
+/// Forward-mode dual number: a value plus N partial derivatives carried
+/// through every arithmetic operation. Seeding parameter p with
+/// d[p] = 1 and running a computation once yields the value and the full
+/// gradient row simultaneously — for the SIV recurrence this turns the
+/// O(np) re-simulations of a numeric Jacobian into one pass.
+///
+/// The value component performs EXACTLY the same operation sequence as a
+/// plain double computation, so value(f(Dual inputs)) is bit-identical to
+/// f(double inputs). Branchy primitives (Min/Max/Clamp below) select by
+/// value and take the chosen branch's partials; at clamp boundaries the
+/// derivative is the one-sided derivative of the active branch, which is
+/// what LM wants (the same convention a forward-difference step lands on).
+///
+/// Plain portable C++ — the partial loops are trivially unrolled or
+/// autovectorized by the compiler in the flagged kernels TU; no intrinsics
+/// so the type can be used from any TU (e.g. epidemics/sir_family.cc).
+template <size_t N>
+struct Dual {
+  double v = 0.0;
+  double d[N] = {};
+
+  Dual() = default;
+  /// Constant (zero derivative).
+  Dual(double value) : v(value) {}  // NOLINT(google-explicit-constructor)
+
+  /// Independent variable: seed slot `slot` with derivative 1.
+  static Dual Var(double value, size_t slot) {
+    Dual x(value);
+    x.d[slot] = 1.0;
+    return x;
+  }
+
+  Dual& operator+=(const Dual& o) {
+    v += o.v;
+    for (size_t k = 0; k < N; ++k) d[k] += o.d[k];
+    return *this;
+  }
+  Dual& operator-=(const Dual& o) {
+    v -= o.v;
+    for (size_t k = 0; k < N; ++k) d[k] -= o.d[k];
+    return *this;
+  }
+
+  friend Dual operator+(Dual a, const Dual& b) { return a += b; }
+  friend Dual operator-(Dual a, const Dual& b) { return a -= b; }
+  friend Dual operator-(const Dual& a) {
+    Dual r;
+    r.v = -a.v;
+    for (size_t k = 0; k < N; ++k) r.d[k] = -a.d[k];
+    return r;
+  }
+
+  friend Dual operator*(const Dual& a, const Dual& b) {
+    Dual r;
+    r.v = a.v * b.v;
+    for (size_t k = 0; k < N; ++k) r.d[k] = a.d[k] * b.v + a.v * b.d[k];
+    return r;
+  }
+
+  friend Dual operator/(const Dual& a, const Dual& b) {
+    Dual r;
+    r.v = a.v / b.v;
+    const double inv_b2 = 1.0 / (b.v * b.v);
+    for (size_t k = 0; k < N; ++k) {
+      r.d[k] = (a.d[k] * b.v - a.v * b.d[k]) * inv_b2;
+    }
+    return r;
+  }
+
+  friend bool operator<(const Dual& a, const Dual& b) { return a.v < b.v; }
+  friend bool operator<=(const Dual& a, const Dual& b) { return a.v <= b.v; }
+  friend bool operator>(const Dual& a, const Dual& b) { return a.v > b.v; }
+  friend bool operator>=(const Dual& a, const Dual& b) { return a.v >= b.v; }
+};
+
+/// Generic numeric primitives shared by the templated recurrences. The
+/// double overloads reproduce std::max / std::min / std::clamp exactly
+/// (same comparison, same operand returned) so the templated kernels are
+/// bit-identical to the scalar originals when instantiated for double.
+inline double TMax(double a, double b) { return a < b ? b : a; }
+inline double TMin(double a, double b) { return b < a ? b : a; }
+inline double TClamp(double x, double lo, double hi) {
+  return x < lo ? lo : (hi < x ? hi : x);
+}
+
+template <size_t N>
+Dual<N> TMax(const Dual<N>& a, const Dual<N>& b) {
+  return a.v < b.v ? b : a;
+}
+template <size_t N>
+Dual<N> TMin(const Dual<N>& a, const Dual<N>& b) {
+  return b.v < a.v ? b : a;
+}
+template <size_t N>
+Dual<N> TClamp(const Dual<N>& x, const Dual<N>& lo, const Dual<N>& hi) {
+  return x.v < lo.v ? lo : (hi.v < x.v ? hi : x);
+}
+
+/// The value component, uniformly for double and Dual operands.
+inline double ValueOf(double x) { return x; }
+template <size_t N>
+double ValueOf(const Dual<N>& x) {
+  return x.v;
+}
+
+}  // namespace kernels
+}  // namespace dspot
+
+#endif  // DSPOT_KERNELS_DUAL_H_

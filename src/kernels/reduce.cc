@@ -1,0 +1,135 @@
+#include "kernels/reduce.h"
+
+#include <cmath>
+
+#include "kernels/dspot_simd.h"
+
+namespace dspot {
+namespace kernels {
+
+const char* SimdIsaName() { return simd::kIsaName; }
+size_t SimdNumLanes() { return simd::kNumLanes; }
+
+double SumSquares(std::span<const double> v) {
+  using simd::VecD;
+  const double* x = v.data();
+  const size_t n = v.size();
+  // Two independent accumulators break the loop-carried add dependency;
+  // they are combined in a FIXED order (acc0 + acc1, then the lane order
+  // of HorizontalSum, then the scalar tail) — the determinism half of the
+  // golden-tolerance policy.
+  const size_t step = 2 * simd::kNumLanes;
+  const size_t vec_end = n - (n % step);
+  VecD acc0 = VecD::Zero();
+  VecD acc1 = VecD::Zero();
+  for (size_t i = 0; i < vec_end; i += step) {
+    const VecD a = VecD::Load(x + i);
+    const VecD b = VecD::Load(x + i + simd::kNumLanes);
+    acc0 = acc0 + a * a;
+    acc1 = acc1 + b * b;
+  }
+  double total = simd::HorizontalSum(acc0 + acc1);
+  for (size_t i = vec_end; i < n; ++i) {
+    total += x[i] * x[i];
+  }
+  return total;
+}
+
+void ResidualInto(std::span<const double> estimate,
+                  std::span<const double> data, std::span<double> out) {
+  using simd::VecD;
+  const size_t n = out.size();
+  const size_t vec_end = n - (n % simd::kNumLanes);
+  for (size_t t = 0; t < vec_end; t += simd::kNumLanes) {
+    const VecD r = VecD::Load(estimate.data() + t) - VecD::Load(data.data() + t);
+    r.Store(out.data() + t);
+  }
+  for (size_t t = vec_end; t < n; ++t) {
+    out[t] = estimate[t] - data[t];
+  }
+}
+
+namespace {
+
+/// Shared count/sum pass: r_t = a[t] - e[t] (or a[t] itself when
+/// kHasEstimate is false), skipping non-finite residuals. Both public
+/// entry points run this exact structure, so the two GaussianCodingCost
+/// overloads stay bit-identical to each other.
+template <bool kHasEstimate>
+MaskedMoments MomentsCore(const double* a, const double* e, size_t n) {
+  using simd::VecD;
+  const size_t vec_end = n - (n % simd::kNumLanes);
+  const VecD one = VecD::Splat(1.0);
+  VecD cnt = VecD::Zero();
+  VecD sum = VecD::Zero();
+  for (size_t t = 0; t < vec_end; t += simd::kNumLanes) {
+    const VecD r = kHasEstimate ? VecD::Load(a + t) - VecD::Load(e + t)
+                                : VecD::Load(a + t);
+    const VecD mask = simd::FiniteMask(r);
+    cnt = cnt + simd::Select(mask, one);
+    sum = sum + simd::Select(mask, r);
+  }
+  MaskedMoments out;
+  out.count = simd::HorizontalSum(cnt);
+  out.sum = simd::HorizontalSum(sum);
+  for (size_t t = vec_end; t < n; ++t) {
+    const double r = kHasEstimate ? a[t] - e[t] : a[t];
+    if (!std::isfinite(r)) continue;
+    out.count += 1.0;
+    out.sum += r;
+  }
+  return out;
+}
+
+template <bool kHasEstimate>
+double SumSqDevCore(const double* a, const double* e, size_t n, double mean) {
+  using simd::VecD;
+  const size_t vec_end = n - (n % simd::kNumLanes);
+  const VecD mu = VecD::Splat(mean);
+  VecD acc = VecD::Zero();
+  for (size_t t = 0; t < vec_end; t += simd::kNumLanes) {
+    const VecD r = kHasEstimate ? VecD::Load(a + t) - VecD::Load(e + t)
+                                : VecD::Load(a + t);
+    const VecD d = r - mu;
+    // Mask on r's finiteness (NaN lanes of d*d are zeroed bitwise); an
+    // overflowing (r - mu)^2 with finite r flows through as inf, exactly
+    // like the scalar pass.
+    acc = acc + simd::Select(simd::FiniteMask(r), d * d);
+  }
+  double ss = simd::HorizontalSum(acc);
+  for (size_t t = vec_end; t < n; ++t) {
+    const double r = kHasEstimate ? a[t] - e[t] : a[t];
+    if (!std::isfinite(r)) continue;
+    const double d = r - mean;
+    ss += d * d;
+  }
+  return ss;
+}
+
+}  // namespace
+
+MaskedMoments MaskedResidualMoments(std::span<const double> actual,
+                                    std::span<const double> estimate) {
+  const size_t n = actual.size() < estimate.size() ? actual.size()
+                                                   : estimate.size();
+  return MomentsCore<true>(actual.data(), estimate.data(), n);
+}
+
+double MaskedResidualSumSqDev(std::span<const double> actual,
+                              std::span<const double> estimate, double mean) {
+  const size_t n = actual.size() < estimate.size() ? actual.size()
+                                                   : estimate.size();
+  return SumSqDevCore<true>(actual.data(), estimate.data(), n, mean);
+}
+
+MaskedMoments MaskedMomentsOf(std::span<const double> residuals) {
+  return MomentsCore<false>(residuals.data(), nullptr, residuals.size());
+}
+
+double MaskedSumSqDevOf(std::span<const double> residuals, double mean) {
+  return SumSqDevCore<false>(residuals.data(), nullptr, residuals.size(),
+                             mean);
+}
+
+}  // namespace kernels
+}  // namespace dspot

@@ -1,0 +1,58 @@
+#ifndef DSPOT_KERNELS_REDUCE_H_
+#define DSPOT_KERNELS_REDUCE_H_
+
+#include <cstddef>
+#include <span>
+
+namespace dspot {
+namespace kernels {
+
+/// SIMD reduction kernels. These follow the GOLDEN TOLERANCE policy from
+/// dspot_simd.h: results are deterministic (fixed lane/accumulator
+/// combination order, identical across runs and thread counts) but differ
+/// from a scalar left fold by reordering rounding; tests pin them to the
+/// scalar reference within simd::kReduceRelTol * n.
+
+/// ISA the kernels translation unit was compiled for ("avx2", "sse2",
+/// "neon", or "scalar") and its double lane count — surfaced so benches
+/// and BENCH_*.json can record which path produced the numbers.
+const char* SimdIsaName();
+size_t SimdNumLanes();
+
+/// Sum of v[i]^2 over the whole span.
+double SumSquares(std::span<const double> v);
+
+/// Elementwise residual out[t] = estimate[t] - data[t]. BIT-IDENTICAL
+/// policy (pure lane-wise subtraction, no reduction).
+void ResidualInto(std::span<const double> estimate,
+                  std::span<const double> data, std::span<double> out);
+
+/// First pass of the Gaussian coding cost over the residual stream
+/// r_t = actual[t] - estimate[t] (t < min(sizes)): the count and sum of
+/// the finite residuals. A residual is skipped exactly when r_t is
+/// non-finite — equivalent to the scalar rule "IsMissing(actual) ||
+/// IsMissing(estimate) || !isfinite(r)" because a NaN operand makes r NaN
+/// and an infinite operand makes r non-finite (finite - finite can only
+/// overflow to inf, which the scalar rule also skips).
+struct MaskedMoments {
+  double count = 0.0;
+  double sum = 0.0;
+};
+MaskedMoments MaskedResidualMoments(std::span<const double> actual,
+                                    std::span<const double> estimate);
+
+/// Second pass: sum of (r_t - mean)^2 over the same finite-residual mask.
+double MaskedResidualSumSqDev(std::span<const double> actual,
+                              std::span<const double> estimate, double mean);
+
+/// Same two passes for a pre-materialized residual vector (the other
+/// GaussianCodingCost overload). Shares the accumulation structure with
+/// the two-span forms above, so both overloads remain bit-identical to
+/// each other.
+MaskedMoments MaskedMomentsOf(std::span<const double> residuals);
+double MaskedSumSqDevOf(std::span<const double> residuals, double mean);
+
+}  // namespace kernels
+}  // namespace dspot
+
+#endif  // DSPOT_KERNELS_REDUCE_H_

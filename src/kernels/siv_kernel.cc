@@ -1,0 +1,139 @@
+#include "kernels/siv_kernel.h"
+
+#include "kernels/dspot_simd.h"
+
+namespace dspot {
+namespace kernels {
+
+void SimulateSivScalarInto(const SivParams& params,
+                           std::span<const double> epsilon,
+                           std::span<const double> eta,
+                           std::span<double> out) {
+  SimulateSivT<double>(params.population, params.beta, params.delta,
+                       params.gamma, params.i0, epsilon, eta, out);
+}
+
+void SivJacobianInto(const SivParams& params, std::span<const double> epsilon,
+                     std::span<const double> eta,
+                     std::span<const size_t> observed, size_t n_ticks,
+                     double* jac, size_t row_stride) {
+  using D = Dual<kSivNumParams>;
+  const D population = D::Var(params.population, 0);
+  const D beta = D::Var(params.beta, 1);
+  const D delta = D::Var(params.delta, 2);
+  const D gamma = D::Var(params.gamma, 3);
+  const D i0 = D::Var(params.i0, 4);
+
+  // Same recurrence as SimulateSivT, but without materializing a Dual
+  // trajectory buffer: observed indices are sorted ascending in every
+  // caller (they are built by a forward scan over the data), so gradient
+  // rows are emitted in-stride as the simulation passes each index.
+  const D n = TMax(population, D(1e-9));
+  D i = TClamp(i0, D(0.0), n);
+  D s = n - i;
+  D v = D(0.0);
+  const D delta_c = TClamp(delta, D(0.0), D(1.0));
+  const D gamma_c = TClamp(gamma, D(0.0), D(1.0));
+
+  size_t next = 0;
+  for (size_t t = 0; t < n_ticks && next < observed.size(); ++t) {
+    while (next < observed.size() && observed[next] == t) {
+      double* row = jac + next * row_stride;
+      for (size_t p = 0; p < kSivNumParams; ++p) row[p] = i.d[p];
+      ++next;
+    }
+
+    const double eps = t < epsilon.size() ? epsilon[t] : 1.0;
+    const double eta_t = t < eta.size() ? eta[t] : 0.0;
+    const D raw_infect = beta * (s / n) * D(eps) * i * D(1.0 + eta_t);
+    const D infect = TClamp(raw_infect, D(0.0), s);
+    const D recover = delta_c * i;
+    const D wane = gamma_c * v;
+
+    s += wane - infect;
+    i += infect - recover;
+    v += recover - wane;
+  }
+}
+
+namespace {
+
+/// Scalar remainder path of the batch kernel: runs lanes [lane_begin,
+/// count) of the SoA batch one at a time with the exact SimulateSivT
+/// operation sequence, reading/writing the strided SoA slots.
+void SimulateSivBatchScalarTail(const SivBatchSoA& batch, size_t count,
+                                size_t n_ticks, size_t lane_begin,
+                                double* out) {
+  for (size_t l = lane_begin; l < count; ++l) {
+    const double n = TMax(batch.population[l], 1e-9);
+    double i = TClamp(batch.i0[l], 0.0, n);
+    double s = n - i;
+    double v = 0.0;
+    const double delta = TClamp(batch.delta[l], 0.0, 1.0);
+    const double gamma = TClamp(batch.gamma[l], 0.0, 1.0);
+    const double beta = batch.beta[l];
+
+    for (size_t t = 0; t < n_ticks; ++t) {
+      out[t * count + l] = i;
+
+      const double eps = batch.epsilon ? batch.epsilon[t * count + l] : 1.0;
+      const double eta_t = batch.eta ? batch.eta[t * count + l] : 0.0;
+      const double raw_infect = beta * (s / n) * eps * i * (1.0 + eta_t);
+      const double infect = TClamp(raw_infect, 0.0, s);
+      const double recover = delta * i;
+      const double wane = gamma * v;
+
+      s += wane - infect;
+      i += infect - recover;
+      v += recover - wane;
+    }
+  }
+}
+
+}  // namespace
+
+void SimulateSivBatchInto(const SivBatchSoA& batch, size_t count,
+                          size_t n_ticks, double* out) {
+  using simd::VecD;
+  const size_t vec_end = count - (count % simd::kNumLanes);
+
+  const VecD zero = VecD::Zero();
+  const VecD one = VecD::Splat(1.0);
+  const VecD n_floor = VecD::Splat(1e-9);
+
+  for (size_t l = 0; l < vec_end; l += simd::kNumLanes) {
+    // Per-lane setup mirrors the scalar kernel: n = max(pop, 1e-9),
+    // i = clamp(i0, 0, n), rate clamps to [0, 1]. Min/Max pick the same
+    // operand std::max/std::clamp pick for finite inputs, so each lane
+    // stays bit-identical to SimulateSivScalarInto.
+    const VecD n = simd::Max(VecD::Load(batch.population + l), n_floor);
+    VecD i = simd::Min(simd::Max(VecD::Load(batch.i0 + l), zero), n);
+    VecD s = n - i;
+    VecD v = zero;
+    const VecD delta = simd::Min(simd::Max(VecD::Load(batch.delta + l), zero), one);
+    const VecD gamma = simd::Min(simd::Max(VecD::Load(batch.gamma + l), zero), one);
+    const VecD beta = VecD::Load(batch.beta + l);
+
+    for (size_t t = 0; t < n_ticks; ++t) {
+      i.Store(out + t * count + l);
+
+      const VecD eps =
+          batch.epsilon ? VecD::Load(batch.epsilon + t * count + l) : one;
+      const VecD eta_t =
+          batch.eta ? VecD::Load(batch.eta + t * count + l) : zero;
+      const VecD raw_infect = beta * (s / n) * eps * i * (one + eta_t);
+      const VecD infect = simd::Min(simd::Max(raw_infect, zero), s);
+      const VecD recover = delta * i;
+      const VecD wane = gamma * v;
+
+      s = s + (wane - infect);
+      i = i + (infect - recover);
+      v = v + (recover - wane);
+    }
+  }
+
+  SimulateSivBatchScalarTail(batch, count, n_ticks, vec_end, out);
+}
+
+}  // namespace kernels
+}  // namespace dspot

@@ -1,0 +1,117 @@
+#ifndef DSPOT_KERNELS_SIV_KERNEL_H_
+#define DSPOT_KERNELS_SIV_KERNEL_H_
+
+#include <cstddef>
+#include <span>
+
+#include "kernels/dual.h"
+
+namespace dspot {
+namespace kernels {
+
+/// The kernel layer's own copy of the SIV scalar parameters. Kept as a
+/// leaf-layer POD (kernels must not depend on core/) and bridged from
+/// core::SivDynamics by the callers in core/simulate.cc.
+struct SivParams {
+  double population = 1.0;
+  double beta = 0.1;
+  double delta = 0.1;
+  double gamma = 0.05;
+  double i0 = 1.0;
+};
+
+/// Parameter order of the Jacobian columns produced by SivJacobianInto:
+/// {population, beta, delta, gamma, i0} — the same order GlobalFit packs
+/// its LM parameter vector.
+inline constexpr size_t kSivNumParams = 5;
+
+/// The SIV recurrence (paper Model 1), templated over the scalar type so
+/// one definition serves both the production double path and the
+/// forward-mode Dual path (all parameter derivatives in a single pass).
+///
+/// Instantiated for double this is the exact operation sequence of the
+/// original scalar SimulateSivInto — TMax/TClamp reproduce
+/// std::max/std::clamp operand-for-operand — so outputs are bit-identical
+/// to the seed kernel (asserted by tests/kernels_test.cc).
+///
+/// `epsilon` / `eta` may be shorter than the horizon (missing ticks use
+/// eps = 1 / eta = 0). Writes I(t) into `out`; allocation-free.
+template <typename T>
+void SimulateSivT(const T& population, const T& beta, const T& delta_in,
+                  const T& gamma_in, const T& i0,
+                  std::span<const double> epsilon, std::span<const double> eta,
+                  std::span<T> out) {
+  const T n = TMax(population, T(1e-9));
+  T i = TClamp(i0, T(0.0), n);
+  T s = n - i;
+  T v = T(0.0);
+  const T delta = TClamp(delta_in, T(0.0), T(1.0));
+  const T gamma = TClamp(gamma_in, T(0.0), T(1.0));
+
+  const size_t n_ticks = out.size();
+  for (size_t t = 0; t < n_ticks; ++t) {
+    out[t] = i;
+
+    const double eps = t < epsilon.size() ? epsilon[t] : 1.0;
+    const double eta_t = t < eta.size() ? eta[t] : 0.0;
+    const T raw_infect = beta * (s / n) * T(eps) * i * T(1.0 + eta_t);
+    const T infect = TClamp(raw_infect, T(0.0), s);
+    const T recover = delta * i;
+    const T wane = gamma * v;
+
+    s += wane - infect;
+    i += infect - recover;
+    v += recover - wane;
+  }
+}
+
+/// Double instantiation as a plain function (the core/simulate.cc hot
+/// kernel delegates here).
+void SimulateSivScalarInto(const SivParams& params,
+                           std::span<const double> epsilon,
+                           std::span<const double> eta,
+                           std::span<double> out);
+
+/// Analytic Jacobian of I(t) with respect to the five SIV parameters via
+/// one forward-mode Dual<5> pass: for each observed tick observed[k],
+/// writes dI(observed[k])/d{population,beta,delta,gamma,i0} into
+/// jac[k * row_stride + 0..4] (row-major, caller-owned). One simulation
+/// pass replaces the five full re-simulations of a numeric Jacobian.
+/// `n_ticks` is the simulation horizon; every observed index must be
+/// < n_ticks. Allocation-free.
+void SivJacobianInto(const SivParams& params, std::span<const double> epsilon,
+                     std::span<const double> eta,
+                     std::span<const size_t> observed, size_t n_ticks,
+                     double* jac, size_t row_stride);
+
+/// Structure-of-arrays batch of independent SIV simulations: lane l runs
+/// the recurrence with parameters {population[l], beta[l], ...} and
+/// per-tick schedules epsilon[t * count + l] / eta[t * count + l].
+/// Null epsilon/eta mean eps = 1 / eta = 0 for every lane and tick
+/// (non-null arrays must cover all n_ticks * count entries — the caller
+/// pads short schedules with the same defaults when packing).
+struct SivBatchSoA {
+  const double* population = nullptr;
+  const double* beta = nullptr;
+  const double* delta = nullptr;
+  const double* gamma = nullptr;
+  const double* i0 = nullptr;
+  const double* epsilon = nullptr;
+  const double* eta = nullptr;
+};
+
+/// Runs `count` independent SIV simulations for n_ticks steps, writing
+/// I(t) of lane l to out[t * count + l]. SIMD across lanes (the serial
+/// dependency is across ticks, so vectorization happens over concurrent
+/// simulations, not time); each lane performs the identical operation
+/// sequence as SimulateSivScalarInto, so per-lane outputs are
+/// BIT-IDENTICAL to the scalar kernel for finite inputs (see the policy
+/// in dspot_simd.h; NaN/inf schedules are outside the contract because
+/// SIMD min/max NaN semantics differ from std::clamp's).
+void SimulateSivBatchInto(const SivBatchSoA& batch, size_t count,
+                          size_t n_ticks, double* out);
+
+}  // namespace kernels
+}  // namespace dspot
+
+#endif  // DSPOT_KERNELS_SIV_KERNEL_H_

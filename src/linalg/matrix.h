@@ -50,6 +50,11 @@ class Matrix {
   /// Raw row-major storage; useful for tests.
   const std::vector<double>& data() const { return data_; }
 
+  /// Mutable raw row-major storage (rows() x cols(), row stride cols()).
+  /// For kernels that fill a matrix wholesale — e.g. the analytic-Jacobian
+  /// writers — without going through operator() per element.
+  double* MutableData() { return data_.data(); }
+
   /// Returns the transpose.
   Matrix Transposed() const;
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "kernels/reduce.h"
+
 namespace dspot {
 
 double Dot(std::span<const double> a, std::span<const double> b) {
@@ -72,7 +74,11 @@ void Axpy(double s, const std::vector<double>& b, std::vector<double>* a) {
   }
 }
 
-double SumSquares(std::span<const double> v) { return Dot(v, v); }
+// SIMD reduction (golden-tolerance policy: deterministic, but the lane
+// accumulators reorder the additions relative to the old Dot(v, v) fold —
+// see src/kernels/dspot_simd.h). LM cost comparisons and convergence
+// checks tolerate the relative-1e-12-scale difference.
+double SumSquares(std::span<const double> v) { return kernels::SumSquares(v); }
 
 double SumSquares(const std::vector<double>& v) {
   return SumSquares(std::span<const double>(v));

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "kernels/reduce.h"
 
 namespace dspot {
 
@@ -35,40 +36,31 @@ double LogChoiceCost(size_t alternatives) {
 
 double GaussianCodingCost(const std::vector<double>& residuals,
                           double sigma_floor) {
-  double sum = 0.0;
-  size_t count = 0;
-  for (double r : residuals) {
-    // Non-finite residuals (missing markers, but also +-inf blow-ups from a
-    // diverged simulation) would poison mu/ss and return NaN bits, which a
-    // `<` MDL comparison silently accepts; skip them like missing ticks.
-    if (!std::isfinite(r)) continue;
-    sum += r;
-    ++count;
-  }
-  if (count <= 1) {
+  // Non-finite residuals (missing markers, but also +-inf blow-ups from a
+  // diverged simulation) would poison mu/ss and return NaN bits, which a
+  // `<` MDL comparison silently accepts; the kernels skip them like
+  // missing ticks. The moment passes run SIMD (golden-tolerance policy:
+  // deterministic, last-bits different from a scalar left fold).
+  const kernels::MaskedMoments moments = kernels::MaskedMomentsOf(residuals);
+  if (moments.count <= 1.0) {
     // Zero or one residual cannot support a variance estimate; with the
     // default floor a single residual codes at ~-18.6 bits, a negative
     // "cost" that biases model selection toward nearly-unobserved windows.
     return 0.0;
   }
-  const double mu = sum / static_cast<double>(count);
-  double ss = 0.0;
-  for (double r : residuals) {
-    if (!std::isfinite(r)) continue;
-    ss += Square(r - mu);
-  }
+  const double mu = moments.sum / moments.count;
+  const double ss = kernels::MaskedSumSqDevOf(residuals, mu);
   // The 1e-300 term keeps sigma2 positive when sigma_floor == 0 and the
   // residuals are exactly constant (ss == 0), where ss / sigma2 would
   // otherwise evaluate 0/0 = NaN.
-  const double sigma2 = std::max(
-      {ss / static_cast<double>(count), Square(sigma_floor), 1e-300});
+  const double sigma2 =
+      std::max({ss / moments.count, Square(sigma_floor), 1e-300});
   // Sum over residuals of -log2 N(r | mu, sigma^2) =
   // 0.5*count*log2(2*pi*sigma^2) + (ss / sigma^2) / (2 ln 2). With the ML
   // sigma^2 the second term reduces to count / (2 ln 2); the general form
   // keeps the floor correct.
-  const double n = static_cast<double>(count);
   const double kInvTwoLn2 = 0.7213475204444817;  // 1 / (2 ln 2)
-  return 0.5 * n * (kLog2TwoPi + SafeLog2(sigma2)) +
+  return 0.5 * moments.count * (kLog2TwoPi + SafeLog2(sigma2)) +
          kInvTwoLn2 * ss / sigma2;
 }
 
@@ -82,36 +74,24 @@ double GaussianCodingCost(const Series& actual, const Series& estimate,
 double GaussianCodingCost(std::span<const double> actual,
                           std::span<const double> estimate,
                           double sigma_floor) {
-  // Two passes over the residual stream r_t = actual[t] - estimate[t],
-  // recomputed in place: the same values in the same order as the
-  // materialize-then-code path, so the result is bit-identical.
-  const size_t n = std::min(actual.size(), estimate.size());
-  double sum = 0.0;
-  size_t count = 0;
-  for (size_t t = 0; t < n; ++t) {
-    if (IsMissing(actual[t]) || IsMissing(estimate[t])) continue;
-    const double r = actual[t] - estimate[t];
-    if (!std::isfinite(r)) continue;
-    sum += r;
-    ++count;
-  }
-  if (count <= 1) {
+  // Two kernel passes over the residual stream r_t = actual[t] -
+  // estimate[t], recomputed in place. The missing/non-finite skip rule is
+  // the kernels' "r_t is finite" mask (a NaN or inf operand always makes
+  // r_t non-finite), and the accumulation structure is shared with the
+  // residual-vector overload above, so the two overloads stay
+  // bit-identical to each other.
+  const kernels::MaskedMoments moments =
+      kernels::MaskedResidualMoments(actual, estimate);
+  if (moments.count <= 1.0) {
     // Same degenerate-support rule as the residual-vector overload above.
     return 0.0;
   }
-  const double mu = sum / static_cast<double>(count);
-  double ss = 0.0;
-  for (size_t t = 0; t < n; ++t) {
-    if (IsMissing(actual[t]) || IsMissing(estimate[t])) continue;
-    const double r = actual[t] - estimate[t];
-    if (!std::isfinite(r)) continue;
-    ss += Square(r - mu);
-  }
-  const double sigma2 = std::max(
-      {ss / static_cast<double>(count), Square(sigma_floor), 1e-300});
-  const double nn = static_cast<double>(count);
+  const double mu = moments.sum / moments.count;
+  const double ss = kernels::MaskedResidualSumSqDev(actual, estimate, mu);
+  const double sigma2 =
+      std::max({ss / moments.count, Square(sigma_floor), 1e-300});
   const double kInvTwoLn2 = 0.7213475204444817;  // 1 / (2 ln 2)
-  return 0.5 * nn * (kLog2TwoPi + SafeLog2(sigma2)) +
+  return 0.5 * moments.count * (kLog2TwoPi + SafeLog2(sigma2)) +
          kInvTwoLn2 * ss / sigma2;
 }
 

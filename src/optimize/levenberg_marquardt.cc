@@ -258,8 +258,14 @@ StatusOr<LmResult> LevenbergMarquardt(const ResidualIntoFn& residual_fn,
         }
       }
       ++outer_iters;
-      DSPOT_RETURN_IF_ERROR(
-          NumericJacobianInto(residual_fn, p, r, bounds, options, &ws));
+      if (options.analytic_jacobian) {
+        DSPOT_SPAN("lm.jacobian");
+        ws.jac.Resize(m, np);
+        DSPOT_RETURN_IF_ERROR(options.analytic_jacobian(p, &ws.jac));
+      } else {
+        DSPOT_RETURN_IF_ERROR(
+            NumericJacobianInto(residual_fn, p, r, bounds, options, &ws));
+      }
       // Normal equations: (J^T J + lambda I) step = -J^T r.
       ws.jac.GramInto(&ws.jtj);
       ws.jtr.resize(np);

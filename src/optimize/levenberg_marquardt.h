@@ -2,6 +2,8 @@
 #define DSPOT_OPTIMIZE_LEVENBERG_MARQUARDT_H_
 
 #include <cstddef>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -12,6 +14,13 @@
 #include "optimize/objective.h"
 
 namespace dspot {
+
+/// Fills `*jac` (pre-sized num_residuals x num_params by the solver) with
+/// the Jacobian dr_i/dp_j of the residual vector at `params`. Used to
+/// supply closed-form / forward-mode derivatives in place of the solver's
+/// forward-difference Jacobian.
+using JacobianIntoFn =
+    std::function<Status(std::span<const double> params, Matrix* jac)>;
 
 /// Configuration for the Levenberg-Marquardt solver.
 struct LmOptions {
@@ -32,6 +41,13 @@ struct LmOptions {
   double max_lambda = 1e12;
   /// Relative step for the forward-difference Jacobian.
   double jacobian_step = 1e-6;
+  /// Analytic Jacobian of the residual function. When set, each outer
+  /// iteration calls it once instead of running the O(num_params)
+  /// re-evaluations of the forward-difference Jacobian (for the SIV
+  /// recurrence a forward-mode dual pass yields every column in one
+  /// simulation). Leave unset to keep the numeric path — the cross-check
+  /// mode callers expose as `use_numeric_jacobian`.
+  JacobianIntoFn analytic_jacobian;
   /// Worker threads for evaluating numeric-Jacobian columns (0 = hardware
   /// concurrency, 1 = serial). Each column probe is independent, so the
   /// Jacobian — and therefore the whole solve — is bit-identical at any

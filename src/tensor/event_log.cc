@@ -5,7 +5,33 @@
 #include <fstream>
 #include <sstream>
 
+#include "kernels/calendar.h"
+
 namespace dspot {
+
+namespace {
+
+/// Calendar bucket index of a Unix-seconds timestamp (branch-free kernel
+/// arithmetic; correct for pre-epoch/negative timestamps). kNone is never
+/// passed here.
+int64_t CalendarBucket(int64_t unix_seconds, CalendarUnit unit) {
+  const int64_t days = kernels::DaysFromSeconds(unix_seconds);
+  switch (unit) {
+    case CalendarUnit::kDay:
+      return days;
+    case CalendarUnit::kWeek:
+      return kernels::WeekIndexFromDays(days);
+    case CalendarUnit::kMonth:
+      return kernels::MonthIndexFromDays(days);
+    case CalendarUnit::kYear:
+      return kernels::YearFromDays(days);
+    case CalendarUnit::kNone:
+      break;
+  }
+  return 0;
+}
+
+}  // namespace
 
 size_t EventAggregator::InternKeyword(const std::string& name) {
   for (size_t i = 0; i < keywords_.size(); ++i) {
@@ -34,8 +60,24 @@ Status EventAggregator::Add(const EventRecord& record) {
   if (record.keyword.empty() || record.location.empty()) {
     return Status::InvalidArgument("EventAggregator: empty keyword/location");
   }
-  const size_t tick = static_cast<size_t>(
-      (record.timestamp - config_.origin) / config_.ticks_resolution);
+  int64_t tick_index;
+  if (config_.calendar_unit == CalendarUnit::kNone) {
+    // timestamp >= origin is enforced above, so the difference is
+    // non-negative and FloorDiv agrees with the historical truncating
+    // division bit-for-bit; floor semantics document the intent (and keep
+    // this path correct if the rejection rule ever loosens).
+    tick_index = kernels::FloorDiv(record.timestamp - config_.origin,
+                                   config_.ticks_resolution);
+  } else {
+    // Calendar mode: tick = bucket(timestamp) - bucket(origin). Both sides
+    // use floor-aligned bucketing, so pre-epoch origins and timestamps
+    // (negative Unix seconds) index correctly — e.g. with a kDay unit and
+    // origin 0, second -1 would be day -1, not day 0; the monotone bucket
+    // functions plus the timestamp >= origin check keep tick >= 0.
+    tick_index = CalendarBucket(record.timestamp, config_.calendar_unit) -
+                 CalendarBucket(config_.origin, config_.calendar_unit);
+  }
+  const size_t tick = static_cast<size_t>(tick_index);
   if (config_.max_ticks > 0 && tick >= config_.max_ticks) {
     ++dropped_;
     return Status::Ok();

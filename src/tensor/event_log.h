@@ -31,13 +31,36 @@ struct EventRecord {
   double count = 1.0;
 };
 
+/// How timestamps are bucketed into ticks.
+enum class CalendarUnit {
+  /// Fixed-width buckets of `ticks_resolution` timestamp units (the
+  /// historical behavior; unit-agnostic).
+  kNone = 0,
+  /// Calendar-aligned buckets over Unix-seconds timestamps: civil days,
+  /// ISO (Monday-start) weeks, civil months, civil years. Unlike kNone
+  /// with resolution 604800, week/month/year buckets align to calendar
+  /// boundaries rather than to the origin, and months/years have their
+  /// true unequal lengths.
+  kDay,
+  kWeek,
+  kMonth,
+  kYear,
+};
+
 /// Aggregation configuration.
 struct AggregationConfig {
   /// Timestamp units per tick (e.g. 604800 for weekly ticks over
-  /// second-resolution stamps). Must be positive.
+  /// second-resolution stamps). Must be positive. Ignored when
+  /// `calendar_unit != kNone`.
   int64_t ticks_resolution = 1;
-  /// Timestamp mapped to tick 0; records before it are rejected.
+  /// Timestamp mapped to tick 0; records before it are rejected. With a
+  /// calendar unit, tick 0 is the calendar bucket CONTAINING the origin,
+  /// and both origin and timestamps may be pre-epoch (negative Unix
+  /// seconds): bucketing uses floor division throughout, so 1969 dates
+  /// land in their own buckets instead of folding into bucket 0.
   int64_t origin = 0;
+  /// Calendar bucketing mode; kNone (default) keeps fixed-width ticks.
+  CalendarUnit calendar_unit = CalendarUnit::kNone;
   /// Drop (instead of error on) records past this tick count; 0 = no cap.
   size_t max_ticks = 0;
 };
