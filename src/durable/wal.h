@@ -1,0 +1,124 @@
+#ifndef DSPOT_DURABLE_WAL_H_
+#define DSPOT_DURABLE_WAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "durable/durable_file.h"
+
+namespace dspot {
+
+/// The write-ahead log: fixed-size CRC-framed records appended through
+/// DurableFile. One WAL segment file holds the records logged since the
+/// checkpoint it is named after; DurableEngine rotates to a fresh segment
+/// at every checkpoint and prunes segments that no surviving checkpoint
+/// needs.
+///
+/// Record frame (48 bytes, little-endian, 8-byte aligned):
+///
+///   u32 crc        CRC-32 of everything after this field, extension
+///                  included — a torn or flipped frame cannot pass
+///   u32 type_ext   low 8 bits: record type; high 24 bits: extension
+///                  length in bytes (multiple of 8, kIntern only)
+///   u64 seq        strictly increasing by 1 across the whole log
+///   u64 a, b, c    payload fields (meaning per type, see WalRecordType)
+///   u64 reserved   zero (keeps the frame a round 48 bytes)
+///   [extension]    ext_len bytes: keyword name, zero-padded to 8 bytes
+///
+/// The fixed frame makes torn-tail detection trivial: a crash mid-append
+/// leaves fewer than 48 valid bytes (or a frame whose CRC fails) at the
+/// very end of the last segment, and recovery truncates there. A CRC
+/// failure that is *followed* by a valid frame is not a torn tail — it is
+/// mid-stream corruption, reported as located kDataLoss, never silently
+/// skipped.
+
+enum class WalRecordType : uint8_t {
+  /// A keyword was interned: a = keyword id, extension = keyword name.
+  /// Replay re-interns and verifies the id matches (intern order is
+  /// part of the engine state).
+  kIntern = 1,
+  /// One accepted append: a = keyword id, b = timestamp (two's
+  /// complement), c = IEEE-754 bit pattern of the count.
+  kAppend = 2,
+  /// A completed Flush(). Replay re-runs the flush, reproducing the
+  /// triage/refit work deterministically.
+  kFlushMark = 3,
+  /// First record of a fresh segment: a = the sequence number of the
+  /// checkpoint the segment follows. Replay no-op; a consistency anchor
+  /// for debugging and tests.
+  kCheckpointRef = 4,
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kAppend;
+  uint64_t seq = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+  std::string name;  ///< kIntern extension
+};
+
+/// Fixed frame size; extensions are appended in 8-byte units.
+inline constexpr size_t kWalFrameBytes = 48;
+/// Cap on the kIntern name extension (also the decode-time guard that a
+/// corrupt length cannot drive a runaway read).
+inline constexpr size_t kWalMaxExtBytes = 4096;
+
+/// Appends records to one segment file. Single writer; Sync() placement
+/// is the caller's FsyncPolicy decision.
+class WalWriter {
+ public:
+  /// Opens (creating or continuing) a segment whose next record will
+  /// carry `next_seq`.
+  static StatusOr<WalWriter> Open(const std::string& path, uint64_t next_seq,
+                                  const RetryPolicy& retry);
+
+  /// Appends one record, assigning it the next sequence number (returned
+  /// through `seq_out` when non-null). `name` must be empty except for
+  /// kIntern and at most kWalMaxExtBytes long.
+  Status Append(WalRecordType type, uint64_t a, uint64_t b, uint64_t c,
+                std::string_view name = {}, uint64_t* seq_out = nullptr);
+
+  Status Sync() { return file_.Sync(); }
+
+  uint64_t next_seq() const { return next_seq_; }
+  uint64_t size() const { return file_.size(); }
+  const std::string& path() const { return file_.path(); }
+
+ private:
+  WalWriter(DurableFile file, uint64_t next_seq)
+      : file_(std::move(file)), next_seq_(next_seq) {}
+
+  DurableFile file_;
+  uint64_t next_seq_ = 1;
+  std::vector<uint8_t> frame_;  ///< encode scratch, reused across appends
+};
+
+/// One parsed segment.
+struct WalSegmentScan {
+  std::vector<WalRecord> records;
+  /// Length of the clean prefix; bytes past it (if any) are a torn tail.
+  uint64_t valid_bytes = 0;
+  /// Bytes past valid_bytes that recovery should truncate (only ever
+  /// non-zero for the final segment of the log).
+  uint64_t truncated_bytes = 0;
+};
+
+/// Parses a segment file. Records must carry consecutive sequence numbers
+/// starting at `expected_first_seq`. When `allow_torn_tail` is set (the
+/// log's final segment), an invalid trailing region with no valid frame
+/// after it is reported as truncated_bytes rather than an error. Any
+/// invalid frame *followed* by a valid one — or any invalid frame in a
+/// non-final segment — returns located kDataLoss.
+StatusOr<WalSegmentScan> ReadWalSegment(const std::string& path,
+                                        uint64_t expected_first_seq,
+                                        bool allow_torn_tail);
+
+}  // namespace dspot
+
+#endif  // DSPOT_DURABLE_WAL_H_

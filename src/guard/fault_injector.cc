@@ -17,6 +17,10 @@ constexpr uint64_t kSiteSalt[] = {
     0xbf58476d1ce4e5b9ULL,  // kSolverFailure
     0x94d049bb133111ebULL,  // kAllocation
     0xd6e8feb86659fd93ULL,  // kDeadlineExpiry
+    0xa0761d6478bd642fULL,  // kIoShortWrite
+    0xe7037ed1a0b428dbULL,  // kIoNoSpace
+    0x8ebc6af09c88c6e3ULL,  // kIoFsyncFailure
+    0x589965cc75374cc3ULL,  // kIoRenameFailure
 };
 
 }  // namespace
@@ -31,6 +35,14 @@ const char* FaultSiteName(FaultSite site) {
       return "Allocation";
     case FaultSite::kDeadlineExpiry:
       return "DeadlineExpiry";
+    case FaultSite::kIoShortWrite:
+      return "IoShortWrite";
+    case FaultSite::kIoNoSpace:
+      return "IoNoSpace";
+    case FaultSite::kIoFsyncFailure:
+      return "IoFsyncFailure";
+    case FaultSite::kIoRenameFailure:
+      return "IoRenameFailure";
     case FaultSite::kNumSites:
       break;
   }

@@ -27,6 +27,22 @@ enum class FaultSite {
   /// wall time remains, exercising every deadline unwind path without
   /// depending on timing.
   kDeadlineExpiry,
+  /// DurableFile::WriteAll: one write() call transfers only half of the
+  /// requested bytes, exercising the partial-write continuation loop (and,
+  /// combined with the crash hook, torn-record recovery).
+  kIoShortWrite,
+  /// DurableFile::WriteAll: a write() call fails outright as if the disk
+  /// were full (ENOSPC), exercising the bounded retry-with-backoff and the
+  /// atomic-write guarantee that a failed save never corrupts the
+  /// destination path.
+  kIoNoSpace,
+  /// DurableFile::Sync: fsync reports failure. Not retried — after a
+  /// failed fsync the kernel may have dropped the dirty pages, so the only
+  /// honest response is to fail the operation (fsyncgate semantics).
+  kIoFsyncFailure,
+  /// AtomicWriteFile: the final rename(temp -> destination) fails; the
+  /// destination must be left untouched and the temp file cleaned up.
+  kIoRenameFailure,
   kNumSites,
 };
 

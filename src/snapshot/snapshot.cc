@@ -10,6 +10,7 @@
 #include <map>
 #include <sstream>
 
+#include "durable/durable_file.h"
 #include "obs/metrics.h"
 #include "snapshot/codec.h"
 
@@ -844,29 +845,23 @@ Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path,
   DSPOT_SPAN("snapshot.save");
   const std::vector<uint8_t> payload = EncodeSnapshotPayload(snapshot);
   const uint32_t crc = Crc32(payload.data(), payload.size());
-  std::ofstream os(path, std::ios::binary);
-  if (!os) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
+  // Assemble the full file in memory, then replace the destination
+  // atomically: a crashed or failed save leaves any previous snapshot
+  // exactly as it was, never a truncated hybrid.
   if (format == SnapshotFormat::kBinary) {
-    ByteWriter header;
-    header.PutBytes(kMagic, sizeof(kMagic));
-    header.PutU32(kSnapshotVersion);
-    header.PutU64(payload.size());
-    os.write(reinterpret_cast<const char*>(header.bytes().data()),
-             static_cast<std::streamsize>(header.size()));
-    os.write(reinterpret_cast<const char*>(payload.data()),
-             static_cast<std::streamsize>(payload.size()));
-    ByteWriter trailer;
-    trailer.PutU32(crc);
-    os.write(reinterpret_cast<const char*>(trailer.bytes().data()),
-             static_cast<std::streamsize>(trailer.size()));
+    ByteWriter file;
+    file.PutBytes(kMagic, sizeof(kMagic));
+    file.PutU32(kSnapshotVersion);
+    file.PutU64(payload.size());
+    file.PutBytes(payload.data(), payload.size());
+    file.PutU32(crc);
+    DSPOT_RETURN_IF_ERROR(
+        AtomicWriteFile(path, file.bytes().data(), file.size()));
   } else {
+    std::ostringstream os;
     WriteJsonSnapshot(os, snapshot, crc);
-  }
-  os.flush();
-  if (!os) {
-    return Status::IoError("write failed: " + path);
+    const std::string text = os.str();
+    DSPOT_RETURN_IF_ERROR(AtomicWriteFile(path, text.data(), text.size()));
   }
   DSPOT_COUNT("snapshot.saves", 1);
   DSPOT_OBSERVE("snapshot.save_bytes",

@@ -224,6 +224,14 @@ class StreamEngine {
   static StatusOr<std::unique_ptr<StreamEngine>> LoadState(
       const std::string& path, const StreamOptions& runtime = StreamOptions());
 
+  /// Restores an engine from a raw EncodeState payload (no file header —
+  /// the caller owns framing and checksums; dspot_durable checkpoints do
+  /// both). Same options split as LoadState; `context` labels decode
+  /// errors the way a path does.
+  static StatusOr<std::unique_ptr<StreamEngine>> DecodeState(
+      const uint8_t* data, size_t size, const StreamOptions& runtime,
+      const std::string& context);
+
  private:
   friend class StreamStateCodec;
 

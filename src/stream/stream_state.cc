@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "durable/durable_file.h"
 #include "obs/metrics.h"
 #include "snapshot/codec.h"
 #include "stream/stream_engine.h"
@@ -264,27 +265,16 @@ std::vector<uint8_t> StreamEngine::EncodeState() const {
 Status StreamEngine::SaveState(const std::string& path) const {
   DSPOT_SPAN("stream.save");
   const std::vector<uint8_t> payload = StreamStateCodec::Encode(*this);
-  const uint32_t crc = Crc32(payload.data(), payload.size());
-  std::ofstream os(path, std::ios::binary);
-  if (!os) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
-  ByteWriter header;
-  header.PutBytes(kMagic, sizeof(kMagic));
-  header.PutU32(kStreamStateVersion);
-  header.PutU64(payload.size());
-  os.write(reinterpret_cast<const char*>(header.bytes().data()),
-           static_cast<std::streamsize>(header.size()));
-  os.write(reinterpret_cast<const char*>(payload.data()),
-           static_cast<std::streamsize>(payload.size()));
-  ByteWriter trailer;
-  trailer.PutU32(crc);
-  os.write(reinterpret_cast<const char*>(trailer.bytes().data()),
-           static_cast<std::streamsize>(trailer.size()));
-  os.flush();
-  if (!os) {
-    return Status::IoError("write failed: " + path);
-  }
+  ByteWriter file;
+  file.PutBytes(kMagic, sizeof(kMagic));
+  file.PutU32(kStreamStateVersion);
+  file.PutU64(payload.size());
+  file.PutBytes(payload.data(), payload.size());
+  file.PutU32(Crc32(payload.data(), payload.size()));
+  // Atomic replacement: a crashed or failed save leaves any previous
+  // state file exactly as it was, never a truncated hybrid.
+  DSPOT_RETURN_IF_ERROR(
+      AtomicWriteFile(path, file.bytes().data(), file.size()));
   DSPOT_COUNT("stream.saves", 1);
   DSPOT_OBSERVE("stream.save_bytes", static_cast<double>(payload.size()));
   return Status::Ok();
@@ -334,6 +324,13 @@ StatusOr<std::unique_ptr<StreamEngine>> StreamEngine::LoadState(
   }
   ByteReader payload_reader(payload, payload_len, path);
   return StreamStateCodec::Decode(&payload_reader, runtime);
+}
+
+StatusOr<std::unique_ptr<StreamEngine>> StreamEngine::DecodeState(
+    const uint8_t* data, size_t size, const StreamOptions& runtime,
+    const std::string& context) {
+  ByteReader r(data, size, context);
+  return StreamStateCodec::Decode(&r, runtime);
 }
 
 }  // namespace dspot

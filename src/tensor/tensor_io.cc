@@ -9,6 +9,8 @@
 #include <tuple>
 #include <vector>
 
+#include "durable/durable_file.h"
+
 namespace dspot {
 
 namespace {
@@ -81,10 +83,9 @@ Status RowError(const std::string& path, size_t line_no, size_t column,
 }  // namespace
 
 Status SaveTensorCsv(const ActivityTensor& tensor, const std::string& path) {
-  std::ofstream os(path);
-  if (!os) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
+  // Rendered in memory and written atomically (temp + rename), so a
+  // failed export never leaves a truncated CSV where a good one stood.
+  std::ostringstream os;
   os << "keyword,location,tick,value\n";
   for (size_t i = 0; i < tensor.num_keywords(); ++i) {
     for (size_t j = 0; j < tensor.num_locations(); ++j) {
@@ -98,10 +99,8 @@ Status SaveTensorCsv(const ActivityTensor& tensor, const std::string& path) {
       }
     }
   }
-  if (!os) {
-    return Status::IoError("write failed: " + path);
-  }
-  return Status::Ok();
+  const std::string text = os.str();
+  return AtomicWriteFile(path, text.data(), text.size());
 }
 
 StatusOr<ActivityTensor> LoadTensorCsv(const std::string& path,
@@ -204,10 +203,7 @@ StatusOr<ActivityTensor> LoadTensorCsv(const std::string& path,
 }
 
 Status SaveSeriesCsv(const Series& series, const std::string& path) {
-  std::ofstream os(path);
-  if (!os) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
+  std::ostringstream os;
   os << "tick,value\n";
   for (size_t t = 0; t < series.size(); ++t) {
     os << t << ',';
@@ -218,10 +214,8 @@ Status SaveSeriesCsv(const Series& series, const std::string& path) {
     }
     os << '\n';
   }
-  if (!os) {
-    return Status::IoError("write failed: " + path);
-  }
-  return Status::Ok();
+  const std::string text = os.str();
+  return AtomicWriteFile(path, text.data(), text.size());
 }
 
 StatusOr<Series> LoadSeriesCsv(const std::string& path,

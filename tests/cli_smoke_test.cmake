@@ -137,4 +137,98 @@ expect_usage_error("keyword 'nope' not in the stream"
                    "${DSPOT_CLI}" stream --load-state "${stream_state}"
                    --forecast nope)
 
+# --- Durable streaming (WAL + crash recovery) --------------------------------
+expect_usage_error("--fsync-policy must be one of never\\|flush\\|everyn"
+                   "${DSPOT_CLI}" stream --events "${events_csv}"
+                   --wal-dir "${WORK_DIR}/nope" --fsync-policy sometimes)
+expect_usage_error("--recover requires --wal-dir"
+                   "${DSPOT_CLI}" stream --recover --events "${events_csv}")
+expect_usage_error("mutually exclusive"
+                   "${DSPOT_CLI}" stream --wal-dir "${WORK_DIR}/nope"
+                   --load-state "${stream_state}")
+
+# A 60-tick event log and its tail from t=40 on. The split point sits
+# inside a --flush-every 16 bucket (39/16 == 40/16 == 2), so a reference
+# run over the full log and a killed-then-recovered run that resumes with
+# the tail see the exact same flush schedule.
+set(durable_events "${WORK_DIR}/durable_events.csv")
+set(durable_tail "${WORK_DIR}/durable_tail.csv")
+set(full_body "keyword,location,timestamp,count\n")
+set(tail_body "keyword,location,timestamp,count\n")
+foreach(t RANGE 59)
+  math(EXPR wiggle "${t} % 5")
+  math(EXPR level "20 + ${wiggle}")
+  string(APPEND full_body "hp,all,${t},${level}\n")
+  if(t GREATER_EQUAL 40)
+    string(APPEND tail_body "hp,all,${t},${level}\n")
+  endif()
+endforeach()
+file(WRITE "${durable_events}" "${full_body}")
+file(WRITE "${durable_tail}" "${tail_body}")
+
+set(wal_ref "${WORK_DIR}/wal_ref")
+set(wal_crash "${WORK_DIR}/wal_crash")
+file(REMOVE_RECURSE "${wal_ref}" "${wal_crash}")
+
+# Reference: the full log through a fresh WAL dir, uninterrupted.
+execute_process(COMMAND "${DSPOT_CLI}" stream --events "${durable_events}"
+                        --flush-every 16 --horizon 8 --wal-dir "${wal_ref}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE ref_out
+                ERROR_VARIABLE ref_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "durable reference run failed:\n${ref_out}\n${ref_err}")
+endif()
+string(REGEX MATCH "forecast hp[^\n]*" ref_forecast "${ref_out}")
+if(ref_forecast STREQUAL "")
+  message(FATAL_ERROR "durable reference run printed no forecast:\n${ref_out}")
+endif()
+
+# Crash run: same log, SIGKILLed right after the 40th accepted append.
+execute_process(COMMAND "${DSPOT_CLI}" stream --events "${durable_events}"
+                        --flush-every 16 --horizon 8 --wal-dir "${wal_crash}"
+                        --kill-after 40
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE kill_out
+                ERROR_VARIABLE kill_err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "--kill-after 40 run was supposed to die:\n${kill_out}")
+endif()
+
+# Recover and resume with the tail: the recovered prefix plus the tail
+# must reproduce the uninterrupted run's forecast bit for bit.
+execute_process(COMMAND "${DSPOT_CLI}" stream --events "${durable_tail}"
+                        --flush-every 16 --horizon 8 --wal-dir "${wal_crash}"
+                        --recover
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE rec_out
+                ERROR_VARIABLE rec_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "durable recovery run failed:\n${rec_out}\n${rec_err}")
+endif()
+foreach(needle "recovered .*${wal_crash}" "replayed 40 append\\(s\\)"
+        "truncated 0 torn byte\\(s\\)" "replayed 20 append\\(s\\)"
+        "checkpointed")
+  if(NOT rec_out MATCHES "${needle}")
+    message(FATAL_ERROR "recovery output lacks '${needle}':\n${rec_out}")
+  endif()
+endforeach()
+string(REGEX MATCH "forecast hp[^\n]*" rec_forecast "${rec_out}")
+if(NOT rec_forecast STREQUAL ref_forecast)
+  message(FATAL_ERROR
+          "recovered forecast diverges from the uninterrupted run:\n"
+          "  reference: ${ref_forecast}\n"
+          "  recovered: ${rec_forecast}")
+endif()
+
+# Recover-only reporting needs no --events at all.
+execute_process(COMMAND "${DSPOT_CLI}" stream --wal-dir "${wal_crash}"
+                        --recover --forecast hp
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE ro_out
+                ERROR_VARIABLE ro_err)
+if(NOT rc EQUAL 0 OR NOT ro_out MATCHES "forecast hp")
+  message(FATAL_ERROR "recover-only run failed:\n${ro_out}\n${ro_err}")
+endif()
+
 message(STATUS "cli smoke test passed")

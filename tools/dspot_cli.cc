@@ -53,6 +53,13 @@
 //             [--skip-bad-rows]           without refitting.
 //             [--metrics-json F]
 //             [--trace-out F]
+//             [--wal-dir D]               durable mode: appends and flushes
+//             [--fsync-policy P]          go through a write-ahead log in D
+//             [--recover]                 (P: never|flush|everyn); opening
+//                                         an existing D recovers the newest
+//                                         checkpoint + WAL tail. --recover
+//                                         alone reports the recovered state
+//                                         without requiring --events.
 //
 // Flags accept both "--key value" and "--key=value". Numeric flags are
 // parsed strictly: empty values, trailing garbage ("12x"), and
@@ -62,6 +69,7 @@
 // short by --time-budget-ms still exits 0: the partial model is usable
 // and the health line says "DeadlineExceeded".
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -73,6 +81,8 @@
 
 #include "common/parse_util.h"
 #include "core/dspot.h"
+#include "durable/durable_engine.h"
+#include "durable/durable_file.h"
 #include "core/outliers.h"
 #include "core/report.h"
 #include "datagen/catalog.h"
@@ -743,19 +753,53 @@ int CmdUpdate(const Flags& flags) {
 int CmdStream(const Flags& flags) {
   const std::string events = flags.GetString("--events");
   const std::string load_path = flags.GetString("--load-state");
-  if (events.empty() && load_path.empty()) {
+  const std::string wal_dir = flags.GetString("--wal-dir");
+  const bool recover_only = flags.Has("--recover");
+  if (events.empty() && load_path.empty() && wal_dir.empty()) {
     std::fprintf(stderr,
                  "usage: dspot_cli stream --events FILE [--resolution N>=1] "
                  "[--origin T] [--flush-every N>=1] [--ring N>=16] "
                  "[--horizon H>=1] [--threads T>=1] [--flush-budget-ms MS>=0] "
                  "[--load-state FILE] [--save-state FILE] "
-                 "[--forecast KEYWORD] [--skip-bad-rows] "
+                 "[--wal-dir DIR] [--fsync-policy never|flush|everyn] "
+                 "[--recover] [--forecast KEYWORD] [--skip-bad-rows] "
                  "[--metrics-json FILE] [--trace-out FILE]\n");
     return 1;
   }
+  if (!wal_dir.empty() && !load_path.empty()) {
+    std::fprintf(stderr,
+                 "--wal-dir and --load-state are mutually exclusive: a WAL "
+                 "directory carries its own recovered state\n");
+    return 1;
+  }
+  if (recover_only && wal_dir.empty()) {
+    std::fprintf(stderr, "--recover requires --wal-dir DIR\n");
+    return 1;
+  }
+  FsyncPolicy fsync_policy = FsyncPolicy::kOnFlush;
+  if (const std::string policy = flags.GetString("--fsync-policy");
+      !policy.empty()) {
+    if (wal_dir.empty()) {
+      std::fprintf(stderr, "--fsync-policy requires --wal-dir DIR\n");
+      return 1;
+    }
+    if (policy == "never") {
+      fsync_policy = FsyncPolicy::kNever;
+    } else if (policy == "flush") {
+      fsync_policy = FsyncPolicy::kOnFlush;
+    } else if (policy == "everyn") {
+      fsync_policy = FsyncPolicy::kEveryN;
+    } else {
+      std::fprintf(stderr,
+                   "--fsync-policy must be one of never|flush|everyn, "
+                   "got '%s'\n",
+                   policy.c_str());
+      return 1;
+    }
+  }
   const long kMaxLong = std::numeric_limits<long>::max();
   long resolution = 0, origin = 0, flush_every = 0, ring = 0, horizon = 0;
-  long threads = 0, flush_budget_ms = 0;
+  long threads = 0, flush_budget_ms = 0, kill_after = 0;
   if (!ParseIntFlag(flags, "--resolution", 1, 1, kMaxLong, &resolution) ||
       !ParseIntFlag(flags, "--origin", 0, std::numeric_limits<long>::min(),
                     kMaxLong, &origin) ||
@@ -764,7 +808,10 @@ int CmdStream(const Flags& flags) {
       !ParseIntFlag(flags, "--horizon", 16, 1, kMaxLong, &horizon) ||
       !ParseIntFlag(flags, "--threads", 1, 1, kMaxLong, &threads) ||
       !ParseIntFlag(flags, "--flush-budget-ms", 0, 0, kMaxLong,
-                    &flush_budget_ms)) {
+                    &flush_budget_ms) ||
+      // Undocumented crash hook for the durability smoke test: SIGKILL the
+      // process right after the Nth accepted append (0 = disabled).
+      !ParseIntFlag(flags, "--kill-after", 0, 0, kMaxLong, &kill_after)) {
     return 1;
   }
   const ObsExportRequest obs_export = ObsExportRequest::FromFlags(flags);
@@ -777,8 +824,45 @@ int CmdStream(const Flags& flags) {
   options.num_threads = static_cast<size_t>(threads);
   options.flush_budget_ms = static_cast<double>(flush_budget_ms);
 
-  std::unique_ptr<StreamEngine> engine;
-  if (!load_path.empty()) {
+  std::unique_ptr<StreamEngine> owned;
+  std::unique_ptr<DurableEngine> durable;
+  StreamEngine* engine = nullptr;
+  if (!wal_dir.empty()) {
+    DurableOptions doptions;
+    doptions.stream = options;
+    doptions.fsync_policy = fsync_policy;
+    auto opened = DurableEngine::Open(wal_dir, doptions);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    durable = std::move(*opened);
+    engine = &durable->engine();
+    const RecoveryReport& rec = durable->recovery();
+    if (rec.fresh) {
+      if (recover_only && events.empty()) {
+        std::fprintf(stderr, "nothing to recover: %s was empty\n",
+                     wal_dir.c_str());
+        return 1;
+      }
+      std::printf("initialized WAL dir %s\n", wal_dir.c_str());
+    } else {
+      std::printf(
+          "recovered %s: checkpoint seq %llu, replayed %llu append(s) and "
+          "%llu flush(es) from the WAL tail, truncated %llu torn byte(s)\n",
+          wal_dir.c_str(),
+          static_cast<unsigned long long>(rec.checkpoint_seq),
+          static_cast<unsigned long long>(rec.replayed_appends),
+          static_cast<unsigned long long>(rec.replayed_flushes),
+          static_cast<unsigned long long>(rec.truncated_bytes));
+      if (rec.checkpoints_discarded > 0) {
+        std::fprintf(stderr,
+                     "warning: %zu damaged checkpoint(s) discarded — "
+                     "recovered from an older one\n",
+                     rec.checkpoints_discarded);
+      }
+    }
+  } else if (!load_path.empty()) {
     // Semantic options (bucketing, ring size, thresholds) come from the
     // state file; the flags above only set this run's runtime knobs.
     auto loaded = StreamEngine::LoadState(load_path, options);
@@ -786,11 +870,13 @@ int CmdStream(const Flags& flags) {
       std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
       return 1;
     }
-    engine = std::move(*loaded);
+    owned = std::move(*loaded);
+    engine = owned.get();
     std::printf("resumed %zu keyword(s) from %s\n", engine->num_keywords(),
                 load_path.c_str());
   } else {
-    engine = std::make_unique<StreamEngine>(options);
+    owned = std::make_unique<StreamEngine>(options);
+    engine = owned.get();
   }
 
   // stats.appends/rejected are lifetime counters and survive --load-state;
@@ -799,7 +885,7 @@ int CmdStream(const Flags& flags) {
   size_t flushes = 0;
   StreamFlushReport totals;
   auto flush_now = [&]() -> Status {
-    auto report = engine->Flush();
+    auto report = durable ? durable->Flush() : engine->Flush();
     if (!report.ok()) return report.status();
     ++flushes;
     totals.keywords_triaged += report->keywords_triaged;
@@ -820,6 +906,7 @@ int CmdStream(const Flags& flags) {
         std::max<int64_t>(engine->options().ticks_resolution, 1);
     const int64_t eng_origin = engine->options().origin;
     int64_t last_flush_bucket = std::numeric_limits<int64_t>::min();
+    long accepted_appends = 0;
     Status replay = ForEachEventCsv(
         events, read_options, [&](const EventRecord& r) -> Status {
           // Flush whenever stream time crosses a --flush-every boundary,
@@ -831,7 +918,16 @@ int CmdStream(const Flags& flags) {
             DSPOT_RETURN_IF_ERROR(flush_now());
           }
           last_flush_bucket = bucket;
-          return engine->Append(r.keyword, r.location, r.timestamp, r.count);
+          DSPOT_RETURN_IF_ERROR(
+              durable
+                  ? durable->Append(r.keyword, r.location, r.timestamp,
+                                    r.count)
+                  : engine->Append(r.keyword, r.location, r.timestamp,
+                                   r.count));
+          if (kill_after > 0 && ++accepted_appends >= kill_after) {
+            std::raise(SIGKILL);
+          }
+          return Status::Ok();
         });
     if (!replay.ok()) {
       std::fprintf(stderr, "%s\n", replay.ToString().c_str());
@@ -845,6 +941,17 @@ int CmdStream(const Flags& flags) {
   if (Status s = flush_now(); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
+  }
+  if (durable && !events.empty()) {
+    // Fold the replayed tail into a fresh checkpoint so the next open
+    // starts from here instead of re-replaying the whole WAL.
+    if (Status s = durable->Checkpoint(); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpointed %s at seq %llu\n", wal_dir.c_str(),
+                static_cast<unsigned long long>(
+                    durable->last_checkpoint_seq()));
   }
 
   const StreamStats stats = engine->stats();
