@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <string>
 
 namespace dspot {
@@ -38,6 +39,62 @@ StatusOr<int64_t> ParseInt64Text(std::string_view text) {
     return Status::InvalidArgument("not an integer: " + Quoted(text));
   }
   return value;
+}
+
+StatusOr<uint64_t> ParseByteSizeText(std::string_view text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("expected a byte size, got empty text");
+  }
+  // Split digits from the (optional) suffix. Signs are rejected outright:
+  // "-1" must not wrap into an enormous budget and "+1K" buys nothing.
+  size_t digits = 0;
+  while (digits < text.size() && text[digits] >= '0' && text[digits] <= '9') {
+    ++digits;
+  }
+  if (digits == 0) {
+    return Status::InvalidArgument("not a byte size: " + Quoted(text));
+  }
+  const std::string_view body = text.substr(0, digits);
+  std::string_view suffix = text.substr(digits);
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), value, 10);
+  if (ec != std::errc() || ptr != body.data() + body.size()) {
+    return Status::InvalidArgument("byte size out of range: " + Quoted(text));
+  }
+  uint64_t multiplier = 1;
+  if (!suffix.empty()) {
+    switch (suffix.front()) {
+      case 'k': case 'K': multiplier = uint64_t{1} << 10; break;
+      case 'm': case 'M': multiplier = uint64_t{1} << 20; break;
+      case 'g': case 'G': multiplier = uint64_t{1} << 30; break;
+      case 't': case 'T': multiplier = uint64_t{1} << 40; break;
+      case 'b': case 'B':
+        // A bare "B" ("256B" = 256 bytes); the 'i' form needs a multiple.
+        suffix.remove_prefix(1);
+        if (!suffix.empty()) {
+          return Status::InvalidArgument("not a byte size: " + Quoted(text));
+        }
+        return value;
+      default:
+        return Status::InvalidArgument("not a byte size: " + Quoted(text));
+    }
+    suffix.remove_prefix(1);
+    if (!suffix.empty() && (suffix.front() == 'i' || suffix.front() == 'I')) {
+      suffix.remove_prefix(1);
+    }
+    if (!suffix.empty() && (suffix.front() == 'b' || suffix.front() == 'B')) {
+      suffix.remove_prefix(1);
+    }
+    if (!suffix.empty()) {
+      return Status::InvalidArgument("not a byte size: " + Quoted(text));
+    }
+  }
+  if (value != 0 &&
+      value > std::numeric_limits<uint64_t>::max() / multiplier) {
+    return Status::InvalidArgument("byte size out of range: " + Quoted(text));
+  }
+  return value * multiplier;
 }
 
 StatusOr<double> ParseDoubleText(std::string_view text) {

@@ -23,6 +23,15 @@ StatusOr<int64_t> ParseInt64Text(std::string_view text);
 /// this codebase means anything sensible at infinity).
 StatusOr<double> ParseDoubleText(std::string_view text);
 
+/// Parses a byte-size flag value: a non-negative base-10 integer with an
+/// optional suffix — a bare "B" ("256B" = 256 bytes) or a binary multiple
+/// K/M/G/T, optionally followed by "B" or "iB" (so "64M", "64MB" and
+/// "64MiB" all mean 64 * 2^20). Case
+/// insensitive. Returns InvalidArgument on empty input, a sign (byte
+/// budgets are never negative), fractional values, trailing garbage, an
+/// unknown suffix, or a product that overflows uint64.
+StatusOr<uint64_t> ParseByteSizeText(std::string_view text);
+
 }  // namespace dspot
 
 #endif  // DSPOT_COMMON_PARSE_UTIL_H_

@@ -29,6 +29,10 @@ enum class StatusCode {
   /// mismatch, truncation inside a declared payload, or an impossible value
   /// for the stated format version.
   kDataLoss,
+  /// A bounded resource (an admission queue, a byte budget) is full and the
+  /// request was shed rather than blocking. Retryable by design: unlike
+  /// kInvalidArgument the same request can succeed later.
+  kResourceExhausted,
 };
 
 /// Lightweight result-of-an-operation value. A `Status` is either OK or
@@ -86,6 +90,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -1,0 +1,277 @@
+#include "serve/model_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <utility>
+
+#include "durable/durable_file.h"
+#include "obs/metrics.h"
+#include "snapshot/snapshot.h"
+#include "timeseries/series.h"
+
+namespace dspot {
+
+namespace {
+
+/// Spill filenames must be filesystem-safe for arbitrary keyword labels:
+/// alnum, '_', '-' pass through; every other byte becomes %XX. The mapping
+/// is injective, so distinct keywords never collide on one file.
+std::string SanitizeKeyword(std::string_view keyword) {
+  std::string out;
+  out.reserve(keyword.size());
+  for (unsigned char c : keyword) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (safe) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out.append(buf);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t ServedModel::ResidentBytes() const {
+  uint64_t bytes = sizeof(ServedModel) + keyword.capacity();
+  for (const Shock& s : shocks) {
+    bytes += sizeof(Shock) + s.global_strengths.capacity() * sizeof(double) +
+             s.local_strengths.rows() * s.local_strengths.cols() *
+                 sizeof(double);
+  }
+  return bytes;
+}
+
+ModelSnapshot ServedModel::ToSnapshot() const {
+  ModelSnapshot s;
+  s.params.global = {params};
+  s.params.shocks = shocks;
+  for (Shock& shock : s.params.shocks) {
+    shock.keyword = 0;
+  }
+  s.params.num_keywords = 1;
+  s.params.num_locations = 0;
+  s.params.num_ticks = static_cast<size_t>(fit_ticks);
+  s.keywords = {keyword};
+  s.global_rmse = {rmse};
+  s.total_cost_bits = cost_bits;
+  s.health = health;
+  return s;
+}
+
+StatusOr<ServedModel> ServedModel::FromSnapshot(const ModelSnapshot& snapshot,
+                                                std::string_view keyword,
+                                                const std::string& context) {
+  // Locate the keyword by label. The snapshot's keyword ids are private to
+  // the snapshot: a spill file written under an older interned table (or a
+  // multi-keyword batch snapshot, or a hostile file) stores the SAME
+  // keyword under a DIFFERENT index, so trusting a stored id would serve
+  // some other keyword's parameters without any error.
+  const auto it =
+      std::find(snapshot.keywords.begin(), snapshot.keywords.end(), keyword);
+  if (it == snapshot.keywords.end()) {
+    return Status::NotFound(context + ": snapshot does not contain keyword '" +
+                            std::string(keyword) + "'");
+  }
+  const size_t idx =
+      static_cast<size_t>(it - snapshot.keywords.begin());
+  const ModelParamSet& p = snapshot.params;
+  if (idx >= p.global.size()) {
+    return Status::InvalidArgument(
+        context + ": keyword '" + std::string(keyword) + "' has label index " +
+        std::to_string(idx) + " but the snapshot carries only " +
+        std::to_string(p.global.size()) + " parameter rows");
+  }
+  if (idx >= snapshot.global_rmse.size()) {
+    return Status::InvalidArgument(
+        context + ": keyword '" + std::string(keyword) +
+        "' has no rmse entry (index " + std::to_string(idx) + ", " +
+        std::to_string(snapshot.global_rmse.size()) + " entries)");
+  }
+  ServedModel m;
+  m.keyword = std::string(keyword);
+  m.params = p.global[idx];
+  for (const Shock& s : p.shocks) {
+    if (s.keyword == idx) {
+      Shock local = s;
+      local.keyword = 0;  // single-keyword coordinates
+      m.shocks.push_back(std::move(local));
+    }
+  }
+  m.fit_ticks = p.num_ticks;
+  m.rmse = snapshot.global_rmse[idx];
+  m.cost_bits = snapshot.total_cost_bits;
+  m.health = snapshot.health;
+  return m;
+}
+
+GlobalSequenceFit ServedModel::ToWarmStart() const {
+  GlobalSequenceFit fit;
+  fit.params = params;
+  fit.shocks = shocks;
+  // RefitGlobalSequence only reads the estimate's LENGTH (the fitted prefix
+  // size); the values are re-derived by simulation.
+  fit.estimate = Series(static_cast<size_t>(fit_ticks));
+  fit.cost_bits = cost_bits;
+  fit.rmse = rmse;
+  fit.health = health;
+  return fit;
+}
+
+ModelRegistry::ModelRegistry(const RegistryOptions& options)
+    : options_(options),
+      shards_(std::max<size_t>(size_t{1}, options.num_shards)) {
+  options_.num_shards = shards_.size();
+  shard_budget_ = options_.max_resident_bytes / shards_.size();
+}
+
+ModelRegistry::Shard& ModelRegistry::ShardFor(std::string_view keyword) {
+  return shards_[std::hash<std::string_view>{}(keyword) % shards_.size()];
+}
+
+const ModelRegistry::Shard& ModelRegistry::ShardFor(
+    std::string_view keyword) const {
+  return shards_[std::hash<std::string_view>{}(keyword) % shards_.size()];
+}
+
+std::string ModelRegistry::SpillPath(std::string_view keyword) const {
+  if (options_.spill_dir.empty()) {
+    return std::string();
+  }
+  return options_.spill_dir + "/" + SanitizeKeyword(keyword) + ".dspotsnp";
+}
+
+Status ModelRegistry::Spill(const ServedModel& model) {
+  const std::string path = SpillPath(model.keyword);
+  const std::vector<uint8_t> bytes = EncodeSnapshotFile(model.ToSnapshot());
+  if (options_.durable_spill) {
+    DSPOT_RETURN_IF_ERROR(AtomicWriteFile(path, bytes.data(), bytes.size()));
+  } else {
+    // A spill file is a rebuildable cache entry: plain buffered writes, no
+    // fsync. A torn file fails its CRC on reload and surfaces as DataLoss.
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      return Status::IoError("cannot open for writing: " + path);
+    }
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os) {
+      return Status::IoError("short write: " + path);
+    }
+  }
+  DSPOT_COUNT("serve.registry.spills", 1);
+  return Status::Ok();
+}
+
+void ModelRegistry::AdmitLocked(Shard& shard, ServedModel model) {
+  const uint64_t bytes = model.ResidentBytes();
+  auto it = shard.entries.find(model.keyword);
+  if (it != shard.entries.end()) {
+    shard.resident_bytes -= it->second.bytes;
+    it->second.model = std::move(model);
+    it->second.bytes = bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru);
+  } else {
+    shard.lru.push_front(model.keyword);
+    Entry entry;
+    entry.model = std::move(model);
+    entry.bytes = bytes;
+    entry.lru = shard.lru.begin();
+    shard.entries.emplace(shard.lru.front(), std::move(entry));
+  }
+  shard.resident_bytes += bytes;
+  // Evict from the cold end until the shard fits its slice. The
+  // just-admitted entry sits at the front and is never evicted (lru.size()
+  // > 1 guard), so one oversized model degrades to a cache of one.
+  while (shard.resident_bytes > shard_budget_ && shard.lru.size() > 1) {
+    const std::string& victim = shard.lru.back();
+    auto vit = shard.entries.find(victim);
+    shard.resident_bytes -= vit->second.bytes;
+    shard.entries.erase(vit);
+    shard.lru.pop_back();
+    ++shard.evictions;
+    DSPOT_COUNT("serve.registry.evictions", 1);
+  }
+}
+
+Status ModelRegistry::Put(const ServedModel& model) {
+  // Write-through: the snapshot hits the spill dir before the entry is
+  // admitted, so an eviction at any later point can always reload.
+  if (!options_.spill_dir.empty()) {
+    DSPOT_RETURN_IF_ERROR(Spill(model));
+  }
+  Shard& shard = ShardFor(model.keyword);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (!options_.spill_dir.empty()) {
+    ++shard.spills;
+  }
+  AdmitLocked(shard, model);
+  return Status::Ok();
+}
+
+StatusOr<ServedModel> ModelRegistry::Get(std::string_view keyword) {
+  Shard& shard = ShardFor(keyword);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(std::string(keyword));
+  if (it != shard.entries.end()) {
+    ++shard.hits;
+    DSPOT_COUNT("serve.registry.hits", 1);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru);
+    return it->second.model;
+  }
+  ++shard.misses;
+  DSPOT_COUNT("serve.registry.misses", 1);
+  if (options_.spill_dir.empty()) {
+    return Status::NotFound("keyword '" + std::string(keyword) +
+                            "' is not in the registry");
+  }
+  const std::string path = SpillPath(keyword);
+  StatusOr<ModelSnapshot> snapshot = LoadSnapshot(path);
+  if (!snapshot.ok()) {
+    if (snapshot.status().code() == StatusCode::kIoError) {
+      // No spill file: the keyword was never Put (or its spill failed).
+      return Status::NotFound("keyword '" + std::string(keyword) +
+                              "' is not in the registry and has no spill "
+                              "file (" +
+                              snapshot.status().message() + ")");
+    }
+    // A corrupt or hostile spill file keeps its located DataLoss /
+    // InvalidArgument diagnosis.
+    return snapshot.status();
+  }
+  DSPOT_ASSIGN_OR_RETURN(ServedModel model,
+                         ServedModel::FromSnapshot(*snapshot, keyword, path));
+  ++shard.reloads;
+  DSPOT_COUNT("serve.registry.reloads", 1);
+  AdmitLocked(shard, std::move(model));
+  return shard.entries.find(std::string(keyword))->second.model;
+}
+
+bool ModelRegistry::Resident(std::string_view keyword) const {
+  const Shard& shard = ShardFor(keyword);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.entries.count(std::string(keyword)) != 0;
+}
+
+RegistryStats ModelRegistry::stats() const {
+  RegistryStats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.reloads += shard.reloads;
+    stats.evictions += shard.evictions;
+    stats.spills += shard.spills;
+    stats.resident_bytes += shard.resident_bytes;
+    stats.resident_models += shard.entries.size();
+  }
+  return stats;
+}
+
+}  // namespace dspot

@@ -1,0 +1,159 @@
+#ifndef DSPOT_SERVE_MODEL_REGISTRY_H_
+#define DSPOT_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "core/global_fit.h"
+#include "core/params.h"
+#include "snapshot/snapshot.h"
+
+namespace dspot {
+
+/// dspot_serve's model store: a sharded, LRU-evicted map from keyword to
+/// its fitted single-keyword model, bounded by a resident-byte budget and
+/// (optionally) backed by per-keyword "DSPOTSNP" snapshot files.
+///
+/// The registry is a *cache over durable snapshots*, not the source of
+/// truth: Put() writes the snapshot through to the spill directory before
+/// the entry becomes resident, eviction merely drops the resident copy,
+/// and a Get() miss reloads — warm-starts — the model from its snapshot.
+/// With a spill directory configured, the set of resident entries is thus
+/// pure performance state: any interleaving of hits, misses, and
+/// evictions serves bit-identical models (snapshot round-trips are
+/// bit-exact by the codec's contract). Without one, eviction forgets the
+/// model and a later Get() reports NotFound.
+///
+/// THREAD SAFETY: all methods are safe from any thread. Keywords map to
+/// shards by hash; operations on different shards never contend.
+
+struct RegistryOptions {
+  /// Number of independently locked shards (clamped to >= 1).
+  size_t num_shards = 8;
+  /// Whole-registry resident budget, split evenly across shards. After
+  /// every insert the owning shard evicts least-recently-used entries
+  /// until it fits its slice (the just-touched entry is never evicted, so
+  /// one oversized model degrades to cache-of-one instead of thrashing).
+  uint64_t max_resident_bytes = 256ull << 20;
+  /// Directory for per-keyword snapshot spill files; "" disables spill
+  /// (evictions forget, reload never happens). The caller creates it.
+  std::string spill_dir;
+  /// When true, spill writes go through AtomicWriteFile (fsync + rename).
+  /// Default off: a spill file is a rebuildable cache entry, and a fit is
+  /// pinned by whatever durability layer owns the request log, so paying
+  /// an fsync per Put would buy nothing.
+  bool durable_spill = false;
+};
+
+/// One keyword's servable model — the global SIV parameters plus the
+/// shock inventory, in fit-local coordinates (tick 0 = first fitted
+/// tick). Round-trips bit-exactly through a single-keyword ModelSnapshot.
+struct ServedModel {
+  std::string keyword;
+  KeywordGlobalParams params;
+  std::vector<Shock> shocks;  ///< shock.keyword == 0 (single-keyword set)
+  uint64_t fit_ticks = 0;     ///< length of the fitted range
+  double rmse = 0.0;
+  double cost_bits = 0.0;
+  FitHealth health;
+
+  /// Approximate resident footprint used against the byte budget.
+  uint64_t ResidentBytes() const;
+
+  /// The single-keyword snapshot encoding of this model.
+  ModelSnapshot ToSnapshot() const;
+
+  /// Extracts `keyword`'s model from a snapshot — by NAME, never by a
+  /// stored index: the snapshot's keyword set may differ from the
+  /// registry's interned table (a stale spill file, a hostile file, a
+  /// multi-keyword batch snapshot), so stored indices are remapped through
+  /// the label lookup. NotFound when the snapshot does not carry the
+  /// keyword; InvalidArgument when its shape is inconsistent. `context`
+  /// labels errors (typically the file path).
+  static StatusOr<ServedModel> FromSnapshot(const ModelSnapshot& snapshot,
+                                            std::string_view keyword,
+                                            const std::string& context);
+
+  /// The warm-start seed RefitGlobalSequence expects (estimate carries
+  /// only its length — the fitted values are re-derived by simulation).
+  GlobalSequenceFit ToWarmStart() const;
+};
+
+/// Monotonic counters (also exported as serve.registry.* obs metrics when
+/// the registry is armed) plus a point-in-time residency snapshot.
+struct RegistryStats {
+  uint64_t hits = 0;       ///< Get served from a resident entry
+  uint64_t misses = 0;     ///< Get found nothing resident
+  uint64_t reloads = 0;    ///< misses recovered from a spill file
+  uint64_t evictions = 0;  ///< entries dropped by the byte budget
+  uint64_t spills = 0;     ///< snapshot files written
+  uint64_t resident_bytes = 0;
+  uint64_t resident_models = 0;
+};
+
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(const RegistryOptions& options);
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Inserts or replaces the keyword's model: spills its snapshot (when a
+  /// spill dir is configured), makes it the shard's most-recent entry, and
+  /// evicts LRU entries until the shard fits its budget slice.
+  Status Put(const ServedModel& model);
+
+  /// A copy of the keyword's model. Resident entries are returned directly
+  /// (and refreshed in the LRU order); a miss attempts a reload from the
+  /// spill directory, re-admitting the model. NotFound when neither holds
+  /// the keyword.
+  StatusOr<ServedModel> Get(std::string_view keyword);
+
+  /// True iff the keyword is resident right now (test/bench hook; the
+  /// answer can be stale by the time the caller acts on it).
+  bool Resident(std::string_view keyword) const;
+
+  RegistryStats stats() const;
+
+  /// The spill file path for `keyword` ("" without a spill dir).
+  std::string SpillPath(std::string_view keyword) const;
+
+ private:
+  struct Entry {
+    ServedModel model;
+    uint64_t bytes = 0;
+    std::list<std::string>::iterator lru;  ///< position in Shard::lru
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::string> lru;  ///< front = most recently used
+    std::unordered_map<std::string, Entry> entries;
+    uint64_t resident_bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t reloads = 0;
+    uint64_t evictions = 0;
+    uint64_t spills = 0;
+  };
+
+  Shard& ShardFor(std::string_view keyword);
+  const Shard& ShardFor(std::string_view keyword) const;
+  /// Inserts under the shard lock; the caller already spilled.
+  void AdmitLocked(Shard& shard, ServedModel model);
+  Status Spill(const ServedModel& model);
+
+  RegistryOptions options_;
+  uint64_t shard_budget_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace dspot
+
+#endif  // DSPOT_SERVE_MODEL_REGISTRY_H_

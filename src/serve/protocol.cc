@@ -1,0 +1,191 @@
+#include "serve/protocol.h"
+
+#include <istream>
+#include <ostream>
+
+#include "snapshot/codec.h"
+
+namespace dspot {
+
+namespace {
+
+/// Each values entry costs at least 8 payload bytes, so this bound is
+/// loose but allocation-safe under the frame cap.
+constexpr uint64_t kMaxValues = kServeMaxFrameBytes / 8;
+
+Status WriteFrame(const std::vector<uint8_t>& payload, std::ostream& out) {
+  ByteWriter prefix;
+  prefix.PutU32(static_cast<uint32_t>(payload.size()));
+  out.write(reinterpret_cast<const char*>(prefix.bytes().data()),
+            static_cast<std::streamsize>(prefix.size()));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  if (!out) {
+    return Status::IoError("serve frame: short write");
+  }
+  return Status::Ok();
+}
+
+/// Reads one length-prefixed payload. false = clean EOF before the first
+/// prefix byte; a partial prefix or short payload is DataLoss.
+StatusOr<bool> ReadFrame(std::istream& in, const std::string& context,
+                         std::vector<uint8_t>* payload) {
+  uint8_t prefix[4];
+  in.read(reinterpret_cast<char*>(prefix), sizeof(prefix));
+  if (in.gcount() == 0 && in.eof()) {
+    return false;
+  }
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(prefix))) {
+    return Status::DataLoss(context + ": truncated frame length prefix (" +
+                            std::to_string(in.gcount()) + " of 4 bytes)");
+  }
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(prefix[i]) << (8 * i);
+  }
+  if (length > kServeMaxFrameBytes) {
+    return Status::DataLoss(context + ": frame length " +
+                            std::to_string(length) + " exceeds cap " +
+                            std::to_string(kServeMaxFrameBytes) +
+                            " (desynchronized stream?)");
+  }
+  payload->resize(length);
+  in.read(reinterpret_cast<char*>(payload->data()),
+          static_cast<std::streamsize>(length));
+  if (in.gcount() != static_cast<std::streamsize>(length)) {
+    return Status::DataLoss(context + ": truncated frame payload (" +
+                            std::to_string(in.gcount()) + " of " +
+                            std::to_string(length) + " bytes)");
+  }
+  return true;
+}
+
+Status CheckTag(ByteReader& r, uint32_t want, const char* kind) {
+  DSPOT_ASSIGN_OR_RETURN(uint32_t tag, r.GetU32());
+  if (tag != want) {
+    return r.CorruptAt(std::string("bad ") + kind + " frame tag " +
+                       std::to_string(tag) + " (want " + std::to_string(want) +
+                       ")");
+  }
+  return Status::Ok();
+}
+
+void PutValues(ByteWriter& w, const std::vector<double>& values) {
+  w.PutU64(values.size());
+  for (double v : values) {
+    w.PutDouble(v);
+  }
+}
+
+Status GetValues(ByteReader& r, std::vector<double>* values) {
+  DSPOT_ASSIGN_OR_RETURN(uint64_t n, r.GetCount(kMaxValues, "values count"));
+  values->resize(static_cast<size_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    DSPOT_ASSIGN_OR_RETURN((*values)[i], r.GetDouble());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeRequestPayload(const ServeRequest& request) {
+  ByteWriter w;
+  w.PutU32(kServeRequestTag);
+  w.PutU64(request.id);
+  w.PutU32(static_cast<uint32_t>(request.op));
+  w.PutString(request.keyword);
+  w.PutU64(request.horizon);
+  w.PutDouble(request.deadline_ms);
+  PutValues(w, request.values);
+  return std::move(w).TakeBytes();
+}
+
+std::vector<uint8_t> EncodeReplyPayload(const ServeReply& reply) {
+  ByteWriter w;
+  w.PutU32(kServeReplyTag);
+  w.PutU64(reply.id);
+  w.PutU32(static_cast<uint32_t>(reply.status.code()));
+  w.PutString(reply.status.message());
+  w.PutDouble(reply.rmse);
+  w.PutDouble(reply.cost_bits);
+  PutValues(w, reply.values);
+  return std::move(w).TakeBytes();
+}
+
+StatusOr<ServeRequest> DecodeRequestPayload(const uint8_t* data, size_t size,
+                                            const std::string& context) {
+  ByteReader r(data, size, context);
+  DSPOT_RETURN_IF_ERROR(CheckTag(r, kServeRequestTag, "request"));
+  ServeRequest request;
+  DSPOT_ASSIGN_OR_RETURN(request.id, r.GetU64());
+  DSPOT_ASSIGN_OR_RETURN(uint32_t op, r.GetU32());
+  if (ServeOpName(static_cast<ServeOp>(op)) == nullptr) {
+    return r.InvalidAt("unknown serve op code " + std::to_string(op));
+  }
+  request.op = static_cast<ServeOp>(op);
+  DSPOT_ASSIGN_OR_RETURN(request.keyword, r.GetString());
+  DSPOT_ASSIGN_OR_RETURN(request.horizon, r.GetU64());
+  DSPOT_ASSIGN_OR_RETURN(request.deadline_ms, r.GetDouble());
+  DSPOT_RETURN_IF_ERROR(GetValues(r, &request.values));
+  if (r.remaining() != 0) {
+    return r.CorruptAt(std::to_string(r.remaining()) +
+                       " trailing bytes after request payload");
+  }
+  return request;
+}
+
+StatusOr<ServeReply> DecodeReplyPayload(const uint8_t* data, size_t size,
+                                        const std::string& context) {
+  ByteReader r(data, size, context);
+  DSPOT_RETURN_IF_ERROR(CheckTag(r, kServeReplyTag, "reply"));
+  ServeReply reply;
+  DSPOT_ASSIGN_OR_RETURN(reply.id, r.GetU64());
+  DSPOT_ASSIGN_OR_RETURN(uint32_t code, r.GetU32());
+  if (code > static_cast<uint32_t>(StatusCode::kResourceExhausted)) {
+    return r.InvalidAt("unknown status code " + std::to_string(code));
+  }
+  DSPOT_ASSIGN_OR_RETURN(std::string message, r.GetString());
+  reply.status = Status(static_cast<StatusCode>(code), std::move(message));
+  DSPOT_ASSIGN_OR_RETURN(reply.rmse, r.GetDouble());
+  DSPOT_ASSIGN_OR_RETURN(reply.cost_bits, r.GetDouble());
+  DSPOT_RETURN_IF_ERROR(GetValues(r, &reply.values));
+  if (r.remaining() != 0) {
+    return r.CorruptAt(std::to_string(r.remaining()) +
+                       " trailing bytes after reply payload");
+  }
+  return reply;
+}
+
+Status WriteRequestFrame(const ServeRequest& request, std::ostream& out) {
+  return WriteFrame(EncodeRequestPayload(request), out);
+}
+
+Status WriteReplyFrame(const ServeReply& reply, std::ostream& out) {
+  return WriteFrame(EncodeReplyPayload(reply), out);
+}
+
+StatusOr<bool> ReadRequestFrame(std::istream& in, const std::string& context,
+                                ServeRequest* out) {
+  std::vector<uint8_t> payload;
+  DSPOT_ASSIGN_OR_RETURN(bool have, ReadFrame(in, context, &payload));
+  if (!have) {
+    return false;
+  }
+  DSPOT_ASSIGN_OR_RETURN(*out, DecodeRequestPayload(payload.data(),
+                                                    payload.size(), context));
+  return true;
+}
+
+StatusOr<bool> ReadReplyFrame(std::istream& in, const std::string& context,
+                              ServeReply* out) {
+  std::vector<uint8_t> payload;
+  DSPOT_ASSIGN_OR_RETURN(bool have, ReadFrame(in, context, &payload));
+  if (!have) {
+    return false;
+  }
+  DSPOT_ASSIGN_OR_RETURN(*out, DecodeReplyPayload(payload.data(),
+                                                  payload.size(), context));
+  return true;
+}
+
+}  // namespace dspot

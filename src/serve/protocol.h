@@ -1,0 +1,67 @@
+#ifndef DSPOT_SERVE_PROTOCOL_H_
+#define DSPOT_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "serve/serve_engine.h"
+
+namespace dspot {
+
+/// The dspot_serve wire format: length-prefixed frames over a byte
+/// stream (the CLI speaks it on stdin/stdout; tests speak it over
+/// stringstreams).
+///
+/// One frame = a little-endian u32 payload length followed by that many
+/// payload bytes. The payload reuses the snapshot codec's primitives
+/// (ByteWriter/ByteReader) and leads with a tag word so a reader can
+/// reject a stream of the wrong kind with a located error instead of
+/// misparsing it:
+///
+///   request:  "DSRQ" id:u64 op:u32 keyword:str horizon:u64
+///             deadline_ms:f64 values:u64+f64[]
+///   reply:    "DSRP" id:u64 code:u32 message:str rmse:f64
+///             cost_bits:f64 values:u64+f64[]
+///
+/// Encoding is canonical (no padding, no optional fields), so identical
+/// replies are identical bytes — the determinism gates compare frames
+/// directly.
+
+/// Frame tags ("DSRQ" / "DSRP" as little-endian u32).
+inline constexpr uint32_t kServeRequestTag = 0x51525344;
+inline constexpr uint32_t kServeReplyTag = 0x50525344;
+
+/// Upper bound on a frame's payload length; a declared length beyond it
+/// is rejected as DataLoss (a desynchronized or hostile stream would
+/// otherwise trigger a giant allocation).
+inline constexpr uint32_t kServeMaxFrameBytes = 64u << 20;
+
+/// Serializes one request/reply frame. IoError on stream failure.
+Status WriteRequestFrame(const ServeRequest& request, std::ostream& out);
+Status WriteReplyFrame(const ServeReply& reply, std::ostream& out);
+
+/// Reads one frame into `*out`. Returns false on clean EOF (the stream
+/// ended exactly on a frame boundary), true on success; located
+/// DataLoss/InvalidArgument on truncation, a bad tag, or impossible
+/// values. `context` labels errors (e.g. "stdin").
+StatusOr<bool> ReadRequestFrame(std::istream& in, const std::string& context,
+                                ServeRequest* out);
+StatusOr<bool> ReadReplyFrame(std::istream& in, const std::string& context,
+                              ServeReply* out);
+
+/// Payload-level codecs (exposed for tests; the frame functions add the
+/// length prefix).
+std::vector<uint8_t> EncodeRequestPayload(const ServeRequest& request);
+std::vector<uint8_t> EncodeReplyPayload(const ServeReply& reply);
+StatusOr<ServeRequest> DecodeRequestPayload(const uint8_t* data, size_t size,
+                                            const std::string& context);
+StatusOr<ServeReply> DecodeReplyPayload(const uint8_t* data, size_t size,
+                                        const std::string& context);
+
+}  // namespace dspot
+
+#endif  // DSPOT_SERVE_PROTOCOL_H_

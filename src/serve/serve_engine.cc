@@ -1,0 +1,377 @@
+#include "serve/serve_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "core/schedule_cache.h"
+#include "core/simulate.h"
+#include "obs/metrics.h"
+#include "parallel/parallel_for.h"
+#include "timeseries/series.h"
+
+namespace dspot {
+
+namespace {
+
+/// Smallest RMSE used as an outlier-score denominator; a perfectly fitted
+/// model would otherwise turn every residual into an infinite z-score.
+constexpr double kMinScoreRmse = 1e-9;
+
+/// The single-keyword parameter set SimulateGlobalInto expects, spanning
+/// `n_ticks` (which may exceed the fitted range for forecasting).
+ModelParamSet BuildSingleKeywordSet(const ServedModel& model, size_t n_ticks) {
+  ModelParamSet set;
+  set.global = {model.params};
+  set.shocks = model.shocks;
+  set.num_keywords = 1;
+  set.num_locations = 1;
+  set.num_ticks = n_ticks;
+  return set;
+}
+
+}  // namespace
+
+const char* ServeOpName(ServeOp op) {
+  switch (op) {
+    case ServeOp::kFit:
+      return "fit";
+    case ServeOp::kRefit:
+      return "refit";
+    case ServeOp::kForecast:
+      return "forecast";
+    case ServeOp::kOutlierScore:
+      return "outlier-score";
+  }
+  return nullptr;
+}
+
+ServeEngine::ServeEngine(ModelRegistry* registry, const ServeOptions& options)
+    : registry_(registry), options_(options) {
+  options_.queue_cap = std::max<size_t>(size_t{1}, options_.queue_cap);
+  options_.max_batch = std::max<size_t>(size_t{1}, options_.max_batch);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+ServeEngine::~ServeEngine() { Stop(); }
+
+std::future<ServeReply> ServeEngine::Submit(ServeRequest request) {
+  Pending pending;
+  const double budget = request.deadline_ms > 0.0
+                            ? request.deadline_ms
+                            : options_.default_deadline_ms;
+  if (budget > 0.0) {
+    pending.deadline = Deadline::AfterMillis(budget);
+  }
+  std::future<ServeReply> future = pending.promise.get_future();
+  std::promise<ServeReply> shed_promise;
+  bool shed = false;
+  uint64_t shed_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ServeReply reply;
+      reply.id = request.id;
+      reply.status = Status::Cancelled("serve engine is stopping");
+      pending.promise.set_value(std::move(reply));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_cap) {
+      // Shed the OLDEST queued request: under overload the freshest work
+      // survives, and the shed client gets an immediate, retryable error
+      // instead of a timeout.
+      shed = true;
+      shed_id = queue_.front().request.id;
+      shed_promise = std::move(queue_.front().promise);
+      queue_.pop_front();
+      ++stats_.admission_rejects;
+      DSPOT_COUNT("serve.admission_rejects", 1);
+    }
+    if (options_.record_log) {
+      request_log_.push_back(request);
+    }
+    pending.request = std::move(request);
+    queue_.push_back(std::move(pending));
+    ++stats_.submitted;
+    stats_.max_queue_depth = std::max<uint64_t>(
+        stats_.max_queue_depth, static_cast<uint64_t>(queue_.size()));
+    DSPOT_GAUGE_SET("serve.queue.depth", static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  if (shed) {
+    ServeReply reply;
+    reply.id = shed_id;
+    reply.status = Status::ResourceExhausted(
+        "admission queue full (cap " + std::to_string(options_.queue_cap) +
+        "); request shed by a newer arrival");
+    shed_promise.set_value(std::move(reply));
+  }
+  return future;
+}
+
+ServeReply ServeEngine::Call(ServeRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void ServeEngine::Stop() {
+  std::deque<Pending> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Idempotent, but the dispatcher may still be joinable below.
+      drained.swap(queue_);
+    } else {
+      stopping_ = true;
+      drained.swap(queue_);
+    }
+  }
+  cv_.notify_all();
+  for (Pending& pending : drained) {
+    ServeReply reply;
+    reply.id = pending.request.id;
+    reply.status = Status::Cancelled("serve engine stopped");
+    pending.promise.set_value(std::move(reply));
+  }
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  }
+}
+
+ServeStats ServeEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<ServeRequest> ServeEngine::TakeRequestLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ServeRequest> log;
+  log.swap(request_log_);
+  return log;
+}
+
+void ServeEngine::DispatchLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) {
+        return;
+      }
+      const size_t take = std::min(options_.max_batch, queue_.size());
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      DSPOT_GAUGE_SET("serve.queue.depth", static_cast<double>(queue_.size()));
+      ++stats_.batches;
+    }
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+void ServeEngine::ExecuteBatch(std::vector<Pending> batch) {
+  // Group the batch by keyword, PRESERVING admission order inside each
+  // group: a fit admitted before a forecast of the same keyword must be
+  // visible to it. Groups of different keywords commute (every model is
+  // keyed by its own keyword), so they run concurrently; each request's
+  // reply lands in its own pre-assigned slot, making the reply set
+  // bit-identical at any thread count.
+  std::vector<std::vector<size_t>> groups;
+  {
+    std::unordered_map<std::string, size_t> group_of;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      auto [it, inserted] =
+          group_of.emplace(batch[i].request.keyword, groups.size());
+      if (inserted) {
+        groups.emplace_back();
+      }
+      groups[it->second].push_back(i);
+    }
+  }
+  std::vector<ServeReply> replies(batch.size());
+  ParallelOptions parallel;
+  parallel.num_threads = options_.num_threads;
+  ParallelFor(groups.size(), parallel, [this, &batch, &groups,
+                                        &replies](size_t g) {
+    for (size_t index : groups[g]) {
+      replies[index] = Execute(batch[index].request, batch[index].deadline);
+    }
+  });
+  uint64_t expired = 0;
+  for (const ServeReply& reply : replies) {
+    if (reply.status.code() == StatusCode::kDeadlineExceeded) {
+      ++expired;
+    }
+  }
+  // Stats move BEFORE the promises are fulfilled: a client returning from
+  // Call() must observe its own request in the counters.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.completed += batch.size();
+    stats_.deadline_expired += expired;
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(replies[i]));
+  }
+}
+
+ServeReply ServeEngine::Execute(const ServeRequest& request,
+                                const Deadline& deadline) {
+  const auto start = std::chrono::steady_clock::now();
+  ServeReply reply;
+  reply.id = request.id;
+  DSPOT_COUNT("serve.requests", 1);
+
+  const char* op_name = ServeOpName(request.op);
+  if (op_name == nullptr) {
+    reply.status = Status::InvalidArgument(
+        "request " + std::to_string(request.id) + ": unknown op code " +
+        std::to_string(static_cast<uint32_t>(request.op)));
+    return reply;
+  }
+  // An already-expired deadline is rejected before any state is touched:
+  // the model store must not absorb a fit the client has given up on.
+  if (deadline.expired()) {
+    DSPOT_COUNT("serve.deadline_expired", 1);
+    reply.status = Status::DeadlineExceeded(
+        "request " + std::to_string(request.id) + " (" + op_name +
+        " '" + request.keyword + "'): deadline expired before execution");
+    return reply;
+  }
+  GuardContext guard;
+  guard.deadline = deadline;
+
+  switch (request.op) {
+    case ServeOp::kFit:
+    case ServeOp::kRefit: {
+      if (request.values.empty()) {
+        reply.status = Status::InvalidArgument(
+            "request " + std::to_string(request.id) + " (" + op_name +
+            " '" + request.keyword + "'): no observed values");
+        break;
+      }
+      GlobalFitOptions fit_options = options_.fit;
+      fit_options.guard = guard;
+      const Series data(std::vector<double>(request.values));
+      StatusOr<GlobalSequenceFit> fit =
+          Status::Internal("serve: fit not attempted");
+      bool warm = false;
+      if (request.op == ServeOp::kRefit) {
+        StatusOr<ServedModel> previous = registry_->Get(request.keyword);
+        // A refit without a stored model — or with fewer observations than
+        // the stored fit covers — degenerates to a cold fit rather than
+        // failing: the client's intent is "make the model current".
+        if (previous.ok() &&
+            previous->fit_ticks <= request.values.size()) {
+          warm = true;
+          const GlobalSequenceFit seed = previous->ToWarmStart();
+          fit = RefitGlobalSequence(data, 0, 1, seed, fit_options);
+        } else if (!previous.ok() &&
+                   previous.status().code() != StatusCode::kNotFound) {
+          // A corrupt spill file is a real error, not a cold-start case.
+          reply.status = previous.status();
+          break;
+        }
+      }
+      if (!warm) {
+        fit = FitGlobalSequence(data, 0, 1, fit_options);
+      }
+      if (!fit.ok()) {
+        reply.status = fit.status();
+        break;
+      }
+      ServedModel model;
+      model.keyword = request.keyword;
+      model.params = fit->params;
+      model.shocks = fit->shocks;
+      model.fit_ticks = request.values.size();
+      model.rmse = fit->rmse;
+      model.cost_bits = fit->cost_bits;
+      model.health = fit->health;
+      reply.status = registry_->Put(model);
+      if (reply.status.ok()) {
+        reply.rmse = fit->rmse;
+        reply.cost_bits = fit->cost_bits;
+      }
+      break;
+    }
+    case ServeOp::kForecast: {
+      if (request.horizon == 0) {
+        reply.status = Status::InvalidArgument(
+            "request " + std::to_string(request.id) + " (forecast '" +
+            request.keyword + "'): horizon must be >= 1");
+        break;
+      }
+      StatusOr<ServedModel> model = registry_->Get(request.keyword);
+      if (!model.ok()) {
+        reply.status = model.status();
+        break;
+      }
+      const size_t fit_ticks = static_cast<size_t>(model->fit_ticks);
+      const size_t total = fit_ticks + static_cast<size_t>(request.horizon);
+      const ModelParamSet set = BuildSingleKeywordSet(*model, total);
+      std::vector<double> curve(total, 0.0);
+      ScheduleCache cache;
+      SimulateGlobalInto(set, 0, &cache, curve);
+      reply.values.assign(curve.begin() + static_cast<ptrdiff_t>(fit_ticks),
+                          curve.end());
+      reply.rmse = model->rmse;
+      reply.cost_bits = model->cost_bits;
+      break;
+    }
+    case ServeOp::kOutlierScore: {
+      if (request.values.empty()) {
+        reply.status = Status::InvalidArgument(
+            "request " + std::to_string(request.id) + " (outlier-score '" +
+            request.keyword + "'): no observed values");
+        break;
+      }
+      StatusOr<ServedModel> model = registry_->Get(request.keyword);
+      if (!model.ok()) {
+        reply.status = model.status();
+        break;
+      }
+      // z_t = (observed - modeled) / rmse over the observed window; ticks
+      // past the fitted range score against the model's forecast, so a
+      // fresh spike shows up immediately.
+      const size_t n = request.values.size();
+      const ModelParamSet set = BuildSingleKeywordSet(*model, n);
+      std::vector<double> estimate(n, 0.0);
+      ScheduleCache cache;
+      SimulateGlobalInto(set, 0, &cache, estimate);
+      const double denom = std::max(model->rmse, kMinScoreRmse);
+      reply.values.resize(n);
+      for (size_t t = 0; t < n; ++t) {
+        reply.values[t] = (request.values[t] - estimate[t]) / denom;
+      }
+      reply.rmse = model->rmse;
+      break;
+    }
+  }
+
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  switch (request.op) {
+    case ServeOp::kFit:
+      DSPOT_OBSERVE("serve.latency.fit_ms", elapsed_ms);
+      break;
+    case ServeOp::kRefit:
+      DSPOT_OBSERVE("serve.latency.refit_ms", elapsed_ms);
+      break;
+    case ServeOp::kForecast:
+      DSPOT_OBSERVE("serve.latency.forecast_ms", elapsed_ms);
+      break;
+    case ServeOp::kOutlierScore:
+      DSPOT_OBSERVE("serve.latency.outlier_ms", elapsed_ms);
+      break;
+  }
+  return reply;
+}
+
+}  // namespace dspot

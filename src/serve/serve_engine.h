@@ -1,0 +1,158 @@
+#ifndef DSPOT_SERVE_SERVE_ENGINE_H_
+#define DSPOT_SERVE_SERVE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/global_fit.h"
+#include "guard/guard.h"
+#include "serve/model_registry.h"
+
+namespace dspot {
+
+/// dspot_serve's request path: a bounded admission queue feeding a
+/// dispatcher that batches requests onto the dspot_parallel pool, with
+/// per-request deadlines/cancellation via dspot_guard and a ModelRegistry
+/// as the model store.
+///
+/// DETERMINISM: replies are a pure function of the request sequence, at
+/// any worker thread count, provided (a) the registry has a spill
+/// directory (so evictions reload bit-identically), (b) deadlines are
+/// left infinite (expiry is a wall-clock event), and (c) the queue never
+/// overflows (shedding depends on arrival timing). The dispatcher batches
+/// FIFO prefixes and executes each keyword's requests sequentially in
+/// admission order; requests of different keywords commute because every
+/// model is keyed by its own keyword. serve_test holds an 8-thread run
+/// bit-identical to a serial replay of the same log.
+
+enum class ServeOp : uint32_t {
+  kFit = 0,           ///< cold-fit `values`, store the model
+  kRefit = 1,         ///< warm refit from the stored model (cold fallback)
+  kForecast = 2,      ///< simulate `horizon` ticks past the fitted range
+  kOutlierScore = 3,  ///< z-scores of `values` against the model estimate
+};
+
+/// Canonical lowercase name ("fit", "refit", ...); nullptr when invalid.
+const char* ServeOpName(ServeOp op);
+
+struct ServeRequest {
+  uint64_t id = 0;  ///< echoed in the reply; assigned by the client
+  ServeOp op = ServeOp::kForecast;
+  std::string keyword;
+  /// Observed activity: the series to fit (kFit/kRefit) or to score
+  /// (kOutlierScore); unused by kForecast.
+  std::vector<double> values;
+  /// Forecast ticks past the fitted range (kForecast only).
+  uint64_t horizon = 0;
+  /// Per-request time budget, milliseconds; 0 inherits
+  /// ServeOptions::default_deadline_ms (and 0 there means infinite). The
+  /// deadline arms at ADMISSION, so queueing time counts against it.
+  double deadline_ms = 0.0;
+};
+
+struct ServeReply {
+  uint64_t id = 0;
+  Status status = Status::Ok();
+  /// Forecast values, outlier z-scores, or empty (fit/refit).
+  std::vector<double> values;
+  /// Model in-sample RMSE after the operation (fit/refit/forecast).
+  double rmse = 0.0;
+  /// Model MDL cost after the operation (fit/refit).
+  double cost_bits = 0.0;
+};
+
+struct ServeOptions {
+  /// Worker threads for batch execution (0 = hardware concurrency,
+  /// 1 = serial). Replies are bit-identical across settings (see above).
+  size_t num_threads = 1;
+  /// Admission queue bound. A Submit against a full queue sheds the
+  /// OLDEST queued request — its reply carries kResourceExhausted — and
+  /// admits the new one: under overload the freshest work survives, and
+  /// the shed client learns immediately instead of timing out.
+  size_t queue_cap = 1024;
+  /// Default per-request budget when ServeRequest::deadline_ms == 0;
+  /// 0 = infinite.
+  double default_deadline_ms = 0.0;
+  /// Max requests drained into one execution batch.
+  size_t max_batch = 64;
+  /// Record every ADMITTED request in admission order (TakeRequestLog);
+  /// the determinism test and bench replay this log serially.
+  bool record_log = false;
+  /// Fit options for kFit/kRefit (guard is overwritten per request).
+  GlobalFitOptions fit;
+};
+
+/// Monotonic engine counters (also exported as serve.* obs metrics).
+struct ServeStats {
+  uint64_t submitted = 0;          ///< admitted into the queue
+  uint64_t completed = 0;          ///< replies delivered (any status)
+  uint64_t admission_rejects = 0;  ///< shed with kResourceExhausted
+  uint64_t deadline_expired = 0;   ///< replied kDeadlineExceeded unexecuted
+  uint64_t batches = 0;            ///< dispatcher batches executed
+  uint64_t max_queue_depth = 0;    ///< high-water mark of queued requests
+};
+
+class ServeEngine {
+ public:
+  /// `registry` must outlive the engine. The dispatcher thread starts
+  /// immediately.
+  ServeEngine(ModelRegistry* registry, const ServeOptions& options);
+
+  /// Stops the engine (see Stop()).
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Enqueues a request; the future resolves when its reply is ready
+  /// (possibly with status kResourceExhausted if a later Submit sheds it,
+  /// or kCancelled if the engine stops first). Never blocks on the queue.
+  std::future<ServeReply> Submit(ServeRequest request);
+
+  /// Submit + wait. Convenience for tests and serial clients.
+  ServeReply Call(ServeRequest request);
+
+  /// Stops the dispatcher: requests still queued are replied kCancelled,
+  /// in-flight batches finish. Idempotent.
+  void Stop();
+
+  ServeStats stats() const;
+
+  /// The admitted-request log (requires options.record_log); clears it.
+  std::vector<ServeRequest> TakeRequestLog();
+
+ private:
+  struct Pending {
+    ServeRequest request;
+    std::promise<ServeReply> promise;
+    Deadline deadline;  ///< armed at admission
+  };
+
+  void DispatchLoop();
+  void ExecuteBatch(std::vector<Pending> batch);
+  /// Executes one request against the registry (no queue interaction).
+  ServeReply Execute(const ServeRequest& request, const Deadline& deadline);
+
+  ModelRegistry* registry_;
+  ServeOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  ServeStats stats_;
+  std::vector<ServeRequest> request_log_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace dspot
+
+#endif  // DSPOT_SERVE_SERVE_ENGINE_H_

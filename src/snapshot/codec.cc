@@ -38,6 +38,11 @@ Status ByteReader::CorruptAt(const std::string& what) const {
                           ": " + what);
 }
 
+Status ByteReader::InvalidAt(const std::string& what) const {
+  return Status::InvalidArgument(context_ + ": offset " +
+                                 std::to_string(offset_) + ": " + what);
+}
+
 StatusOr<uint32_t> ByteReader::GetU32() {
   if (remaining() < 4) {
     return CorruptAt("truncated (need 4 bytes, have " +

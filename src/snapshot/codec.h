@@ -58,6 +58,11 @@ class ByteReader {
   /// DataLoss tagged with the current offset ("<context>: offset <o>: ...").
   Status CorruptAt(const std::string& what) const;
 
+  /// InvalidArgument with the same location tagging as CorruptAt — for
+  /// well-formed payloads that carry a value this build refuses to honor
+  /// (e.g. persisted options that violate a constructor invariant).
+  Status InvalidAt(const std::string& what) const;
+
  private:
   const uint8_t* data_;
   size_t size_;

@@ -55,6 +55,40 @@ StatusOr<Matrix> GetMatrix(ByteReader* r, const char* what) {
   return m;
 }
 
+// Cross-field shape validation shared by both decode backends. The codec
+// reads each list behind its own length prefix, so a hostile file can
+// declare num_keywords = 3 while storing one label (or the same label
+// thrice); any consumer that indexes the label table by a stored keyword
+// index would then read out of bounds — or serve model A under model B's
+// name. Returns an empty string when the snapshot is consistent.
+std::string SnapshotShapeProblem(const ModelSnapshot& s) {
+  const ModelParamSet& p = s.params;
+  if (s.keywords.size() != p.num_keywords) {
+    return "keyword label count " + std::to_string(s.keywords.size()) +
+           " does not match num_keywords " + std::to_string(p.num_keywords);
+  }
+  for (size_t i = 0; i < s.keywords.size(); ++i) {
+    for (size_t j = i + 1; j < s.keywords.size(); ++j) {
+      if (s.keywords[i] == s.keywords[j]) {
+        return "duplicate keyword label '" + s.keywords[i] + "'";
+      }
+    }
+  }
+  if (s.locations.size() != p.num_locations) {
+    return "location label count " + std::to_string(s.locations.size()) +
+           " does not match num_locations " + std::to_string(p.num_locations);
+  }
+  if (!s.scales.empty() && s.scales.size() != p.num_keywords) {
+    return "scale count " + std::to_string(s.scales.size()) +
+           " does not match num_keywords " + std::to_string(p.num_keywords);
+  }
+  if (s.global_rmse.size() != p.num_keywords) {
+    return "rmse count " + std::to_string(s.global_rmse.size()) +
+           " does not match num_keywords " + std::to_string(p.num_keywords);
+  }
+  return std::string();
+}
+
 }  // namespace
 
 std::vector<uint8_t> EncodeSnapshotPayload(const ModelSnapshot& s) {
@@ -207,6 +241,9 @@ StatusOr<ModelSnapshot> DecodeSnapshotPayload(ByteReader* r) {
   if (r->remaining() != 0) {
     return r->CorruptAt(std::to_string(r->remaining()) +
                         " trailing bytes after the payload");
+  }
+  if (const std::string problem = SnapshotShapeProblem(s); !problem.empty()) {
+    return r->CorruptAt(problem);
   }
   return s;
 }
@@ -767,6 +804,9 @@ StatusOr<ModelSnapshot> ParseJsonSnapshot(const std::string& text,
                       "impossible termination value " + std::to_string(term));
   }
   s.health.termination = static_cast<FitTermination>(term);
+  if (const std::string problem = SnapshotShapeProblem(s); !problem.empty()) {
+    return FieldError(path, problem);
+  }
 
   // The backends share one source of truth: re-encode what we parsed into
   // the canonical payload and hold it against the stored checksum. Any
@@ -840,24 +880,33 @@ ModelSnapshot MakeSnapshot(const DspotResult& result,
   return s;
 }
 
+std::vector<uint8_t> EncodeSnapshotFile(const ModelSnapshot& snapshot) {
+  const std::vector<uint8_t> payload = EncodeSnapshotPayload(snapshot);
+  ByteWriter file;
+  file.PutBytes(kMagic, sizeof(kMagic));
+  file.PutU32(kSnapshotVersion);
+  file.PutU64(payload.size());
+  file.PutBytes(payload.data(), payload.size());
+  file.PutU32(Crc32(payload.data(), payload.size()));
+  return std::move(file).TakeBytes();
+}
+
 Status SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path,
                     SnapshotFormat format) {
   DSPOT_SPAN("snapshot.save");
-  const std::vector<uint8_t> payload = EncodeSnapshotPayload(snapshot);
-  const uint32_t crc = Crc32(payload.data(), payload.size());
   // Assemble the full file in memory, then replace the destination
   // atomically: a crashed or failed save leaves any previous snapshot
   // exactly as it was, never a truncated hybrid.
   if (format == SnapshotFormat::kBinary) {
-    ByteWriter file;
-    file.PutBytes(kMagic, sizeof(kMagic));
-    file.PutU32(kSnapshotVersion);
-    file.PutU64(payload.size());
-    file.PutBytes(payload.data(), payload.size());
-    file.PutU32(crc);
-    DSPOT_RETURN_IF_ERROR(
-        AtomicWriteFile(path, file.bytes().data(), file.size()));
-  } else {
+    const std::vector<uint8_t> file = EncodeSnapshotFile(snapshot);
+    DSPOT_RETURN_IF_ERROR(AtomicWriteFile(path, file.data(), file.size()));
+    DSPOT_COUNT("snapshot.saves", 1);
+    DSPOT_OBSERVE("snapshot.save_bytes", static_cast<double>(file.size()));
+    return Status::Ok();
+  }
+  const std::vector<uint8_t> payload = EncodeSnapshotPayload(snapshot);
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  {
     std::ostringstream os;
     WriteJsonSnapshot(os, snapshot, crc);
     const std::string text = os.str();

@@ -74,6 +74,13 @@ StatusOr<ModelSnapshot> LoadSnapshot(const std::string& path);
 /// the JSON backend's checksum; stable across hosts).
 std::vector<uint8_t> EncodeSnapshotPayload(const ModelSnapshot& snapshot);
 
+/// The complete binary-file bytes of `snapshot` — magic, version, length,
+/// payload, CRC-32 — i.e. exactly what SaveSnapshot(kBinary) writes. For
+/// callers that own the write path themselves (the serve registry writes
+/// cache spill files without per-file fsync; a crash merely loses a
+/// rebuildable cache entry).
+std::vector<uint8_t> EncodeSnapshotFile(const ModelSnapshot& snapshot);
+
 }  // namespace dspot
 
 #endif  // DSPOT_SNAPSHOT_SNAPSHOT_H_

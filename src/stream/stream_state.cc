@@ -133,10 +133,33 @@ class StreamStateCodec {
 
     auto engine = std::make_unique<StreamEngine>(opt);
     // The constructor normalizes its knobs; persisted options were already
-    // normalized at save time, so a mismatch means the file is corrupt.
-    if (engine->options_.ring_capacity != opt.ring_capacity ||
-        engine->options_.min_fit_ticks != opt.min_fit_ticks) {
-      return r->CorruptAt("stream options fail their invariants");
+    // normalized at save time, so any field the constructor had to adjust
+    // describes a state this engine could never have written. Every
+    // normalized field matters here — most of them size what follows in
+    // the payload (a persisted forecast_horizon of 0, say, would be
+    // normalized to 1 and make the decode loop read one double past every
+    // stored forecast cell), so the check must run before the first
+    // keyword is decoded.
+    const StreamOptions& norm = engine->options_;
+    const char* denormalized = nullptr;
+    if (norm.ticks_resolution != opt.ticks_resolution) {
+      denormalized = "ticks_resolution";
+    } else if (norm.ring_capacity != opt.ring_capacity) {
+      denormalized = "ring_capacity";
+    } else if (norm.min_fit_ticks != opt.min_fit_ticks) {
+      denormalized = "min_fit_ticks";
+    } else if (norm.refit_interval != opt.refit_interval) {
+      denormalized = "refit_interval";
+    } else if (norm.forecast_horizon != opt.forecast_horizon) {
+      denormalized = "forecast_horizon";
+    } else if (norm.max_keywords != opt.max_keywords) {
+      denormalized = "max_keywords";
+    }
+    if (denormalized != nullptr) {
+      return r->InvalidAt(std::string("persisted ") + denormalized +
+                          " fails its construction invariant (the engine "
+                          "normalized it; refusing to decode state sized by "
+                          "the raw value)");
     }
 
     DSPOT_ASSIGN_OR_RETURN(

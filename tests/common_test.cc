@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "common/parse_util.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/statusor.h"
@@ -201,6 +202,62 @@ TEST(MathUtil, SafeLogNoInfinity) {
   EXPECT_TRUE(std::isfinite(SafeLog2(0.0)));
   EXPECT_TRUE(std::isfinite(SafeLog(0.0)));
   EXPECT_NEAR(SafeLog2(8.0), 3.0, 1e-12);
+}
+
+TEST(ParseUtil, ByteSizeAcceptsPlainAndSuffixedValues) {
+  struct Case {
+    const char* text;
+    uint64_t want;
+  };
+  const Case cases[] = {
+      {"0", 0},
+      {"123", 123},
+      {"4K", 4ull << 10},
+      {"4k", 4ull << 10},
+      {"4KB", 4ull << 10},
+      {"4KiB", 4ull << 10},
+      {"4kib", 4ull << 10},
+      {"64M", 64ull << 20},
+      {"64MB", 64ull << 20},
+      {"2G", 2ull << 30},
+      {"2GiB", 2ull << 30},
+      {"1T", 1ull << 40},
+      {"256B", 256},
+  };
+  for (const Case& c : cases) {
+    auto parsed = ParseByteSizeText(c.text);
+    ASSERT_TRUE(parsed.ok()) << c.text << ": " << parsed.status().ToString();
+    EXPECT_EQ(*parsed, c.want) << c.text;
+  }
+}
+
+TEST(ParseUtil, ByteSizeRejectsGarbage) {
+  const char* cases[] = {
+      "",      // empty
+      "-1",    // byte budgets are never negative
+      "+5",    // no signs
+      "1.5G",  // no fractions
+      "12X",   // unknown suffix
+      "12MBs", // trailing garbage after a valid suffix
+      "K",     // suffix without digits
+      "12 K",  // interior whitespace
+      "0x10",  // no hex
+  };
+  for (const char* text : cases) {
+    auto parsed = ParseByteSizeText(text);
+    EXPECT_FALSE(parsed.ok()) << "'" << text << "' should not parse";
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << text;
+    }
+  }
+}
+
+TEST(ParseUtil, ByteSizeRejectsOverflow) {
+  // 2^64 - 1 parses; 2^64 does not; nor does a suffixed product overflow.
+  EXPECT_TRUE(ParseByteSizeText("18446744073709551615").ok());
+  EXPECT_FALSE(ParseByteSizeText("18446744073709551616").ok());
+  EXPECT_FALSE(ParseByteSizeText("18446744073709551615K").ok());
+  EXPECT_FALSE(ParseByteSizeText("17000000T").ok());
 }
 
 }  // namespace

@@ -272,6 +272,11 @@ TEST(WriterRetrofit, SnapshotSaveFailureKeepsPreviousFile) {
   snapshot.keywords = {"alpha"};
   snapshot.locations = {"x"};
   snapshot.global_rmse = {1.5};
+  // The loader validates label/rmse counts against the param counts, so
+  // even this throwaway snapshot must be shape-consistent to read back.
+  snapshot.params.num_keywords = 1;
+  snapshot.params.num_locations = 1;
+  snapshot.params.global.resize(1);
   const std::string path = TempPath("retrofit_snapshot.dspot");
   ASSERT_TRUE(SaveSnapshot(snapshot, path, SnapshotFormat::kBinary).ok());
   auto before = ReadFileBytes(path);
@@ -279,6 +284,8 @@ TEST(WriterRetrofit, SnapshotSaveFailureKeepsPreviousFile) {
 
   snapshot.keywords.push_back("beta");
   snapshot.global_rmse.push_back(2.5);
+  snapshot.params.num_keywords = 2;
+  snapshot.params.global.resize(2);
   FaultInjector::Instance().ArmExact(FaultSite::kIoRenameFailure, 0);
   const Status failed = SaveSnapshot(snapshot, path, SnapshotFormat::kBinary);
   FaultInjector::Instance().Disarm();

@@ -1,0 +1,727 @@
+// dspot_serve: the sharded LRU model registry (spill, reload, by-name
+// remap), the batching request engine (admission control, deadlines,
+// determinism), and the wire protocol. The concurrency tests run N client
+// threads against an evicting registry and hold the replies bit-identical
+// to a serial replay of the admitted request log — serving must never
+// trade correctness for parallelism.
+
+#include "serve/serve_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/model_registry.h"
+#include "serve/protocol.h"
+#include "snapshot/snapshot.h"
+
+namespace dspot {
+namespace {
+
+std::string TempDirFor(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// A synthetic model — registry tests exercise storage, not fitting.
+ServedModel MakeModel(const std::string& keyword, double seed) {
+  ServedModel model;
+  model.keyword = keyword;
+  model.params.population = 1000.0 + seed;
+  model.params.beta = 0.2 + seed / 1000.0;
+  model.params.delta = 0.11;
+  model.params.gamma = 0.07;
+  model.params.i0 = 2.0;
+  model.params.growth_rate = 0.5;
+  model.params.growth_start = 40;
+  Shock shock;
+  shock.keyword = 0;
+  shock.period = 7;
+  shock.start = 3;
+  shock.width = 2;
+  shock.base_strength = 1.5 + seed / 100.0;
+  shock.global_strengths = {1.5, 1.7, 1.5};
+  model.shocks.push_back(shock);
+  model.fit_ticks = 64;
+  model.rmse = 3.25 + seed;
+  model.cost_bits = 812.5;
+  return model;
+}
+
+/// Bit-level model equality via the canonical snapshot payload.
+::testing::AssertionResult SameModelBits(const ServedModel& a,
+                                         const ServedModel& b) {
+  if (EncodeSnapshotPayload(a.ToSnapshot()) ==
+      EncodeSnapshotPayload(b.ToSnapshot())) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "models '" << a.keyword << "' and '" << b.keyword
+         << "' differ at the bit level";
+}
+
+/// A deterministic activity series for engine tests (short, so cold fits
+/// stay fast under TSan).
+std::vector<double> TestSeries(size_t n, double phase) {
+  std::vector<double> values(n);
+  for (size_t t = 0; t < n; ++t) {
+    double v = 30.0 + 8.0 * std::sin(0.9 * static_cast<double>(t) + phase);
+    if (t >= 20 && t < 23) {
+      v += 40.0;
+    }
+    values[t] = v;
+  }
+  return values;
+}
+
+// ---------------------------------------------------------------------------
+// ModelRegistry
+
+TEST(ModelRegistry, PutGetRoundTripsBitExactly) {
+  RegistryOptions options;
+  options.max_resident_bytes = 1ull << 20;
+  ModelRegistry registry(options);
+  const ServedModel model = MakeModel("grammy", 1.0);
+  ASSERT_TRUE(registry.Put(model).ok());
+  EXPECT_TRUE(registry.Resident("grammy"));
+  auto got = registry.Get("grammy");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(SameModelBits(model, *got));
+  const RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.resident_models, 1u);
+  EXPECT_GT(stats.resident_bytes, 0u);
+}
+
+TEST(ModelRegistry, GetUnknownKeywordIsNotFound) {
+  ModelRegistry registry(RegistryOptions{});
+  auto got = registry.Get("never-put");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(got.status().message().find("never-put"), std::string::npos);
+}
+
+TEST(ModelRegistry, EvictsLeastRecentlyUsedWithoutSpill) {
+  RegistryOptions options;
+  options.num_shards = 1;
+  // Room for roughly one model: the second Put must evict the first.
+  options.max_resident_bytes = MakeModel("a", 0.0).ResidentBytes() + 16;
+  ModelRegistry registry(options);
+  ASSERT_TRUE(registry.Put(MakeModel("a", 1.0)).ok());
+  ASSERT_TRUE(registry.Put(MakeModel("b", 2.0)).ok());
+  EXPECT_FALSE(registry.Resident("a"));
+  EXPECT_TRUE(registry.Resident("b"));
+  EXPECT_EQ(registry.stats().evictions, 1u);
+  // Without a spill directory, eviction forgets the model.
+  auto got = registry.Get("a");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ModelRegistry, TouchRefreshesLruOrder) {
+  RegistryOptions options;
+  options.num_shards = 1;
+  options.max_resident_bytes = 2 * MakeModel("a", 0.0).ResidentBytes() + 32;
+  ModelRegistry registry(options);
+  ASSERT_TRUE(registry.Put(MakeModel("a", 1.0)).ok());
+  ASSERT_TRUE(registry.Put(MakeModel("b", 2.0)).ok());
+  // Touch "a" so "b" becomes the LRU victim of the next insert.
+  ASSERT_TRUE(registry.Get("a").ok());
+  ASSERT_TRUE(registry.Put(MakeModel("c", 3.0)).ok());
+  EXPECT_TRUE(registry.Resident("a"));
+  EXPECT_FALSE(registry.Resident("b"));
+  EXPECT_TRUE(registry.Resident("c"));
+}
+
+TEST(ModelRegistry, OversizedModelDegradesToCacheOfOne) {
+  RegistryOptions options;
+  options.num_shards = 1;
+  options.max_resident_bytes = 1;  // smaller than any model
+  ModelRegistry registry(options);
+  ASSERT_TRUE(registry.Put(MakeModel("big", 1.0)).ok());
+  // The just-admitted entry is never evicted, so the registry still works.
+  EXPECT_TRUE(registry.Resident("big"));
+  ASSERT_TRUE(registry.Put(MakeModel("bigger", 2.0)).ok());
+  EXPECT_FALSE(registry.Resident("big"));
+  EXPECT_TRUE(registry.Resident("bigger"));
+}
+
+TEST(ModelRegistry, EvictedModelReloadsBitIdenticallyFromSpill) {
+  RegistryOptions options;
+  options.num_shards = 1;
+  options.max_resident_bytes = MakeModel("a", 0.0).ResidentBytes() + 16;
+  options.spill_dir = TempDirFor("registry_spill_reload");
+  ModelRegistry registry(options);
+  const ServedModel a = MakeModel("a", 1.0);
+  ASSERT_TRUE(registry.Put(a).ok());
+  ASSERT_TRUE(registry.Put(MakeModel("b", 2.0)).ok());
+  ASSERT_FALSE(registry.Resident("a"));
+  auto got = registry.Get("a");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(SameModelBits(a, *got));
+  EXPECT_TRUE(registry.Resident("a"));
+  const RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_GE(stats.spills, 2u);
+}
+
+TEST(ModelRegistry, SpillSurvivesRegistryRestart) {
+  RegistryOptions options;
+  options.spill_dir = TempDirFor("registry_restart");
+  const ServedModel model = MakeModel("persistent", 4.0);
+  {
+    ModelRegistry registry(options);
+    ASSERT_TRUE(registry.Put(model).ok());
+  }
+  ModelRegistry reborn(options);
+  EXPECT_FALSE(reborn.Resident("persistent"));
+  auto got = reborn.Get("persistent");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(SameModelBits(model, *got));
+}
+
+TEST(ModelRegistry, SpillPathSanitizesHostileKeywords) {
+  RegistryOptions options;
+  options.spill_dir = TempDirFor("registry_sanitize");
+  ModelRegistry registry(options);
+  const std::string hostile = "../etc passwd/..";
+  const std::string path = registry.SpillPath(hostile);
+  // Everything after the spill dir must be a single path component.
+  const std::string tail = path.substr(options.spill_dir.size() + 1);
+  EXPECT_EQ(tail.find('/'), std::string::npos) << path;
+  EXPECT_EQ(tail.find(' '), std::string::npos) << path;
+  // And distinct hostile keywords must not collide.
+  EXPECT_NE(registry.SpillPath("a/b"), registry.SpillPath("a_b"));
+  EXPECT_NE(registry.SpillPath("a/b"), registry.SpillPath("a%2Fb"));
+  const ServedModel model = MakeModel(hostile, 1.0);
+  ASSERT_TRUE(registry.Put(model).ok());
+  auto got = registry.Get(hostile);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(SameModelBits(model, *got));
+}
+
+// Regression (PR 9): reloading a snapshot whose keyword set differs from
+// the requester's view must locate the keyword BY NAME. A stale or
+// reorganized spill file stores the same keyword under a different index;
+// trusting the stored index silently serves another keyword's model.
+TEST(ModelRegistry, ReloadRemapsKeywordIdsByNameNotByStoredIndex) {
+  RegistryOptions options;
+  options.spill_dir = TempDirFor("registry_remap");
+  ModelRegistry registry(options);
+
+  // A three-keyword batch snapshot where "target" sits at index 2 with
+  // distinctive parameters, planted at the spill path the registry will
+  // consult for "target".
+  ModelSnapshot batch;
+  batch.params.num_keywords = 3;
+  batch.params.num_locations = 0;
+  batch.params.num_ticks = 64;
+  for (size_t i = 0; i < 3; ++i) {
+    KeywordGlobalParams p;
+    p.population = 100.0 * static_cast<double>(i + 1);
+    p.beta = 0.1 + 0.1 * static_cast<double>(i);
+    batch.params.global.push_back(p);
+    Shock shock;
+    shock.keyword = i;
+    shock.start = 5 + i;
+    shock.base_strength = static_cast<double>(i + 1);
+    shock.global_strengths = {shock.base_strength};
+    batch.params.shocks.push_back(shock);
+  }
+  batch.keywords = {"decoy0", "decoy1", "target"};
+  batch.global_rmse = {1.0, 2.0, 3.0};
+  ASSERT_TRUE(SaveSnapshot(batch, registry.SpillPath("target")).ok());
+
+  auto got = registry.Get("target");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  // Index-2 parameters, not index-0's.
+  EXPECT_EQ(got->params.population, 300.0);
+  EXPECT_EQ(got->params.beta, 0.1 + 0.1 * 2.0);
+  EXPECT_EQ(got->rmse, 3.0);
+  // Only "target"'s shock came along, re-tagged into single-keyword
+  // coordinates.
+  ASSERT_EQ(got->shocks.size(), 1u);
+  EXPECT_EQ(got->shocks[0].keyword, 0u);
+  EXPECT_EQ(got->shocks[0].start, 7u);
+  EXPECT_EQ(got->shocks[0].base_strength, 3.0);
+}
+
+TEST(ModelRegistry, ReloadRejectsSnapshotWithoutTheKeyword) {
+  RegistryOptions options;
+  options.spill_dir = TempDirFor("registry_wrong_keyword");
+  ModelRegistry registry(options);
+  // A valid snapshot for some OTHER keyword, planted at "wanted"'s path.
+  ModelSnapshot other = MakeModel("other", 1.0).ToSnapshot();
+  ASSERT_TRUE(SaveSnapshot(other, registry.SpillPath("wanted")).ok());
+  auto got = registry.Get("wanted");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(got.status().message().find("wanted"), std::string::npos);
+}
+
+TEST(ModelRegistry, ReloadSurfacesCorruptSpillAsDataLoss) {
+  RegistryOptions options;
+  options.spill_dir = TempDirFor("registry_corrupt");
+  ModelRegistry registry(options);
+  const std::string path = registry.SpillPath("broken");
+  ASSERT_TRUE(SaveSnapshot(MakeModel("broken", 1.0).ToSnapshot(), path).ok());
+  // Flip one payload byte; the CRC must catch it on reload.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(20);
+  f.put(static_cast<char>(0x5A));
+  f.close();
+  auto got = registry.Get("broken");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(got.status().message().find(path), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ServeEngine
+
+TEST(ServeEngine, FitForecastAndScoreRoundTrip) {
+  ModelRegistry registry(RegistryOptions{});
+  ServeOptions options;
+  options.num_threads = 1;
+  ServeEngine engine(&registry, options);
+
+  ServeRequest fit;
+  fit.id = 1;
+  fit.op = ServeOp::kFit;
+  fit.keyword = "grammy";
+  fit.values = TestSeries(64, 0.0);
+  ServeReply fit_reply = engine.Call(fit);
+  ASSERT_TRUE(fit_reply.status.ok()) << fit_reply.status.ToString();
+  EXPECT_EQ(fit_reply.id, 1u);
+  EXPECT_GT(fit_reply.rmse, 0.0);
+  EXPECT_GT(fit_reply.cost_bits, 0.0);
+  EXPECT_TRUE(registry.Resident("grammy"));
+
+  ServeRequest forecast;
+  forecast.id = 2;
+  forecast.op = ServeOp::kForecast;
+  forecast.keyword = "grammy";
+  forecast.horizon = 12;
+  ServeReply forecast_reply = engine.Call(forecast);
+  ASSERT_TRUE(forecast_reply.status.ok()) << forecast_reply.status.ToString();
+  ASSERT_EQ(forecast_reply.values.size(), 12u);
+  for (double v : forecast_reply.values) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_EQ(forecast_reply.rmse, fit_reply.rmse);
+
+  ServeRequest score;
+  score.id = 3;
+  score.op = ServeOp::kOutlierScore;
+  score.keyword = "grammy";
+  score.values = TestSeries(64, 0.0);
+  // Plant a fresh spike the model has not seen.
+  score.values[40] += 500.0;
+  ServeReply score_reply = engine.Call(score);
+  ASSERT_TRUE(score_reply.status.ok()) << score_reply.status.ToString();
+  ASSERT_EQ(score_reply.values.size(), 64u);
+  // The planted spike must dominate every other tick's score.
+  double top = 0.0;
+  size_t top_tick = 0;
+  for (size_t t = 0; t < score_reply.values.size(); ++t) {
+    if (std::abs(score_reply.values[t]) > top) {
+      top = std::abs(score_reply.values[t]);
+      top_tick = t;
+    }
+  }
+  EXPECT_EQ(top_tick, 40u);
+  EXPECT_GT(top, 3.0);
+}
+
+TEST(ServeEngine, RejectsMalformedRequests) {
+  ModelRegistry registry(RegistryOptions{});
+  ServeEngine engine(&registry, ServeOptions{});
+
+  ServeRequest no_values;
+  no_values.id = 1;
+  no_values.op = ServeOp::kFit;
+  no_values.keyword = "x";
+  EXPECT_EQ(engine.Call(no_values).status.code(),
+            StatusCode::kInvalidArgument);
+
+  ServeRequest zero_horizon;
+  zero_horizon.id = 2;
+  zero_horizon.op = ServeOp::kForecast;
+  zero_horizon.keyword = "x";
+  zero_horizon.horizon = 0;
+  EXPECT_EQ(engine.Call(zero_horizon).status.code(),
+            StatusCode::kInvalidArgument);
+
+  ServeRequest unknown_model;
+  unknown_model.id = 3;
+  unknown_model.op = ServeOp::kForecast;
+  unknown_model.keyword = "never-fit";
+  unknown_model.horizon = 4;
+  EXPECT_EQ(engine.Call(unknown_model).status.code(), StatusCode::kNotFound);
+}
+
+TEST(ServeEngine, RefitWarmStartsAndFallsBackToCold) {
+  ModelRegistry registry(RegistryOptions{});
+  ServeOptions options;
+  ServeEngine engine(&registry, options);
+
+  // Refit with no stored model is a cold fit, not an error.
+  ServeRequest refit;
+  refit.id = 1;
+  refit.op = ServeOp::kRefit;
+  refit.keyword = "meme";
+  refit.values = TestSeries(64, 0.5);
+  ServeReply cold = engine.Call(refit);
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  EXPECT_TRUE(registry.Resident("meme"));
+
+  // Refit on a longer window warm-starts from the stored model.
+  refit.id = 2;
+  refit.values = TestSeries(80, 0.5);
+  ServeReply warm = engine.Call(refit);
+  ASSERT_TRUE(warm.status.ok()) << warm.status.ToString();
+  auto stored = registry.Get("meme");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->fit_ticks, 80u);
+
+  // Refit on a SHORTER window cannot warm-start (the stored fit covers
+  // more ticks than the data) and must fall back to a cold fit.
+  refit.id = 3;
+  refit.values = TestSeries(48, 0.5);
+  ServeReply shrunk = engine.Call(refit);
+  ASSERT_TRUE(shrunk.status.ok()) << shrunk.status.ToString();
+  stored = registry.Get("meme");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->fit_ticks, 48u);
+}
+
+TEST(ServeEngine, ShedsOldestRequestWhenQueueOverflows) {
+  ModelRegistry registry(RegistryOptions{});
+  ServeOptions options;
+  options.num_threads = 1;
+  options.queue_cap = 2;
+  options.max_batch = 1;
+  ServeEngine engine(&registry, options);
+
+  // Occupy the dispatcher with a slow cold fit so later submissions pile
+  // up deterministically; wait until the fit is IN FLIGHT (dequeued into
+  // a batch), or the burst below could shed the fit itself.
+  ServeRequest slow;
+  slow.id = 100;
+  slow.op = ServeOp::kFit;
+  slow.keyword = "slow";
+  slow.values = TestSeries(1024, 0.1);
+  std::future<ServeReply> slow_future = engine.Submit(slow);
+  while (engine.stats().batches < 1) {
+    std::this_thread::yield();
+  }
+
+  // With the dispatcher busy and cap 2: r1, r2 queue; r3 sheds r1; r4
+  // sheds r2.
+  std::vector<std::future<ServeReply>> futures;
+  for (uint64_t i = 1; i <= 4; ++i) {
+    ServeRequest forecast;
+    forecast.id = i;
+    forecast.op = ServeOp::kForecast;
+    forecast.keyword = "slow";
+    forecast.horizon = 4;
+    futures.push_back(engine.Submit(forecast));
+  }
+  ServeReply r1 = futures[0].get();
+  ServeReply r2 = futures[1].get();
+  EXPECT_EQ(r1.status.code(), StatusCode::kResourceExhausted)
+      << r1.status.ToString();
+  EXPECT_EQ(r2.status.code(), StatusCode::kResourceExhausted)
+      << r2.status.ToString();
+  EXPECT_NE(r1.status.message().find("admission queue full"),
+            std::string::npos);
+  // The shed reply still carries the SHED request's id.
+  EXPECT_EQ(r1.id, 1u);
+  EXPECT_EQ(r2.id, 2u);
+  // The surviving requests complete normally once the fit finishes.
+  EXPECT_TRUE(slow_future.get().status.ok());
+  EXPECT_TRUE(futures[2].get().status.ok());
+  EXPECT_TRUE(futures[3].get().status.ok());
+  EXPECT_EQ(engine.stats().admission_rejects, 2u);
+}
+
+TEST(ServeEngine, ExpiredDeadlineRejectsBeforeTouchingState) {
+  ModelRegistry registry(RegistryOptions{});
+  ServeOptions options;
+  ServeEngine engine(&registry, options);
+  ServeRequest fit;
+  fit.id = 7;
+  fit.op = ServeOp::kFit;
+  fit.keyword = "late";
+  fit.values = TestSeries(64, 0.0);
+  fit.deadline_ms = 1e-6;  // expires before the dispatcher can run it
+  ServeReply reply = engine.Call(fit);
+  EXPECT_EQ(reply.status.code(), StatusCode::kDeadlineExceeded)
+      << reply.status.ToString();
+  // The registry must not have absorbed the abandoned fit.
+  EXPECT_FALSE(registry.Resident("late"));
+  EXPECT_EQ(engine.stats().deadline_expired, 1u);
+}
+
+TEST(ServeEngine, StopCancelsQueuedRequests) {
+  ModelRegistry registry(RegistryOptions{});
+  ServeOptions options;
+  options.num_threads = 1;
+  options.max_batch = 1;
+  ServeEngine engine(&registry, options);
+  ServeRequest slow;
+  slow.id = 1;
+  slow.op = ServeOp::kFit;
+  slow.keyword = "slow";
+  slow.values = TestSeries(1024, 0.2);
+  std::future<ServeReply> slow_future = engine.Submit(slow);
+  // Wait until the fit is in flight so the forecast below stays QUEUED
+  // (it is the queued request that Stop must cancel).
+  while (engine.stats().batches < 1) {
+    std::this_thread::yield();
+  }
+  ServeRequest queued;
+  queued.id = 2;
+  queued.op = ServeOp::kForecast;
+  queued.keyword = "slow";
+  queued.horizon = 4;
+  std::future<ServeReply> queued_future = engine.Submit(queued);
+  engine.Stop();
+  EXPECT_EQ(queued_future.get().status.code(), StatusCode::kCancelled);
+  // The in-flight fit ran to completion.
+  EXPECT_TRUE(slow_future.get().status.ok());
+  // Submitting after Stop is refused immediately.
+  ServeRequest after;
+  after.id = 3;
+  after.op = ServeOp::kForecast;
+  after.keyword = "slow";
+  after.horizon = 4;
+  EXPECT_EQ(engine.Call(after).status.code(), StatusCode::kCancelled);
+}
+
+// The serving acceptance bar: N concurrent clients with mixed
+// forecast/refit/outlier traffic against an EVICTING registry produce
+// replies bit-identical to a single-threaded serial replay of the
+// admitted request log.
+TEST(ServeEngine, ConcurrentMixedWorkloadMatchesSerialReplay) {
+  constexpr size_t kClients = 4;
+  constexpr size_t kKeywords = 6;
+  constexpr size_t kRequestsPerClient = 24;
+  constexpr size_t kTicks = 64;
+
+  RegistryOptions registry_options;
+  registry_options.num_shards = 2;
+  registry_options.spill_dir = TempDirFor("serve_concurrent_spill");
+  // Budget for roughly half the keyword set, so eviction churn is real.
+  registry_options.max_resident_bytes =
+      3 * MakeModel("sizing", 0.0).ResidentBytes();
+  ModelRegistry registry(registry_options);
+
+  ServeOptions serve_options;
+  serve_options.num_threads = 4;
+  serve_options.max_batch = 8;
+  serve_options.record_log = true;
+  ServeEngine engine(&registry, serve_options);
+
+  // Phase 1: fit every keyword (serially, so the mixed phase always finds
+  // a model).
+  for (size_t kw = 0; kw < kKeywords; ++kw) {
+    ServeRequest fit;
+    fit.id = kw;
+    fit.op = ServeOp::kFit;
+    fit.keyword = "kw" + std::to_string(kw);
+    fit.values = TestSeries(kTicks, 0.1 * static_cast<double>(kw));
+    ASSERT_TRUE(engine.Call(fit).status.ok());
+  }
+
+  // Phase 2: concurrent clients, each issuing a deterministic mix keyed
+  // by (client, step). Call() blocks per client, so admission order is a
+  // race — whatever order wins is captured in the request log.
+  std::vector<std::map<uint64_t, ServeReply>> replies(kClients);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([c, &engine, &replies] {
+      for (size_t step = 0; step < kRequestsPerClient; ++step) {
+        const uint64_t id = 1000 + c * 1000 + step;
+        const size_t kw = (c * 7 + step * 3) % kKeywords;
+        ServeRequest request;
+        request.id = id;
+        request.keyword = "kw" + std::to_string(kw);
+        const size_t dice = (c + step) % 10;
+        if (dice < 7) {
+          request.op = ServeOp::kForecast;
+          request.horizon = 8;
+        } else if (dice < 9) {
+          request.op = ServeOp::kOutlierScore;
+          request.values = TestSeries(kTicks, 0.1 * static_cast<double>(kw));
+        } else {
+          request.op = ServeOp::kRefit;
+          request.values =
+              TestSeries(kTicks + 8, 0.1 * static_cast<double>(kw));
+        }
+        replies[c][id] = engine.Call(request);
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  const std::vector<ServeRequest> log = engine.TakeRequestLog();
+  ASSERT_EQ(log.size(), kKeywords + kClients * kRequestsPerClient);
+  const RegistryStats concurrent_stats = registry.stats();
+  EXPECT_GT(concurrent_stats.evictions, 0u)
+      << "budget did not force eviction churn; the test lost its point";
+  EXPECT_GT(concurrent_stats.reloads, 0u);
+
+  // Serial replay of the same log on a fresh engine at 1 thread.
+  RegistryOptions replay_registry_options = registry_options;
+  replay_registry_options.spill_dir = TempDirFor("serve_replay_spill");
+  ModelRegistry replay_registry(replay_registry_options);
+  ServeOptions replay_options;
+  replay_options.num_threads = 1;
+  ServeEngine replay_engine(&replay_registry, replay_options);
+  std::map<uint64_t, ServeReply> replayed;
+  for (const ServeRequest& request : log) {
+    replayed[request.id] = replay_engine.Call(request);
+  }
+
+  // Every concurrent reply must be bit-identical to its replayed twin.
+  size_t compared = 0;
+  for (const auto& client_replies : replies) {
+    for (const auto& [id, reply] : client_replies) {
+      const auto it = replayed.find(id);
+      ASSERT_NE(it, replayed.end()) << "id " << id << " missing from replay";
+      const ServeReply& twin = it->second;
+      EXPECT_EQ(EncodeReplyPayload(reply), EncodeReplyPayload(twin))
+          << "reply for id " << id << " diverged between the concurrent run "
+          << "and the serial replay";
+      ++compared;
+    }
+  }
+  EXPECT_EQ(compared, kClients * kRequestsPerClient);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+
+TEST(ServeProtocol, RequestFrameRoundTrips) {
+  ServeRequest request;
+  request.id = 77;
+  request.op = ServeOp::kRefit;
+  request.keyword = "royal wedding";
+  request.values = {1.5, 2.5, -3.25};
+  request.horizon = 9;
+  request.deadline_ms = 125.0;
+  std::stringstream stream;
+  ASSERT_TRUE(WriteRequestFrame(request, stream).ok());
+  ServeRequest decoded;
+  auto have = ReadRequestFrame(stream, "test", &decoded);
+  ASSERT_TRUE(have.ok()) << have.status().ToString();
+  ASSERT_TRUE(*have);
+  EXPECT_EQ(decoded.id, request.id);
+  EXPECT_EQ(decoded.op, request.op);
+  EXPECT_EQ(decoded.keyword, request.keyword);
+  EXPECT_EQ(decoded.values, request.values);
+  EXPECT_EQ(decoded.horizon, request.horizon);
+  EXPECT_EQ(decoded.deadline_ms, request.deadline_ms);
+  // And the stream ends with a clean EOF, not an error.
+  auto eof = ReadRequestFrame(stream, "test", &decoded);
+  ASSERT_TRUE(eof.ok()) << eof.status().ToString();
+  EXPECT_FALSE(*eof);
+}
+
+TEST(ServeProtocol, ReplyFrameRoundTripsIncludingErrorStatus) {
+  ServeReply reply;
+  reply.id = 13;
+  reply.status = Status::ResourceExhausted("queue full");
+  reply.values = {0.25, 0.75};
+  reply.rmse = 1.5;
+  reply.cost_bits = 99.0;
+  std::stringstream stream;
+  ASSERT_TRUE(WriteReplyFrame(reply, stream).ok());
+  ServeReply decoded;
+  auto have = ReadReplyFrame(stream, "test", &decoded);
+  ASSERT_TRUE(have.ok()) << have.status().ToString();
+  ASSERT_TRUE(*have);
+  EXPECT_EQ(decoded.id, reply.id);
+  EXPECT_EQ(decoded.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(decoded.status.message(), "queue full");
+  EXPECT_EQ(decoded.values, reply.values);
+  EXPECT_EQ(decoded.rmse, reply.rmse);
+  EXPECT_EQ(decoded.cost_bits, reply.cost_bits);
+}
+
+TEST(ServeProtocol, RejectsTruncatedAndHostileFrames) {
+  ServeRequest request;
+  request.id = 1;
+  request.op = ServeOp::kForecast;
+  request.keyword = "x";
+  request.horizon = 2;
+  std::stringstream good;
+  ASSERT_TRUE(WriteRequestFrame(request, good).ok());
+  const std::string bytes = good.str();
+
+  // Truncated payload.
+  {
+    std::stringstream truncated(bytes.substr(0, bytes.size() - 3));
+    ServeRequest out;
+    auto have = ReadRequestFrame(truncated, "test", &out);
+    ASSERT_FALSE(have.ok());
+    EXPECT_EQ(have.status().code(), StatusCode::kDataLoss);
+  }
+  // Truncated length prefix.
+  {
+    std::stringstream truncated(bytes.substr(0, 2));
+    ServeRequest out;
+    auto have = ReadRequestFrame(truncated, "test", &out);
+    ASSERT_FALSE(have.ok());
+    EXPECT_EQ(have.status().code(), StatusCode::kDataLoss);
+  }
+  // A reply frame fed to the request reader trips the tag check.
+  {
+    ServeReply reply;
+    reply.id = 1;
+    std::stringstream wrong_kind;
+    ASSERT_TRUE(WriteReplyFrame(reply, wrong_kind).ok());
+    ServeRequest out;
+    auto have = ReadRequestFrame(wrong_kind, "test", &out);
+    ASSERT_FALSE(have.ok());
+    EXPECT_EQ(have.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(have.status().message().find("tag"), std::string::npos);
+  }
+  // A declared frame length beyond the cap is rejected before allocating.
+  {
+    std::string huge(4, '\xFF');
+    std::stringstream hostile(huge);
+    ServeRequest out;
+    auto have = ReadRequestFrame(hostile, "test", &out);
+    ASSERT_FALSE(have.ok());
+    EXPECT_EQ(have.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(have.status().message().find("cap"), std::string::npos);
+  }
+  // An unknown op code inside a well-formed frame is InvalidArgument.
+  {
+    ServeRequest bad_op = request;
+    bad_op.op = static_cast<ServeOp>(99);
+    std::stringstream stream;
+    ASSERT_TRUE(WriteRequestFrame(bad_op, stream).ok());
+    ServeRequest out;
+    auto have = ReadRequestFrame(stream, "test", &out);
+    ASSERT_FALSE(have.ok());
+    EXPECT_EQ(have.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace dspot

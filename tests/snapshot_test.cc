@@ -354,5 +354,67 @@ TEST(Snapshot, LoadReportsMissingFile) {
             std::string::npos);
 }
 
+// Regression (PR 9): a hostile file whose label table disagrees with its
+// declared dimensions must be rejected at load time. Before the fix such
+// a snapshot decoded "successfully" and every by-name consumer (the serve
+// registry's reload path above all) indexed past the label table or onto
+// the wrong keyword.
+TEST(Snapshot, LoadRejectsLabelCountMismatch) {
+  ModelSnapshot hostile;
+  hostile.params.num_keywords = 3;
+  hostile.params.num_locations = 0;
+  hostile.params.num_ticks = 10;
+  hostile.params.global.resize(3);
+  hostile.keywords = {"only-one-label"};  // claims 3 keywords
+  hostile.global_rmse = {1.0, 1.0, 1.0};
+  const std::string path = TempPath("hostile_label_count.snap");
+  // SaveSnapshot writes what it is given; the LOAD side owns validation.
+  ASSERT_TRUE(SaveSnapshot(hostile, path).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("keyword label count"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(Snapshot, LoadRejectsDuplicateKeywordLabels) {
+  ModelSnapshot hostile;
+  hostile.params.num_keywords = 2;
+  hostile.params.num_locations = 0;
+  hostile.params.num_ticks = 10;
+  hostile.params.global.resize(2);
+  hostile.keywords = {"grammy", "grammy"};  // by-name lookup is ambiguous
+  hostile.global_rmse = {1.0, 2.0};
+  const std::string path = TempPath("hostile_dup_labels.snap");
+  ASSERT_TRUE(SaveSnapshot(hostile, path).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("duplicate keyword label"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(Snapshot, LoadRejectsRmseCountMismatch) {
+  ModelSnapshot hostile;
+  hostile.params.num_keywords = 2;
+  hostile.params.num_locations = 0;
+  hostile.params.num_ticks = 10;
+  hostile.params.global.resize(2);
+  hostile.keywords = {"a", "b"};
+  hostile.global_rmse = {1.0};  // one entry for two keywords
+  const std::string path = TempPath("hostile_rmse_count.snap");
+  ASSERT_TRUE(SaveSnapshot(hostile, path).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().message().find("rmse count"), std::string::npos)
+      << loaded.status().ToString();
+}
+
 }  // namespace
 }  // namespace dspot

@@ -483,5 +483,44 @@ TEST(Stream, FlushHonorsCancellation) {
   EXPECT_FALSE(engine.HasFit(0));
 }
 
+// Regression (PR 9): a persisted forecast_horizon that fails the
+// constructor's invariant (0 here — the constructor normalizes it to 1)
+// must be REJECTED with a located InvalidArgument. Before the fix the
+// engine was rebuilt with the normalized horizon while the payload's
+// forecast cells were sized by the raw value, so every forecast read
+// after the first keyword was misaligned.
+TEST(Stream, DecodeStateRejectsDenormalizedForecastHorizon) {
+  const TickStreamConfig config = MixedConfig();
+  StreamEngine engine(SmallOptions());
+  InternAll(&engine, config);
+  Replay(&engine, GenerateTickStream(config), /*flush_every=*/16);
+  std::vector<uint8_t> state = engine.EncodeState();
+
+  // forecast_horizon is the 6th u64 of the options block: bytes [40, 48).
+  ASSERT_GE(state.size(), 48u);
+  for (size_t i = 40; i < 48; ++i) {
+    state[i] = 0;
+  }
+  auto decoded = StreamEngine::DecodeState(state.data(), state.size(),
+                                           SmallOptions(), "patched-state");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument)
+      << decoded.status().ToString();
+  EXPECT_NE(decoded.status().message().find("forecast_horizon"),
+            std::string::npos)
+      << decoded.status().ToString();
+  EXPECT_NE(decoded.status().message().find("patched-state"),
+            std::string::npos)
+      << decoded.status().ToString();
+
+  // The unpatched payload still decodes (the patch, not the codec, is
+  // what broke it).
+  std::vector<uint8_t> pristine = engine.EncodeState();
+  auto ok = StreamEngine::DecodeState(pristine.data(), pristine.size(),
+                                      SmallOptions(), "pristine-state");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ((*ok)->EncodeState(), pristine);
+}
+
 }  // namespace
 }  // namespace dspot

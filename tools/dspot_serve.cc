@@ -1,0 +1,472 @@
+// dspot_serve — the DSPOT model server.
+//
+// Speaks the length-prefixed frame protocol of src/serve/protocol.h on
+// stdin/stdout: each request frame is admitted into a bounded queue,
+// batched onto the worker pool, and answered with one reply frame IN
+// ADMISSION ORDER. Replies are a pure function of the request sequence —
+// bit-identical at any --threads setting — as long as a --spill-dir is
+// configured (so LRU evictions reload exactly) and deadlines are off.
+//
+// Modes:
+//   (default)          serve: request frames on stdin -> replies on stdout
+//     [--threads T]              worker threads (default 1; 0 = hardware)
+//     [--queue-cap N]            admission bound; overflow sheds the
+//                                oldest request with ResourceExhausted
+//     [--deadline-ms MS]         default per-request budget (0 = none)
+//     [--max-resident-bytes B]   registry budget; accepts 64M / 2GiB / ...
+//     [--spill-dir D]            snapshot spill directory (created)
+//     [--shards N]               registry shards (default 8)
+//     [--max-batch N]            dispatcher batch size (default 64)
+//     [--metrics-json F]         write an obs metrics snapshot on exit
+//   --gen-requests N   generate a deterministic request stream on stdout
+//     [--gen-keywords K] [--gen-ticks T] [--gen-horizon H] [--seed S]
+//   --print-replies    decode reply frames on stdin to readable text
+//
+// Numeric flags parse strictly (see src/common/parse_util.h): empty
+// values, trailing garbage and unknown suffixes are usage errors naming
+// the flag, never silently zero.
+//
+// Exit code 0 on success (including error *replies* — those belong to
+// their requests), 1 on a transport or usage error.
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <future>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parse_util.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/model_registry.h"
+#include "serve/protocol.h"
+#include "serve/serve_engine.h"
+
+namespace dspot {
+namespace {
+
+/// Minimal flag parser: --key value and --key=value (same contract as
+/// dspot_cli's).
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc;) {
+      std::string key = argv[i];
+      const size_t eq = key.find('=');
+      if (key.rfind("--", 0) == 0 && eq != std::string::npos) {
+        const std::string value = key.substr(eq + 1);
+        key = key.substr(0, eq);
+        present_.push_back(key);
+        values_[key] = value;
+        i += 1;
+        continue;
+      }
+      present_.push_back(key);
+      if (key.rfind("--", 0) == 0 && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[i + 1];
+        i += 2;
+      } else {
+        i += 1;
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  bool HasValue(const std::string& key) const {
+    return values_.find(key) != values_.end();
+  }
+
+  bool Has(const std::string& key) const {
+    for (const std::string& p : present_) {
+      if (p == key) return true;
+    }
+    return false;
+  }
+
+  /// Every token seen on the command line (flags and positionals alike),
+  /// for strict unknown-flag rejection.
+  const std::vector<std::string>& Present() const { return present_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> present_;
+};
+
+/// Located usage error: "dspot_serve: --queue-cap: not an integer: '2x'".
+void FlagError(const char* key, const Status& status) {
+  std::fprintf(stderr, "dspot_serve: %s: %s\n", key,
+               status.message().c_str());
+}
+
+bool ParseIntFlag(const Flags& flags, const char* key, int64_t fallback,
+                  int64_t min_value, int64_t max_value, int64_t* out) {
+  *out = fallback;
+  if (!flags.Has(key)) {
+    return true;
+  }
+  if (!flags.HasValue(key)) {
+    std::fprintf(stderr, "dspot_serve: %s: requires an integer value\n", key);
+    return false;
+  }
+  auto parsed = ParseInt64Text(flags.GetString(key));
+  if (!parsed.ok()) {
+    FlagError(key, parsed.status());
+    return false;
+  }
+  if (*parsed < min_value || *parsed > max_value) {
+    std::fprintf(stderr,
+                 "dspot_serve: %s: %" PRId64 " is out of range [%" PRId64
+                 ", %" PRId64 "]\n",
+                 key, *parsed, min_value, max_value);
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+bool ParseDoubleFlag(const Flags& flags, const char* key, double fallback,
+                     double min_value, double* out) {
+  *out = fallback;
+  if (!flags.Has(key)) {
+    return true;
+  }
+  if (!flags.HasValue(key)) {
+    std::fprintf(stderr, "dspot_serve: %s: requires a numeric value\n", key);
+    return false;
+  }
+  auto parsed = ParseDoubleText(flags.GetString(key));
+  if (!parsed.ok()) {
+    FlagError(key, parsed.status());
+    return false;
+  }
+  if (*parsed < min_value) {
+    std::fprintf(stderr, "dspot_serve: %s: %g must be >= %g\n", key, *parsed,
+                 min_value);
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+bool ParseByteSizeFlag(const Flags& flags, const char* key, uint64_t fallback,
+                       uint64_t* out) {
+  *out = fallback;
+  if (!flags.Has(key)) {
+    return true;
+  }
+  if (!flags.HasValue(key)) {
+    std::fprintf(stderr, "dspot_serve: %s: requires a byte size value\n", key);
+    return false;
+  }
+  auto parsed = ParseByteSizeText(flags.GetString(key));
+  if (!parsed.ok()) {
+    FlagError(key, parsed.status());
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+/// xorshift64* — the deterministic generator behind --gen-requests.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+/// A synthetic activity series for keyword `kw`: baseline + weekly wave +
+/// one burst, with LCG jitter. Deterministic in (seed, kw, n_ticks).
+std::vector<double> SyntheticSeries(uint64_t seed, uint64_t kw,
+                                    size_t n_ticks) {
+  std::vector<double> values(n_ticks);
+  uint64_t state = seed * 1000003u + kw * 7919u + 1;
+  const double base = 40.0 + static_cast<double>(kw % 17) * 3.0;
+  const size_t burst = 20 + static_cast<size_t>(NextRand(&state) % 40);
+  for (size_t t = 0; t < n_ticks; ++t) {
+    double v = base + 10.0 * std::sin(2.0 * 3.141592653589793 *
+                                      static_cast<double>(t) / 7.0);
+    if (t >= burst && t < burst + 3) {
+      v += 60.0;
+    }
+    v += static_cast<double>(NextRand(&state) % 1000) / 500.0 - 1.0;
+    values[t] = v < 0.0 ? 0.0 : v;
+  }
+  return values;
+}
+
+int GenerateRequests(const Flags& flags) {
+  int64_t n = 0;
+  int64_t keywords = 0;
+  int64_t ticks = 0;
+  int64_t horizon = 0;
+  int64_t seed = 0;
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (!ParseIntFlag(flags, "--gen-requests", 200, 1, kMax, &n) ||
+      !ParseIntFlag(flags, "--gen-keywords", 20, 1, kMax, &keywords) ||
+      !ParseIntFlag(flags, "--gen-ticks", 96, 16, kMax, &ticks) ||
+      !ParseIntFlag(flags, "--gen-horizon", 8, 1, kMax, &horizon) ||
+      !ParseIntFlag(flags, "--seed", 42, 0, kMax, &seed)) {
+    return 1;
+  }
+  uint64_t state = static_cast<uint64_t>(seed) ^ 0x9E3779B97F4A7C15ull;
+  uint64_t id = 0;
+  // One cold fit per keyword first, so every later request has a model.
+  for (int64_t kw = 0; kw < keywords; ++kw) {
+    ServeRequest request;
+    request.id = id++;
+    request.op = ServeOp::kFit;
+    request.keyword = "kw" + std::to_string(kw);
+    request.values = SyntheticSeries(static_cast<uint64_t>(seed),
+                                     static_cast<uint64_t>(kw),
+                                     static_cast<size_t>(ticks));
+    Status status = WriteRequestFrame(request, std::cout);
+    if (!status.ok()) {
+      std::fprintf(stderr, "dspot_serve: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  // Then a mixed read-mostly tail: ~90% forecast, ~8% outlier-score,
+  // ~2% refit over a longer window.
+  for (int64_t i = keywords; i < n; ++i) {
+    const uint64_t kw = NextRand(&state) % static_cast<uint64_t>(keywords);
+    const uint64_t dice = NextRand(&state) % 100;
+    ServeRequest request;
+    request.id = id++;
+    request.keyword = "kw" + std::to_string(kw);
+    if (dice < 90) {
+      request.op = ServeOp::kForecast;
+      request.horizon = static_cast<uint64_t>(horizon);
+    } else if (dice < 98) {
+      request.op = ServeOp::kOutlierScore;
+      request.values = SyntheticSeries(static_cast<uint64_t>(seed), kw,
+                                       static_cast<size_t>(ticks / 2));
+    } else {
+      request.op = ServeOp::kRefit;
+      request.values = SyntheticSeries(static_cast<uint64_t>(seed), kw,
+                                       static_cast<size_t>(ticks + 8));
+    }
+    Status status = WriteRequestFrame(request, std::cout);
+    if (!status.ok()) {
+      std::fprintf(stderr, "dspot_serve: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::cout.flush();
+  return std::cout ? 0 : 1;
+}
+
+int PrintReplies() {
+  ServeReply reply;
+  uint64_t count = 0;
+  for (;;) {
+    StatusOr<bool> have = ReadReplyFrame(std::cin, "stdin", &reply);
+    if (!have.ok()) {
+      std::fprintf(stderr, "dspot_serve: %s\n",
+                   have.status().ToString().c_str());
+      return 1;
+    }
+    if (!*have) {
+      break;
+    }
+    ++count;
+    std::printf("reply id=%" PRIu64 " status=%s values=%zu rmse=%.6g",
+                reply.id, StatusCodeName(reply.status.code()),
+                reply.values.size(), reply.rmse);
+    if (!reply.values.empty()) {
+      std::printf(" first=%.6g", reply.values.front());
+    }
+    if (!reply.status.ok()) {
+      std::printf(" message=\"%s\"", reply.status.message().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("total replies: %" PRIu64 "\n", count);
+  return 0;
+}
+
+int Serve(const Flags& flags) {
+  int64_t threads = 0;
+  int64_t queue_cap = 0;
+  int64_t shards = 0;
+  int64_t max_batch = 0;
+  double deadline_ms = 0.0;
+  uint64_t max_resident_bytes = 0;
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (!ParseIntFlag(flags, "--threads", 1, 0, kMax, &threads) ||
+      !ParseIntFlag(flags, "--queue-cap", 1024, 1, kMax, &queue_cap) ||
+      !ParseIntFlag(flags, "--shards", 8, 1, kMax, &shards) ||
+      !ParseIntFlag(flags, "--max-batch", 64, 1, kMax, &max_batch) ||
+      !ParseDoubleFlag(flags, "--deadline-ms", 0.0, 0.0, &deadline_ms) ||
+      !ParseByteSizeFlag(flags, "--max-resident-bytes", 256ull << 20,
+                         &max_resident_bytes)) {
+    return 1;
+  }
+  const std::string metrics_path = flags.GetString("--metrics-json");
+  if (!metrics_path.empty()) {
+    ObsRegistry::Instance().Enable();
+  }
+
+  RegistryOptions registry_options;
+  registry_options.num_shards = static_cast<size_t>(shards);
+  registry_options.max_resident_bytes = max_resident_bytes;
+  registry_options.spill_dir = flags.GetString("--spill-dir");
+  if (!registry_options.spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(registry_options.spill_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "dspot_serve: --spill-dir: cannot create '%s': %s\n",
+                   registry_options.spill_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+  }
+  ModelRegistry registry(registry_options);
+
+  ServeOptions serve_options;
+  serve_options.num_threads = static_cast<size_t>(threads);
+  serve_options.queue_cap = static_cast<size_t>(queue_cap);
+  serve_options.max_batch = static_cast<size_t>(max_batch);
+  serve_options.default_deadline_ms = deadline_ms;
+  ServeEngine engine(&registry, serve_options);
+
+  // Pump: admit from stdin, answer to stdout in admission order. The
+  // in-flight window is bounded so a huge request file cannot hold every
+  // reply in memory at once.
+  const size_t kMaxInFlight =
+      std::max<size_t>(static_cast<size_t>(queue_cap), size_t{256});
+  std::deque<std::future<ServeReply>> in_flight;
+  auto drain_one = [&in_flight]() -> Status {
+    ServeReply reply = in_flight.front().get();
+    in_flight.pop_front();
+    return WriteReplyFrame(reply, std::cout);
+  };
+  ServeRequest request;
+  for (;;) {
+    StatusOr<bool> have = ReadRequestFrame(std::cin, "stdin", &request);
+    if (!have.ok()) {
+      std::fprintf(stderr, "dspot_serve: %s\n",
+                   have.status().ToString().c_str());
+      return 1;
+    }
+    if (!*have) {
+      break;
+    }
+    in_flight.push_back(engine.Submit(std::move(request)));
+    while (in_flight.size() >= kMaxInFlight) {
+      Status status = drain_one();
+      if (!status.ok()) {
+        std::fprintf(stderr, "dspot_serve: %s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  while (!in_flight.empty()) {
+    Status status = drain_one();
+    if (!status.ok()) {
+      std::fprintf(stderr, "dspot_serve: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::cout.flush();
+  engine.Stop();
+
+  const ServeStats stats = engine.stats();
+  const RegistryStats reg = registry.stats();
+  std::fprintf(stderr,
+               "dspot_serve: served %" PRIu64 " requests (%" PRIu64
+               " shed, %" PRIu64 " deadline-expired); registry %" PRIu64
+               " hits / %" PRIu64 " misses / %" PRIu64 " reloads / %" PRIu64
+               " evictions, %" PRIu64 " models resident\n",
+               stats.completed, stats.admission_rejects,
+               stats.deadline_expired, reg.hits, reg.misses, reg.reloads,
+               reg.evictions, reg.resident_models);
+  if (!metrics_path.empty()) {
+    Status status = WriteMetricsJson(metrics_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "dspot_serve: --metrics-json: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  return std::cout ? 0 : 1;
+}
+
+/// A typo'd flag on a long-running server must fail fast at startup, not
+/// be silently ignored while the operator believes it took effect.
+bool RejectUnknownArguments(const Flags& flags) {
+  static const char* kKnown[] = {
+      "--help",         "--threads",      "--queue-cap",
+      "--shards",       "--max-batch",    "--deadline-ms",
+      "--max-resident-bytes",             "--spill-dir",
+      "--metrics-json", "--gen-requests", "--gen-keywords",
+      "--gen-ticks",    "--gen-horizon",  "--seed",
+      "--print-replies"};
+  for (const std::string& token : flags.Present()) {
+    if (token.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "dspot_serve: unexpected argument '%s'\n",
+                   token.c_str());
+      return false;
+    }
+    bool known = false;
+    for (const char* k : kKnown) {
+      if (token == k) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr,
+                   "dspot_serve: unknown flag '%s' (see --help)\n",
+                   token.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv, 1);
+  if (!RejectUnknownArguments(flags)) {
+    return 1;
+  }
+  if (flags.Has("--help")) {
+    std::fprintf(stderr,
+                 "usage: dspot_serve [--threads T] [--queue-cap N] "
+                 "[--deadline-ms MS]\n"
+                 "                   [--max-resident-bytes B] [--spill-dir D] "
+                 "[--shards N]\n"
+                 "                   [--max-batch N] [--metrics-json F]\n"
+                 "       dspot_serve --gen-requests N [--gen-keywords K] "
+                 "[--gen-ticks T]\n"
+                 "                   [--gen-horizon H] [--seed S]\n"
+                 "       dspot_serve --print-replies\n");
+    return 1;
+  }
+  if (flags.Has("--gen-requests")) {
+    return GenerateRequests(flags);
+  }
+  if (flags.Has("--print-replies")) {
+    return PrintReplies();
+  }
+  return Serve(flags);
+}
+
+}  // namespace
+}  // namespace dspot
+
+int main(int argc, char** argv) { return dspot::Main(argc, argv); }
