@@ -16,13 +16,17 @@ namespace dspot {
 namespace {
 
 /// Spill filenames must be filesystem-safe for arbitrary keyword labels:
-/// alnum, '_', '-' pass through; every other byte becomes %XX. The mapping
-/// is injective, so distinct keywords never collide on one file.
+/// lowercase alnum, '_', '-' pass through; every other byte — including
+/// uppercase letters — becomes %XX (uppercase hex). The mapping is
+/// injective even after case folding, so distinct keywords never collide
+/// on one file on case-insensitive filesystems (macOS/Windows defaults),
+/// where letting 'Foo' and 'foo' pass through verbatim would make one
+/// keyword's Put clobber the other's spill.
 std::string SanitizeKeyword(std::string_view keyword) {
   std::string out;
   out.reserve(keyword.size());
   for (unsigned char c : keyword) {
-    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+    const bool safe = (c >= 'a' && c <= 'z') ||
                       (c >= '0' && c <= '9') || c == '_' || c == '-';
     if (safe) {
       out.push_back(static_cast<char>(c));
@@ -152,17 +156,28 @@ Status ModelRegistry::Spill(const ServedModel& model) {
   if (options_.durable_spill) {
     DSPOT_RETURN_IF_ERROR(AtomicWriteFile(path, bytes.data(), bytes.size()));
   } else {
-    // A spill file is a rebuildable cache entry: plain buffered writes, no
-    // fsync. A torn file fails its CRC on reload and surfaces as DataLoss.
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    if (!os) {
-      return Status::IoError("cannot open for writing: " + path);
+    // A spill file is a rebuildable cache entry, so no fsync — but the
+    // write still goes through a temp file + rename (atomic, cheap): a
+    // truncating in-place write would let a crash mid-write, or a reader
+    // in another process, observe a torn file that reloads as DataLoss —
+    // which kRefit treats as a hard error, not a cold-start case.
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      if (!os) {
+        return Status::IoError("cannot open for writing: " + tmp);
+      }
+      os.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+      os.flush();
+      if (!os) {
+        std::remove(tmp.c_str());
+        return Status::IoError("short write: " + tmp);
+      }
     }
-    os.write(reinterpret_cast<const char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-    os.flush();
-    if (!os) {
-      return Status::IoError("short write: " + path);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return Status::IoError("cannot rename " + tmp + " -> " + path);
     }
   }
   DSPOT_COUNT("serve.registry.spills", 1);
@@ -201,14 +216,16 @@ void ModelRegistry::AdmitLocked(Shard& shard, ServedModel model) {
 }
 
 Status ModelRegistry::Put(const ServedModel& model) {
-  // Write-through: the snapshot hits the spill dir before the entry is
-  // admitted, so an eviction at any later point can always reload.
-  if (!options_.spill_dir.empty()) {
-    DSPOT_RETURN_IF_ERROR(Spill(model));
-  }
   Shard& shard = ShardFor(model.keyword);
   std::lock_guard<std::mutex> lock(shard.mu);
+  // Write-through UNDER the shard lock: the snapshot hits the spill dir
+  // before the entry is admitted (so an eviction at any later point can
+  // always reload), and racing Puts of the same keyword leave the
+  // resident entry and its spill file with the same winner — the
+  // thread-safety contract. Get's reload path already does file I/O
+  // under this lock, so the contention profile is unchanged.
   if (!options_.spill_dir.empty()) {
+    DSPOT_RETURN_IF_ERROR(Spill(model));
     ++shard.spills;
   }
   AdmitLocked(shard, model);

@@ -48,7 +48,9 @@ struct RegistryOptions {
   /// When true, spill writes go through AtomicWriteFile (fsync + rename).
   /// Default off: a spill file is a rebuildable cache entry, and a fit is
   /// pinned by whatever durability layer owns the request log, so paying
-  /// an fsync per Put would buy nothing.
+  /// an fsync per Put would buy nothing. Either way the write is a temp
+  /// file + rename, so no reader (or restart) ever sees a torn file —
+  /// non-durable only skips the fsyncs.
   bool durable_spill = false;
 };
 

@@ -13,7 +13,23 @@ namespace {
 /// loose but allocation-safe under the frame cap.
 constexpr uint64_t kMaxValues = kServeMaxFrameBytes / 8;
 
+/// A maximal forecast reply (kServeMaxForecastTicks values plus the fixed
+/// header fields) must still fit one frame, or the engine could produce a
+/// reply WriteFrame has to reject.
+static_assert(kServeMaxForecastTicks * 8 + 4096 <= kServeMaxFrameBytes,
+              "forecast cap exceeds the wire frame cap");
+
 Status WriteFrame(const std::vector<uint8_t>& payload, std::ostream& out) {
+  // Never emit a frame no reader will accept: a payload over the cap
+  // would be rejected as DataLoss on the far side (and a length over
+  // UINT32_MAX would silently truncate the prefix, desynchronizing the
+  // whole stream).
+  if (payload.size() > kServeMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "serve frame: payload " + std::to_string(payload.size()) +
+        " bytes exceeds cap " + std::to_string(kServeMaxFrameBytes) +
+        "; frame not written");
+  }
   ByteWriter prefix;
   prefix.PutU32(static_cast<uint32_t>(payload.size()));
   out.write(reinterpret_cast<const char*>(prefix.bytes().data()),

@@ -117,15 +117,16 @@ ServeReply ServeEngine::Call(ServeRequest request) {
 
 void ServeEngine::Stop() {
   std::deque<Pending> drained;
+  std::thread dispatcher;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      // Idempotent, but the dispatcher may still be joinable below.
-      drained.swap(queue_);
-    } else {
-      stopping_ = true;
-      drained.swap(queue_);
-    }
+    stopping_ = true;
+    drained.swap(queue_);
+    // Claim the dispatcher thread under the lock: concurrent Stop()
+    // calls (e.g. an explicit Stop racing the destructor) must not both
+    // see a joinable thread and join it twice — that is UB. Exactly one
+    // caller moves the handle out and joins; the others find it empty.
+    dispatcher = std::move(dispatcher_);
   }
   cv_.notify_all();
   for (Pending& pending : drained) {
@@ -134,8 +135,8 @@ void ServeEngine::Stop() {
     reply.status = Status::Cancelled("serve engine stopped");
     pending.promise.set_value(std::move(reply));
   }
-  if (dispatcher_.joinable()) {
-    dispatcher_.join();
+  if (dispatcher.joinable()) {
+    dispatcher.join();
   }
 }
 
@@ -306,9 +307,31 @@ ServeReply ServeEngine::Execute(const ServeRequest& request,
             request.keyword + "'): horizon must be >= 1");
         break;
       }
+      // The horizon is an unvalidated u64 off the wire: reject it BEFORE
+      // sizing the simulation buffer, or `fit_ticks + horizon` can wrap
+      // size_t (out-of-bounds iterator, UB) or request an absurd
+      // allocation that kills the server with bad_alloc.
+      if (request.horizon > kServeMaxForecastTicks) {
+        reply.status = Status::InvalidArgument(
+            "request " + std::to_string(request.id) + " (forecast '" +
+            request.keyword + "'): horizon " +
+            std::to_string(request.horizon) + " exceeds cap " +
+            std::to_string(kServeMaxForecastTicks));
+        break;
+      }
       StatusOr<ServedModel> model = registry_->Get(request.keyword);
       if (!model.ok()) {
         reply.status = model.status();
+        break;
+      }
+      // fit_ticks comes from the spill file, which may be hostile: bound
+      // it by the same cap so the sum below cannot overflow.
+      if (model->fit_ticks > kServeMaxForecastTicks) {
+        reply.status = Status::InvalidArgument(
+            "request " + std::to_string(request.id) + " (forecast '" +
+            request.keyword + "'): stored model spans " +
+            std::to_string(model->fit_ticks) + " ticks, exceeding cap " +
+            std::to_string(kServeMaxForecastTicks));
         break;
       }
       const size_t fit_ticks = static_cast<size_t>(model->fit_ticks);

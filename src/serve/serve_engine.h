@@ -42,6 +42,16 @@ enum class ServeOp : uint32_t {
 /// Canonical lowercase name ("fit", "refit", ...); nullptr when invalid.
 const char* ServeOpName(ServeOp op);
 
+/// Upper bound on a forecast request's horizon AND on a stored model's
+/// fitted range when forecasting: the simulation buffer spans
+/// `fit_ticks + horizon` ticks, and both operands arrive from untrusted
+/// bytes (the wire frame and the spill file respectively), so without a
+/// cap a single hostile request could wrap the sum past SIZE_MAX (an
+/// out-of-bounds iterator — UB) or demand a near-2^64-byte allocation.
+/// 4Mi ticks keeps the worst-case curve at 64 MiB and the reply payload
+/// under the wire frame cap (protocol.cc static_asserts the latter).
+inline constexpr uint64_t kServeMaxForecastTicks = 4ull << 20;
+
 struct ServeRequest {
   uint64_t id = 0;  ///< echoed in the reply; assigned by the client
   ServeOp op = ServeOp::kForecast;

@@ -9,11 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cctype>
 #include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -287,6 +290,86 @@ TEST(ModelRegistry, ReloadSurfacesCorruptSpillAsDataLoss) {
   EXPECT_NE(got.status().message().find(path), std::string::npos);
 }
 
+// Regression (review): spill filenames must stay distinct after case
+// folding — on case-insensitive filesystems (macOS/Windows defaults) a
+// mapping that passes uppercase letters through verbatim lets 'Foo' and
+// 'foo' share one file, so a Put of either clobbers the other's spill
+// and a post-eviction Get reports NotFound.
+TEST(ModelRegistry, SpillFilenamesSurviveCaseFolding) {
+  RegistryOptions options;
+  options.spill_dir = TempDirFor("registry_case");
+  ModelRegistry registry(options);
+  const auto folded = [](std::string s) {
+    for (char& c : s) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return s;
+  };
+  EXPECT_NE(folded(registry.SpillPath("Foo")),
+            folded(registry.SpillPath("foo")));
+  EXPECT_NE(folded(registry.SpillPath("FOO")),
+            folded(registry.SpillPath("Foo")));
+  EXPECT_NE(folded(registry.SpillPath("grammy A")),
+            folded(registry.SpillPath("grammy a")));
+  // Both case variants of a keyword round-trip independently.
+  const ServedModel upper = MakeModel("Foo", 1.0);
+  const ServedModel lower = MakeModel("foo", 2.0);
+  ASSERT_TRUE(registry.Put(upper).ok());
+  ASSERT_TRUE(registry.Put(lower).ok());
+  auto got_upper = registry.Get("Foo");
+  auto got_lower = registry.Get("foo");
+  ASSERT_TRUE(got_upper.ok()) << got_upper.status().ToString();
+  ASSERT_TRUE(got_lower.ok()) << got_lower.status().ToString();
+  EXPECT_TRUE(SameModelBits(upper, *got_upper));
+  EXPECT_TRUE(SameModelBits(lower, *got_lower));
+}
+
+// Regression (review): Put spills under the shard lock through a temp
+// file + rename, so a concurrent Get miss on the same keyword can never
+// read a half-written spill file (a torn file surfaces as DataLoss,
+// which kRefit treats as a hard error), and racing Puts leave the
+// resident model and its spill file agreeing on one winner.
+TEST(ModelRegistry, ConcurrentPutAndReloadNeverObserveTornSpill) {
+  RegistryOptions options;
+  options.num_shards = 1;
+  options.spill_dir = TempDirFor("registry_torn");
+  options.max_resident_bytes = 1;  // cache-of-one: evictions are constant
+  ModelRegistry registry(options);
+  ASSERT_TRUE(registry.Put(MakeModel("hot", 0.0)).ok());
+
+  std::atomic<bool> writer_failed{false};
+  std::atomic<bool> reader_failed{false};
+  std::thread writer([&] {
+    for (int i = 1; i <= 100; ++i) {
+      // The evictor Put pushes "hot" out, forcing the reader onto the
+      // reload-from-disk path while "hot" is being rewritten.
+      if (!registry.Put(MakeModel("hot", static_cast<double>(i))).ok() ||
+          !registry.Put(MakeModel("evictor", 0.5)).ok()) {
+        writer_failed.store(true);
+        return;
+      }
+    }
+  });
+  std::thread reader([&] {
+    for (int i = 0; i < 300; ++i) {
+      if (!registry.Get("hot").ok()) {
+        reader_failed.store(true);
+        return;
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(writer_failed.load());
+  EXPECT_FALSE(reader_failed.load()) << "Get observed a torn or missing "
+                                        "spill during concurrent Puts";
+  // The temp files behind the atomic spill writes never leak.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.spill_dir)) {
+    EXPECT_EQ(entry.path().extension(), ".dspotsnp") << entry.path();
+  }
+}
+
 // ---------------------------------------------------------------------------
 // ServeEngine
 
@@ -510,6 +593,80 @@ TEST(ServeEngine, StopCancelsQueuedRequests) {
   EXPECT_EQ(engine.Call(after).status.code(), StatusCode::kCancelled);
 }
 
+// Regression (review): the forecast horizon is an unvalidated u64 off
+// the wire; `fit_ticks + horizon` must not wrap size_t (an out-of-bounds
+// iterator — UB) or size a near-2^64-byte allocation. One hostile
+// ~40-byte frame used to crash the server with bad_alloc.
+TEST(ServeEngine, ForecastRejectsOverflowingHorizon) {
+  ModelRegistry registry(RegistryOptions{});
+  ASSERT_TRUE(registry.Put(MakeModel("kw", 1.0)).ok());
+  ServeEngine engine(&registry, ServeOptions{});
+  const uint64_t hostile_horizons[] = {
+      kServeMaxForecastTicks + 1,
+      std::numeric_limits<uint64_t>::max(),
+      // Wraps `64 + horizon` to a tiny total without a pre-add check.
+      std::numeric_limits<uint64_t>::max() - 63,
+  };
+  for (uint64_t horizon : hostile_horizons) {
+    ServeRequest request;
+    request.id = 1;
+    request.op = ServeOp::kForecast;
+    request.keyword = "kw";
+    request.horizon = horizon;
+    ServeReply reply = engine.Call(request);
+    EXPECT_EQ(reply.status.code(), StatusCode::kInvalidArgument)
+        << "horizon " << horizon << ": " << reply.status.ToString();
+    EXPECT_NE(reply.status.message().find("cap"), std::string::npos);
+  }
+  // A sane horizon against the same model still serves.
+  ServeRequest sane;
+  sane.id = 2;
+  sane.op = ServeOp::kForecast;
+  sane.keyword = "kw";
+  sane.horizon = 8;
+  ServeReply reply = engine.Call(sane);
+  ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+  EXPECT_EQ(reply.values.size(), 8u);
+}
+
+// The other operand of `fit_ticks + horizon` arrives from the spill
+// file, which may be hostile: an absurd stored fit range is rejected by
+// the same cap instead of overflowing the sum.
+TEST(ServeEngine, ForecastRejectsOverlongStoredModel) {
+  ModelRegistry registry(RegistryOptions{});
+  ServedModel huge = MakeModel("huge", 1.0);
+  huge.fit_ticks = std::numeric_limits<uint64_t>::max() - 1;
+  ASSERT_TRUE(registry.Put(huge).ok());
+  ServeEngine engine(&registry, ServeOptions{});
+  ServeRequest request;
+  request.id = 9;
+  request.op = ServeOp::kForecast;
+  request.keyword = "huge";
+  request.horizon = 4;
+  ServeReply reply = engine.Call(request);
+  EXPECT_EQ(reply.status.code(), StatusCode::kInvalidArgument)
+      << reply.status.ToString();
+  EXPECT_NE(reply.status.message().find("cap"), std::string::npos);
+}
+
+// Regression (review): concurrent Stop() calls (e.g. an explicit Stop
+// racing the destructor) must not both join the dispatcher thread —
+// joining the same std::thread twice is UB. TSan covers the race.
+TEST(ServeEngine, ConcurrentStopIsSafe) {
+  for (int round = 0; round < 8; ++round) {
+    ModelRegistry registry(RegistryOptions{});
+    ServeEngine engine(&registry, ServeOptions{});
+    std::vector<std::thread> stoppers;
+    for (int s = 0; s < 4; ++s) {
+      stoppers.emplace_back([&engine] { engine.Stop(); });
+    }
+    for (std::thread& t : stoppers) {
+      t.join();
+    }
+    // The destructor's Stop() is one more (now idempotent) caller.
+  }
+}
+
 // The serving acceptance bar: N concurrent clients with mixed
 // forecast/refit/outlier traffic against an EVICTING registry produce
 // replies bit-identical to a single-threaded serial replay of the
@@ -721,6 +878,23 @@ TEST(ServeProtocol, RejectsTruncatedAndHostileFrames) {
     ASSERT_FALSE(have.ok());
     EXPECT_EQ(have.status().code(), StatusCode::kInvalidArgument);
   }
+}
+
+// Regression (review): the writer must refuse a payload over the frame
+// cap instead of emitting a frame every reader rejects as DataLoss (or,
+// past 4 GiB, silently truncating the u32 length prefix and
+// desynchronizing the whole stream).
+TEST(ServeProtocol, WriteFrameRejectsPayloadOverCap) {
+  ServeReply reply;
+  reply.id = 5;
+  reply.values.assign(kServeMaxFrameBytes / 8 + 1, 0.5);
+  std::stringstream stream;
+  const Status status = WriteReplyFrame(reply, stream);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("cap"), std::string::npos);
+  // Nothing hit the stream: a rejected frame leaves no partial bytes.
+  EXPECT_TRUE(stream.str().empty());
 }
 
 }  // namespace
