@@ -1,0 +1,178 @@
+#ifndef DSPOT_SERVE_NET_SERVER_H_
+#define DSPOT_SERVE_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+#include "serve/serve_engine.h"
+
+namespace dspot {
+
+/// dspot_serve's TCP transport: a single-threaded, level-triggered epoll
+/// event loop speaking the DSRQ/DSRP frame codec over non-blocking
+/// sockets, in front of a ServeEngine.
+///
+/// - Frames arrive split at arbitrary byte boundaries; each connection
+///   owns a FrameAssembler that reassembles them incrementally.
+/// - An optional first frame ("DSRH" tenant handshake) binds the
+///   connection to an admission tenant; every request submitted on it
+///   then competes only inside that tenant's quota slice.
+/// - Replies return to the event loop through ServeEngine callbacks and
+///   a wake pipe, are re-ordered back into per-connection request order,
+///   and are written with backpressure: a reply that does not flush in
+///   one write() arms EPOLLOUT, and a connection whose unflushed bytes
+///   exceed max_write_buffer_bytes stops being read until it drains.
+/// - A protocol violation (bad tag, undecodable payload, over-cap frame
+///   length) tears down THAT connection with a located error on stderr;
+///   the process and every other connection keep serving.
+/// - Shutdown() is async-signal-safe: it closes the listener, lets
+///   in-flight replies complete and flush, then returns from Run().
+///
+/// DETERMINISM: one connection's requests are submitted in frame arrival
+/// order and its replies are written in the same order, so a single
+/// connection that never overflows the admission queue receives replies
+/// byte-identical to the stdin/stdout pipe serving the same stream — at
+/// any worker thread count (serve_net_smoke holds the CLI to this).
+
+struct NetServerOptions {
+  /// Listen address; the default binds loopback only — serving a public
+  /// interface is an explicit operator decision.
+  std::string bind_address = "127.0.0.1";
+  /// Listen port; 0 asks the kernel for an ephemeral port (read it back
+  /// with port() after Start()).
+  uint16_t port = 0;
+  /// Accepted-connection cap; arrivals beyond it are accepted and
+  /// immediately closed so the client sees EOF, not a hung SYN.
+  size_t max_conns = 256;
+  /// Per-connection unflushed reply bytes above which the server stops
+  /// READING that connection (admission backpressure) until the client
+  /// drains below half of this; EPOLLOUT stays armed throughout.
+  size_t max_write_buffer_bytes = 4u << 20;
+  /// How long Shutdown() lets connections finish flushing before they
+  /// are force-closed (a drain must not hang on a client that stopped
+  /// reading).
+  double drain_timeout_ms = 5000.0;
+};
+
+/// Transport-level counters (engine-level counts live in ServeStats).
+struct NetServerStats {
+  uint64_t accepted = 0;
+  uint64_t rejected_at_capacity = 0;  ///< accept()ed then closed: over cap
+  uint64_t closed = 0;                ///< connections fully torn down
+  uint64_t desync_teardowns = 0;      ///< closed due to protocol violations
+  uint64_t handshakes = 0;            ///< DSRH frames accepted
+  uint64_t requests = 0;              ///< request frames submitted
+  uint64_t replies = 0;               ///< reply frames queued to the wire
+  uint64_t backpressure_pauses = 0;   ///< reads paused on a full write buffer
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+class NetServer {
+ public:
+  /// `engine` must outlive the server. Construction is cheap; the socket
+  /// work happens in Start().
+  NetServer(ServeEngine* engine, const NetServerOptions& options);
+
+  /// Closes every fd still open (Run() must have returned, or never run).
+  /// LIFETIME: reply callbacks registered with the engine reference this
+  /// server, so call engine->Stop() (which drains them) between Run()
+  /// returning and destroying the server.
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Creates, binds, and listens the server socket and the epoll/wake
+  /// machinery. After Ok, port() is the bound port.
+  Status Start();
+
+  /// The bound listen port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Runs the event loop on the calling thread until Shutdown() — accept,
+  /// read, submit, reorder, flush. Returns Ok after the drain completes;
+  /// a fatal transport error (epoll itself failing) is returned, but
+  /// per-connection errors never are.
+  Status Run();
+
+  /// Requests a graceful drain: async-signal-safe (a flag store and a
+  /// pipe write), callable from any thread or signal handler, idempotent.
+  void Shutdown();
+
+  NetServerStats stats() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    std::string peer;  ///< "addr:port", the error-location context
+    FrameAssembler assembler;
+    std::string tenant;        ///< bound by the handshake; "" = default
+    bool saw_first_frame = false;
+    bool read_closed = false;  ///< client half-closed (or we are draining)
+    bool paused_read = false;  ///< backpressure: not watching EPOLLIN
+    uint64_t next_submit_seq = 0;
+    uint64_t next_write_seq = 0;
+    uint64_t in_flight = 0;    ///< submitted, reply not yet queued to wire
+    std::map<uint64_t, ServeReply> ready;  ///< out-of-order replies
+    std::vector<uint8_t> wbuf;
+    size_t wpos = 0;
+    bool want_write = false;   ///< EPOLLOUT armed
+
+    explicit Conn(std::string peer_label)
+        : peer(std::move(peer_label)), assembler("conn " + peer) {}
+    size_t unflushed() const { return wbuf.size() - wpos; }
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    ServeReply reply;
+  };
+
+  void AcceptReady();
+  void HandleReadable(Conn& conn);
+  /// Decodes and dispatches one frame; false = the connection was torn
+  /// down and must not be touched again.
+  bool HandleFrame(Conn& conn, const std::vector<uint8_t>& payload);
+  void ProcessCompletions();
+  /// Encodes ready in-order replies onto the write buffer and flushes.
+  bool PumpReplies(Conn& conn);
+  bool FlushWrites(Conn& conn);
+  void UpdateInterest(Conn& conn);
+  void Teardown(Conn& conn, const Status& why, bool protocol_error);
+  /// Closes the connection if nothing remains to read, execute, or flush.
+  bool MaybeRetire(Conn& conn);
+  void Wake();
+
+  ServeEngine* engine_;
+  NetServerOptions options_;
+  uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  std::atomic<bool> shutdown_requested_{false};
+  bool draining_ = false;
+
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, Conn> conns_;  ///< id -> connection
+
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+
+  mutable std::mutex stats_mu_;
+  NetServerStats stats_;
+};
+
+}  // namespace dspot
+
+#endif  // DSPOT_SERVE_NET_SERVER_H_

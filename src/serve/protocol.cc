@@ -1,5 +1,7 @@
 #include "serve/protocol.h"
 
+#include <cmath>
+#include <cstring>
 #include <istream>
 #include <ostream>
 
@@ -142,6 +144,15 @@ StatusOr<ServeRequest> DecodeRequestPayload(const uint8_t* data, size_t size,
   DSPOT_ASSIGN_OR_RETURN(request.keyword, r.GetString());
   DSPOT_ASSIGN_OR_RETURN(request.horizon, r.GetU64());
   DSPOT_ASSIGN_OR_RETURN(request.deadline_ms, r.GetDouble());
+  // The deadline is an arbitrary f64 off the wire. A NaN, infinity, or
+  // negative value must not reach deadline arming: NaN poisons every
+  // comparison downstream, and a negative budget would silently alias
+  // "use the server default" (the > 0 test) while the client believes it
+  // set one.
+  if (!std::isfinite(request.deadline_ms) || request.deadline_ms < 0.0) {
+    return r.InvalidAt("deadline_ms " + std::to_string(request.deadline_ms) +
+                       " is not a finite non-negative millisecond budget");
+  }
   DSPOT_RETURN_IF_ERROR(GetValues(r, &request.values));
   if (r.remaining() != 0) {
     return r.CorruptAt(std::to_string(r.remaining()) +
@@ -170,6 +181,125 @@ StatusOr<ServeReply> DecodeReplyPayload(const uint8_t* data, size_t size,
                        " trailing bytes after reply payload");
   }
   return reply;
+}
+
+Status ValidateTenantName(const std::string& tenant) {
+  if (tenant.empty()) {
+    return Status::InvalidArgument(
+        "tenant name is empty (omit the handshake for the default tenant)");
+  }
+  if (tenant.size() > kServeMaxTenantBytes) {
+    return Status::InvalidArgument(
+        "tenant name is " + std::to_string(tenant.size()) +
+        " bytes, exceeding the cap of " +
+        std::to_string(kServeMaxTenantBytes));
+  }
+  for (size_t i = 0; i < tenant.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(tenant[i]);
+    // Printable non-space ASCII only: tenant names become map keys, log
+    // lines, and metrics labels, so control bytes and spaces are refused
+    // rather than escaped.
+    if (c <= 0x20 || c >= 0x7f) {
+      return Status::InvalidArgument(
+          "tenant name byte " + std::to_string(i) + " (0x" +
+          std::to_string(static_cast<unsigned>(c)) +
+          ") is not printable non-space ASCII");
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeHelloPayload(const std::string& tenant) {
+  ByteWriter w;
+  w.PutU32(kServeHelloTag);
+  w.PutU32(kServeHelloVersion);
+  w.PutString(tenant);
+  return std::move(w).TakeBytes();
+}
+
+StatusOr<std::string> DecodeHelloPayload(const uint8_t* data, size_t size,
+                                         const std::string& context) {
+  ByteReader r(data, size, context);
+  DSPOT_RETURN_IF_ERROR(CheckTag(r, kServeHelloTag, "hello"));
+  DSPOT_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kServeHelloVersion) {
+    return r.InvalidAt("unsupported handshake version " +
+                       std::to_string(version) + " (this build speaks " +
+                       std::to_string(kServeHelloVersion) + ")");
+  }
+  DSPOT_ASSIGN_OR_RETURN(std::string tenant, r.GetString());
+  Status valid = ValidateTenantName(tenant);
+  if (!valid.ok()) {
+    return r.InvalidAt(valid.message());
+  }
+  if (r.remaining() != 0) {
+    return r.CorruptAt(std::to_string(r.remaining()) +
+                       " trailing bytes after hello payload");
+  }
+  return tenant;
+}
+
+Status WriteHelloFrame(const std::string& tenant, std::ostream& out) {
+  DSPOT_RETURN_IF_ERROR(ValidateTenantName(tenant));
+  return WriteFrame(EncodeHelloPayload(tenant), out);
+}
+
+StatusOr<uint32_t> PeekPayloadTag(const uint8_t* data, size_t size,
+                                  const std::string& context) {
+  if (size < 4) {
+    return Status::DataLoss(context + ": payload of " + std::to_string(size) +
+                            " bytes is shorter than a frame tag");
+  }
+  uint32_t tag = 0;
+  for (int i = 0; i < 4; ++i) {
+    tag |= static_cast<uint32_t>(data[i]) << (8 * i);
+  }
+  return tag;
+}
+
+FrameAssembler::FrameAssembler(std::string context)
+    : context_(std::move(context)) {}
+
+void FrameAssembler::Append(const uint8_t* data, size_t n) {
+  // Compact once the consumed prefix dominates the buffer, so a
+  // long-lived connection's memory stays proportional to its largest
+  // in-flight frame rather than its whole history.
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    consumed_ += pos_;
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+StatusOr<bool> FrameAssembler::Next(std::vector<uint8_t>* payload) {
+  if (!poison_.ok()) {
+    return poison_;
+  }
+  if (buf_.size() - pos_ < 4) {
+    return false;
+  }
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(buf_[pos_ + static_cast<size_t>(i)])
+              << (8 * i);
+  }
+  if (length > kServeMaxFrameBytes) {
+    // Beyond this point no byte boundary can be trusted; poison the
+    // stream instead of resynchronizing on garbage.
+    poison_ = Status::DataLoss(
+        context_ + ": byte " + std::to_string(stream_offset()) +
+        ": frame length " + std::to_string(length) + " exceeds cap " +
+        std::to_string(kServeMaxFrameBytes) + " (desynchronized stream?)");
+    return poison_;
+  }
+  if (buf_.size() - pos_ - 4 < length) {
+    return false;
+  }
+  payload->assign(buf_.begin() + static_cast<ptrdiff_t>(pos_ + 4),
+                  buf_.begin() + static_cast<ptrdiff_t>(pos_ + 4 + length));
+  pos_ += 4 + static_cast<size_t>(length);
+  return true;
 }
 
 Status WriteRequestFrame(const ServeRequest& request, std::ostream& out) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 
@@ -58,6 +59,52 @@ ServeEngine::ServeEngine(ModelRegistry* registry, const ServeOptions& options)
 ServeEngine::~ServeEngine() { Stop(); }
 
 std::future<ServeReply> ServeEngine::Submit(ServeRequest request) {
+  auto promise = std::make_shared<std::promise<ServeReply>>();
+  std::future<ServeReply> future = promise->get_future();
+  SubmitWithCallback(std::move(request), [promise](ServeReply reply) {
+    promise->set_value(std::move(reply));
+  });
+  return future;
+}
+
+std::deque<ServeEngine::Pending>::iterator ServeEngine::ShedVictimLocked(
+    const std::string& tenant) {
+  // Quota slice first: a tenant already holding its full share must make
+  // room inside its OWN slice, so the victim is that tenant's oldest
+  // queued request — other tenants' slots are untouchable.
+  if (options_.tenant_quota > 0) {
+    const uint64_t quota = static_cast<uint64_t>(
+        std::min(options_.tenant_quota, options_.queue_cap));
+    const auto mine = queued_per_tenant_.find(tenant);
+    if (mine != queued_per_tenant_.end() && mine->second >= quota) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->request.tenant == tenant) {
+          return it;
+        }
+      }
+    }
+  }
+  if (queue_.size() < options_.queue_cap) {
+    return queue_.end();
+  }
+  // Whole-queue overflow: shed the oldest request of the FULLEST tenant
+  // (the offender by occupancy), never simply the global front — the
+  // front is typically a fair tenant that queued early.
+  uint64_t max_count = 0;
+  for (const auto& [t, count] : queued_per_tenant_) {
+    max_count = std::max(max_count, count);
+  }
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    const auto count = queued_per_tenant_.find(it->request.tenant);
+    if (count != queued_per_tenant_.end() && count->second == max_count) {
+      return it;
+    }
+  }
+  return queue_.end();
+}
+
+void ServeEngine::SubmitWithCallback(ServeRequest request,
+                                     std::function<void(ServeReply)> done) {
   Pending pending;
   const double budget = request.deadline_ms > 0.0
                             ? request.deadline_ms
@@ -65,33 +112,53 @@ std::future<ServeReply> ServeEngine::Submit(ServeRequest request) {
   if (budget > 0.0) {
     pending.deadline = Deadline::AfterMillis(budget);
   }
-  std::future<ServeReply> future = pending.promise.get_future();
-  std::promise<ServeReply> shed_promise;
+  pending.done = std::move(done);
+  std::function<void(ServeReply)> shed_done;
+  ServeReply shed_reply;
   bool shed = false;
-  uint64_t shed_id = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       ServeReply reply;
       reply.id = request.id;
       reply.status = Status::Cancelled("serve engine is stopping");
-      pending.promise.set_value(std::move(reply));
-      return future;
+      pending.done(std::move(reply));
+      return;
     }
-    if (queue_.size() >= options_.queue_cap) {
-      // Shed the OLDEST queued request: under overload the freshest work
+    const auto victim = ShedVictimLocked(request.tenant);
+    if (victim != queue_.end()) {
+      // Shed the chosen OLDEST request: under overload the freshest work
       // survives, and the shed client gets an immediate, retryable error
       // instead of a timeout.
       shed = true;
-      shed_id = queue_.front().request.id;
-      shed_promise = std::move(queue_.front().promise);
-      queue_.pop_front();
+      const std::string& victim_tenant = victim->request.tenant;
+      shed_reply.id = victim->request.id;
+      shed_reply.status = Status::ResourceExhausted(
+          victim_tenant == request.tenant && options_.tenant_quota > 0 &&
+                  queue_.size() < options_.queue_cap
+              ? "tenant '" + victim_tenant + "' admission quota full (" +
+                    std::to_string(std::min(options_.tenant_quota,
+                                            options_.queue_cap)) +
+                    " slots); request shed by a newer arrival from the "
+                    "same tenant"
+              : "admission queue full (cap " +
+                    std::to_string(options_.queue_cap) +
+                    "); request shed by a newer arrival");
+      shed_done = std::move(victim->done);
+      ++tenant_stats_[victim_tenant].shed;
+      auto count = queued_per_tenant_.find(victim_tenant);
+      if (count != queued_per_tenant_.end() && --count->second == 0) {
+        queued_per_tenant_.erase(count);
+      }
+      queue_.erase(victim);
       ++stats_.admission_rejects;
       DSPOT_COUNT("serve.admission_rejects", 1);
     }
     if (options_.record_log) {
       request_log_.push_back(request);
     }
+    ++queued_per_tenant_[request.tenant];
+    ++tenant_stats_[request.tenant].submitted;
     pending.request = std::move(request);
     queue_.push_back(std::move(pending));
     ++stats_.submitted;
@@ -101,14 +168,8 @@ std::future<ServeReply> ServeEngine::Submit(ServeRequest request) {
   }
   cv_.notify_one();
   if (shed) {
-    ServeReply reply;
-    reply.id = shed_id;
-    reply.status = Status::ResourceExhausted(
-        "admission queue full (cap " + std::to_string(options_.queue_cap) +
-        "); request shed by a newer arrival");
-    shed_promise.set_value(std::move(reply));
+    shed_done(std::move(shed_reply));
   }
-  return future;
 }
 
 ServeReply ServeEngine::Call(ServeRequest request) {
@@ -122,6 +183,7 @@ void ServeEngine::Stop() {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
     drained.swap(queue_);
+    queued_per_tenant_.clear();
     // Claim the dispatcher thread under the lock: concurrent Stop()
     // calls (e.g. an explicit Stop racing the destructor) must not both
     // see a joinable thread and join it twice — that is UB. Exactly one
@@ -133,7 +195,7 @@ void ServeEngine::Stop() {
     ServeReply reply;
     reply.id = pending.request.id;
     reply.status = Status::Cancelled("serve engine stopped");
-    pending.promise.set_value(std::move(reply));
+    pending.done(std::move(reply));
   }
   if (dispatcher.joinable()) {
     dispatcher.join();
@@ -143,6 +205,11 @@ void ServeEngine::Stop() {
 ServeStats ServeEngine::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+std::map<std::string, TenantCounters> ServeEngine::tenant_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenant_stats_;
 }
 
 std::vector<ServeRequest> ServeEngine::TakeRequestLog() {
@@ -164,6 +231,10 @@ void ServeEngine::DispatchLoop() {
       const size_t take = std::min(options_.max_batch, queue_.size());
       batch.reserve(take);
       for (size_t i = 0; i < take; ++i) {
+        auto count = queued_per_tenant_.find(queue_.front().request.tenant);
+        if (count != queued_per_tenant_.end() && --count->second == 0) {
+          queued_per_tenant_.erase(count);
+        }
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
@@ -208,15 +279,18 @@ void ServeEngine::ExecuteBatch(std::vector<Pending> batch) {
       ++expired;
     }
   }
-  // Stats move BEFORE the promises are fulfilled: a client returning from
+  // Stats move BEFORE the replies are delivered: a client returning from
   // Call() must observe its own request in the counters.
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.completed += batch.size();
     stats_.deadline_expired += expired;
+    for (const Pending& pending : batch) {
+      ++tenant_stats_[pending.request.tenant].completed;
+    }
   }
   for (size_t i = 0; i < batch.size(); ++i) {
-    batch[i].promise.set_value(std::move(replies[i]));
+    batch[i].done(std::move(replies[i]));
   }
 }
 

@@ -4,10 +4,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -56,6 +59,11 @@ struct ServeRequest {
   uint64_t id = 0;  ///< echoed in the reply; assigned by the client
   ServeOp op = ServeOp::kForecast;
   std::string keyword;
+  /// Admission-quota bucket. NOT part of the wire request: the transport
+  /// assigns it per connection (TCP tenant handshake; "" everywhere else,
+  /// the default tenant). Replies never depend on it — it only decides
+  /// which queue slice the request occupies and who gets shed first.
+  std::string tenant;
   /// Observed activity: the series to fit (kFit/kRefit) or to score
   /// (kOutlierScore); unused by kForecast.
   std::vector<double> values;
@@ -85,8 +93,17 @@ struct ServeOptions {
   /// Admission queue bound. A Submit against a full queue sheds the
   /// OLDEST queued request — its reply carries kResourceExhausted — and
   /// admits the new one: under overload the freshest work survives, and
-  /// the shed client learns immediately instead of timing out.
+  /// the shed client learns immediately instead of timing out. With
+  /// tenant quotas active the victim is chosen WITHIN the offending
+  /// tenant (see tenant_quota).
   size_t queue_cap = 1024;
+  /// Per-tenant slice of the admission queue; 0 disables slicing (every
+  /// tenant shares queue_cap, exactly the pre-tenant behavior). With a
+  /// quota Q > 0, a tenant holding Q queued slots sheds ITS OWN oldest
+  /// request to admit a new one, and a global overflow sheds the oldest
+  /// request of the fullest tenant — so a flooding tenant evicts only
+  /// itself and every fair tenant keeps its slice.
+  size_t tenant_quota = 0;
   /// Default per-request budget when ServeRequest::deadline_ms == 0;
   /// 0 = infinite.
   double default_deadline_ms = 0.0;
@@ -109,6 +126,14 @@ struct ServeStats {
   uint64_t max_queue_depth = 0;    ///< high-water mark of queued requests
 };
 
+/// Per-tenant admission accounting (keyed by ServeRequest::tenant; the
+/// default tenant is ""). The fairness gates in bench_serve read these.
+struct TenantCounters {
+  uint64_t submitted = 0;  ///< admitted into this tenant's slice
+  uint64_t shed = 0;       ///< this tenant's requests shed by admission
+  uint64_t completed = 0;  ///< replies delivered (any status)
+};
+
 class ServeEngine {
  public:
   /// `registry` must outlive the engine. The dispatcher thread starts
@@ -126,6 +151,14 @@ class ServeEngine {
   /// or kCancelled if the engine stops first). Never blocks on the queue.
   std::future<ServeReply> Submit(ServeRequest request);
 
+  /// Like Submit, but delivers the reply through `done` instead of a
+  /// future. `done` is invoked exactly once — possibly synchronously
+  /// inside this call (stop/shed), otherwise from an engine thread — and
+  /// must not block: the TCP transport uses it to hand replies back to
+  /// the event loop without a polling thread per connection.
+  void SubmitWithCallback(ServeRequest request,
+                          std::function<void(ServeReply)> done);
+
   /// Submit + wait. Convenience for tests and serial clients.
   ServeReply Call(ServeRequest request);
 
@@ -135,13 +168,16 @@ class ServeEngine {
 
   ServeStats stats() const;
 
+  /// Per-tenant admission counters, keyed by tenant name ("" = default).
+  std::map<std::string, TenantCounters> tenant_stats() const;
+
   /// The admitted-request log (requires options.record_log); clears it.
   std::vector<ServeRequest> TakeRequestLog();
 
  private:
   struct Pending {
     ServeRequest request;
-    std::promise<ServeReply> promise;
+    std::function<void(ServeReply)> done;
     Deadline deadline;  ///< armed at admission
   };
 
@@ -149,6 +185,10 @@ class ServeEngine {
   void ExecuteBatch(std::vector<Pending> batch);
   /// Executes one request against the registry (no queue interaction).
   ServeReply Execute(const ServeRequest& request, const Deadline& deadline);
+  /// Picks the queued request admission must shed to make room for an
+  /// arrival from `tenant`, or queue_.end() if none is required. Must be
+  /// called with mu_ held.
+  std::deque<Pending>::iterator ShedVictimLocked(const std::string& tenant);
 
   ModelRegistry* registry_;
   ServeOptions options_;
@@ -156,8 +196,12 @@ class ServeEngine {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Pending> queue_;
+  /// Queued-slot count per tenant (entries removed at zero, so the map
+  /// stays bounded by the set of currently queued tenants).
+  std::unordered_map<std::string, uint64_t> queued_per_tenant_;
   bool stopping_ = false;
   ServeStats stats_;
+  std::map<std::string, TenantCounters> tenant_stats_;
   std::vector<ServeRequest> request_log_;
 
   std::thread dispatcher_;

@@ -539,6 +539,197 @@ TEST(ServeEngine, ShedsOldestRequestWhenQueueOverflows) {
   EXPECT_EQ(engine.stats().admission_rejects, 2u);
 }
 
+TEST(ServeEngine, TenantQuotaShedsOnlyTheFloodingTenant) {
+  ModelRegistry registry(RegistryOptions{});
+  ServeOptions options;
+  options.num_threads = 1;
+  options.queue_cap = 16;
+  options.max_batch = 1;
+  options.tenant_quota = 2;
+  ServeEngine engine(&registry, options);
+
+  // Same dispatcher-busy setup as the global shed test: a slow cold fit
+  // must be IN FLIGHT before the bursts below, or they could shed it.
+  ServeRequest slow;
+  slow.id = 100;
+  slow.op = ServeOp::kFit;
+  slow.keyword = "slow";
+  slow.values = TestSeries(1024, 0.1);
+  std::future<ServeReply> slow_future = engine.Submit(slow);
+  while (engine.stats().batches < 1) {
+    std::this_thread::yield();
+  }
+
+  // The flooding tenant submits 4 with a quota of 2: f3 sheds f1, f4
+  // sheds f2 — all inside the tenant, with room to spare in the queue.
+  std::vector<std::future<ServeReply>> flood;
+  for (uint64_t i = 1; i <= 4; ++i) {
+    ServeRequest forecast;
+    forecast.id = i;
+    forecast.op = ServeOp::kForecast;
+    forecast.keyword = "slow";
+    forecast.horizon = 4;
+    forecast.tenant = "flood";
+    flood.push_back(engine.Submit(forecast));
+  }
+  // A fair tenant's pair queues untouched alongside the flood.
+  std::vector<std::future<ServeReply>> fair;
+  for (uint64_t i = 10; i <= 11; ++i) {
+    ServeRequest forecast;
+    forecast.id = i;
+    forecast.op = ServeOp::kForecast;
+    forecast.keyword = "slow";
+    forecast.horizon = 4;
+    forecast.tenant = "fair";
+    fair.push_back(engine.Submit(forecast));
+  }
+
+  ServeReply f1 = flood[0].get();
+  ServeReply f2 = flood[1].get();
+  EXPECT_EQ(f1.status.code(), StatusCode::kResourceExhausted)
+      << f1.status.ToString();
+  EXPECT_EQ(f2.status.code(), StatusCode::kResourceExhausted)
+      << f2.status.ToString();
+  // The quota shed is named as such, with the tenant in the message.
+  EXPECT_NE(f1.status.message().find("tenant 'flood' admission quota full"),
+            std::string::npos)
+      << f1.status.ToString();
+  EXPECT_EQ(f1.id, 1u);
+  EXPECT_EQ(f2.id, 2u);
+
+  EXPECT_TRUE(slow_future.get().status.ok());
+  EXPECT_TRUE(flood[2].get().status.ok());
+  EXPECT_TRUE(flood[3].get().status.ok());
+  for (auto& future : fair) {
+    EXPECT_TRUE(future.get().status.ok());
+  }
+
+  const auto tenants = engine.tenant_stats();
+  ASSERT_NE(tenants.find("flood"), tenants.end());
+  ASSERT_NE(tenants.find("fair"), tenants.end());
+  EXPECT_EQ(tenants.at("flood").submitted, 4u);
+  EXPECT_EQ(tenants.at("flood").shed, 2u);
+  EXPECT_EQ(tenants.at("flood").completed, 2u);
+  EXPECT_EQ(tenants.at("fair").submitted, 2u);
+  EXPECT_EQ(tenants.at("fair").shed, 0u);
+  EXPECT_EQ(tenants.at("fair").completed, 2u);
+}
+
+TEST(ServeEngine, GlobalOverflowShedsTheFullestTenant) {
+  ModelRegistry registry(RegistryOptions{});
+  ServeOptions options;
+  options.num_threads = 1;
+  options.queue_cap = 3;
+  options.max_batch = 1;
+  options.tenant_quota = 3;  // quotas alone do not trip; the CAP does
+  ServeEngine engine(&registry, options);
+
+  ServeRequest slow;
+  slow.id = 100;
+  slow.op = ServeOp::kFit;
+  slow.keyword = "slow";
+  slow.values = TestSeries(1024, 0.1);
+  std::future<ServeReply> slow_future = engine.Submit(slow);
+  while (engine.stats().batches < 1) {
+    std::this_thread::yield();
+  }
+
+  // Queue fills as [a1, a2, b1]; b2 overflows the cap. Tenant a is the
+  // fullest (2 > 1), so the victim is a's oldest — a1 — not b's.
+  auto submit = [&engine](uint64_t id, const std::string& tenant) {
+    ServeRequest forecast;
+    forecast.id = id;
+    forecast.op = ServeOp::kForecast;
+    forecast.keyword = "slow";
+    forecast.horizon = 4;
+    forecast.tenant = tenant;
+    return engine.Submit(forecast);
+  };
+  std::future<ServeReply> a1 = submit(1, "a");
+  std::future<ServeReply> a2 = submit(2, "a");
+  std::future<ServeReply> b1 = submit(3, "b");
+  std::future<ServeReply> b2 = submit(4, "b");
+
+  ServeReply shed = a1.get();
+  EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted)
+      << shed.status.ToString();
+  EXPECT_EQ(shed.id, 1u);
+  EXPECT_NE(shed.status.message().find("admission queue full"),
+            std::string::npos)
+      << shed.status.ToString();
+  EXPECT_TRUE(slow_future.get().status.ok());
+  EXPECT_TRUE(a2.get().status.ok());
+  EXPECT_TRUE(b1.get().status.ok());
+  EXPECT_TRUE(b2.get().status.ok());
+  EXPECT_EQ(engine.tenant_stats().at("a").shed, 1u);
+  EXPECT_EQ(engine.tenant_stats().at("b").shed, 0u);
+}
+
+TEST(ServeEngine, ZeroQuotaKeepsLegacySingleQueueBehavior) {
+  // tenant_quota = 0 must reproduce the pre-quota engine exactly, even
+  // for requests that carry tenant labels.
+  ModelRegistry registry(RegistryOptions{});
+  ServeOptions options;
+  options.num_threads = 1;
+  options.queue_cap = 2;
+  options.max_batch = 1;
+  ASSERT_EQ(options.tenant_quota, 0u);  // the default disables slicing
+  ServeEngine engine(&registry, options);
+
+  ServeRequest slow;
+  slow.id = 100;
+  slow.op = ServeOp::kFit;
+  slow.keyword = "slow";
+  slow.values = TestSeries(1024, 0.1);
+  std::future<ServeReply> slow_future = engine.Submit(slow);
+  while (engine.stats().batches < 1) {
+    std::this_thread::yield();
+  }
+
+  // Tenant "v" holds both slots; tenant "w"'s arrival sheds the GLOBAL
+  // oldest (v's), because no quota protects per-tenant slices.
+  ServeRequest forecast;
+  forecast.op = ServeOp::kForecast;
+  forecast.keyword = "slow";
+  forecast.horizon = 4;
+  forecast.id = 1;
+  forecast.tenant = "v";
+  std::future<ServeReply> v1 = engine.Submit(forecast);
+  forecast.id = 2;
+  std::future<ServeReply> v2 = engine.Submit(forecast);
+  forecast.id = 3;
+  forecast.tenant = "w";
+  std::future<ServeReply> w1 = engine.Submit(forecast);
+
+  ServeReply shed = v1.get();
+  EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.id, 1u);
+  EXPECT_NE(shed.status.message().find("admission queue full"),
+            std::string::npos)
+      << shed.status.ToString();
+  EXPECT_TRUE(slow_future.get().status.ok());
+  EXPECT_TRUE(v2.get().status.ok());
+  EXPECT_TRUE(w1.get().status.ok());
+}
+
+TEST(ServeEngine, SubmitWithCallbackDeliversExactlyOnceOnStop) {
+  ModelRegistry registry(RegistryOptions{});
+  ServeEngine engine(&registry, ServeOptions{});
+  engine.Stop();
+  std::atomic<int> calls{0};
+  ServeRequest forecast;
+  forecast.id = 9;
+  forecast.op = ServeOp::kForecast;
+  forecast.keyword = "any";
+  forecast.horizon = 2;
+  engine.SubmitWithCallback(forecast, [&calls](ServeReply reply) {
+    EXPECT_EQ(reply.status.code(), StatusCode::kCancelled);
+    EXPECT_EQ(reply.id, 9u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
 TEST(ServeEngine, ExpiredDeadlineRejectsBeforeTouchingState) {
   ModelRegistry registry(RegistryOptions{});
   ServeOptions options;

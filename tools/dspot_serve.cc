@@ -12,15 +12,32 @@
 //     [--threads T]              worker threads (default 1; 0 = hardware)
 //     [--queue-cap N]            admission bound; overflow sheds the
 //                                oldest request with ResourceExhausted
+//     [--tenant-quota N]         per-tenant queue slots (0 = no slicing);
+//                                a flooding tenant sheds only itself
 //     [--deadline-ms MS]         default per-request budget (0 = none)
 //     [--max-resident-bytes B]   registry budget; accepts 64M / 2GiB / ...
 //     [--spill-dir D]            snapshot spill directory (created)
 //     [--shards N]               registry shards (default 8)
 //     [--max-batch N]            dispatcher batch size (default 64)
 //     [--metrics-json F]         write an obs metrics snapshot on exit
+//   --listen PORT      serve the same frame protocol over TCP (epoll event
+//                      loop on 127.0.0.1; 0 = ephemeral port) instead of
+//                      stdin/stdout
+//     [--max-conns N]            connection cap (default 256)
+//     [--port-file F]            write the bound port to F (for scripts
+//                                using --listen 0)
+//   --connect HOST:PORT  client: stream request frames from stdin to a
+//                      server, reply frames from the server to stdout,
+//                      byte-for-byte
+//     [--tenant NAME]            send a tenant handshake first
 //   --gen-requests N   generate a deterministic request stream on stdout
 //     [--gen-keywords K] [--gen-ticks T] [--gen-horizon H] [--seed S]
 //   --print-replies    decode reply frames on stdin to readable text
+//
+// SIGINT/SIGTERM drain gracefully in both serve modes: stdin mode stops
+// reading, answers every in-flight request and flushes stdout; TCP mode
+// stops accepting/reading, flushes in-flight replies to every connection.
+// Either way --metrics-json is still written and the exit code is 0.
 //
 // Numeric flags parse strictly (see src/common/parse_util.h): empty
 // values, trailing garbage and unknown suffixes are usage errors naming
@@ -29,28 +46,92 @@
 // Exit code 0 on success (including error *replies* — those belong to
 // their requests), 1 on a transport or usage error.
 
+#include <atomic>
+#include <cerrno>
 #include <cinttypes>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <limits>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
 
 #include "common/parse_util.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "serve/model_registry.h"
+#include "serve/net_server.h"
 #include "serve/protocol.h"
 #include "serve/serve_engine.h"
 
 namespace dspot {
 namespace {
+
+/// Signal plumbing shared by both serve transports. The handler does only
+/// async-signal-safe work: store the signal number, poke the net server's
+/// wake pipe (an atomic store + a write), and write to the self-pipe the
+/// stdin pump polls alongside fd 0.
+std::sig_atomic_t volatile g_signal = 0;
+std::atomic<NetServer*> g_net_server{nullptr};
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void HandleShutdownSignal(int sig) {
+  g_signal = sig;
+  NetServer* server = g_net_server.load(std::memory_order_acquire);
+  if (server != nullptr) {
+    server->Shutdown();
+  }
+#ifndef _WIN32
+  if (g_signal_pipe[1] >= 0) {
+    const uint8_t byte = 0;
+    [[maybe_unused]] ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+  }
+#endif
+}
+
+bool InstallShutdownHandlers() {
+#ifndef _WIN32
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "dspot_serve: signal pipe: %s\n",
+                 std::strerror(errno));
+    return false;
+  }
+  for (int fd : g_signal_pipe) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+  struct sigaction action{};
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: poll() must return on the signal
+  if (::sigaction(SIGINT, &action, nullptr) != 0 ||
+      ::sigaction(SIGTERM, &action, nullptr) != 0) {
+    std::fprintf(stderr, "dspot_serve: sigaction: %s\n",
+                 std::strerror(errno));
+    return false;
+  }
+#endif
+  return true;
+}
 
 /// Minimal flag parser: --key value and --key=value (same contract as
 /// dspot_cli's).
@@ -300,11 +381,109 @@ int PrintReplies() {
   return 0;
 }
 
+/// The stdin/stdout pump: poll {stdin, signal pipe}, reassemble frames
+/// through FrameAssembler, submit, answer in admission order with a
+/// bounded in-flight window. Returns 0 on clean EOF OR a graceful
+/// signal-driven drain, 1 on a transport error.
+int PumpStdio(ServeEngine& engine, size_t queue_cap) {
+#ifdef _WIN32
+  std::fprintf(stderr, "dspot_serve: stdio pump requires POSIX fds\n");
+  return 1;
+#else
+  // The in-flight window is bounded so a huge request file cannot hold
+  // every reply in memory at once.
+  const size_t kMaxInFlight = std::max<size_t>(queue_cap, size_t{256});
+  std::deque<std::future<ServeReply>> in_flight;
+  auto drain_one = [&in_flight]() -> Status {
+    ServeReply reply = in_flight.front().get();
+    in_flight.pop_front();
+    return WriteReplyFrame(reply, std::cout);
+  };
+  FrameAssembler assembler("stdin");
+  std::vector<uint8_t> chunk(size_t{64} << 10);
+  std::vector<uint8_t> payload;
+  bool eof = false;
+  while (!eof && g_signal == 0) {
+    pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0}, {g_signal_pipe[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "dspot_serve: poll: %s\n", std::strerror(errno));
+      return 1;
+    }
+    if (fds[1].revents != 0 || g_signal != 0) break;
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    const ssize_t n = ::read(STDIN_FILENO, chunk.data(), chunk.size());
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      std::fprintf(stderr, "dspot_serve: stdin: %s\n", std::strerror(errno));
+      return 1;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    assembler.Append(chunk.data(), static_cast<size_t>(n));
+    for (;;) {
+      StatusOr<bool> have = assembler.Next(&payload);
+      if (!have.ok()) {
+        std::fprintf(stderr, "dspot_serve: %s\n",
+                     have.status().ToString().c_str());
+        return 1;
+      }
+      if (!*have) break;
+      StatusOr<ServeRequest> request =
+          DecodeRequestPayload(payload.data(), payload.size(), "stdin");
+      if (!request.ok()) {
+        std::fprintf(stderr, "dspot_serve: %s\n",
+                     request.status().ToString().c_str());
+        return 1;
+      }
+      in_flight.push_back(engine.Submit(std::move(*request)));
+      while (in_flight.size() >= kMaxInFlight) {
+        Status status = drain_one();
+        if (!status.ok()) {
+          std::fprintf(stderr, "dspot_serve: %s\n", status.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+  }
+  if (eof && assembler.buffered() != 0) {
+    std::fprintf(stderr,
+                 "dspot_serve: stdin: byte %" PRIu64
+                 ": %zu trailing bytes form an incomplete frame\n",
+                 assembler.stream_offset(), assembler.buffered());
+    return 1;
+  }
+  // Drain: every admitted request still gets its reply — a signal must
+  // not drop in-flight work on the floor.
+  while (!in_flight.empty()) {
+    Status status = drain_one();
+    if (!status.ok()) {
+      std::fprintf(stderr, "dspot_serve: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::cout.flush();
+  if (g_signal != 0) {
+    std::fprintf(stderr,
+                 "dspot_serve: caught signal %d; drained in-flight replies "
+                 "and shut down\n",
+                 static_cast<int>(g_signal));
+  }
+  return std::cout ? 0 : 1;
+#endif
+}
+
 int Serve(const Flags& flags) {
   int64_t threads = 0;
   int64_t queue_cap = 0;
   int64_t shards = 0;
   int64_t max_batch = 0;
+  int64_t tenant_quota = 0;
+  int64_t listen_port = 0;
+  int64_t max_conns = 0;
   double deadline_ms = 0.0;
   uint64_t max_resident_bytes = 0;
   const int64_t kMax = std::numeric_limits<int64_t>::max();
@@ -312,6 +491,9 @@ int Serve(const Flags& flags) {
       !ParseIntFlag(flags, "--queue-cap", 1024, 1, kMax, &queue_cap) ||
       !ParseIntFlag(flags, "--shards", 8, 1, kMax, &shards) ||
       !ParseIntFlag(flags, "--max-batch", 64, 1, kMax, &max_batch) ||
+      !ParseIntFlag(flags, "--tenant-quota", 0, 0, kMax, &tenant_quota) ||
+      !ParseIntFlag(flags, "--listen", 0, 0, 65535, &listen_port) ||
+      !ParseIntFlag(flags, "--max-conns", 256, 1, kMax, &max_conns) ||
       !ParseDoubleFlag(flags, "--deadline-ms", 0.0, 0.0, &deadline_ms) ||
       !ParseByteSizeFlag(flags, "--max-resident-bytes", 256ull << 20,
                          &max_resident_bytes)) {
@@ -320,6 +502,9 @@ int Serve(const Flags& flags) {
   const std::string metrics_path = flags.GetString("--metrics-json");
   if (!metrics_path.empty()) {
     ObsRegistry::Instance().Enable();
+  }
+  if (!InstallShutdownHandlers()) {
+    return 1;
   }
 
   RegistryOptions registry_options;
@@ -342,48 +527,69 @@ int Serve(const Flags& flags) {
   serve_options.queue_cap = static_cast<size_t>(queue_cap);
   serve_options.max_batch = static_cast<size_t>(max_batch);
   serve_options.default_deadline_ms = deadline_ms;
+  serve_options.tenant_quota = static_cast<size_t>(tenant_quota);
   ServeEngine engine(&registry, serve_options);
 
-  // Pump: admit from stdin, answer to stdout in admission order. The
-  // in-flight window is bounded so a huge request file cannot hold every
-  // reply in memory at once.
-  const size_t kMaxInFlight =
-      std::max<size_t>(static_cast<size_t>(queue_cap), size_t{256});
-  std::deque<std::future<ServeReply>> in_flight;
-  auto drain_one = [&in_flight]() -> Status {
-    ServeReply reply = in_flight.front().get();
-    in_flight.pop_front();
-    return WriteReplyFrame(reply, std::cout);
-  };
-  ServeRequest request;
-  for (;;) {
-    StatusOr<bool> have = ReadRequestFrame(std::cin, "stdin", &request);
-    if (!have.ok()) {
-      std::fprintf(stderr, "dspot_serve: %s\n",
-                   have.status().ToString().c_str());
+  int exit_code = 0;
+  if (flags.Has("--listen")) {
+    NetServerOptions net_options;
+    net_options.port = static_cast<uint16_t>(listen_port);
+    net_options.max_conns = static_cast<size_t>(max_conns);
+    NetServer server(&engine, net_options);
+    Status status = server.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "dspot_serve: --listen: %s\n",
+                   status.ToString().c_str());
+      engine.Stop();
       return 1;
     }
-    if (!*have) {
-      break;
-    }
-    in_flight.push_back(engine.Submit(std::move(request)));
-    while (in_flight.size() >= kMaxInFlight) {
-      Status status = drain_one();
-      if (!status.ok()) {
-        std::fprintf(stderr, "dspot_serve: %s\n", status.ToString().c_str());
+    // Scripts that pass --listen 0 read the kernel-chosen port here.
+    const std::string port_file = flags.GetString("--port-file");
+    if (!port_file.empty()) {
+      std::ofstream out(port_file, std::ios::trunc);
+      out << server.port() << "\n";
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "dspot_serve: --port-file: cannot write '%s'\n",
+                     port_file.c_str());
+        engine.Stop();
         return 1;
       }
     }
-  }
-  while (!in_flight.empty()) {
-    Status status = drain_one();
+    std::fprintf(stderr, "dspot_serve: listening on %s:%u\n",
+                 net_options.bind_address.c_str(),
+                 static_cast<unsigned>(server.port()));
+    g_net_server.store(&server, std::memory_order_release);
+    if (g_signal != 0) {
+      server.Shutdown();  // the signal raced Start(); drain immediately
+    }
+    status = server.Run();
+    g_net_server.store(nullptr, std::memory_order_release);
     if (!status.ok()) {
       std::fprintf(stderr, "dspot_serve: %s\n", status.ToString().c_str());
-      return 1;
+      exit_code = 1;
     }
+    // Engine callbacks reference the server: Stop() must drain them
+    // before `server` leaves scope.
+    engine.Stop();
+    const NetServerStats net = server.stats();
+    std::fprintf(stderr,
+                 "dspot_serve: tcp: %" PRIu64 " conns (%" PRIu64
+                 " over cap, %" PRIu64 " desync teardowns), %" PRIu64
+                 " requests in / %" PRIu64 " replies out, %" PRIu64
+                 " B in / %" PRIu64 " B out\n",
+                 net.accepted, net.rejected_at_capacity, net.desync_teardowns,
+                 net.requests, net.replies, net.bytes_in, net.bytes_out);
+    if (g_signal != 0) {
+      std::fprintf(stderr,
+                   "dspot_serve: caught signal %d; drained connections and "
+                   "shut down\n",
+                   static_cast<int>(g_signal));
+    }
+  } else {
+    exit_code = PumpStdio(engine, static_cast<size_t>(queue_cap));
+    engine.Stop();
   }
-  std::cout.flush();
-  engine.Stop();
 
   const ServeStats stats = engine.stats();
   const RegistryStats reg = registry.stats();
@@ -395,6 +601,8 @@ int Serve(const Flags& flags) {
                stats.completed, stats.admission_rejects,
                stats.deadline_expired, reg.hits, reg.misses, reg.reloads,
                reg.evictions, reg.resident_models);
+  // Written even on a signal-driven drain: the operator's last metrics
+  // snapshot must survive a SIGTERM'd server.
   if (!metrics_path.empty()) {
     Status status = WriteMetricsJson(metrics_path);
     if (!status.ok()) {
@@ -403,7 +611,155 @@ int Serve(const Flags& flags) {
       return 1;
     }
   }
-  return std::cout ? 0 : 1;
+  return exit_code;
+}
+
+#ifndef _WIN32
+/// write()s all of `data` to `fd` (MSG_NOSIGNAL when it is a socket, so a
+/// dead peer surfaces as EPIPE instead of killing the process).
+bool SendAll(int fd, const void* data, size_t size, bool is_socket) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = is_socket ? ::send(fd, p, size, MSG_NOSIGNAL)
+                                : ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+#endif
+
+/// --connect HOST:PORT — a transparent frame pipe: stdin bytes go to the
+/// server verbatim, server bytes come back on stdout verbatim (so replies
+/// stay byte-comparable against stdin-mode output), with an optional
+/// tenant handshake sent first.
+int Connect(const Flags& flags) {
+#ifdef _WIN32
+  std::fprintf(stderr, "dspot_serve: --connect requires POSIX sockets\n");
+  return 1;
+#else
+  const std::string target = flags.GetString("--connect");
+  if (target.empty()) {
+    std::fprintf(stderr, "dspot_serve: --connect: requires HOST:PORT\n");
+    return 1;
+  }
+  std::string host = "127.0.0.1";
+  std::string port_text = target;
+  const size_t colon = target.rfind(':');
+  if (colon != std::string::npos) {
+    host = target.substr(0, colon);
+    port_text = target.substr(colon + 1);
+    if (host.empty()) host = "127.0.0.1";
+  }
+  auto port = ParseInt64Text(port_text);
+  if (!port.ok() || *port < 1 || *port > 65535) {
+    std::fprintf(stderr,
+                 "dspot_serve: --connect: '%s' is not a port in [1, 65535]\n",
+                 port_text.c_str());
+    return 1;
+  }
+  const std::string tenant = flags.GetString("--tenant");
+  if (!tenant.empty()) {
+    Status status = ValidateTenantName(tenant);
+    if (!status.ok()) {
+      std::fprintf(stderr, "dspot_serve: --tenant: %s\n",
+                   status.message().c_str());
+      return 1;
+    }
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(*port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr,
+                 "dspot_serve: --connect: '%s' is not an IPv4 address\n",
+                 host.c_str());
+    return 1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "dspot_serve: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::fprintf(stderr, "dspot_serve: connect %s:%" PRId64 ": %s\n",
+                 host.c_str(), *port, std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  if (!tenant.empty()) {
+    const std::vector<uint8_t> payload = EncodeHelloPayload(tenant);
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    const uint8_t prefix[4] = {
+        static_cast<uint8_t>(len & 0xFF),
+        static_cast<uint8_t>((len >> 8) & 0xFF),
+        static_cast<uint8_t>((len >> 16) & 0xFF),
+        static_cast<uint8_t>((len >> 24) & 0xFF)};
+    if (!SendAll(fd, prefix, sizeof(prefix), /*is_socket=*/true) ||
+        !SendAll(fd, payload.data(), payload.size(), /*is_socket=*/true)) {
+      std::fprintf(stderr, "dspot_serve: handshake send: %s\n",
+                   std::strerror(errno));
+      ::close(fd);
+      return 1;
+    }
+  }
+
+  // Reader: server -> stdout, byte-for-byte, until the server half-closes.
+  std::atomic<bool> reader_failed{false};
+  std::thread reader([fd, &reader_failed]() {
+    std::vector<char> buf(size_t{64} << 10);
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        std::fprintf(stderr, "dspot_serve: recv: %s\n", std::strerror(errno));
+        reader_failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (n == 0) return;
+      if (!SendAll(STDOUT_FILENO, buf.data(), static_cast<size_t>(n),
+                   /*is_socket=*/false)) {
+        std::fprintf(stderr, "dspot_serve: stdout: %s\n",
+                     std::strerror(errno));
+        reader_failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+
+  // Writer (this thread): stdin -> server, then half-close so the server
+  // sees EOF and can retire the connection once replies flush.
+  bool write_ok = true;
+  std::vector<char> buf(size_t{64} << 10);
+  for (;;) {
+    const ssize_t n = ::read(STDIN_FILENO, buf.data(), buf.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "dspot_serve: stdin: %s\n", std::strerror(errno));
+      write_ok = false;
+      break;
+    }
+    if (n == 0) break;
+    if (!SendAll(fd, buf.data(), static_cast<size_t>(n), /*is_socket=*/true)) {
+      std::fprintf(stderr, "dspot_serve: send: %s\n", std::strerror(errno));
+      write_ok = false;
+      break;
+    }
+  }
+  ::shutdown(fd, SHUT_WR);
+  reader.join();
+  ::close(fd);
+  return (write_ok && !reader_failed.load(std::memory_order_relaxed)) ? 0 : 1;
+#endif
 }
 
 /// A typo'd flag on a long-running server must fail fast at startup, not
@@ -415,7 +771,9 @@ bool RejectUnknownArguments(const Flags& flags) {
       "--max-resident-bytes",             "--spill-dir",
       "--metrics-json", "--gen-requests", "--gen-keywords",
       "--gen-ticks",    "--gen-horizon",  "--seed",
-      "--print-replies"};
+      "--print-replies", "--tenant-quota", "--listen",
+      "--max-conns",    "--port-file",    "--connect",
+      "--tenant"};
   for (const std::string& token : flags.Present()) {
     if (token.rfind("--", 0) != 0) {
       std::fprintf(stderr, "dspot_serve: unexpected argument '%s'\n",
@@ -450,7 +808,12 @@ int Main(int argc, char** argv) {
                  "[--deadline-ms MS]\n"
                  "                   [--max-resident-bytes B] [--spill-dir D] "
                  "[--shards N]\n"
-                 "                   [--max-batch N] [--metrics-json F]\n"
+                 "                   [--max-batch N] [--tenant-quota N] "
+                 "[--metrics-json F]\n"
+                 "       dspot_serve --listen PORT [--max-conns N] "
+                 "[--port-file F]\n"
+                 "                   [...all serve flags above]\n"
+                 "       dspot_serve --connect HOST:PORT [--tenant NAME]\n"
                  "       dspot_serve --gen-requests N [--gen-keywords K] "
                  "[--gen-ticks T]\n"
                  "                   [--gen-horizon H] [--seed S]\n"
@@ -462,6 +825,9 @@ int Main(int argc, char** argv) {
   }
   if (flags.Has("--print-replies")) {
     return PrintReplies();
+  }
+  if (flags.Has("--connect")) {
+    return Connect(flags);
   }
   return Serve(flags);
 }
